@@ -1,0 +1,127 @@
+// Command mdlc inspects and validates Starlink models: MDL
+// specifications, k-colored automata and merged automata. It is the
+// developer-facing half of the paper's "minimise development effort"
+// requirement — model errors surface here, before deployment.
+//
+// Usage:
+//
+//	mdlc list                      list the built-in models
+//	mdlc dot <automaton>           Graphviz export (Figs. 1/2/3/9)
+//	mdlc program <case>            compiled execution program of a case
+//	mdlc check <file.xml>          validate an MDL / automaton / merged
+//	                               automaton document from disk
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"starlink/internal/automata"
+	"starlink/internal/mdl"
+	"starlink/internal/merge"
+	"starlink/internal/registry"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	reg, err := registry.Builtin()
+	if err != nil {
+		fatal(err)
+	}
+	switch os.Args[1] {
+	case "list":
+		fmt.Println("Protocols (MDLs):")
+		for _, p := range reg.Protocols() {
+			spec, _ := reg.Spec(p)
+			fmt.Printf("  %-6s dialect=%s messages=%d\n", p, spec.Dialect, len(spec.Messages))
+		}
+		fmt.Println("Colored automata:")
+		for _, n := range reg.AutomatonNames() {
+			a, _ := reg.Automaton(n)
+			fmt.Printf("  %-12s protocol=%s states=%d colors=%d\n", n, a.Protocol, len(a.States), len(a.Colors()))
+		}
+		fmt.Println("Merged automata (bridge cases):")
+		for _, n := range reg.MergedNames() {
+			m, _ := reg.Merged(n)
+			fmt.Printf("  %-16s initiator=%s automata=%d δ=%d assignments=%d\n",
+				n, m.Initiator, len(m.Automata), len(m.Deltas), len(m.Logic.Assignments))
+		}
+	case "dot":
+		if len(os.Args) != 3 {
+			usage()
+			os.Exit(2)
+		}
+		a, err := reg.Automaton(os.Args[2])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(a.DOT())
+	case "program":
+		if len(os.Args) != 3 {
+			usage()
+			os.Exit(2)
+		}
+		m, err := reg.Merged(os.Args[2])
+		if err != nil {
+			fatal(err)
+		}
+		program, err := m.Compile()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("case %s (initiator %s), %d steps:\n", m.Name, m.Initiator, len(program))
+		for i, s := range program {
+			fmt.Printf("  %2d  %s\n", i, s)
+		}
+	case "check":
+		if len(os.Args) != 3 {
+			usage()
+			os.Exit(2)
+		}
+		data, err := os.ReadFile(os.Args[2])
+		if err != nil {
+			fatal(err)
+		}
+		if err := checkDocument(reg, string(data)); err != nil {
+			fatal(err)
+		}
+		fmt.Println("OK")
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+// checkDocument validates a model document of any of the three kinds,
+// dispatching on the root element.
+func checkDocument(reg *registry.Registry, doc string) error {
+	trimmed := strings.TrimSpace(doc)
+	switch {
+	case strings.HasPrefix(trimmed, "<MDL"):
+		_, err := mdl.ParseXMLString(doc)
+		return err
+	case strings.HasPrefix(trimmed, "<Automaton"):
+		_, err := automata.ParseXMLString(doc)
+		return err
+	case strings.HasPrefix(trimmed, "<MergedAutomaton"):
+		_, err := merge.ParseXMLString(doc, merge.ResolverFunc(func(name string) (*automata.Automaton, error) {
+			return reg.Automaton(name)
+		}))
+		return err
+	default:
+		return fmt.Errorf("mdlc: unrecognised document root (want MDL, Automaton or MergedAutomaton)")
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mdlc list | dot <automaton> | program <case> | check <file.xml>")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mdlc:", err)
+	os.Exit(1)
+}

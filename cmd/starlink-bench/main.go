@@ -1,0 +1,50 @@
+// Command starlink-bench regenerates the paper's Fig. 12 tables: the
+// native response times of the legacy discovery stacks (12(a)) and the
+// Starlink translation times of the six bridge cases (12(b)), as
+// min/median/max over -iters runs on the deterministic network
+// simulator.
+//
+// Usage:
+//
+//	starlink-bench [-table a|b|both] [-iters 100] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"starlink/internal/bench"
+)
+
+func main() {
+	table := flag.String("table", "both", "which table to run: a, b or both")
+	iters := flag.Int("iters", 100, "iterations per row (the paper used 100)")
+	seed := flag.Int64("seed", 1, "base RNG seed (results are deterministic per seed)")
+	flag.Parse()
+
+	if *table == "a" || *table == "both" {
+		natives, err := bench.RunTable12a(*iters, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "starlink-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.Table(
+			fmt.Sprintf("Fig. 12(a) — Response time measures for legacy discovery protocols (ms, %d runs)", *iters),
+			bench.NativeOrder, natives, bench.Fig12a))
+	}
+	if *table == "b" || *table == "both" {
+		bridges, err := bench.RunTable12b(*iters, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "starlink-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.Table(
+			fmt.Sprintf("Fig. 12(b) — Translation times of Starlink connectors (ms, %d runs)", *iters),
+			bench.CaseOrder, bridges, bench.Fig12b))
+	}
+	if *table != "a" && *table != "b" && *table != "both" {
+		fmt.Fprintf(os.Stderr, "starlink-bench: unknown table %q (want a, b or both)\n", *table)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,62 @@
+// Command starlinkd deploys a Starlink bridge on the local machine
+// over real sockets (loopback UDP/TCP with an in-process multicast
+// registry — see internal/realnet). Legacy clients and services of the
+// bridged protocols, started in the same process group via the
+// examples or tests, interoperate transparently through it.
+//
+// Usage:
+//
+//	starlinkd -case slp-to-bonjour [-host 127.0.0.1] [-v]
+//
+// The daemon prints one line per bridged session and runs until
+// interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"starlink"
+	"starlink/internal/realnet"
+)
+
+func main() {
+	caseName := flag.String("case", "slp-to-bonjour", "merged automaton to deploy (see mdlc list)")
+	host := flag.String("host", "127.0.0.1", "bridge host address")
+	verbose := flag.Bool("v", false, "log every session")
+	flag.Parse()
+
+	rt := realnet.New()
+	fw, err := starlink.New(rt)
+	if err != nil {
+		fatal(err)
+	}
+	bridge, err := fw.DeployBridge(*host, *caseName, starlink.WithObserver(func(s starlink.SessionStats) {
+		if s.Err != nil {
+			fmt.Printf("session from %s FAILED after %s: %v\n", s.Origin, s.Duration, s.Err)
+			return
+		}
+		if *verbose {
+			fmt.Printf("session from %s bridged in %s\n", s.Origin, s.Duration)
+		}
+	}))
+	if err != nil {
+		fatal(err)
+	}
+	defer bridge.Close()
+
+	fmt.Printf("starlinkd: case %s deployed on %s; ctrl-c to stop\n", *caseName, *host)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("starlinkd: %d sessions bridged, %d failed\n",
+		bridge.Engine.Completed, bridge.Engine.Failed)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "starlinkd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+// Quickstart: bridge an SLP client to a Bonjour service at runtime.
+//
+// Three parties run on a deterministic network simulator:
+//
+//   - a legacy Bonjour (mDNS) responder advertising a printer,
+//   - a legacy SLP user agent looking that printer up,
+//   - a Starlink bridge deployed from the "slp-to-bonjour" merged
+//     automaton — pure models, no protocol-specific code.
+//
+// The SLP client receives a perfectly ordinary SLP reply even though
+// no SLP service exists anywhere on the network.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"starlink"
+	"starlink/internal/protocols/dnssd"
+	"starlink/internal/protocols/slp"
+	"starlink/internal/simnet"
+)
+
+func main() {
+	sim := simnet.New()
+
+	// Starlink: deploy the bridge from high-level models only.
+	fw, err := starlink.New(sim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bridge, err := fw.DeployBridge("10.0.0.5", "slp-to-bonjour",
+		starlink.WithObserver(func(s starlink.SessionStats) {
+			fmt.Printf("bridge: session from %s translated in %s\n", s.Origin, s.Duration)
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer bridge.Close()
+
+	// Legacy service: a Bonjour responder (it has never heard of SLP).
+	svcNode, err := sim.NewNode("10.0.0.9")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := dnssd.NewResponder(svcNode, "printer.local", "service:printer://10.0.0.9:515"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Legacy client: an SLP user agent (it has never heard of Bonjour).
+	cliNode, err := sim.NewNode("10.0.0.1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ua := slp.NewUserAgent(cliNode, slp.WithConvergenceWait(500*time.Millisecond))
+	done := false
+	ua.Lookup("service:printer", func(r slp.LookupResult) {
+		done = true
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
+		fmt.Printf("SLP client: lookup finished in %s\n", r.Elapsed)
+		for _, u := range r.URLs {
+			fmt.Printf("SLP client: found %s\n", u)
+		}
+	})
+
+	if err := sim.RunUntil(func() bool { return done }, time.Minute); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("interoperability achieved: an SLP request was answered by a Bonjour service")
+}

@@ -1,0 +1,70 @@
+// Real-socket deployment: the same bridge, over the operating system's
+// network stack.
+//
+// Everything that ran on the simulator in the other examples runs here
+// on loopback UDP sockets (multicast virtualised in-process, see
+// internal/realnet): a Bonjour responder, a Starlink slp-to-bonjour
+// bridge and an SLP client exchange real datagrams through 127.0.0.1.
+//
+// Run with: go run ./examples/realnet-bridge
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"starlink"
+	"starlink/internal/protocols/dnssd"
+	"starlink/internal/protocols/slp"
+	"starlink/internal/realnet"
+)
+
+func main() {
+	rt := realnet.New()
+
+	fw, err := starlink.New(rt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bridge, err := fw.DeployBridge("127.0.0.1", "slp-to-bonjour",
+		starlink.WithObserver(func(s starlink.SessionStats) {
+			fmt.Printf("bridge: translated a session from %s in %s (real sockets)\n", s.Origin, s.Duration)
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer bridge.Close()
+
+	svcNode, err := rt.NewNode("bonjour-service")
+	if err != nil {
+		log.Fatal(err)
+	}
+	responder, err := dnssd.NewResponder(svcNode, "printer.local", "service:printer://127.0.0.1:515")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer responder.Close()
+
+	cliNode, err := rt.NewNode("slp-client")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ua := slp.NewUserAgent(cliNode, slp.WithConvergenceWait(400*time.Millisecond))
+	var urls []string
+	done := false
+	ua.Lookup("service:printer", func(r slp.LookupResult) {
+		done = true
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
+		urls = r.URLs
+	})
+	if err := rt.RunUntil(func() bool { return done }, 10*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	if len(urls) == 0 {
+		log.Fatal("no reply — bridging over loopback failed")
+	}
+	fmt.Printf("SLP client found %s over real UDP\n", urls[0])
+}

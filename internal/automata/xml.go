@@ -1,0 +1,113 @@
+package automata
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// xmlAutomaton mirrors the on-disk XML form of a colored automaton:
+//
+//	<Automaton protocol="SLP" initial="s0" finals="s1">
+//	  <Color>
+//	    <Attr key="transport_protocol" value="udp"/>
+//	    <Attr key="port" value="427"/>
+//	  </Color>
+//	  <State name="s0"/>
+//	  <State name="s1"/>
+//	  <Transition from="s0" to="s1" action="receive" message="SLPSrvRequest"/>
+//	  <Transition from="s1" to="s1" action="send" message="SLPSrvReply" replyToOrigin="true"/>
+//	</Automaton>
+//
+// A top-level <Color> applies to every state (the common case: a
+// single-protocol automaton is uniformly k-colored); a <State> may
+// embed its own <Color> to override.
+type xmlAutomaton struct {
+	XMLName  xml.Name        `xml:"Automaton"`
+	Protocol string          `xml:"protocol,attr"`
+	Initial  string          `xml:"initial,attr"`
+	Finals   string          `xml:"finals,attr"`
+	Color    *xmlColor       `xml:"Color"`
+	States   []xmlState      `xml:"State"`
+	Trans    []xmlTransition `xml:"Transition"`
+}
+
+type xmlColor struct {
+	Attrs []xmlAttr `xml:"Attr"`
+}
+
+type xmlAttr struct {
+	Key   string `xml:"key,attr"`
+	Value string `xml:"value,attr"`
+}
+
+type xmlState struct {
+	Name  string    `xml:"name,attr"`
+	Color *xmlColor `xml:"Color"`
+}
+
+type xmlTransition struct {
+	From          string `xml:"from,attr"`
+	To            string `xml:"to,attr"`
+	Action        string `xml:"action,attr"`
+	Message       string `xml:"message,attr"`
+	ReplyToOrigin bool   `xml:"replyToOrigin,attr"`
+}
+
+func (x *xmlColor) toColor() Color {
+	if x == nil {
+		return Color{}
+	}
+	attrs := make([]Attr, 0, len(x.Attrs))
+	for _, a := range x.Attrs {
+		attrs = append(attrs, Attr{Key: a.Key, Value: a.Value})
+	}
+	return NewColor(attrs...)
+}
+
+// ParseXML loads a colored automaton from XML and validates it.
+func ParseXML(r io.Reader) (*Automaton, error) {
+	var x xmlAutomaton
+	if err := xml.NewDecoder(r).Decode(&x); err != nil {
+		return nil, fmt.Errorf("automata: %w", err)
+	}
+	a := &Automaton{Protocol: x.Protocol, Initial: x.Initial}
+	for _, f := range strings.Split(x.Finals, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			a.Finals = append(a.Finals, f)
+		}
+	}
+	base := x.Color.toColor()
+	for _, s := range x.States {
+		c := base
+		if s.Color != nil {
+			c = s.Color.toColor()
+		}
+		a.States = append(a.States, &State{Name: s.Name, Color: c})
+	}
+	for _, t := range x.Trans {
+		var action ActionKind
+		switch t.Action {
+		case "receive", "?":
+			action = Receive
+		case "send", "!":
+			action = Send
+		default:
+			return nil, fmt.Errorf("automata: %s: unknown action %q", x.Protocol, t.Action)
+		}
+		a.Transitions = append(a.Transitions, &Transition{
+			From: t.From, To: t.To, Action: action,
+			Message: t.Message, ReplyToOrigin: t.ReplyToOrigin,
+		})
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// ParseXMLString is ParseXML over a string.
+func ParseXMLString(s string) (*Automaton, error) {
+	return ParseXML(strings.NewReader(s))
+}

@@ -1,0 +1,261 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"starlink/internal/core"
+	"starlink/internal/engine"
+	"starlink/internal/protocols/dnssd"
+	"starlink/internal/protocols/slp"
+	"starlink/internal/protocols/upnp"
+	"starlink/internal/simnet"
+)
+
+// Universe is the service type of the benchmark workload in each
+// protocol's spelling (the paper's "simple test service").
+const (
+	SLPType    = "service:printer"
+	UPnPType   = "urn:printer"
+	DNSName    = "printer.local"
+	ServiceURL = "service:printer://10.0.0.9:515"
+	HTTPURL    = "http://10.0.0.7:5431/svc"
+)
+
+// RunNative measures one native lookup of the given protocol
+// ("SLP", "Bonjour" or "UPnP") on a fresh simulator seeded with seed,
+// returning the client-observed response time — one sample of
+// Fig. 12(a).
+func RunNative(protocol string, seed int64) (time.Duration, error) {
+	sim := simnet.New(simnet.WithSeed(seed))
+	rng := rand.New(rand.NewSource(seed * 7919))
+	switch protocol {
+	case "SLP":
+		return runNativeSLP(sim, rng)
+	case "Bonjour":
+		return runNativeBonjour(sim, rng)
+	case "UPnP":
+		return runNativeUPnP(sim, rng)
+	default:
+		return 0, fmt.Errorf("bench: unknown protocol %q", protocol)
+	}
+}
+
+func runNativeSLP(sim *simnet.Net, rng *rand.Rand) (time.Duration, error) {
+	svcNode, _ := sim.NewNode("10.0.0.9")
+	if _, err := slp.NewServiceAgent(svcNode, SLPType, ServiceURL,
+		slp.WithResponseDelay(SLPResponseDelayMax, rng)); err != nil {
+		return 0, err
+	}
+	cliNode, _ := sim.NewNode("10.0.0.1")
+	ua := slp.NewUserAgent(cliNode,
+		slp.WithConvergenceWait(SLPConvergenceWait),
+		slp.WithWaitJitter(SLPWaitJitter, rng))
+	var res slp.LookupResult
+	done := false
+	ua.Lookup(SLPType, func(r slp.LookupResult) { res = r; done = true })
+	if err := sim.RunUntil(func() bool { return done }, time.Minute); err != nil {
+		return 0, err
+	}
+	if res.Err != nil {
+		return 0, res.Err
+	}
+	if len(res.URLs) != 1 {
+		return 0, fmt.Errorf("bench: native SLP lookup returned %d urls", len(res.URLs))
+	}
+	return res.Elapsed, nil
+}
+
+func runNativeBonjour(sim *simnet.Net, rng *rand.Rand) (time.Duration, error) {
+	svcNode, _ := sim.NewNode("10.0.0.9")
+	if _, err := dnssd.NewResponder(svcNode, DNSName, ServiceURL,
+		dnssd.WithAnswerDelay(MDNSAnswerDelayMin, MDNSAnswerDelayMax, rng)); err != nil {
+		return 0, err
+	}
+	cliNode, _ := sim.NewNode("10.0.0.1")
+	b := dnssd.NewBrowser(cliNode,
+		dnssd.WithBrowseWindow(BonjourBrowseWindow),
+		dnssd.WithWindowJitter(BonjourWindowJitter, rng))
+	var res dnssd.BrowseResult
+	done := false
+	b.Browse(DNSName, func(r dnssd.BrowseResult) { res = r; done = true })
+	if err := sim.RunUntil(func() bool { return done }, time.Minute); err != nil {
+		return 0, err
+	}
+	if res.Err != nil {
+		return 0, res.Err
+	}
+	if len(res.URLs) != 1 {
+		return 0, fmt.Errorf("bench: native Bonjour browse returned %d urls", len(res.URLs))
+	}
+	return res.Elapsed, nil
+}
+
+func runNativeUPnP(sim *simnet.Net, rng *rand.Rand) (time.Duration, error) {
+	devNode, _ := sim.NewNode("10.0.0.7")
+	if _, err := upnp.NewDevice(devNode, UPnPType, HTTPURL, 5431,
+		upnp.WithSSDPDelay(SSDPDeviceDelayMin, SSDPDeviceDelayMax, rng)); err != nil {
+		return 0, err
+	}
+	cliNode, _ := sim.NewNode("10.0.0.1")
+	cp := upnp.NewControlPoint(cliNode,
+		upnp.WithMX(UPnPMXWindow),
+		upnp.WithMXJitter(UPnPMXJitter, rng))
+	var res upnp.DiscoverResult
+	done := false
+	cp.Discover(UPnPType, func(r upnp.DiscoverResult) { res = r; done = true })
+	if err := sim.RunUntil(func() bool { return done }, time.Minute); err != nil {
+		return 0, err
+	}
+	if res.Err != nil {
+		return 0, res.Err
+	}
+	if len(res.ServiceURLs) != 1 {
+		return 0, fmt.Errorf("bench: native UPnP discover returned %d urls", len(res.ServiceURLs))
+	}
+	return res.Elapsed, nil
+}
+
+// RunBridge measures one bridged interaction for a Fig. 12(b) case on a
+// fresh simulator, returning the Starlink translation time (first
+// message received by the framework → translated response sent).
+func RunBridge(caseName string, seed int64) (time.Duration, error) {
+	sim := simnet.New(simnet.WithSeed(seed))
+	rng := rand.New(rand.NewSource(seed * 6007))
+	fw, err := core.New(sim)
+	if err != nil {
+		return 0, err
+	}
+	var stats []engine.SessionStats
+	bridge, err := fw.DeployBridge("10.0.0.5", caseName,
+		engine.WithObserver(func(s engine.SessionStats) { stats = append(stats, s) }),
+		engine.WithWindowJitter(BridgeSLPWindowJitter, rng))
+	if err != nil {
+		return 0, err
+	}
+	defer bridge.Close()
+
+	if err := startBridgeWorkload(sim, rng, caseName); err != nil {
+		return 0, err
+	}
+	err = sim.RunUntil(func() bool {
+		return len(stats) > 0 && (stats[0].Err != nil || !stats[0].ReplyAt.IsZero())
+	}, 2*time.Minute)
+	// Let the tail of the exchange (description GET, client windows)
+	// finish so sockets close cleanly.
+	sim.RunToQuiescence()
+	if err != nil {
+		return 0, err
+	}
+	if stats[0].Err != nil {
+		return 0, stats[0].Err
+	}
+	return stats[0].Duration, nil
+}
+
+// startBridgeWorkload starts the legacy service and client appropriate
+// for a case.
+func startBridgeWorkload(sim *simnet.Net, rng *rand.Rand, caseName string) error {
+	startSLPService := func() error {
+		n, _ := sim.NewNode("10.0.0.9")
+		_, err := slp.NewServiceAgent(n, SLPType, ServiceURL,
+			slp.WithResponseDelay(SLPResponseDelayMax, rng))
+		return err
+	}
+	startBonjourService := func() error {
+		n, _ := sim.NewNode("10.0.0.9")
+		_, err := dnssd.NewResponder(n, DNSName, ServiceURL,
+			dnssd.WithAnswerDelay(MDNSAnswerDelayMin, MDNSAnswerDelayMax, rng))
+		return err
+	}
+	startUPnPDevice := func() error {
+		n, _ := sim.NewNode("10.0.0.7")
+		_, err := upnp.NewDevice(n, UPnPType, HTTPURL, 5431,
+			upnp.WithSSDPDelay(SSDPDeviceDelayMin, SSDPDeviceDelayMax, rng))
+		return err
+	}
+
+	switch caseName {
+	case "slp-to-upnp":
+		if err := startUPnPDevice(); err != nil {
+			return err
+		}
+		n, _ := sim.NewNode("10.0.0.1")
+		ua := slp.NewUserAgent(n, slp.WithConvergenceWait(SLPConvergenceWait))
+		ua.Lookup(SLPType, func(slp.LookupResult) {})
+	case "slp-to-bonjour":
+		if err := startBonjourService(); err != nil {
+			return err
+		}
+		n, _ := sim.NewNode("10.0.0.1")
+		ua := slp.NewUserAgent(n, slp.WithConvergenceWait(SLPConvergenceWait))
+		ua.Lookup(SLPType, func(slp.LookupResult) {})
+	case "upnp-to-slp":
+		if err := startSLPService(); err != nil {
+			return err
+		}
+		n, _ := sim.NewNode("10.0.0.1")
+		cp := upnp.NewControlPoint(n, upnp.WithMX(WideMX))
+		cp.Discover(UPnPType, func(upnp.DiscoverResult) {})
+	case "upnp-to-bonjour":
+		if err := startBonjourService(); err != nil {
+			return err
+		}
+		n, _ := sim.NewNode("10.0.0.1")
+		cp := upnp.NewControlPoint(n, upnp.WithMX(UPnPMXWindow))
+		cp.Discover(UPnPType, func(upnp.DiscoverResult) {})
+	case "bonjour-to-upnp":
+		if err := startUPnPDevice(); err != nil {
+			return err
+		}
+		n, _ := sim.NewNode("10.0.0.1")
+		b := dnssd.NewBrowser(n, dnssd.WithBrowseWindow(BonjourBrowseWindow))
+		b.Browse(DNSName, func(dnssd.BrowseResult) {})
+	case "bonjour-to-slp":
+		if err := startSLPService(); err != nil {
+			return err
+		}
+		n, _ := sim.NewNode("10.0.0.1")
+		b := dnssd.NewBrowser(n, dnssd.WithBrowseWindow(WideBrowse))
+		b.Browse(DNSName, func(dnssd.BrowseResult) {})
+	default:
+		return fmt.Errorf("bench: unknown case %q", caseName)
+	}
+	return nil
+}
+
+// RunTable12a reproduces Fig. 12(a): iters native lookups per protocol.
+func RunTable12a(iters int, baseSeed int64) (map[string]*Stats, error) {
+	out := map[string]*Stats{}
+	for _, proto := range NativeOrder {
+		st := &Stats{}
+		for i := 0; i < iters; i++ {
+			d, err := RunNative(proto, baseSeed+int64(i))
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s iteration %d: %w", proto, i, err)
+			}
+			st.Add(d)
+		}
+		out[proto] = st
+	}
+	return out, nil
+}
+
+// RunTable12b reproduces Fig. 12(b): iters bridged interactions per
+// case.
+func RunTable12b(iters int, baseSeed int64) (map[string]*Stats, error) {
+	out := map[string]*Stats{}
+	for _, name := range CaseOrder {
+		st := &Stats{}
+		for i := 0; i < iters; i++ {
+			d, err := RunBridge(name, baseSeed+int64(i))
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s iteration %d: %w", name, i, err)
+			}
+			st.Add(d)
+		}
+		out[name] = st
+	}
+	return out, nil
+}

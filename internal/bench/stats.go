@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Stats summarises repeated duration measurements the way the paper
+// reports them: min, median and max over the runs.
+type Stats struct {
+	Samples []time.Duration
+}
+
+// Add records one measurement.
+func (s *Stats) Add(d time.Duration) { s.Samples = append(s.Samples, d) }
+
+// N returns the number of samples.
+func (s *Stats) N() int { return len(s.Samples) }
+
+func (s *Stats) sorted() []time.Duration {
+	out := make([]time.Duration, len(s.Samples))
+	copy(out, s.Samples)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Min returns the smallest sample.
+func (s *Stats) Min() time.Duration {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	return s.sorted()[0]
+}
+
+// Max returns the largest sample.
+func (s *Stats) Max() time.Duration {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	sorted := s.sorted()
+	return sorted[len(sorted)-1]
+}
+
+// Median returns the middle sample (lower of the two for even counts,
+// matching how the paper's single-millisecond medians read).
+func (s *Stats) Median() time.Duration {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	sorted := s.sorted()
+	return sorted[(len(sorted)-1)/2]
+}
+
+// Mean returns the average.
+func (s *Stats) Mean() time.Duration {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range s.Samples {
+		sum += d
+	}
+	return sum / time.Duration(len(s.Samples))
+}
+
+// Row renders "min median max" in milliseconds.
+func (s *Stats) Row() string {
+	return fmt.Sprintf("%6d %8d %8d",
+		s.Min().Milliseconds(), s.Median().Milliseconds(), s.Max().Milliseconds())
+}
+
+// Table formats a Fig. 12-style table with paper reference columns.
+func Table(title string, order []string, measured map[string]*Stats, paper map[string]PaperRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "%-18s %6s %8s %8s   %s\n", "Case", "Min", "Median", "Max", "[paper min/median/max, ms]")
+	for _, name := range order {
+		st, ok := measured[name]
+		if !ok {
+			fmt.Fprintf(&sb, "%-18s %s\n", name, "(no data)")
+			continue
+		}
+		ref := ""
+		if p, ok := paper[name]; ok {
+			ref = fmt.Sprintf("[%d/%d/%d]",
+				p.Min.Milliseconds(), p.Median.Milliseconds(), p.Max.Milliseconds())
+		}
+		fmt.Fprintf(&sb, "%-18s %s   %s\n", name, st.Row(), ref)
+	}
+	return sb.String()
+}

@@ -1,0 +1,577 @@
+// Package composer implements Starlink's runtime-generated message
+// composers (paper §IV-A): the inverse of package parser. A Composer is
+// specialised by an MDL specification and serialises abstract messages
+// back to the legacy protocol's wire format.
+//
+// Field values "may become available at different times, making it
+// difficult to predict the message size and layout" (§III-A) — length
+// and count fields are therefore computed by the composer itself:
+//
+//   - fields whose MDL type carries a function (Integer[f-length(X)],
+//     f-totallength, f-count) are reserved on the first pass and patched
+//     once the full encoding is known;
+//   - fields referenced as a SizeRef/CountRef by a later field are
+//     derived from the measured encoding, so callers never hand-compute
+//     lengths.
+package composer
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+
+	"starlink/internal/bitio"
+	"starlink/internal/mdl"
+	"starlink/internal/message"
+	"starlink/internal/types"
+)
+
+// Composer serialises abstract messages under an MDL spec.
+type Composer struct {
+	spec  *mdl.Spec
+	types *types.Registry
+	funcs *types.FuncRegistry
+}
+
+// New returns a composer for the specification. Nil registries use the
+// built-ins.
+func New(spec *mdl.Spec, reg *types.Registry, funcs *types.FuncRegistry) (*Composer, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("composer: nil spec")
+	}
+	if reg == nil {
+		reg = types.NewRegistry()
+	}
+	if funcs == nil {
+		funcs = types.NewFuncRegistry()
+	}
+	return &Composer{spec: spec, types: reg, funcs: funcs}, nil
+}
+
+// Spec returns the MDL specification the composer interprets.
+func (c *Composer) Spec() *mdl.Spec { return c.spec }
+
+// Compose serialises msg. The message's Name selects the message
+// definition; the rule field is filled automatically so callers (and
+// translation logic) never set protocol discriminators by hand.
+func (c *Composer) Compose(msg *message.Message) ([]byte, error) {
+	def, ok := c.spec.MessageByName(msg.Name)
+	if !ok {
+		return nil, fmt.Errorf("composer: spec %s has no message %q", c.spec.Protocol, msg.Name)
+	}
+	switch c.spec.Dialect {
+	case mdl.DialectBinary:
+		return c.composeBinary(msg, def)
+	case mdl.DialectText:
+		return c.composeText(msg, def)
+	default:
+		return nil, fmt.Errorf("composer: spec %s has invalid dialect", c.spec.Protocol)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Binary dialect
+// ---------------------------------------------------------------------
+
+// patch records a function field whose value is computed after the
+// first pass.
+type patch struct {
+	bitOff  int
+	bits    int
+	label   string
+	funcRef *mdl.FuncRef
+}
+
+type binaryCtx struct {
+	c       *Composer
+	msg     *message.Message
+	def     *mdl.MessageDef
+	w       *bitio.Writer
+	patches []patch
+	// sizeOwners maps a size field label to the label of the variable
+	// field it measures; countOwners likewise for groups.
+	sizeOwners  map[string]string
+	countOwners map[string]string
+}
+
+// EncodedLength implements types.FuncContext.
+func (b *binaryCtx) EncodedLength(label string) (int, error) {
+	f, ok := b.msg.Field(label)
+	if !ok {
+		// Unset measured fields encode as empty.
+		return 0, nil
+	}
+	raw, err := b.c.encodeValue(label, f, 0)
+	if err != nil {
+		return 0, err
+	}
+	return len(raw), nil
+}
+
+// TotalLength implements types.FuncContext.
+func (b *binaryCtx) TotalLength() (int, error) { return (b.w.Len() + 7) / 8, nil }
+
+// FieldValue implements types.FuncContext.
+func (b *binaryCtx) FieldValue(label string) (message.Value, error) {
+	f, ok := b.msg.Field(label)
+	if !ok {
+		return message.Value{}, fmt.Errorf("composer: f-value: no field %q", label)
+	}
+	return f.Value, nil
+}
+
+// Count implements types.FuncContext.
+func (b *binaryCtx) Count(label string) (int, error) {
+	f, ok := b.msg.Field(label)
+	if !ok {
+		return 0, nil
+	}
+	if !f.IsStructured() {
+		return 0, fmt.Errorf("composer: f-count: field %q is not a group", label)
+	}
+	return len(f.Children), nil
+}
+
+func (c *Composer) composeBinary(msg *message.Message, def *mdl.MessageDef) ([]byte, error) {
+	ctx := &binaryCtx{
+		c:           c,
+		msg:         msg,
+		def:         def,
+		w:           bitio.NewWriter(),
+		sizeOwners:  map[string]string{},
+		countOwners: map[string]string{},
+	}
+	indexOwners(c.spec.Header.Fields, ctx.sizeOwners, ctx.countOwners)
+	indexOwners(def.Fields, ctx.sizeOwners, ctx.countOwners)
+
+	if err := c.writeFields(ctx, c.spec.Header.Fields, msg, nil); err != nil {
+		return nil, fmt.Errorf("composer: %s header: %w", c.spec.Protocol, err)
+	}
+	if err := c.writeFields(ctx, def.Fields, msg, nil); err != nil {
+		return nil, fmt.Errorf("composer: %s %s body: %w", c.spec.Protocol, def.Name, err)
+	}
+	// Second pass: evaluate function fields now that the layout is known.
+	for _, p := range ctx.patches {
+		fn, err := c.funcs.Lookup(p.funcRef.Name)
+		if err != nil {
+			return nil, fmt.Errorf("composer: field %q: %w", p.label, err)
+		}
+		v, err := fn(ctx, p.funcRef.Args)
+		if err != nil {
+			return nil, fmt.Errorf("composer: field %q: %w", p.label, err)
+		}
+		n, ok := v.AsInt()
+		if !ok {
+			return nil, fmt.Errorf("composer: field %q: function result is not an integer", p.label)
+		}
+		if err := ctx.w.PatchBits(p.bitOff, uint64(n), p.bits); err != nil {
+			return nil, fmt.Errorf("composer: field %q: %w", p.label, err)
+		}
+		// Reflect the computed value back into the abstract message so
+		// parse(compose(m)) == m for function fields too.
+		msg.SetPath(p.label, message.Int(n))
+		if f, ok := msg.Field(p.label); ok {
+			f.Type = c.spec.TypeOf(p.label).TypeName
+			f.Length = p.bits
+		}
+	}
+	return ctx.w.Bytes(), nil
+}
+
+func indexOwners(defs []*mdl.FieldDef, sizes, counts map[string]string) {
+	for _, d := range defs {
+		if d.IsGroup() {
+			counts[d.CountRef] = d.Label
+			indexOwners(d.Group, sizes, counts)
+			continue
+		}
+		if d.SizeRef != "" {
+			sizes[d.SizeRef] = d.Label
+		}
+	}
+}
+
+// writeFields serialises a field list; group items pass their item
+// field as scope for label lookups.
+func (c *Composer) writeFields(ctx *binaryCtx, defs []*mdl.FieldDef, msg *message.Message, scope *message.Field) error {
+	lookup := func(label string) (*message.Field, bool) {
+		if scope != nil {
+			if f, ok := scope.Child(label); ok {
+				return f, true
+			}
+		}
+		return msg.Field(label)
+	}
+	for _, def := range defs {
+		if def.IsGroup() {
+			g, ok := lookup(def.Label)
+			if !ok || !g.IsStructured() {
+				// Absent group composes as empty (count field will be 0).
+				continue
+			}
+			for i, item := range g.Children {
+				if err := c.writeFields(ctx, def.Group, msg, item); err != nil {
+					return fmt.Errorf("group %q item %d: %w", def.Label, i, err)
+				}
+			}
+			continue
+		}
+		td := c.spec.TypeOf(def.Label)
+
+		// Function fields: reserve and patch later.
+		if td.Func != nil {
+			if def.SizeBits <= 0 || def.SizeBits > 64 {
+				return fmt.Errorf("field %q: function fields need fixed width <=64 bits", def.Label)
+			}
+			ctx.patches = append(ctx.patches, patch{
+				bitOff:  ctx.w.Len(),
+				bits:    def.SizeBits,
+				label:   def.Label,
+				funcRef: td.Func,
+			})
+			if err := ctx.w.WriteBits(0, def.SizeBits); err != nil {
+				return err
+			}
+			continue
+		}
+
+		// Derived size/count fields: measured from the owned field.
+		if owned, isSize := ctx.sizeOwners[def.Label]; isSize && scope == nil {
+			f, ok := lookup(owned)
+			var n int
+			if ok {
+				raw, err := c.encodeValue(owned, f, 0)
+				if err != nil {
+					return err
+				}
+				n = len(raw)
+			}
+			if err := c.writeIntField(ctx, msg, def, td, int64(n)); err != nil {
+				return err
+			}
+			continue
+		}
+		if owned, isCount := ctx.countOwners[def.Label]; isCount && scope == nil {
+			n := 0
+			if g, ok := lookup(owned); ok && g.IsStructured() {
+				n = len(g.Children)
+			}
+			if err := c.writeIntField(ctx, msg, def, td, int64(n)); err != nil {
+				return err
+			}
+			continue
+		}
+		// Size fields inside groups measure their sibling.
+		if scope != nil {
+			if owned := siblingSizeOwner(defs, def.Label); owned != "" {
+				f, ok := lookup(owned)
+				var n int
+				if ok {
+					raw, err := c.encodeValue(owned, f, 0)
+					if err != nil {
+						return err
+					}
+					n = len(raw)
+				}
+				if def.SizeBits <= 0 {
+					return fmt.Errorf("group size field %q needs fixed width", def.Label)
+				}
+				if err := ctx.w.WriteBits(uint64(n), def.SizeBits); err != nil {
+					return err
+				}
+				setScopedValue(scope, def.Label, message.Int(int64(n)))
+				continue
+			}
+		}
+
+		f, ok := lookup(def.Label)
+		if !ok {
+			// The message's rule discriminator (e.g. FunctionID=2 for a
+			// SrvReply, Flags=33792 for a DNS response) is implied by
+			// the message name; other unset fields compose as zeroes.
+			v := zeroValue(td, c.types)
+			if scope == nil && def.Label == ctx.def.Rule.Field {
+				rv, err := coerceValue(message.Str(ctx.def.Rule.Value), mustKind(c.types, td))
+				if err != nil {
+					return fmt.Errorf("field %q: rule value: %w", def.Label, err)
+				}
+				v = rv
+			}
+			f = &message.Field{Label: def.Label, Type: td.TypeName, Value: v}
+			if scope == nil {
+				msg.Add(f)
+			}
+		}
+		if err := c.writeField(ctx, def, td, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// siblingSizeOwner returns the label of the field measured by a size
+// field within the same group definition.
+func siblingSizeOwner(defs []*mdl.FieldDef, sizeLabel string) string {
+	for _, d := range defs {
+		if d.SizeRef == sizeLabel {
+			return d.Label
+		}
+	}
+	return ""
+}
+
+func setScopedValue(scope *message.Field, label string, v message.Value) {
+	if c, ok := scope.Child(label); ok {
+		c.Value = v
+		return
+	}
+	scope.Children = append(scope.Children, &message.Field{Label: label, Value: v})
+}
+
+func (c *Composer) writeIntField(ctx *binaryCtx, msg *message.Message, def *mdl.FieldDef, td mdl.TypeDef, n int64) error {
+	if def.SizeBits <= 0 || def.SizeBits > 64 {
+		return fmt.Errorf("field %q: derived integer needs fixed width <=64 bits", def.Label)
+	}
+	if err := ctx.w.WriteBits(uint64(n), def.SizeBits); err != nil {
+		return fmt.Errorf("field %q: %w", def.Label, err)
+	}
+	msg.SetPath(def.Label, message.Int(n))
+	if f, ok := msg.Field(def.Label); ok {
+		f.Type = td.TypeName
+		f.Length = def.SizeBits
+	}
+	return nil
+}
+
+func (c *Composer) writeField(ctx *binaryCtx, def *mdl.FieldDef, td mdl.TypeDef, f *message.Field) error {
+	m, err := c.types.Lookup(td.TypeName)
+	if err != nil {
+		return fmt.Errorf("field %q: %w", def.Label, err)
+	}
+	if def.SizeBits > 0 && m.Kind() == message.KindInt && def.SizeBits <= 64 {
+		cv, err := coerceValue(f.Value, message.KindInt)
+		if err != nil {
+			return fmt.Errorf("field %q: %w", def.Label, err)
+		}
+		v, ok := cv.AsInt()
+		if !ok {
+			return fmt.Errorf("field %q: value %v is not an integer", def.Label, f.Value.Kind())
+		}
+		if v < 0 {
+			return fmt.Errorf("field %q: negative value %d", def.Label, v)
+		}
+		if err := ctx.w.WriteBits(uint64(v), def.SizeBits); err != nil {
+			return fmt.Errorf("field %q: %w", def.Label, err)
+		}
+		return nil
+	}
+	if def.SizeBits > 0 && m.Kind() == message.KindBool && def.SizeBits <= 64 {
+		v, _ := f.Value.AsBool()
+		var n uint64
+		if v {
+			n = 1
+		}
+		if err := ctx.w.WriteBits(n, def.SizeBits); err != nil {
+			return fmt.Errorf("field %q: %w", def.Label, err)
+		}
+		return nil
+	}
+	raw, err := c.encodeValue(def.Label, f, def.SizeBits)
+	if err != nil {
+		return err
+	}
+	if def.SizeBits > 0 && len(raw)*8 != def.SizeBits {
+		return fmt.Errorf("field %q: encoded %d bits, field is %d", def.Label, len(raw)*8, def.SizeBits)
+	}
+	if err := ctx.w.WriteBytes(raw); err != nil {
+		return fmt.Errorf("field %q: %w", def.Label, err)
+	}
+	return nil
+}
+
+// encodeValue marshals a field's value, imploding structured fields
+// first.
+func (c *Composer) encodeValue(label string, f *message.Field, bits int) ([]byte, error) {
+	td := c.spec.TypeOf(label)
+	m, err := c.types.Lookup(td.TypeName)
+	if err != nil {
+		return nil, fmt.Errorf("field %q: %w", label, err)
+	}
+	v := f.Value
+	if f.IsStructured() {
+		sm, ok := m.(types.StructuredMarshaller)
+		if !ok {
+			return nil, fmt.Errorf("field %q: structured value but type %q cannot implode", label, td.TypeName)
+		}
+		v, err = sm.Implode(f.Children)
+		if err != nil {
+			return nil, fmt.Errorf("field %q: %w", label, err)
+		}
+	}
+	raw, err := m.Marshal(v, bits)
+	if err != nil {
+		return nil, fmt.Errorf("field %q: %w", label, err)
+	}
+	return raw, nil
+}
+
+// coerceValue converts between value kinds so translation constants
+// (always strings) and cross-protocol copies compose cleanly: "12"
+// becomes Int(12) for an Integer field, 12 becomes Str("12") for text.
+func coerceValue(v message.Value, want message.Kind) (message.Value, error) {
+	if v.Kind() == want {
+		return v, nil
+	}
+	switch want {
+	case message.KindInt:
+		if s, ok := v.AsString(); ok {
+			var n int64
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil {
+				return message.Value{}, fmt.Errorf("cannot coerce %q to integer", s)
+			}
+			return message.Int(n), nil
+		}
+	case message.KindString:
+		return message.Str(v.Text()), nil
+	case message.KindBytes:
+		if s, ok := v.AsString(); ok {
+			return message.Bytes([]byte(s)), nil
+		}
+	}
+	return message.Value{}, fmt.Errorf("cannot coerce %v to %v", v.Kind(), want)
+}
+
+func mustKind(reg *types.Registry, td mdl.TypeDef) message.Kind {
+	m, err := reg.Lookup(td.TypeName)
+	if err != nil {
+		return message.KindString
+	}
+	return m.Kind()
+}
+
+func zeroValue(td mdl.TypeDef, reg *types.Registry) message.Value {
+	m, err := reg.Lookup(td.TypeName)
+	if err != nil {
+		return message.Str("")
+	}
+	switch m.Kind() {
+	case message.KindInt:
+		return message.Int(0)
+	case message.KindBool:
+		return message.Bool(false)
+	case message.KindBytes:
+		return message.Bytes(nil)
+	default:
+		return message.Str("")
+	}
+}
+
+// ---------------------------------------------------------------------
+// Text dialect
+// ---------------------------------------------------------------------
+
+func (c *Composer) composeText(msg *message.Message, def *mdl.MessageDef) ([]byte, error) {
+	var buf bytes.Buffer
+	fixed := map[string]bool{}
+	var wildcard *mdl.FieldDef
+	for _, hf := range c.spec.Header.Fields {
+		if hf.Wildcard {
+			wildcard = hf
+			continue
+		}
+		fixed[hf.Label] = true
+		f, ok := msg.Field(hf.Label)
+		var text string
+		if ok {
+			t, err := c.textValue(hf.Label, f)
+			if err != nil {
+				return nil, err
+			}
+			text = t
+		} else if hf.Label == c.ruleLabelFor(def) {
+			text = def.Rule.Value
+		}
+		buf.WriteString(text)
+		buf.Write(hf.Delim)
+	}
+	if wildcard != nil {
+		// Messages carrying a body need a Content-Length so stream
+		// framers can delimit them; compute it when absent (the text
+		// dialect's counterpart of the binary f-length mechanism).
+		if def.Body != mdl.BodyNone {
+			if _, has := msg.Field("Content-Length"); !has {
+				if bf, ok := msg.Field("Body"); ok {
+					n := 0
+					if b, ok := bf.Value.AsBytes(); ok {
+						n = len(b)
+					} else if s, ok := bf.Value.AsString(); ok {
+						n = len(s)
+					}
+					msg.AddPrimitive("Content-Length", "Integer", message.Int(int64(n)))
+				}
+			}
+		}
+		// Emit every remaining field as a label<split> value line, in
+		// message order for determinism (Body and structured helpers
+		// excluded). Unset rule fields were already emitted above.
+		for _, f := range msg.Fields() {
+			if fixed[f.Label] || f.Label == "Body" {
+				continue
+			}
+			text, err := c.textValue(f.Label, f)
+			if err != nil {
+				return nil, err
+			}
+			buf.WriteString(f.Label)
+			buf.WriteByte(wildcard.InnerSplit)
+			buf.WriteString(" ")
+			buf.WriteString(text)
+			buf.Write(wildcard.Delim)
+		}
+		buf.Write(wildcard.Delim) // blank line terminates the field run
+	}
+	switch def.Body {
+	case mdl.BodyRaw, mdl.BodyXML:
+		if f, ok := msg.Field("Body"); ok {
+			if b, ok := f.Value.AsBytes(); ok {
+				buf.Write(b)
+			} else if s, ok := f.Value.AsString(); ok {
+				buf.WriteString(s)
+			}
+		}
+	case mdl.BodyNone:
+	}
+	return buf.Bytes(), nil
+}
+
+// ruleLabelFor returns the header label the message's rule constrains,
+// so composing can default it (e.g. Method=M-SEARCH).
+func (c *Composer) ruleLabelFor(def *mdl.MessageDef) string { return def.Rule.Field }
+
+func (c *Composer) textValue(label string, f *message.Field) (string, error) {
+	td := c.spec.TypeOf(label)
+	m, err := c.types.Lookup(td.TypeName)
+	if err != nil {
+		return "", fmt.Errorf("field %q: %w", label, err)
+	}
+	if f.IsStructured() {
+		sm, ok := m.(types.StructuredMarshaller)
+		if !ok {
+			return "", fmt.Errorf("field %q: structured value but type %q cannot implode", label, td.TypeName)
+		}
+		v, err := sm.Implode(f.Children)
+		if err != nil {
+			return "", fmt.Errorf("field %q: %w", label, err)
+		}
+		return v.Text(), nil
+	}
+	return f.Value.Text(), nil
+}
+
+// SortedLabels is a test helper exposing deterministic field ordering.
+func SortedLabels(msg *message.Message) []string {
+	out := msg.Labels()
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,88 @@
+// Package core is the Starlink framework facade — the paper's primary
+// contribution assembled into a deployable system. A Framework owns a
+// model registry and a network runtime; DeployBridge instantiates the
+// generic Automata Engine with a merged automaton and its codecs on a
+// bridge host, after which legacy clients and services interoperate
+// transparently (paper Fig. 6).
+//
+// The package is intentionally thin: everything protocol-specific
+// lives in loadable models (internal/models), and everything generic
+// in the engine/parser/composer interpreters — which is the paper's
+// point.
+package core
+
+import (
+	"fmt"
+
+	"starlink/internal/engine"
+	"starlink/internal/netapi"
+	"starlink/internal/registry"
+)
+
+// Framework is a Starlink deployment context.
+type Framework struct {
+	reg *registry.Registry
+	rt  netapi.Runtime
+}
+
+// New creates a framework on the runtime with the built-in case-study
+// models loaded (SLP, SSDP, HTTP, mDNS and the six merged automata).
+func New(rt netapi.Runtime) (*Framework, error) {
+	reg, err := registry.Builtin()
+	if err != nil {
+		return nil, err
+	}
+	return &Framework{reg: reg, rt: rt}, nil
+}
+
+// NewEmpty creates a framework with an empty registry; callers load
+// their own models (the runtime-extensibility path of §IV-A).
+func NewEmpty(rt netapi.Runtime) *Framework {
+	return &Framework{reg: registry.New(), rt: rt}
+}
+
+// Registry exposes the model registry for loading additional MDLs,
+// automata and merged automata at runtime.
+func (f *Framework) Registry() *registry.Registry { return f.reg }
+
+// Runtime returns the underlying network runtime.
+func (f *Framework) Runtime() netapi.Runtime { return f.rt }
+
+// Bridge is a deployed interoperability connector.
+type Bridge struct {
+	// Case is the merged automaton name, e.g. "slp-to-upnp".
+	Case string
+	// Engine is the running automata engine (stats, program).
+	Engine *engine.Engine
+	// Node is the bridge host.
+	Node netapi.Node
+}
+
+// Close undeploys the bridge.
+func (b *Bridge) Close() error { return b.Engine.Close() }
+
+// DeployBridge creates a bridge host with the given IP, instantiates
+// the named merged automaton on it and starts listening. The bridge is
+// transparent: neither legacy side needs to know it exists.
+func (f *Framework) DeployBridge(hostIP, caseName string, opts ...engine.Option) (*Bridge, error) {
+	merged, err := f.reg.Merged(caseName)
+	if err != nil {
+		return nil, err
+	}
+	codecs, err := f.reg.Codecs(merged)
+	if err != nil {
+		return nil, err
+	}
+	node, err := f.rt.NewNode(hostIP)
+	if err != nil {
+		return nil, fmt.Errorf("core: bridge host: %w", err)
+	}
+	eng, err := engine.New(node, merged, codecs, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Start(); err != nil {
+		return nil, err
+	}
+	return &Bridge{Case: caseName, Engine: eng, Node: node}, nil
+}

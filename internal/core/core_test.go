@@ -1,0 +1,97 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"starlink/internal/core"
+	"starlink/internal/engine"
+	"starlink/internal/protocols/dnssd"
+	"starlink/internal/protocols/slp"
+	"starlink/internal/realnet"
+	"starlink/internal/simnet"
+)
+
+func TestFrameworkDeployAllCases(t *testing.T) {
+	sim := simnet.New()
+	fw, err := core.New(sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range fw.Registry().MergedNames() {
+		// Distinct host per bridge to avoid group-port collisions.
+		b, err := fw.DeployBridge("10.0.9."+string(rune('1'+i)), name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if b.Case != name || b.Engine == nil || b.Node == nil {
+			t.Fatalf("%s: bridge = %+v", name, b)
+		}
+		if err := b.Close(); err != nil {
+			t.Fatalf("%s close: %v", name, err)
+		}
+	}
+}
+
+func TestFrameworkUnknownCase(t *testing.T) {
+	sim := simnet.New()
+	fw, err := core.New(sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.DeployBridge("10.0.0.5", "corba-to-soap"); err == nil {
+		t.Fatal("unknown case should fail")
+	}
+}
+
+func TestNewEmptyHasNoModels(t *testing.T) {
+	fw := core.NewEmpty(simnet.New())
+	if got := fw.Registry().MergedNames(); len(got) != 0 {
+		t.Fatalf("merged = %v", got)
+	}
+	if fw.Runtime() == nil {
+		t.Fatal("runtime missing")
+	}
+}
+
+// TestBridgeOverRealSockets runs the paper's SLP→Bonjour case over
+// real loopback UDP — the deployment mode of the starlinkd daemon.
+func TestBridgeOverRealSockets(t *testing.T) {
+	rt := realnet.New()
+	fw, err := core.New(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats []engine.SessionStats
+	bridge, err := fw.DeployBridge("127.0.0.1", "slp-to-bonjour",
+		engine.WithObserver(func(s engine.SessionStats) { stats = append(stats, s) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bridge.Close()
+
+	svcNode, _ := rt.NewNode("svc")
+	responder, err := dnssd.NewResponder(svcNode, "printer.local", "service:printer://127.0.0.1:515")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer responder.Close()
+
+	cliNode, _ := rt.NewNode("cli")
+	ua := slp.NewUserAgent(cliNode, slp.WithConvergenceWait(300*time.Millisecond))
+	var res slp.LookupResult
+	done := false
+	ua.Lookup("service:printer", func(r slp.LookupResult) { res = r; done = true })
+	if err := rt.RunUntil(func() bool { return done }, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if len(res.URLs) != 1 || res.URLs[0] != "service:printer://127.0.0.1:515" {
+		t.Fatalf("urls = %v", res.URLs)
+	}
+	if len(stats) != 1 || stats[0].Err != nil {
+		t.Fatalf("stats = %+v", stats)
+	}
+}

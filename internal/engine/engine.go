@@ -1,0 +1,596 @@
+// Package engine implements Starlink's Automata Engine (paper §IV-B):
+// the runtime that executes a merged automaton. It is the component
+// that makes the bridge work end to end:
+//
+//   - at a *receiving state* it listens through the Network Engine on
+//     the state's color, parses inbound bytes with the protocol's
+//     MDL-specialised parser, and pushes the abstract message onto the
+//     session's state queue;
+//   - at a *bridge state* (a δ-transition) it runs the λ network
+//     actions (setHost redirects the next connection);
+//   - at a *sending state* it builds the outgoing abstract message by
+//     applying the translation logic's assignments against the stored
+//     message history, composes it with the MDL-specialised composer,
+//     and transmits it with the color's network semantics — unicast
+//     back to the session origin for replies.
+//
+// One Engine hosts one deployed merged automaton; each incoming
+// initiator request opens an independent session (concurrent legacy
+// clients are bridged in parallel).
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"starlink/internal/automata"
+	"starlink/internal/composer"
+	"starlink/internal/mdl"
+	"starlink/internal/merge"
+	"starlink/internal/message"
+	"starlink/internal/netapi"
+	"starlink/internal/netengine"
+	"starlink/internal/parser"
+	"starlink/internal/translation"
+	"starlink/internal/types"
+)
+
+// Codec bundles the MDL-driven marshalling machinery for one protocol.
+type Codec struct {
+	Spec     *mdl.Spec
+	Parser   *parser.Parser
+	Composer *composer.Composer
+	// Framer is required for stream (TCP) colors; nil otherwise.
+	Framer *parser.Framer
+}
+
+// NewCodec builds a codec from an MDL spec. A framer is attached when
+// the spec supports one (needed only for TCP colors).
+func NewCodec(spec *mdl.Spec, reg *types.Registry, funcs *types.FuncRegistry) (*Codec, error) {
+	p, err := parser.New(spec, reg)
+	if err != nil {
+		return nil, err
+	}
+	c, err := composer.New(spec, reg, funcs)
+	if err != nil {
+		return nil, err
+	}
+	codec := &Codec{Spec: spec, Parser: p, Composer: c}
+	if f, err := parser.NewFramer(spec); err == nil {
+		codec.Framer = f
+	}
+	return codec, nil
+}
+
+// SessionStats summarises one completed (or failed) bridge session.
+type SessionStats struct {
+	// Origin is the legacy client that opened the session.
+	Origin netapi.Addr
+	// Start is when the framework first received the request.
+	Start time.Time
+	// ReplyAt is when the first translated response was sent back to
+	// the initiator — the endpoint of the paper's §VI translation-time
+	// measurement ("until the translated output response was sent on
+	// the output socket"). Zero if the session failed before replying.
+	ReplyAt time.Time
+	// End is when the session finished entirely (for the reverse-UPnP
+	// cases this includes serving the description GET).
+	End time.Time
+	// Duration is the paper's translation time: ReplyAt-Start when a
+	// reply was sent, End-Start otherwise.
+	Duration time.Duration
+	Err      error
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithVars sets bridge environment variables available to translation
+// constants (${bridge.host}, ${bridge.http.port}, ...).
+func WithVars(vars map[string]string) Option {
+	return func(e *Engine) {
+		for k, v := range vars {
+			e.vars[k] = v
+		}
+	}
+}
+
+// WithTranslationFuncs overrides the T-function registry.
+func WithTranslationFuncs(funcs *translation.FuncRegistry) Option {
+	return func(e *Engine) { e.tfuncs = funcs }
+}
+
+// WithReceiveTimeout bounds how long a session waits at a receive
+// state with no convergence window before failing.
+func WithReceiveTimeout(d time.Duration) Option {
+	return func(e *Engine) { e.recvTimeout = d }
+}
+
+// WithWindowJitter perturbs every convergence window by a uniform
+// value in [-d/2, +d/2], modelling the scheduler and retransmission
+// variance visible in the paper's Fig. 12(b) min/max columns.
+func WithWindowJitter(d time.Duration, rng *rand.Rand) Option {
+	return func(e *Engine) { e.windowJitter, e.windowRNG = d, rng }
+}
+
+// WithObserver registers a callback invoked as each session ends.
+func WithObserver(fn func(SessionStats)) Option {
+	return func(e *Engine) { e.observer = fn }
+}
+
+// Engine executes one merged automaton on one bridge node.
+type Engine struct {
+	node    netapi.Node
+	net     *netengine.Engine
+	merged  *merge.Merged
+	program []merge.Step
+	codecs  map[string]*Codec
+	tfuncs  *translation.FuncRegistry
+	vars    map[string]string
+
+	recvTimeout  time.Duration
+	windowJitter time.Duration
+	windowRNG    *rand.Rand
+	observer     func(SessionStats)
+
+	entries  []netapi.Closer
+	sessions []*session
+
+	// Counters exposed for tests and diagnostics.
+	Completed   int
+	Failed      int
+	ParseErrors int
+	Ignored     int
+}
+
+// New builds an engine for the merged automaton. codecs must contain
+// an entry for every member protocol.
+func New(node netapi.Node, merged *merge.Merged, codecs map[string]*Codec, opts ...Option) (*Engine, error) {
+	program, err := merged.Compile()
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range merged.Automata {
+		c, ok := codecs[a.Protocol]
+		if !ok {
+			return nil, fmt.Errorf("engine: no codec for protocol %q", a.Protocol)
+		}
+		if c.Spec.Protocol != a.Protocol {
+			return nil, fmt.Errorf("engine: codec protocol %q does not match automaton %q",
+				c.Spec.Protocol, a.Protocol)
+		}
+	}
+	specs := map[string]*mdl.Spec{}
+	for p, c := range codecs {
+		specs[p] = c.Spec
+	}
+	if err := merged.CheckEquivalences(specs); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		node:        node,
+		net:         netengine.New(node),
+		merged:      merged,
+		program:     program,
+		codecs:      codecs,
+		tfuncs:      translation.NewFuncRegistry(),
+		vars:        map[string]string{"bridge.host": node.IP()},
+		recvTimeout: 30 * time.Second,
+	}
+	if err := merged.Logic.Validate(e.tfuncs); err != nil {
+		return nil, err
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e, nil
+}
+
+// Program returns the compiled step list (diagnostics, mdlc tool).
+func (e *Engine) Program() []merge.Step { return e.program }
+
+// Start opens the entry listeners. The bridge is then transparently
+// deployed: legacy clients of the initiator protocol reach it via
+// their normal multicast groups/ports.
+func (e *Engine) Start() error {
+	entryColors, err := e.merged.EntryProtocols()
+	if err != nil {
+		return err
+	}
+	// Deterministic order: initiator first, then program order.
+	opened := map[string]bool{}
+	for _, step := range e.program {
+		color, isEntry := entryColors[step.Protocol]
+		if !isEntry || opened[step.Protocol] {
+			continue
+		}
+		opened[step.Protocol] = true
+		proto := step.Protocol
+		codec := e.codecs[proto]
+		closer, err := e.net.Listen(color, codec.Framer, func(data []byte, src netengine.Source) {
+			e.onEntry(proto, data, src)
+		})
+		if err != nil {
+			e.closeEntries()
+			return fmt.Errorf("engine: %s: %w", e.merged.Name, err)
+		}
+		e.entries = append(e.entries, closer)
+	}
+	return nil
+}
+
+// Close stops the engine: entry listeners and live sessions.
+func (e *Engine) Close() error {
+	e.closeEntries()
+	for _, s := range e.sessions {
+		if !s.done {
+			s.cleanup()
+		}
+	}
+	e.sessions = nil
+	return nil
+}
+
+func (e *Engine) closeEntries() {
+	for _, c := range e.entries {
+		_ = c.Close()
+	}
+	e.entries = nil
+}
+
+// onEntry handles a payload arriving on an entry listener.
+func (e *Engine) onEntry(proto string, data []byte, src netengine.Source) {
+	codec := e.codecs[proto]
+	msg, err := codec.Parser.Parse(data)
+	if err != nil {
+		e.ParseErrors++
+		return
+	}
+	// New session?
+	first := e.program[0]
+	if proto == first.Protocol && msg.Name == first.Message {
+		s := newSession(e, msg, src)
+		e.sessions = append(e.sessions, s)
+		s.advance()
+		return
+	}
+	// Route to a session awaiting this message on this protocol,
+	// preferring one opened by the same peer host.
+	var fallback *session
+	for _, s := range e.sessions {
+		if s.done || !s.awaitingEntry(proto, msg.Name) {
+			continue
+		}
+		if s.origin.Addr.IP == src.Addr.IP {
+			s.deliverEntry(proto, msg, src)
+			return
+		}
+		if fallback == nil {
+			fallback = s
+		}
+	}
+	if fallback != nil {
+		fallback.deliverEntry(proto, msg, src)
+		return
+	}
+	e.Ignored++
+}
+
+func (e *Engine) sessionDone(s *session, err error) {
+	if s.done {
+		return
+	}
+	s.done = true
+	s.cleanup()
+	end := e.node.Now()
+	stats := SessionStats{
+		Origin:  s.origin.Addr,
+		Start:   s.start,
+		ReplyAt: s.replyAt,
+		End:     end,
+		Err:     err,
+	}
+	if !s.replyAt.IsZero() {
+		stats.Duration = s.replyAt.Sub(s.start)
+	} else {
+		stats.Duration = end.Sub(s.start)
+	}
+	if err != nil {
+		e.Failed++
+	} else {
+		e.Completed++
+	}
+	if e.observer != nil {
+		e.observer(stats)
+	}
+	// Compact the session list occasionally.
+	if len(e.sessions) > 64 {
+		live := e.sessions[:0]
+		for _, x := range e.sessions {
+			if !x.done {
+				live = append(live, x)
+			}
+		}
+		e.sessions = live
+	}
+}
+
+// session executes the compiled program for one bridged interaction.
+type session struct {
+	e  *Engine
+	pc int
+	// origin is the source of the initiating request.
+	origin netengine.Source
+	// entrySources remembers, per protocol, the latest entry peer so
+	// ReplyToOrigin sends answer the right socket/connection.
+	entrySources map[string]netengine.Source
+	// history holds every stored message instance per abstract name —
+	// the state queues and the ⇒ history operator of §III-B.
+	history map[string][]*message.Message
+	// requesters are the session's client-role channels per protocol.
+	requesters map[string]*netengine.Requester
+	// override is the destination set by a setHost λ action, consumed
+	// by the next requester opened.
+	override netapi.Addr
+
+	// awaiting receive state.
+	waitProto string
+	waitMsg   string
+	collected []*message.Message
+	windowed  bool
+	timer     netapi.TimerID
+	timerSet  bool
+
+	start   time.Time
+	replyAt time.Time
+	done    bool
+}
+
+func newSession(e *Engine, first *message.Message, src netengine.Source) *session {
+	s := &session{
+		e:            e,
+		pc:           1, // step 0 is the initiator receive, satisfied by first
+		origin:       src,
+		entrySources: map[string]netengine.Source{},
+		history:      map[string][]*message.Message{},
+		requesters:   map[string]*netengine.Requester{},
+		start:        e.node.Now(),
+	}
+	s.entrySources[e.program[0].Protocol] = src
+	s.store(first)
+	return s
+}
+
+func (s *session) store(m *message.Message) {
+	s.history[m.Name] = append(s.history[m.Name], m)
+}
+
+// lookup returns the most recent stored instance of a message.
+func (s *session) lookup(name string) *message.Message {
+	h := s.history[name]
+	if len(h) == 0 {
+		return nil
+	}
+	return h[len(h)-1]
+}
+
+// History exposes the stored sequence for a message name (tests).
+func (s *session) History(name string) []*message.Message { return s.history[name] }
+
+func (s *session) awaitingEntry(proto, msgName string) bool {
+	return s.waitProto == proto && s.waitMsg == msgName
+}
+
+// advance executes program steps until the session blocks on a receive
+// or completes.
+func (s *session) advance() {
+	for !s.done {
+		if s.pc >= len(s.e.program) {
+			s.e.sessionDone(s, nil)
+			return
+		}
+		step := s.e.program[s.pc]
+		switch step.Kind {
+		case merge.StepDelta:
+			if err := s.runDelta(step); err != nil {
+				s.e.sessionDone(s, err)
+				return
+			}
+			s.pc++
+		case merge.StepSend:
+			if err := s.runSend(step); err != nil {
+				s.e.sessionDone(s, err)
+				return
+			}
+			s.pc++
+		case merge.StepRecv:
+			s.armReceive(step)
+			return
+		}
+	}
+}
+
+// runDelta executes the λ actions of a δ-transition.
+func (s *session) runDelta(step merge.Step) error {
+	for _, act := range step.Delta.Actions {
+		vals, err := act.Resolve(s.lookup)
+		if err != nil {
+			return err
+		}
+		switch act.Name {
+		case translation.ActionSetHost:
+			host := vals[0].Text()
+			port, ok := vals[1].AsInt()
+			if !ok {
+				var n int64
+				if _, err := fmt.Sscanf(vals[1].Text(), "%d", &n); err != nil {
+					return fmt.Errorf("engine: setHost port %q is not numeric", vals[1].Text())
+				}
+				port = n
+			}
+			s.override = netapi.Addr{IP: host, Port: int(port)}
+		default:
+			return fmt.Errorf("engine: unknown λ action %q", act.Name)
+		}
+	}
+	return nil
+}
+
+// runSend builds, translates, composes and transmits a message.
+func (s *session) runSend(step merge.Step) error {
+	codec := s.e.codecs[step.Protocol]
+	out := message.New(step.Protocol, step.Message)
+	env := translation.Env{Lookup: s.lookup, Vars: s.e.vars}
+	if err := s.e.merged.Logic.Apply(out, env, s.e.tfuncs); err != nil {
+		return err
+	}
+	wire, err := codec.Composer.Compose(out)
+	if err != nil {
+		return err
+	}
+	s.store(out) // sent instances join the history (⇒ over sends)
+
+	if step.ReplyToOrigin {
+		src, ok := s.entrySources[step.Protocol]
+		if !ok {
+			src = s.origin
+		}
+		if err := src.Reply(wire); err != nil {
+			return fmt.Errorf("engine: reply: %w", err)
+		}
+		if s.replyAt.IsZero() && step.Protocol == s.e.merged.Initiator {
+			s.replyAt = s.e.node.Now()
+		}
+		return nil
+	}
+	r, ok := s.requesters[step.Protocol]
+	if !ok {
+		dest := s.override
+		s.override = netapi.Addr{}
+		proto := step.Protocol
+		r, err = s.e.net.NewRequester(step.Color, dest, codec.Framer, func(data []byte, src netengine.Source) {
+			s.onRequesterData(proto, data)
+		})
+		if err != nil {
+			return err
+		}
+		s.requesters[step.Protocol] = r
+	}
+	if err := r.Send(wire); err != nil {
+		return fmt.Errorf("engine: send: %w", err)
+	}
+	return nil
+}
+
+// armReceive blocks the session on a receive step.
+func (s *session) armReceive(step merge.Step) {
+	s.waitProto = step.Protocol
+	s.waitMsg = step.Message
+	s.collected = nil
+	scheme, err := netengine.SchemeOf(step.Color)
+	if err != nil {
+		s.e.sessionDone(s, err)
+		return
+	}
+	if scheme.Convergence > 0 {
+		// Requester-side multicast collection window: gather responses
+		// for the full window (the SLP convergence behaviour that
+		// dominates the →SLP rows of Fig. 12(b)).
+		wait := scheme.Convergence
+		if s.e.windowJitter > 0 && s.e.windowRNG != nil {
+			wait += time.Duration(s.e.windowRNG.Int63n(int64(s.e.windowJitter))) - s.e.windowJitter/2
+		}
+		s.windowed = true
+		s.timer = s.e.node.After(wait, s.windowExpired)
+		s.timerSet = true
+		return
+	}
+	s.windowed = false
+	s.timer = s.e.node.After(s.e.recvTimeout, func() {
+		s.e.sessionDone(s, fmt.Errorf("engine: timeout waiting for %s/%s", s.waitProto, s.waitMsg))
+	})
+	s.timerSet = true
+}
+
+func (s *session) windowExpired() {
+	s.timerSet = false
+	if len(s.collected) == 0 {
+		s.e.sessionDone(s, fmt.Errorf("engine: no %s/%s response within convergence window", s.waitProto, s.waitMsg))
+		return
+	}
+	s.clearWait()
+	s.pc++
+	s.advance()
+}
+
+func (s *session) clearWait() {
+	if s.timerSet {
+		s.e.node.Cancel(s.timer)
+		s.timerSet = false
+	}
+	s.waitProto, s.waitMsg = "", ""
+	s.collected = nil
+}
+
+// onRequesterData handles a response arriving on a client-role channel.
+func (s *session) onRequesterData(proto string, data []byte) {
+	if s.done {
+		return
+	}
+	codec := s.e.codecs[proto]
+	msg, err := codec.Parser.Parse(data)
+	if err != nil {
+		s.e.ParseErrors++
+		return
+	}
+	s.deliver(proto, msg)
+}
+
+// deliverEntry handles an entry-routed message for this session
+// (e.g. the control point's HTTP GET in the reverse-UPnP cases).
+func (s *session) deliverEntry(proto string, msg *message.Message, src netengine.Source) {
+	s.entrySources[proto] = src
+	s.deliver(proto, msg)
+}
+
+func (s *session) deliver(proto string, msg *message.Message) {
+	if s.waitProto != proto || s.waitMsg != msg.Name {
+		s.e.Ignored++
+		return
+	}
+	s.store(msg)
+	if s.windowed {
+		s.collected = append(s.collected, msg)
+		return // keep collecting until the window expires
+	}
+	s.clearWait()
+	s.pc++
+	s.advance()
+}
+
+func (s *session) cleanup() {
+	if s.timerSet {
+		s.e.node.Cancel(s.timer)
+		s.timerSet = false
+	}
+	for _, r := range s.requesters {
+		_ = r.Close()
+	}
+	s.requesters = map[string]*netengine.Requester{}
+}
+
+// ColorsInUse lists the colors of the merged automaton in program
+// order; exposed for the mdlc inspection tool.
+func (e *Engine) ColorsInUse() []automata.Color {
+	var out []automata.Color
+	seen := map[string]bool{}
+	for _, st := range e.program {
+		if st.Color.IsZero() || seen[st.Color.Key()] {
+			continue
+		}
+		seen[st.Color.Key()] = true
+		out = append(out, st.Color)
+	}
+	return out
+}

@@ -1,0 +1,343 @@
+package engine_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"starlink/internal/engine"
+	"starlink/internal/netapi"
+	"starlink/internal/protocols/dnssd"
+	"starlink/internal/protocols/slp"
+	"starlink/internal/protocols/upnp"
+	"starlink/internal/registry"
+	"starlink/internal/simnet"
+)
+
+// deploy builds and starts a bridge engine for a case on the sim.
+func deploy(t *testing.T, sim *simnet.Net, caseName string, opts ...engine.Option) *engine.Engine {
+	t.Helper()
+	reg, err := registry.Builtin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := reg.Merged(caseName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codecs, err := reg.Codecs(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := sim.NewNode("10.0.0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := engine.New(node, merged, codecs, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = e.Close() })
+	return e
+}
+
+// Case 1 (paper Fig. 4/5): an SLP user agent discovers a UPnP device.
+func TestBridgeSLPToUPnP(t *testing.T) {
+	sim := simnet.New()
+	e := deploy(t, sim, "slp-to-upnp")
+
+	devNode, _ := sim.NewNode("10.0.0.7")
+	if _, err := upnp.NewDevice(devNode, "urn:printer", "http://10.0.0.7:5431/svc", 5431); err != nil {
+		t.Fatal(err)
+	}
+	cliNode, _ := sim.NewNode("10.0.0.1")
+	ua := slp.NewUserAgent(cliNode, slp.WithConvergenceWait(500*time.Millisecond))
+	var res slp.LookupResult
+	done := false
+	ua.Lookup("service:printer", func(r slp.LookupResult) { res = r; done = true })
+	if err := sim.RunUntil(func() bool { return done }, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if len(res.URLs) != 1 || res.URLs[0] != "http://10.0.0.7:5431/svc" {
+		t.Fatalf("urls = %v", res.URLs)
+	}
+	if e.Completed != 1 || e.Failed != 0 {
+		t.Fatalf("completed=%d failed=%d parseErrs=%d", e.Completed, e.Failed, e.ParseErrors)
+	}
+}
+
+// Case 2 (paper Fig. 10): an SLP user agent discovers a Bonjour service.
+func TestBridgeSLPToBonjour(t *testing.T) {
+	sim := simnet.New()
+	e := deploy(t, sim, "slp-to-bonjour")
+
+	svcNode, _ := sim.NewNode("10.0.0.9")
+	if _, err := dnssd.NewResponder(svcNode, "printer.local", "service:printer://10.0.0.9:515"); err != nil {
+		t.Fatal(err)
+	}
+	cliNode, _ := sim.NewNode("10.0.0.1")
+	ua := slp.NewUserAgent(cliNode, slp.WithConvergenceWait(500*time.Millisecond))
+	var res slp.LookupResult
+	done := false
+	ua.Lookup("service:printer", func(r slp.LookupResult) { res = r; done = true })
+	if err := sim.RunUntil(func() bool { return done }, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.URLs) != 1 || res.URLs[0] != "service:printer://10.0.0.9:515" {
+		t.Fatalf("urls = %v", res.URLs)
+	}
+	if e.Completed != 1 {
+		t.Fatalf("completed=%d failed=%d", e.Completed, e.Failed)
+	}
+}
+
+// Case 3: a UPnP control point discovers an SLP service. The bridge
+// waits the SLP convergence window (~6.25 s virtual), so the control
+// point needs Cyberlink's unbounded-wait behaviour (a wide MX).
+func TestBridgeUPnPToSLP(t *testing.T) {
+	sim := simnet.New()
+	e := deploy(t, sim, "upnp-to-slp")
+
+	svcNode, _ := sim.NewNode("10.0.0.9")
+	if _, err := slp.NewServiceAgent(svcNode, "service:printer", "service:printer://10.0.0.9:515"); err != nil {
+		t.Fatal(err)
+	}
+	cliNode, _ := sim.NewNode("10.0.0.1")
+	cp := upnp.NewControlPoint(cliNode, upnp.WithMX(8*time.Second))
+	var res upnp.DiscoverResult
+	done := false
+	cp.Discover("urn:printer", func(r upnp.DiscoverResult) { res = r; done = true })
+	if err := sim.RunUntil(func() bool { return done }, 2*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if len(res.ServiceURLs) != 1 || res.ServiceURLs[0] != "service:printer://10.0.0.9:515" {
+		t.Fatalf("urls = %v (completed=%d failed=%d parse=%d ignored=%d)",
+			res.ServiceURLs, e.Completed, e.Failed, e.ParseErrors, e.Ignored)
+	}
+	if e.Completed != 1 {
+		t.Fatalf("completed=%d failed=%d", e.Completed, e.Failed)
+	}
+}
+
+// Case 4: a UPnP control point discovers a Bonjour service.
+func TestBridgeUPnPToBonjour(t *testing.T) {
+	sim := simnet.New()
+	e := deploy(t, sim, "upnp-to-bonjour")
+
+	svcNode, _ := sim.NewNode("10.0.0.9")
+	if _, err := dnssd.NewResponder(svcNode, "printer.local", "http://10.0.0.9:8000/svc"); err != nil {
+		t.Fatal(err)
+	}
+	cliNode, _ := sim.NewNode("10.0.0.1")
+	cp := upnp.NewControlPoint(cliNode)
+	var res upnp.DiscoverResult
+	done := false
+	cp.Discover("urn:printer", func(r upnp.DiscoverResult) { res = r; done = true })
+	if err := sim.RunUntil(func() bool { return done }, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ServiceURLs) != 1 || res.ServiceURLs[0] != "http://10.0.0.9:8000/svc" {
+		t.Fatalf("urls = %v", res.ServiceURLs)
+	}
+	if e.Completed != 1 {
+		t.Fatalf("completed=%d failed=%d", e.Completed, e.Failed)
+	}
+}
+
+// Case 5: a Bonjour browser discovers a UPnP device.
+func TestBridgeBonjourToUPnP(t *testing.T) {
+	sim := simnet.New()
+	e := deploy(t, sim, "bonjour-to-upnp")
+
+	devNode, _ := sim.NewNode("10.0.0.7")
+	if _, err := upnp.NewDevice(devNode, "urn:printer", "http://10.0.0.7:5431/svc", 5431); err != nil {
+		t.Fatal(err)
+	}
+	cliNode, _ := sim.NewNode("10.0.0.1")
+	b := dnssd.NewBrowser(cliNode, dnssd.WithBrowseWindow(500*time.Millisecond))
+	var res dnssd.BrowseResult
+	done := false
+	b.Browse("printer.local", func(r dnssd.BrowseResult) { res = r; done = true })
+	if err := sim.RunUntil(func() bool { return done }, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.URLs) != 1 || res.URLs[0] != "http://10.0.0.7:5431/svc" {
+		t.Fatalf("urls = %v (failed=%d)", res.URLs, e.Failed)
+	}
+	if e.Completed != 1 {
+		t.Fatalf("completed=%d failed=%d", e.Completed, e.Failed)
+	}
+}
+
+// Case 6: a Bonjour browser discovers an SLP service (the browser must
+// outlast the bridge's 6.25 s SLP convergence window).
+func TestBridgeBonjourToSLP(t *testing.T) {
+	sim := simnet.New()
+	e := deploy(t, sim, "bonjour-to-slp")
+
+	svcNode, _ := sim.NewNode("10.0.0.9")
+	if _, err := slp.NewServiceAgent(svcNode, "service:printer", "service:printer://10.0.0.9:515"); err != nil {
+		t.Fatal(err)
+	}
+	cliNode, _ := sim.NewNode("10.0.0.1")
+	b := dnssd.NewBrowser(cliNode, dnssd.WithBrowseWindow(8*time.Second))
+	var res dnssd.BrowseResult
+	done := false
+	b.Browse("printer.local", func(r dnssd.BrowseResult) { res = r; done = true })
+	if err := sim.RunUntil(func() bool { return done }, 2*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.URLs) != 1 || res.URLs[0] != "service:printer://10.0.0.9:515" {
+		t.Fatalf("urls = %v (failed=%d parse=%d)", res.URLs, e.Failed, e.ParseErrors)
+	}
+	if e.Completed != 1 {
+		t.Fatalf("completed=%d failed=%d", e.Completed, e.Failed)
+	}
+}
+
+// Transparency (§V-C): the legacy peers never address the bridge — the
+// client still talks to its own protocol's multicast group, and the
+// session observer confirms the bridged exchange serves the client's
+// request unchanged.
+func TestBridgeTransparencyObserver(t *testing.T) {
+	sim := simnet.New()
+	var stats []engine.SessionStats
+	e := deploy(t, sim, "slp-to-bonjour", engine.WithObserver(func(s engine.SessionStats) {
+		stats = append(stats, s)
+	}))
+	_ = e
+	svcNode, _ := sim.NewNode("10.0.0.9")
+	if _, err := dnssd.NewResponder(svcNode, "printer.local", "service:x"); err != nil {
+		t.Fatal(err)
+	}
+	cliNode, _ := sim.NewNode("10.0.0.1")
+	ua := slp.NewUserAgent(cliNode, slp.WithConvergenceWait(300*time.Millisecond))
+	done := false
+	ua.Lookup("service:printer", func(slp.LookupResult) { done = true })
+	if err := sim.RunUntil(func() bool { return done }, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 1 {
+		t.Fatalf("stats = %d", len(stats))
+	}
+	if stats[0].Err != nil {
+		t.Fatal(stats[0].Err)
+	}
+	if stats[0].Origin.IP != "10.0.0.1" {
+		t.Fatalf("origin = %v", stats[0].Origin)
+	}
+	if stats[0].Duration <= 0 {
+		t.Fatalf("duration = %v", stats[0].Duration)
+	}
+}
+
+// Two concurrent SLP clients must be bridged in independent sessions.
+func TestBridgeConcurrentSessions(t *testing.T) {
+	sim := simnet.New()
+	e := deploy(t, sim, "slp-to-bonjour")
+	svcNode, _ := sim.NewNode("10.0.0.9")
+	if _, err := dnssd.NewResponder(svcNode, "printer.local", "service:x"); err != nil {
+		t.Fatal(err)
+	}
+	doneCount := 0
+	okCount := 0
+	for i := 0; i < 3; i++ {
+		cliNode, _ := sim.NewNode("10.0.1." + string(rune('1'+i)))
+		ua := slp.NewUserAgent(cliNode, slp.WithConvergenceWait(300*time.Millisecond))
+		ua.Lookup("service:printer", func(r slp.LookupResult) {
+			doneCount++
+			if len(r.URLs) == 1 {
+				okCount++
+			}
+		})
+	}
+	if err := sim.RunUntil(func() bool { return doneCount == 3 }, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if okCount != 3 {
+		t.Fatalf("ok = %d of 3 (completed=%d failed=%d)", okCount, e.Completed, e.Failed)
+	}
+	if e.Completed != 3 {
+		t.Fatalf("completed = %d", e.Completed)
+	}
+}
+
+// A lookup for a service type nobody provides must fail the session
+// with a convergence timeout, not hang or crash.
+func TestBridgeNoServiceTimesOut(t *testing.T) {
+	sim := simnet.New()
+	var stats []engine.SessionStats
+	e := deploy(t, sim, "slp-to-bonjour", engine.WithObserver(func(s engine.SessionStats) {
+		stats = append(stats, s)
+	}))
+	cliNode, _ := sim.NewNode("10.0.0.1")
+	ua := slp.NewUserAgent(cliNode, slp.WithConvergenceWait(300*time.Millisecond))
+	done := false
+	var res slp.LookupResult
+	ua.Lookup("service:printer", func(r slp.LookupResult) { res = r; done = true })
+	if err := sim.RunUntil(func() bool { return done }, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.URLs) != 0 {
+		t.Fatalf("urls = %v", res.URLs)
+	}
+	sim.RunToQuiescence()
+	if e.Failed != 1 || len(stats) != 1 || stats[0].Err == nil {
+		t.Fatalf("failed=%d stats=%+v", e.Failed, stats)
+	}
+	if !strings.Contains(stats[0].Err.Error(), "timeout waiting for mDNS/DNSResponse") {
+		t.Fatalf("err = %v", stats[0].Err)
+	}
+}
+
+// Garbage datagrams on the entry listener must be counted and ignored.
+func TestBridgeIgnoresGarbage(t *testing.T) {
+	sim := simnet.New()
+	e := deploy(t, sim, "slp-to-bonjour")
+	cliNode, _ := sim.NewNode("10.0.0.1")
+	sock, _ := cliNode.OpenUDP(0, func(netapi.Packet) {})
+	if err := sock.Send(netapi.Addr{IP: slp.Group, Port: slp.Port}, []byte{0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunToQuiescence()
+	if e.ParseErrors != 1 {
+		t.Fatalf("parse errors = %d", e.ParseErrors)
+	}
+	if e.Completed != 0 && e.Failed != 0 {
+		t.Fatal("garbage must not create sessions")
+	}
+}
+
+// The compiled program for the paper's Fig. 4 case is exposed for
+// inspection; verify its protocol chain is SLP → SSDP → HTTP → SLP.
+func TestBridgeProgramChain(t *testing.T) {
+	sim := simnet.New()
+	e := deploy(t, sim, "slp-to-upnp")
+	var chain []string
+	for _, s := range e.Program() {
+		if len(chain) == 0 || chain[len(chain)-1] != s.Protocol {
+			chain = append(chain, s.Protocol)
+		}
+	}
+	want := []string{"SLP", "SSDP", "HTTP", "SLP"}
+	if len(chain) != len(want) {
+		t.Fatalf("chain = %v", chain)
+	}
+	for i := range want {
+		if chain[i] != want[i] {
+			t.Fatalf("chain = %v, want %v", chain, want)
+		}
+	}
+	if len(e.ColorsInUse()) != 3 {
+		t.Fatalf("colors = %v", e.ColorsInUse())
+	}
+}

@@ -1,0 +1,212 @@
+package merge
+
+import (
+	"fmt"
+	"strings"
+
+	"starlink/internal/automata"
+)
+
+// StepKind enumerates the operations of a compiled merged automaton.
+type StepKind int
+
+// Step kinds.
+const (
+	StepInvalid StepKind = iota
+	StepRecv             // wait for an abstract message (?m)
+	StepSend             // translate, compose and send a message (!m)
+	StepDelta            // take a δ-transition: run λ actions, switch automata
+)
+
+// String renders the kind.
+func (k StepKind) String() string {
+	switch k {
+	case StepRecv:
+		return "recv"
+	case StepSend:
+		return "send"
+	case StepDelta:
+		return "δ"
+	default:
+		return "invalid"
+	}
+}
+
+// Step is one operation of the compiled program. The automata engine
+// executes a session by walking the step list with a program counter —
+// the runtime form of the merged automaton's single δ-chained path.
+type Step struct {
+	Kind StepKind
+	// Protocol owning the state where the op happens.
+	Protocol string
+	// State is the op's source state.
+	State string
+	// Color of the source state (recv: where to listen / how long to
+	// collect; send: how to transmit).
+	Color automata.Color
+	// Message is the abstract message name for recv/send.
+	Message string
+	// ReplyToOrigin marks sends addressed to the session's origin.
+	ReplyToOrigin bool
+	// Delta carries the δ-transition for StepDelta.
+	Delta *Delta
+}
+
+// String renders a compact description, e.g. "SLP:s0 recv SLPSrvRequest".
+func (s Step) String() string {
+	switch s.Kind {
+	case StepDelta:
+		return fmt.Sprintf("%s:%s δ-> %s", s.Protocol, s.State, s.Delta.To)
+	default:
+		return fmt.Sprintf("%s:%s %s %s", s.Protocol, s.State, s.Kind, s.Message)
+	}
+}
+
+// Compile linearises the merged automaton into the execution order a
+// session follows, simulating the paper's operational rules:
+//
+//   - arriving at a state via a send/receive transition, a pending
+//     (unused) δ-transition is taken immediately — this is how a bridge
+//     state (bi-colored node of Fig. 4) hands over to the next protocol;
+//   - arriving via a δ-transition (a return), execution continues with
+//     the state's own transitions — the queued output is sent;
+//   - each transition and each δ runs exactly once.
+//
+// Compile fails if the walk is nondeterministic (a state offers more
+// than one unused transition), incomplete (transitions or δs never
+// executed), or does not end in a final state.
+func (m *Merged) Compile() ([]Step, error) {
+	init, ok := m.AutomatonFor(m.Initiator)
+	if !ok {
+		return nil, fmt.Errorf("merge: %s: initiator %q missing", m.Name, m.Initiator)
+	}
+	type pos struct {
+		a *automata.Automaton
+		s string
+	}
+	cur := pos{init, init.Initial}
+	usedDeltas := map[*Delta]bool{}
+	usedTrans := map[*automata.Transition]bool{}
+	var program []Step
+	justDelta := false
+
+	colorOf := func(a *automata.Automaton, state string) automata.Color {
+		st, _ := a.StateByName(state)
+		if st == nil {
+			return automata.Color{}
+		}
+		return st.Color
+	}
+
+	for steps := 0; ; steps++ {
+		if steps > 10000 {
+			return nil, fmt.Errorf("merge: %s: compilation did not terminate", m.Name)
+		}
+		// δ first, unless we just arrived via one.
+		if !justDelta {
+			var pending *Delta
+			for _, d := range m.Deltas {
+				if !usedDeltas[d] && d.From.Protocol == cur.a.Protocol && d.From.State == cur.s {
+					if pending != nil {
+						return nil, fmt.Errorf("merge: %s: two unused δ-transitions leave %s:%s",
+							m.Name, cur.a.Protocol, cur.s)
+					}
+					pending = d
+				}
+			}
+			if pending != nil {
+				usedDeltas[pending] = true
+				program = append(program, Step{
+					Kind: StepDelta, Protocol: cur.a.Protocol, State: cur.s,
+					Color: colorOf(cur.a, cur.s), Delta: pending,
+				})
+				next, ok := m.AutomatonFor(pending.To.Protocol)
+				if !ok {
+					return nil, fmt.Errorf("merge: %s: δ to unknown automaton %q", m.Name, pending.To.Protocol)
+				}
+				cur = pos{next, pending.To.State}
+				justDelta = true
+				continue
+			}
+		}
+		justDelta = false
+		var next *automata.Transition
+		for _, t := range cur.a.OutTransitions(cur.s) {
+			if usedTrans[t] {
+				continue
+			}
+			if next != nil {
+				return nil, fmt.Errorf("merge: %s: nondeterministic choice at %s:%s (%s vs %s)",
+					m.Name, cur.a.Protocol, cur.s, next.Label(), t.Label())
+			}
+			next = t
+		}
+		if next == nil {
+			break // halted
+		}
+		usedTrans[next] = true
+		kind := StepRecv
+		if next.Action == automata.Send {
+			kind = StepSend
+		}
+		program = append(program, Step{
+			Kind: kind, Protocol: cur.a.Protocol, State: cur.s,
+			Color: colorOf(cur.a, cur.s), Message: next.Message,
+			ReplyToOrigin: next.ReplyToOrigin,
+		})
+		cur = pos{cur.a, next.To}
+	}
+
+	// Completeness checks.
+	if !cur.a.IsFinal(cur.s) {
+		return nil, fmt.Errorf("merge: %s: execution halts at non-final state %s:%s",
+			m.Name, cur.a.Protocol, cur.s)
+	}
+	if len(usedDeltas) != len(m.Deltas) {
+		var unused []string
+		for _, d := range m.Deltas {
+			if !usedDeltas[d] {
+				unused = append(unused, d.From.String()+"->"+d.To.String())
+			}
+		}
+		return nil, fmt.Errorf("merge: %s: δ-transitions never executed: %s", m.Name, strings.Join(unused, ", "))
+	}
+	for _, a := range m.Automata {
+		for _, t := range a.Transitions {
+			if !usedTrans[t] {
+				return nil, fmt.Errorf("merge: %s: transition %s %s->%s never executed",
+					m.Name, t.Label(), a.Protocol+":"+t.From, a.Protocol+":"+t.To)
+			}
+		}
+	}
+	if len(program) == 0 || program[0].Kind != StepRecv || program[0].Protocol != m.Initiator {
+		return nil, fmt.Errorf("merge: %s: program must begin by receiving the initiator's request", m.Name)
+	}
+	return program, nil
+}
+
+// EntryProtocols returns, for each protocol whose first compiled step
+// is a receive, the color it must listen on. These are the automata in
+// server role: the initiator, plus e.g. the HTTP automaton when the
+// bridge itself serves the device description in reverse-UPnP cases.
+func (m *Merged) EntryProtocols() (map[string]automata.Color, error) {
+	program, err := m.Compile()
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]automata.Color{}
+	seen := map[string]bool{}
+	for _, step := range program {
+		if step.Kind == StepDelta {
+			continue
+		}
+		if seen[step.Protocol] {
+			continue
+		}
+		seen[step.Protocol] = true
+		if step.Kind == StepRecv {
+			out[step.Protocol] = step.Color
+		}
+	}
+	return out, nil
+}

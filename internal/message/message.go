@@ -1,0 +1,380 @@
+// Package message implements Starlink's abstract message representation
+// (paper §III-A). A network message, once parsed, becomes a protocol
+// independent tree of labelled, typed fields. Primitive fields carry a
+// value; structured fields carry child primitive fields (for example a
+// URL field splits into protocol, address, port and resource).
+//
+// Abstract messages are the interface between the Starlink framework and
+// the underlying network messages: parsers produce them, the automata
+// engine manipulates them, and composers serialise them back to the wire.
+package message
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind enumerates the dynamic types a primitive field value can carry.
+type Kind int
+
+// Value kinds. Starting at 1 so the zero Kind is invalid and detectable.
+const (
+	KindInvalid Kind = iota
+	KindInt
+	KindString
+	KindBytes
+	KindBool
+)
+
+// String returns the human readable name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindString:
+		return "string"
+	case KindBytes:
+		return "bytes"
+	case KindBool:
+		return "bool"
+	default:
+		return "invalid"
+	}
+}
+
+// Value is the content of a primitive field. The zero Value is invalid.
+// Values are immutable once created.
+type Value struct {
+	kind Kind
+	i    int64
+	s    string
+	b    []byte
+	t    bool
+}
+
+// Int returns a Value holding an integer.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Str returns a Value holding a string.
+func Str(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bytes returns a Value holding a byte slice. The slice is copied so the
+// Value cannot alias caller-owned memory.
+func Bytes(v []byte) Value {
+	cp := make([]byte, len(v))
+	copy(cp, v)
+	return Value{kind: KindBytes, b: cp}
+}
+
+// Bool returns a Value holding a boolean.
+func Bool(v bool) Value { return Value{kind: KindBool, t: v} }
+
+// Kind reports the dynamic kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsValid reports whether the value holds content.
+func (v Value) IsValid() bool { return v.kind != KindInvalid }
+
+// AsInt returns the integer content; ok is false if the kind differs.
+func (v Value) AsInt() (int64, bool) { return v.i, v.kind == KindInt }
+
+// AsString returns the string content; ok is false if the kind differs.
+func (v Value) AsString() (string, bool) { return v.s, v.kind == KindString }
+
+// AsBytes returns a copy of the bytes content; ok is false if the kind differs.
+func (v Value) AsBytes() ([]byte, bool) {
+	if v.kind != KindBytes {
+		return nil, false
+	}
+	cp := make([]byte, len(v.b))
+	copy(cp, v.b)
+	return cp, true
+}
+
+// AsBool returns the boolean content; ok is false if the kind differs.
+func (v Value) AsBool() (bool, bool) { return v.t, v.kind == KindBool }
+
+// Text renders the value as a string regardless of kind. Integers render
+// in decimal, bytes in hex. Used by rules, translation functions and
+// diagnostics.
+func (v Value) Text() string {
+	switch v.kind {
+	case KindInt:
+		return fmt.Sprintf("%d", v.i)
+	case KindString:
+		return v.s
+	case KindBytes:
+		return fmt.Sprintf("%x", v.b)
+	case KindBool:
+		if v.t {
+			return "true"
+		}
+		return "false"
+	default:
+		return ""
+	}
+}
+
+// Equal reports deep equality of two values.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindInt:
+		return v.i == o.i
+	case KindString:
+		return v.s == o.s
+	case KindBytes:
+		return string(v.b) == string(o.b)
+	case KindBool:
+		return v.t == o.t
+	default:
+		return true
+	}
+}
+
+// Field is one field of an abstract message (paper §III-A). A primitive
+// field has Label, Type, Length (in bits; 0 when variable) and Value. A
+// structured field has non-nil Children and no Value of its own.
+type Field struct {
+	// Label names the field, e.g. "XID" or "ST".
+	Label string
+	// Type is the MDL type name of the content, e.g. "Integer" or "URL".
+	Type string
+	// Length is the wire length of the field in bits; 0 means variable.
+	Length int
+	// Mandatory marks fields that participate in the semantic
+	// equivalence operator |= (paper eq. 1, Mfields).
+	Mandatory bool
+	// Value is the content of a primitive field.
+	Value Value
+	// Children are the sub-fields of a structured field. A field with a
+	// non-nil Children slice is structured even if the slice is empty.
+	Children []*Field
+}
+
+// IsStructured reports whether f is a structured field.
+func (f *Field) IsStructured() bool { return f.Children != nil }
+
+// Child returns the direct child field with the given label.
+func (f *Field) Child(label string) (*Field, bool) {
+	for _, c := range f.Children {
+		if c.Label == label {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// Clone returns a deep copy of the field.
+func (f *Field) Clone() *Field {
+	cp := &Field{Label: f.Label, Type: f.Type, Length: f.Length, Mandatory: f.Mandatory, Value: f.Value}
+	if f.Value.kind == KindBytes {
+		cp.Value = Bytes(f.Value.b)
+	}
+	if f.Children != nil {
+		cp.Children = make([]*Field, len(f.Children))
+		for i, c := range f.Children {
+			cp.Children[i] = c.Clone()
+		}
+	}
+	return cp
+}
+
+// Equal reports deep equality of two fields.
+func (f *Field) Equal(o *Field) bool {
+	if f.Label != o.Label || f.Type != o.Type || f.Length != o.Length || f.Mandatory != o.Mandatory {
+		return false
+	}
+	if (f.Children == nil) != (o.Children == nil) {
+		return false
+	}
+	if f.Children == nil {
+		return f.Value.Equal(o.Value)
+	}
+	if len(f.Children) != len(o.Children) {
+		return false
+	}
+	for i := range f.Children {
+		if !f.Children[i].Equal(o.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Message is an abstract message: a named, ordered set of fields
+// belonging to a protocol. The paper writes msg.field for field
+// selection; that is the Field / Path methods here.
+type Message struct {
+	// Protocol is the owning protocol, e.g. "SLP".
+	Protocol string
+	// Name identifies the message type within the protocol,
+	// e.g. "SLPSrvRequest".
+	Name   string
+	fields []*Field
+	index  map[string]*Field
+}
+
+// New creates an empty abstract message.
+func New(protocol, name string) *Message {
+	return &Message{Protocol: protocol, Name: name, index: make(map[string]*Field)}
+}
+
+// Add appends a field. Adding a field whose label already exists replaces
+// the previous field in place (labels are unique within a message).
+func (m *Message) Add(f *Field) {
+	if m.index == nil {
+		m.index = make(map[string]*Field)
+	}
+	if old, ok := m.index[f.Label]; ok {
+		for i, g := range m.fields {
+			if g == old {
+				m.fields[i] = f
+				break
+			}
+		}
+		m.index[f.Label] = f
+		return
+	}
+	m.fields = append(m.fields, f)
+	m.index[f.Label] = f
+}
+
+// AddPrimitive is a convenience constructor for Add.
+func (m *Message) AddPrimitive(label, typ string, v Value) *Field {
+	f := &Field{Label: label, Type: typ, Value: v}
+	m.Add(f)
+	return f
+}
+
+// Field returns the top-level field with the given label.
+func (m *Message) Field(label string) (*Field, bool) {
+	f, ok := m.index[label]
+	return f, ok
+}
+
+// Fields returns the fields in insertion order. The returned slice must
+// not be mutated by callers; fields themselves may be.
+func (m *Message) Fields() []*Field { return m.fields }
+
+// Len returns the number of top-level fields.
+func (m *Message) Len() int { return len(m.fields) }
+
+// Path selects a (possibly nested) field by dot-separated labels, the
+// msg.field operation of §III-A: "LOCATION.port" selects the primitive
+// port inside the structured LOCATION field.
+func (m *Message) Path(path string) (*Field, bool) {
+	parts := strings.Split(path, ".")
+	f, ok := m.Field(parts[0])
+	if !ok {
+		return nil, false
+	}
+	for _, p := range parts[1:] {
+		f, ok = f.Child(p)
+		if !ok {
+			return nil, false
+		}
+	}
+	return f, true
+}
+
+// SetPath assigns a value to the (possibly nested) primitive field at
+// path, creating missing components as untyped primitives.
+func (m *Message) SetPath(path string, v Value) *Field {
+	parts := strings.Split(path, ".")
+	f, ok := m.Field(parts[0])
+	if !ok {
+		f = &Field{Label: parts[0]}
+		m.Add(f)
+	}
+	for _, p := range parts[1:] {
+		c, ok := f.Child(p)
+		if !ok {
+			c = &Field{Label: p}
+			if f.Children == nil {
+				f.Children = []*Field{}
+			}
+			f.Children = append(f.Children, c)
+		}
+		f = c
+	}
+	f.Value = v
+	return f
+}
+
+// MandatoryFields returns the labels of mandatory top-level fields —
+// Mfields(n) in the paper's equivalence operator (eq. 1).
+func (m *Message) MandatoryFields() []string {
+	var out []string
+	for _, f := range m.fields {
+		if f.Mandatory {
+			out = append(out, f.Label)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the message.
+func (m *Message) Clone() *Message {
+	cp := New(m.Protocol, m.Name)
+	for _, f := range m.fields {
+		cp.Add(f.Clone())
+	}
+	return cp
+}
+
+// Equal reports deep equality (same protocol, name, fields and order).
+func (m *Message) Equal(o *Message) bool {
+	if m.Protocol != o.Protocol || m.Name != o.Name || len(m.fields) != len(o.fields) {
+		return false
+	}
+	for i := range m.fields {
+		if !m.fields[i].Equal(o.fields[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact single-line description for diagnostics.
+func (m *Message) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s{", m.Protocol, m.Name)
+	for i, f := range m.fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		writeField(&b, f)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+func writeField(b *strings.Builder, f *Field) {
+	if f.IsStructured() {
+		fmt.Fprintf(b, "%s[", f.Label)
+		for i, c := range f.Children {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeField(b, c)
+		}
+		b.WriteString("]")
+		return
+	}
+	fmt.Fprintf(b, "%s=%s", f.Label, f.Value.Text())
+}
+
+// Labels returns the sorted labels of the top-level fields; useful in
+// tests and error messages.
+func (m *Message) Labels() []string {
+	out := make([]string, 0, len(m.fields))
+	for _, f := range m.fields {
+		out = append(out, f.Label)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,177 @@
+// Package models embeds the Starlink models of the paper's case study
+// (§V): the MDL specifications (Figs. 7 and 11 plus the HTTP and mDNS
+// equivalents), the k-colored automata (Figs. 1, 2, 3 and 9, in both
+// client and server roles), and the six merged automata covering every
+// directed pair of SLP, UPnP and Bonjour (Figs. 4 and 10 and the four
+// reverse/diagonal cases the paper reports in Fig. 12(b)).
+//
+// These are data, not code: the same generic framework executes all of
+// them, which is the paper's central claim.
+package models
+
+// SLPMDL is the paper's Fig. 7: the binary MDL for SLP.
+const SLPMDL = `
+<MDL protocol="SLP" dialect="binary">
+ <Types>
+  <Version>Integer</Version>
+  <FunctionID>Integer</FunctionID>
+  <MessageLength>Integer[f-totallength()]</MessageLength>
+  <reserved>Integer</reserved>
+  <NextExtOffset>Integer</NextExtOffset>
+  <XID>Integer</XID>
+  <LangTagLen>Integer</LangTagLen>
+  <LangTag>String</LangTag>
+  <PRLength>Integer</PRLength>
+  <PRStringTable>String</PRStringTable>
+  <SRVTypeLength>Integer</SRVTypeLength>
+  <SRVType>String</SRVType>
+  <PredLength>Integer</PredLength>
+  <PredString>String</PredString>
+  <SPILength>Integer</SPILength>
+  <SPIString>String</SPIString>
+  <ErrorCode>Integer</ErrorCode>
+  <URLCount>Integer</URLCount>
+  <URLEntry>String</URLEntry>
+  <URLLength>Integer[f-length(URLEntry)]</URLLength>
+ </Types>
+ <Header type="SLP">
+  <Version>8</Version>
+  <FunctionID>8</FunctionID>
+  <MessageLength>24</MessageLength>
+  <reserved>16</reserved>
+  <NextExtOffset>24</NextExtOffset>
+  <XID>16</XID>
+  <LangTagLen>16</LangTagLen>
+  <LangTag>LangTagLen</LangTag>
+ </Header>
+ <Message type="SLPSrvRequest" mandatory="SRVType">
+  <Rule>FunctionID=1</Rule>
+  <PRLength>16</PRLength>
+  <PRStringTable>PRLength</PRStringTable>
+  <SRVTypeLength>16</SRVTypeLength>
+  <SRVType>SRVTypeLength</SRVType>
+  <PredLength>16</PredLength>
+  <PredString>PredLength</PredString>
+  <SPILength>16</SPILength>
+  <SPIString>SPILength</SPIString>
+ </Message>
+ <Message type="SLPSrvReply" mandatory="URLEntry,XID">
+  <Rule>FunctionID=2</Rule>
+  <ErrorCode>16</ErrorCode>
+  <URLCount>16</URLCount>
+  <URLLength>16</URLLength>
+  <URLEntry>URLLength</URLEntry>
+ </Message>
+</MDL>`
+
+// SSDPMDL is the paper's Fig. 11: the text MDL for SSDP.
+const SSDPMDL = `
+<MDL protocol="SSDP" dialect="text">
+ <Types>
+  <Method>String</Method>
+  <URI>String</URI>
+  <Version>String</Version>
+  <ST>String</ST>
+  <MX>Integer</MX>
+  <MAN>String</MAN>
+  <HOST>String</HOST>
+  <USN>String</USN>
+  <LOCATION>URL</LOCATION>
+ </Types>
+ <Header type="SSDP">
+  <Method>32</Method>
+  <URI>32</URI>
+  <Version>13,10</Version>
+  <Fields>13,10:58</Fields>
+ </Header>
+ <Message type="SSDPMSearch" mandatory="ST">
+  <Rule>Method=M-SEARCH</Rule>
+ </Message>
+ <Message type="SSDPResponse" mandatory="LOCATION">
+  <Rule>Method=HTTP/1.1</Rule>
+ </Message>
+</MDL>`
+
+// HTTPMDL is the text MDL for the HTTP description-retrieval exchange
+// of the paper's Fig. 3 automaton. The 200 OK carries the UPnP device
+// description; its XML body is flattened so translation logic can read
+// URLBase (the HTTP_OK.URL_BASE of Fig. 5).
+const HTTPMDL = `
+<MDL protocol="HTTP" dialect="text">
+ <Types>
+  <Method>String</Method>
+  <URI>String</URI>
+  <Version>String</Version>
+  <HOST>String</HOST>
+  <Content-Length>Integer</Content-Length>
+  <Content-Type>String</Content-Type>
+ </Types>
+ <Header type="HTTP">
+  <Method>32</Method>
+  <URI>32</URI>
+  <Version>13,10</Version>
+  <Fields>13,10:58</Fields>
+ </Header>
+ <Message type="HTTPGet" mandatory="URI">
+  <Rule>Method=GET</Rule>
+ </Message>
+ <Message type="HTTPOk" body="xml" mandatory="URLBase">
+  <Rule>Method=HTTP/1.1</Rule>
+ </Message>
+</MDL>`
+
+// MDNSMDL is the binary MDL for Bonjour's mDNS messages (the DNS
+// questions and responses of the paper's §V-A: "Bonjour uses DNS
+// messages so this MDL describes DNS questions and responses").
+// Flags=0 selects a question; Flags=33792 (0x8400: QR|AA) a response.
+const MDNSMDL = `
+<MDL protocol="mDNS" dialect="binary">
+ <Types>
+  <ID>Integer</ID>
+  <Flags>Integer</Flags>
+  <QDCount>Integer</QDCount>
+  <ANCount>Integer</ANCount>
+  <NSCount>Integer</NSCount>
+  <ARCount>Integer</ARCount>
+  <DomainName>FQDN</DomainName>
+  <QType>Integer</QType>
+  <QClass>Integer</QClass>
+  <AName>FQDN</AName>
+  <AType>Integer</AType>
+  <AClass>Integer</AClass>
+  <TTL>Integer</TTL>
+  <RDLength>Integer</RDLength>
+  <RDATA>String</RDATA>
+ </Types>
+ <Header type="mDNS">
+  <ID>16</ID>
+  <Flags>16</Flags>
+  <QDCount>16</QDCount>
+  <ANCount>16</ANCount>
+  <NSCount>16</NSCount>
+  <ARCount>16</ARCount>
+ </Header>
+ <Message type="DNSQuestion" mandatory="DomainName">
+  <Rule>Flags=0</Rule>
+  <DomainName></DomainName>
+  <QType>16</QType>
+  <QClass>16</QClass>
+ </Message>
+ <Message type="DNSResponse" mandatory="RDATA">
+  <Rule>Flags=33792</Rule>
+  <AName></AName>
+  <AType>16</AType>
+  <AClass>16</AClass>
+  <TTL>32</TTL>
+  <RDLength>16</RDLength>
+  <RDATA>RDLength</RDATA>
+ </Message>
+</MDL>`
+
+// MDLs maps protocol name to its MDL document.
+var MDLs = map[string]string{
+	"SLP":  SLPMDL,
+	"SSDP": SSDPMDL,
+	"HTTP": HTTPMDL,
+	"mDNS": MDNSMDL,
+}

@@ -1,0 +1,451 @@
+package models
+
+// The six merged automata of the paper's case study (§V: "There are
+// six particular cases"). SLPToUPnP is Fig. 4/5; SLPToBonjour is
+// Fig. 10. The remaining four are the reverse and diagonal cases
+// measured in Fig. 12(b).
+//
+// Conventions shared by all six:
+//   - the same logical service type is spelled "service:printer" (SLP),
+//     "urn:printer" (UPnP) and "printer.local" (DNS-SD); T functions
+//     translate between the spellings (paper eq. 6);
+//   - constants parameterise protocol-fixed fields (an M-SEARCH's MAN
+//     header) — content the MDL cannot know and the peer requires;
+//   - ${bridge.host} expands to the bridge node's address at runtime,
+//     letting reverse-UPnP bridges advertise their own HTTP endpoint.
+
+// SLPToUPnP bridges an SLP user agent to a UPnP device — the paper's
+// Fig. 4 merged automaton with Fig. 5's translation specification.
+const SLPToUPnP = `
+<MergedAutomaton name="slp-to-upnp" initiator="SLP">
+ <AutomatonRef protocol="SLP" name="slp-server"/>
+ <AutomatonRef protocol="SSDP" name="ssdp-client"/>
+ <AutomatonRef protocol="HTTP" name="http-client"/>
+ <Equivalence output="SSDPMSearch" inputs="SLPSrvRequest"/>
+ <Equivalence output="HTTPGet" inputs="SSDPResponse"/>
+ <Equivalence output="SLPSrvReply" inputs="HTTPOk"/>
+ <Delta from="SLP:s1" to="SSDP:s0"/>
+ <Delta from="SSDP:s2" to="HTTP:s0">
+  <Action name="setHost">
+   <Arg message="SSDPResponse" xpath="/field/structuredField[label='LOCATION']/primitiveField[label='address']/value"/>
+   <Arg message="SSDPResponse" xpath="/field/structuredField[label='LOCATION']/primitiveField[label='port']/value"/>
+  </Action>
+ </Delta>
+ <Delta from="HTTP:s2" to="SLP:s1"/>
+ <TranslationLogic>
+  <Assignment>
+   <Field><Message>SLPSrvReply</Message><Xpath>/field/primitiveField[label='Version']/value</Xpath></Field>
+   <Value>2</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>SLPSrvRequest</Message><Xpath>/field/primitiveField[label='Version']/value</Xpath></Field>
+   <Value>2</Value>
+  </Assignment>
+  <Assignment function="service-type-to-urn">
+   <Field><Message>SSDPMSearch</Message><Xpath>/field/primitiveField[label='ST']/value</Xpath></Field>
+   <Field><Message>SLPSrvRequest</Message><Xpath>/field/primitiveField[label='SRVType']/value</Xpath></Field>
+  </Assignment>
+  <Assignment>
+   <Field><Message>SSDPMSearch</Message><Xpath>/field/primitiveField[label='URI']/value</Xpath></Field>
+   <Value>*</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>SSDPMSearch</Message><Xpath>/field/primitiveField[label='Version']/value</Xpath></Field>
+   <Value>HTTP/1.1</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>SSDPMSearch</Message><Xpath>/field/primitiveField[label='HOST']/value</Xpath></Field>
+   <Value>239.255.255.250:1900</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>SSDPMSearch</Message><Xpath>/field/primitiveField[label='MAN']/value</Xpath></Field>
+   <Value>"ssdp:discover"</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>SSDPMSearch</Message><Xpath>/field/primitiveField[label='MX']/value</Xpath></Field>
+   <Value>1</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>HTTPGet</Message><Xpath>/field/primitiveField[label='URI']/value</Xpath></Field>
+   <Field><Message>SSDPResponse</Message><Xpath>/field/structuredField[label='LOCATION']/primitiveField[label='resource']/value</Xpath></Field>
+  </Assignment>
+  <Assignment>
+   <Field><Message>HTTPGet</Message><Xpath>/field/primitiveField[label='Version']/value</Xpath></Field>
+   <Value>HTTP/1.1</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>SLPSrvReply</Message><Xpath>/field/primitiveField[label='URLEntry']/value</Xpath></Field>
+   <Field><Message>HTTPOk</Message><Xpath>/field/primitiveField[label='URLBase']/value</Xpath></Field>
+  </Assignment>
+  <Assignment>
+   <Field><Message>SLPSrvReply</Message><Xpath>/field/primitiveField[label='XID']/value</Xpath></Field>
+   <Field><Message>SLPSrvRequest</Message><Xpath>/field/primitiveField[label='XID']/value</Xpath></Field>
+  </Assignment>
+  <Assignment>
+   <Field><Message>SLPSrvReply</Message><Xpath>/field/primitiveField[label='LangTag']/value</Xpath></Field>
+   <Field><Message>SLPSrvRequest</Message><Xpath>/field/primitiveField[label='LangTag']/value</Xpath></Field>
+  </Assignment>
+  <Assignment>
+   <Field><Message>SLPSrvReply</Message><Xpath>/field/primitiveField[label='URLCount']/value</Xpath></Field>
+   <Value>1</Value>
+  </Assignment>
+ </TranslationLogic>
+</MergedAutomaton>`
+
+// SLPToBonjour bridges an SLP user agent to a Bonjour responder — the
+// paper's Fig. 10 merged automaton.
+const SLPToBonjour = `
+<MergedAutomaton name="slp-to-bonjour" initiator="SLP">
+ <AutomatonRef protocol="SLP" name="slp-server"/>
+ <AutomatonRef protocol="mDNS" name="mdns-client"/>
+ <Equivalence output="DNSQuestion" inputs="SLPSrvRequest"/>
+ <Equivalence output="SLPSrvReply" inputs="DNSResponse"/>
+ <Delta from="SLP:s1" to="mDNS:s0"/>
+ <Delta from="mDNS:s2" to="SLP:s1"/>
+ <TranslationLogic>
+  <Assignment>
+   <Field><Message>SLPSrvReply</Message><Xpath>/field/primitiveField[label='Version']/value</Xpath></Field>
+   <Value>2</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>SLPSrvRequest</Message><Xpath>/field/primitiveField[label='Version']/value</Xpath></Field>
+   <Value>2</Value>
+  </Assignment>
+  <Assignment function="service-type-to-dns">
+   <Field><Message>DNSQuestion</Message><Xpath>/field/primitiveField[label='DomainName']/value</Xpath></Field>
+   <Field><Message>SLPSrvRequest</Message><Xpath>/field/primitiveField[label='SRVType']/value</Xpath></Field>
+  </Assignment>
+  <Assignment>
+   <Field><Message>DNSQuestion</Message><Xpath>/field/primitiveField[label='QDCount']/value</Xpath></Field>
+   <Value>1</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>DNSQuestion</Message><Xpath>/field/primitiveField[label='QType']/value</Xpath></Field>
+   <Value>12</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>DNSQuestion</Message><Xpath>/field/primitiveField[label='QClass']/value</Xpath></Field>
+   <Value>1</Value>
+  </Assignment>
+  <Assignment function="service-url">
+   <Field><Message>SLPSrvReply</Message><Xpath>/field/primitiveField[label='URLEntry']/value</Xpath></Field>
+   <Field><Message>DNSResponse</Message><Xpath>/field/primitiveField[label='RDATA']/value</Xpath></Field>
+  </Assignment>
+  <Assignment>
+   <Field><Message>SLPSrvReply</Message><Xpath>/field/primitiveField[label='XID']/value</Xpath></Field>
+   <Field><Message>SLPSrvRequest</Message><Xpath>/field/primitiveField[label='XID']/value</Xpath></Field>
+  </Assignment>
+  <Assignment>
+   <Field><Message>SLPSrvReply</Message><Xpath>/field/primitiveField[label='LangTag']/value</Xpath></Field>
+   <Field><Message>SLPSrvRequest</Message><Xpath>/field/primitiveField[label='LangTag']/value</Xpath></Field>
+  </Assignment>
+  <Assignment>
+   <Field><Message>SLPSrvReply</Message><Xpath>/field/primitiveField[label='URLCount']/value</Xpath></Field>
+   <Value>1</Value>
+  </Assignment>
+ </TranslationLogic>
+</MergedAutomaton>`
+
+// UPnPToSLP bridges a UPnP control point to an SLP service. The bridge
+// answers the M-SEARCH itself (advertising its own HTTP endpoint) and
+// serves the device description whose URLBase carries the SLP reply
+// URL — the server-role HTTP automaton of DESIGN.md §6.
+const UPnPToSLP = `
+<MergedAutomaton name="upnp-to-slp" initiator="SSDP">
+ <AutomatonRef protocol="SSDP" name="ssdp-server"/>
+ <AutomatonRef protocol="SLP" name="slp-client"/>
+ <AutomatonRef protocol="HTTP" name="http-server"/>
+ <Equivalence output="SLPSrvRequest" inputs="SSDPMSearch"/>
+ <Equivalence output="SSDPResponse" inputs="SLPSrvReply"/>
+ <Equivalence output="HTTPOk" inputs="SLPSrvReply,HTTPGet"/>
+ <Delta from="SSDP:s1" to="SLP:s0"/>
+ <Delta from="SLP:s2" to="SSDP:s1"/>
+ <Delta from="SSDP:s2" to="HTTP:s0"/>
+ <TranslationLogic>
+  <Assignment>
+   <Field><Message>SLPSrvReply</Message><Xpath>/field/primitiveField[label='Version']/value</Xpath></Field>
+   <Value>2</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>SLPSrvRequest</Message><Xpath>/field/primitiveField[label='Version']/value</Xpath></Field>
+   <Value>2</Value>
+  </Assignment>
+  <Assignment function="urn-to-service-type">
+   <Field><Message>SLPSrvRequest</Message><Xpath>/field/primitiveField[label='SRVType']/value</Xpath></Field>
+   <Field><Message>SSDPMSearch</Message><Xpath>/field/primitiveField[label='ST']/value</Xpath></Field>
+  </Assignment>
+  <Assignment>
+   <Field><Message>SLPSrvRequest</Message><Xpath>/field/primitiveField[label='LangTag']/value</Xpath></Field>
+   <Value>en</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>SSDPResponse</Message><Xpath>/field/primitiveField[label='URI']/value</Xpath></Field>
+   <Value>200</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>SSDPResponse</Message><Xpath>/field/primitiveField[label='Version']/value</Xpath></Field>
+   <Value>OK</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>SSDPResponse</Message><Xpath>/field/primitiveField[label='CACHE-CONTROL']/value</Xpath></Field>
+   <Value>max-age=1800</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>SSDPResponse</Message><Xpath>/field/primitiveField[label='LOCATION']/value</Xpath></Field>
+   <Value>http://${bridge.host}:8080/desc.xml</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>SSDPResponse</Message><Xpath>/field/primitiveField[label='ST']/value</Xpath></Field>
+   <Field><Message>SSDPMSearch</Message><Xpath>/field/primitiveField[label='ST']/value</Xpath></Field>
+  </Assignment>
+  <Assignment>
+   <Field><Message>SSDPResponse</Message><Xpath>/field/primitiveField[label='USN']/value</Xpath></Field>
+   <Value>uuid:starlink-bridge</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>HTTPOk</Message><Xpath>/field/primitiveField[label='URI']/value</Xpath></Field>
+   <Value>200</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>HTTPOk</Message><Xpath>/field/primitiveField[label='Version']/value</Xpath></Field>
+   <Value>OK</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>HTTPOk</Message><Xpath>/field/primitiveField[label='Content-Type']/value</Xpath></Field>
+   <Value>text/xml</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>HTTPOk</Message><Xpath>/field/primitiveField[label='URLBase']/value</Xpath></Field>
+   <Field><Message>SLPSrvReply</Message><Xpath>/field/primitiveField[label='URLEntry']/value</Xpath></Field>
+  </Assignment>
+  <Assignment function="urlbase-xml">
+   <Field><Message>HTTPOk</Message><Xpath>/field/primitiveField[label='Body']/value</Xpath></Field>
+   <Field><Message>SLPSrvReply</Message><Xpath>/field/primitiveField[label='URLEntry']/value</Xpath></Field>
+  </Assignment>
+ </TranslationLogic>
+</MergedAutomaton>`
+
+// UPnPToBonjour bridges a UPnP control point to a Bonjour responder.
+const UPnPToBonjour = `
+<MergedAutomaton name="upnp-to-bonjour" initiator="SSDP">
+ <AutomatonRef protocol="SSDP" name="ssdp-server"/>
+ <AutomatonRef protocol="mDNS" name="mdns-client"/>
+ <AutomatonRef protocol="HTTP" name="http-server"/>
+ <Equivalence output="DNSQuestion" inputs="SSDPMSearch"/>
+ <Equivalence output="SSDPResponse" inputs="DNSResponse"/>
+ <Equivalence output="HTTPOk" inputs="DNSResponse,HTTPGet"/>
+ <Delta from="SSDP:s1" to="mDNS:s0"/>
+ <Delta from="mDNS:s2" to="SSDP:s1"/>
+ <Delta from="SSDP:s2" to="HTTP:s0"/>
+ <TranslationLogic>
+  <Assignment function="urn-to-dns">
+   <Field><Message>DNSQuestion</Message><Xpath>/field/primitiveField[label='DomainName']/value</Xpath></Field>
+   <Field><Message>SSDPMSearch</Message><Xpath>/field/primitiveField[label='ST']/value</Xpath></Field>
+  </Assignment>
+  <Assignment>
+   <Field><Message>DNSQuestion</Message><Xpath>/field/primitiveField[label='QDCount']/value</Xpath></Field>
+   <Value>1</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>DNSQuestion</Message><Xpath>/field/primitiveField[label='QType']/value</Xpath></Field>
+   <Value>12</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>DNSQuestion</Message><Xpath>/field/primitiveField[label='QClass']/value</Xpath></Field>
+   <Value>1</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>SSDPResponse</Message><Xpath>/field/primitiveField[label='URI']/value</Xpath></Field>
+   <Value>200</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>SSDPResponse</Message><Xpath>/field/primitiveField[label='Version']/value</Xpath></Field>
+   <Value>OK</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>SSDPResponse</Message><Xpath>/field/primitiveField[label='CACHE-CONTROL']/value</Xpath></Field>
+   <Value>max-age=1800</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>SSDPResponse</Message><Xpath>/field/primitiveField[label='LOCATION']/value</Xpath></Field>
+   <Value>http://${bridge.host}:8080/desc.xml</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>SSDPResponse</Message><Xpath>/field/primitiveField[label='ST']/value</Xpath></Field>
+   <Field><Message>SSDPMSearch</Message><Xpath>/field/primitiveField[label='ST']/value</Xpath></Field>
+  </Assignment>
+  <Assignment>
+   <Field><Message>SSDPResponse</Message><Xpath>/field/primitiveField[label='USN']/value</Xpath></Field>
+   <Value>uuid:starlink-bridge</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>HTTPOk</Message><Xpath>/field/primitiveField[label='URI']/value</Xpath></Field>
+   <Value>200</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>HTTPOk</Message><Xpath>/field/primitiveField[label='Version']/value</Xpath></Field>
+   <Value>OK</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>HTTPOk</Message><Xpath>/field/primitiveField[label='Content-Type']/value</Xpath></Field>
+   <Value>text/xml</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>HTTPOk</Message><Xpath>/field/primitiveField[label='URLBase']/value</Xpath></Field>
+   <Field><Message>DNSResponse</Message><Xpath>/field/primitiveField[label='RDATA']/value</Xpath></Field>
+  </Assignment>
+  <Assignment function="urlbase-xml">
+   <Field><Message>HTTPOk</Message><Xpath>/field/primitiveField[label='Body']/value</Xpath></Field>
+   <Field><Message>DNSResponse</Message><Xpath>/field/primitiveField[label='RDATA']/value</Xpath></Field>
+  </Assignment>
+ </TranslationLogic>
+</MergedAutomaton>`
+
+// BonjourToUPnP bridges a Bonjour browser to a UPnP device.
+const BonjourToUPnP = `
+<MergedAutomaton name="bonjour-to-upnp" initiator="mDNS">
+ <AutomatonRef protocol="mDNS" name="mdns-server"/>
+ <AutomatonRef protocol="SSDP" name="ssdp-client"/>
+ <AutomatonRef protocol="HTTP" name="http-client"/>
+ <Equivalence output="SSDPMSearch" inputs="DNSQuestion"/>
+ <Equivalence output="HTTPGet" inputs="SSDPResponse"/>
+ <Equivalence output="DNSResponse" inputs="HTTPOk"/>
+ <Delta from="mDNS:s1" to="SSDP:s0"/>
+ <Delta from="SSDP:s2" to="HTTP:s0">
+  <Action name="setHost">
+   <Arg message="SSDPResponse" xpath="/field/structuredField[label='LOCATION']/primitiveField[label='address']/value"/>
+   <Arg message="SSDPResponse" xpath="/field/structuredField[label='LOCATION']/primitiveField[label='port']/value"/>
+  </Action>
+ </Delta>
+ <Delta from="HTTP:s2" to="mDNS:s1"/>
+ <TranslationLogic>
+  <Assignment function="dns-to-urn">
+   <Field><Message>SSDPMSearch</Message><Xpath>/field/primitiveField[label='ST']/value</Xpath></Field>
+   <Field><Message>DNSQuestion</Message><Xpath>/field/primitiveField[label='DomainName']/value</Xpath></Field>
+  </Assignment>
+  <Assignment>
+   <Field><Message>SSDPMSearch</Message><Xpath>/field/primitiveField[label='URI']/value</Xpath></Field>
+   <Value>*</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>SSDPMSearch</Message><Xpath>/field/primitiveField[label='Version']/value</Xpath></Field>
+   <Value>HTTP/1.1</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>SSDPMSearch</Message><Xpath>/field/primitiveField[label='HOST']/value</Xpath></Field>
+   <Value>239.255.255.250:1900</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>SSDPMSearch</Message><Xpath>/field/primitiveField[label='MAN']/value</Xpath></Field>
+   <Value>"ssdp:discover"</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>SSDPMSearch</Message><Xpath>/field/primitiveField[label='MX']/value</Xpath></Field>
+   <Value>1</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>HTTPGet</Message><Xpath>/field/primitiveField[label='URI']/value</Xpath></Field>
+   <Field><Message>SSDPResponse</Message><Xpath>/field/structuredField[label='LOCATION']/primitiveField[label='resource']/value</Xpath></Field>
+  </Assignment>
+  <Assignment>
+   <Field><Message>HTTPGet</Message><Xpath>/field/primitiveField[label='Version']/value</Xpath></Field>
+   <Value>HTTP/1.1</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>DNSResponse</Message><Xpath>/field/primitiveField[label='ID']/value</Xpath></Field>
+   <Field><Message>DNSQuestion</Message><Xpath>/field/primitiveField[label='ID']/value</Xpath></Field>
+  </Assignment>
+  <Assignment>
+   <Field><Message>DNSResponse</Message><Xpath>/field/primitiveField[label='ANCount']/value</Xpath></Field>
+   <Value>1</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>DNSResponse</Message><Xpath>/field/primitiveField[label='AName']/value</Xpath></Field>
+   <Field><Message>DNSQuestion</Message><Xpath>/field/primitiveField[label='DomainName']/value</Xpath></Field>
+  </Assignment>
+  <Assignment>
+   <Field><Message>DNSResponse</Message><Xpath>/field/primitiveField[label='AType']/value</Xpath></Field>
+   <Value>16</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>DNSResponse</Message><Xpath>/field/primitiveField[label='AClass']/value</Xpath></Field>
+   <Value>1</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>DNSResponse</Message><Xpath>/field/primitiveField[label='TTL']/value</Xpath></Field>
+   <Value>120</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>DNSResponse</Message><Xpath>/field/primitiveField[label='RDATA']/value</Xpath></Field>
+   <Field><Message>HTTPOk</Message><Xpath>/field/primitiveField[label='URLBase']/value</Xpath></Field>
+  </Assignment>
+ </TranslationLogic>
+</MergedAutomaton>`
+
+// BonjourToSLP bridges a Bonjour browser to an SLP service.
+const BonjourToSLP = `
+<MergedAutomaton name="bonjour-to-slp" initiator="mDNS">
+ <AutomatonRef protocol="mDNS" name="mdns-server"/>
+ <AutomatonRef protocol="SLP" name="slp-client"/>
+ <Equivalence output="SLPSrvRequest" inputs="DNSQuestion"/>
+ <Equivalence output="DNSResponse" inputs="SLPSrvReply"/>
+ <Delta from="mDNS:s1" to="SLP:s0"/>
+ <Delta from="SLP:s2" to="mDNS:s1"/>
+ <TranslationLogic>
+  <Assignment>
+   <Field><Message>SLPSrvReply</Message><Xpath>/field/primitiveField[label='Version']/value</Xpath></Field>
+   <Value>2</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>SLPSrvRequest</Message><Xpath>/field/primitiveField[label='Version']/value</Xpath></Field>
+   <Value>2</Value>
+  </Assignment>
+  <Assignment function="dns-to-service-type">
+   <Field><Message>SLPSrvRequest</Message><Xpath>/field/primitiveField[label='SRVType']/value</Xpath></Field>
+   <Field><Message>DNSQuestion</Message><Xpath>/field/primitiveField[label='DomainName']/value</Xpath></Field>
+  </Assignment>
+  <Assignment>
+   <Field><Message>SLPSrvRequest</Message><Xpath>/field/primitiveField[label='LangTag']/value</Xpath></Field>
+   <Value>en</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>DNSResponse</Message><Xpath>/field/primitiveField[label='ID']/value</Xpath></Field>
+   <Field><Message>DNSQuestion</Message><Xpath>/field/primitiveField[label='ID']/value</Xpath></Field>
+  </Assignment>
+  <Assignment>
+   <Field><Message>DNSResponse</Message><Xpath>/field/primitiveField[label='ANCount']/value</Xpath></Field>
+   <Value>1</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>DNSResponse</Message><Xpath>/field/primitiveField[label='AName']/value</Xpath></Field>
+   <Field><Message>DNSQuestion</Message><Xpath>/field/primitiveField[label='DomainName']/value</Xpath></Field>
+  </Assignment>
+  <Assignment>
+   <Field><Message>DNSResponse</Message><Xpath>/field/primitiveField[label='AType']/value</Xpath></Field>
+   <Value>16</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>DNSResponse</Message><Xpath>/field/primitiveField[label='AClass']/value</Xpath></Field>
+   <Value>1</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>DNSResponse</Message><Xpath>/field/primitiveField[label='TTL']/value</Xpath></Field>
+   <Value>120</Value>
+  </Assignment>
+  <Assignment>
+   <Field><Message>DNSResponse</Message><Xpath>/field/primitiveField[label='RDATA']/value</Xpath></Field>
+   <Field><Message>SLPSrvReply</Message><Xpath>/field/primitiveField[label='URLEntry']/value</Xpath></Field>
+  </Assignment>
+ </TranslationLogic>
+</MergedAutomaton>`
+
+// MergedAutomata maps case name to merged automaton document — the six
+// directed pairs of the paper's §V.
+var MergedAutomata = map[string]string{
+	"slp-to-upnp":     SLPToUPnP,
+	"slp-to-bonjour":  SLPToBonjour,
+	"upnp-to-slp":     UPnPToSLP,
+	"upnp-to-bonjour": UPnPToBonjour,
+	"bonjour-to-upnp": BonjourToUPnP,
+	"bonjour-to-slp":  BonjourToSLP,
+}

@@ -1,0 +1,123 @@
+// Package netapi defines the network abstraction all Starlink
+// components and legacy protocol stacks are written against. Two
+// runtimes implement it: internal/simnet, a deterministic discrete-event
+// simulator with a virtual clock (used by tests and the Fig. 12
+// benchmark harness), and internal/realnet, real loopback sockets (used
+// by the examples and the bridge daemon).
+//
+// The model is event-driven: every inbound packet, stream chunk,
+// accepted connection and timer fires a callback on the runtime's
+// single dispatcher, so protocol code needs no locking and behaves
+// identically under virtual and real time. This mirrors the paper's
+// architecture where a single Network Engine mediates all I/O (Fig. 6).
+package netapi
+
+import (
+	"fmt"
+	"time"
+)
+
+// Addr is a network endpoint. IP is a dotted-quad string; multicast
+// groups use their group address (e.g. 239.255.255.253).
+type Addr struct {
+	IP   string
+	Port int
+}
+
+// String renders "ip:port".
+func (a Addr) String() string { return fmt.Sprintf("%s:%d", a.IP, a.Port) }
+
+// IsZero reports whether the address is unset.
+func (a Addr) IsZero() bool { return a.IP == "" && a.Port == 0 }
+
+// IsMulticast reports whether the IP is in the IPv4 multicast range
+// (224.0.0.0/4).
+func (a Addr) IsMulticast() bool {
+	var first int
+	if _, err := fmt.Sscanf(a.IP, "%d.", &first); err != nil {
+		return false
+	}
+	return first >= 224 && first <= 239
+}
+
+// Packet is one received datagram.
+type Packet struct {
+	From Addr
+	To   Addr
+	Data []byte
+}
+
+// PacketHandler consumes inbound datagrams. Handlers run on the
+// runtime dispatcher; they must not block.
+type PacketHandler func(pkt Packet)
+
+// UDPSocket is a bound datagram socket.
+type UDPSocket interface {
+	// LocalAddr returns the bound address.
+	LocalAddr() Addr
+	// Send transmits a datagram. A multicast destination fans out to
+	// all group members; a unicast destination delivers to the bound
+	// socket at that address.
+	Send(to Addr, data []byte) error
+	// Close releases the socket. Closing twice is a no-op.
+	Close() error
+}
+
+// Conn is a stream (TCP-like) connection. Data arrives through the
+// StreamHandler registered at dial/listen time; the stream preserves
+// order and loses nothing, but chunk boundaries are not meaningful —
+// consumers must frame (parser.Framer).
+type Conn interface {
+	LocalAddr() Addr
+	RemoteAddr() Addr
+	Send(data []byte) error
+	Close() error
+}
+
+// ConnHandler is invoked for each accepted inbound connection.
+type ConnHandler func(conn Conn)
+
+// StreamHandler consumes inbound stream bytes for a connection. A nil
+// data slice signals the peer closed the connection.
+type StreamHandler func(conn Conn, data []byte)
+
+// TimerID identifies a scheduled callback for cancellation.
+type TimerID uint64
+
+// Node is one host's view of the network.
+type Node interface {
+	// IP returns the node's address.
+	IP() string
+	// OpenUDP binds a datagram socket. Port 0 picks an ephemeral port.
+	OpenUDP(port int, h PacketHandler) (UDPSocket, error)
+	// JoinGroup binds a socket that receives datagrams addressed to
+	// the multicast group, and can send/receive unicast as well.
+	JoinGroup(group Addr, h PacketHandler) (UDPSocket, error)
+	// ListenStream accepts inbound stream connections on a port.
+	ListenStream(port int, accept ConnHandler, recv StreamHandler) (Closer, error)
+	// DialStream opens a stream connection to a listener.
+	DialStream(to Addr, recv StreamHandler) (Conn, error)
+
+	// Now returns the runtime's current time (virtual under simnet).
+	Now() time.Time
+	// After schedules fn on the dispatcher after d.
+	After(d time.Duration, fn func()) TimerID
+	// Cancel revokes a scheduled callback; unknown IDs are ignored.
+	Cancel(id TimerID)
+}
+
+// Closer releases a listener or other bound resource.
+type Closer interface {
+	Close() error
+}
+
+// Runtime creates nodes and drives the event loop.
+type Runtime interface {
+	// NewNode creates a host with the given IP.
+	NewNode(ip string) (Node, error)
+	// RunUntil drives the runtime until cond() holds or the timeout
+	// (in runtime time) elapses; it returns an error on timeout.
+	RunUntil(cond func() bool, timeout time.Duration) error
+	// Run drives the runtime for d (virtual or wall-clock time).
+	Run(d time.Duration)
+}

@@ -1,0 +1,257 @@
+// Package netengine implements Starlink's Network Engine (paper Fig. 6):
+// it realises the low-level network semantics captured by automaton
+// colors. Given a color — transport protocol, port, unicast/multicast,
+// sync/async mode, group — it opens the right kind of endpoint:
+//
+//   - Listen binds the endpoints for server-role (entry) states:
+//     multicast group membership, plain UDP port, or a TCP listener
+//     with MDL-driven framing;
+//   - NewRequester opens the client-role channel used when the bridge
+//     itself issues requests: an ephemeral UDP socket (multicast or
+//     unicast) or a TCP connection to a destination supplied by a
+//     setHost λ action.
+//
+// Every inbound payload is delivered with a Source handle that Reply
+// can use to answer the exact peer — the mechanism behind the paper's
+// transparent replies to legacy clients.
+package netengine
+
+import (
+	"fmt"
+	"time"
+
+	"starlink/internal/automata"
+	"starlink/internal/netapi"
+	"starlink/internal/parser"
+)
+
+// Source identifies where an inbound payload came from, with enough
+// context to reply.
+type Source struct {
+	// Addr is the peer's address.
+	Addr netapi.Addr
+	// sock is the UDP socket the payload arrived on (nil for streams).
+	sock netapi.UDPSocket
+	// conn is the stream connection (nil for datagrams).
+	conn netapi.Conn
+}
+
+// Reply sends data back to the source peer: unicast for datagrams, on
+// the same connection for streams.
+func (s Source) Reply(data []byte) error {
+	switch {
+	case s.conn != nil:
+		return s.conn.Send(data)
+	case s.sock != nil:
+		return s.sock.Send(s.Addr, data)
+	default:
+		return fmt.Errorf("netengine: reply to unknown source")
+	}
+}
+
+// Handler consumes inbound payloads (whole datagrams, or framed
+// messages on streams).
+type Handler func(data []byte, src Source)
+
+// Engine opens colored endpoints on one node (the bridge host).
+type Engine struct {
+	node netapi.Node
+}
+
+// New creates an engine on the node.
+func New(node netapi.Node) *Engine {
+	return &Engine{node: node}
+}
+
+// Node returns the bridge host node.
+func (e *Engine) Node() netapi.Node { return e.node }
+
+// ColorScheme extracts the transport decisions from a color.
+type ColorScheme struct {
+	Transport string // "udp" or "tcp"
+	Port      int
+	Multicast bool
+	Group     string
+	// Convergence is how long a requester-side receive collects
+	// responses before proceeding (the SLP multicast convergence
+	// window); zero means advance on first response.
+	Convergence time.Duration
+}
+
+// SchemeOf interprets a color's attributes.
+func SchemeOf(c automata.Color) (ColorScheme, error) {
+	var s ColorScheme
+	s.Transport, _ = c.Get(automata.AttrTransport)
+	if s.Transport == "" {
+		s.Transport = "udp"
+	}
+	if s.Transport != "udp" && s.Transport != "tcp" {
+		return s, fmt.Errorf("netengine: unsupported transport %q", s.Transport)
+	}
+	s.Port, _ = c.GetInt(automata.AttrPort)
+	if mc, _ := c.Get(automata.AttrMulticast); mc == "yes" {
+		s.Multicast = true
+		g, ok := c.Get(automata.AttrGroup)
+		if !ok {
+			return s, fmt.Errorf("netengine: multicast color without group: %s", c)
+		}
+		s.Group = g
+	}
+	if ms, ok := c.GetInt("convergence"); ok {
+		s.Convergence = time.Duration(ms) * time.Millisecond
+	}
+	return s, nil
+}
+
+// Listen opens the entry endpoint for a server-role color. framer may
+// be nil for datagram transports.
+func (e *Engine) Listen(c automata.Color, framer *parser.Framer, h Handler) (netapi.Closer, error) {
+	scheme, err := SchemeOf(c)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case scheme.Transport == "udp" && scheme.Multicast:
+		group := netapi.Addr{IP: scheme.Group, Port: scheme.Port}
+		var sock netapi.UDPSocket
+		sock, err := e.node.JoinGroup(group, func(pkt netapi.Packet) {
+			h(pkt.Data, Source{Addr: pkt.From, sock: sock})
+		})
+		if err != nil {
+			return nil, fmt.Errorf("netengine: listen %s: %w", c, err)
+		}
+		return sock, nil
+	case scheme.Transport == "udp":
+		var sock netapi.UDPSocket
+		sock, err := e.node.OpenUDP(scheme.Port, func(pkt netapi.Packet) {
+			h(pkt.Data, Source{Addr: pkt.From, sock: sock})
+		})
+		if err != nil {
+			return nil, fmt.Errorf("netengine: listen %s: %w", c, err)
+		}
+		return sock, nil
+	default: // tcp
+		if framer == nil {
+			return nil, fmt.Errorf("netengine: tcp listen %s needs a framer", c)
+		}
+		buffers := map[netapi.Conn][]byte{}
+		l, err := e.node.ListenStream(scheme.Port, nil, func(conn netapi.Conn, data []byte) {
+			if data == nil {
+				delete(buffers, conn)
+				return
+			}
+			buf := append(buffers[conn], data...)
+			for {
+				n, ferr := framer.Frame(buf)
+				if ferr != nil {
+					// Unframeable stream: drop the connection state.
+					delete(buffers, conn)
+					return
+				}
+				if n == 0 {
+					break
+				}
+				frame := buf[:n]
+				buf = buf[n:]
+				h(frame, Source{Addr: conn.RemoteAddr(), conn: conn})
+			}
+			buffers[conn] = buf
+		})
+		if err != nil {
+			return nil, fmt.Errorf("netengine: listen %s: %w", c, err)
+		}
+		return l, nil
+	}
+}
+
+// Requester is a client-role channel: the bridge's own outgoing
+// request path for one protocol within one session.
+type Requester struct {
+	scheme ColorScheme
+	dest   netapi.Addr
+	sock   netapi.UDPSocket
+	conn   netapi.Conn
+}
+
+// NewRequester opens a requester channel for the color. dest overrides
+// the destination (required for TCP, where the address comes from a
+// setHost λ action; optional for UDP where the color's group/port is
+// the default destination).
+func (e *Engine) NewRequester(c automata.Color, dest netapi.Addr, framer *parser.Framer, h Handler) (*Requester, error) {
+	scheme, err := SchemeOf(c)
+	if err != nil {
+		return nil, err
+	}
+	r := &Requester{scheme: scheme}
+	switch scheme.Transport {
+	case "udp":
+		switch {
+		case !dest.IsZero():
+			r.dest = dest
+		case scheme.Multicast:
+			r.dest = netapi.Addr{IP: scheme.Group, Port: scheme.Port}
+		default:
+			return nil, fmt.Errorf("netengine: requester %s needs a destination", c)
+		}
+		var sock netapi.UDPSocket
+		sock, err := e.node.OpenUDP(0, func(pkt netapi.Packet) {
+			h(pkt.Data, Source{Addr: pkt.From, sock: sock})
+		})
+		if err != nil {
+			return nil, fmt.Errorf("netengine: requester %s: %w", c, err)
+		}
+		r.sock = sock
+		return r, nil
+	default: // tcp
+		if dest.IsZero() {
+			return nil, fmt.Errorf("netengine: tcp requester %s needs a setHost destination", c)
+		}
+		if framer == nil {
+			return nil, fmt.Errorf("netengine: tcp requester %s needs a framer", c)
+		}
+		r.dest = dest
+		var buf []byte
+		conn, err := e.node.DialStream(dest, func(conn netapi.Conn, data []byte) {
+			if data == nil {
+				return
+			}
+			buf = append(buf, data...)
+			for {
+				n, ferr := framer.Frame(buf)
+				if ferr != nil || n == 0 {
+					return
+				}
+				frame := buf[:n]
+				buf = buf[n:]
+				h(frame, Source{Addr: conn.RemoteAddr(), conn: conn})
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("netengine: requester dial %s: %w", dest, err)
+		}
+		r.conn = conn
+		return r, nil
+	}
+}
+
+// Send transmits a request on the channel.
+func (r *Requester) Send(data []byte) error {
+	if r.conn != nil {
+		return r.conn.Send(data)
+	}
+	return r.sock.Send(r.dest, data)
+}
+
+// Convergence returns the color's response-collection window.
+func (r *Requester) Convergence() time.Duration { return r.scheme.Convergence }
+
+// Close releases the channel.
+func (r *Requester) Close() error {
+	if r.conn != nil {
+		return r.conn.Close()
+	}
+	if r.sock != nil {
+		return r.sock.Close()
+	}
+	return nil
+}

@@ -1,0 +1,381 @@
+// Package parser implements Starlink's runtime-generated message
+// parsers (paper §IV-A). A Parser is a generic interpreter specialised
+// by an MDL specification: feeding it the bytes of a legacy protocol
+// message yields the protocol-independent abstract message
+// representation of §III-A. No protocol-specific code is compiled —
+// loading a different MDL re-specialises the same interpreter.
+package parser
+
+import (
+	"bytes"
+	"fmt"
+
+	"starlink/internal/bitio"
+	"starlink/internal/mdl"
+	"starlink/internal/message"
+	"starlink/internal/types"
+)
+
+// Parser turns wire bytes into abstract messages under an MDL spec.
+type Parser struct {
+	spec  *mdl.Spec
+	types *types.Registry
+}
+
+// New returns a parser for the given specification. A nil registry uses
+// the built-in types.
+func New(spec *mdl.Spec, reg *types.Registry) (*Parser, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("parser: nil spec")
+	}
+	if reg == nil {
+		reg = types.NewRegistry()
+	}
+	return &Parser{spec: spec, types: reg}, nil
+}
+
+// Spec returns the MDL specification the parser interprets.
+func (p *Parser) Spec() *mdl.Spec { return p.spec }
+
+// Parse decodes one complete wire message into an abstract message.
+func (p *Parser) Parse(data []byte) (*message.Message, error) {
+	switch p.spec.Dialect {
+	case mdl.DialectBinary:
+		return p.parseBinary(data)
+	case mdl.DialectText:
+		return p.parseText(data)
+	default:
+		return nil, fmt.Errorf("parser: spec %s has invalid dialect", p.spec.Protocol)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Binary dialect
+// ---------------------------------------------------------------------
+
+func (p *Parser) parseBinary(data []byte) (*message.Message, error) {
+	r := bitio.NewReader(data)
+	msg := message.New(p.spec.Protocol, "")
+	if err := p.parseBinaryFields(r, data, p.spec.Header.Fields, msg, nil); err != nil {
+		return nil, fmt.Errorf("parser: %s header: %w", p.spec.Protocol, err)
+	}
+	def, err := p.spec.SelectMessage(func(label string) (string, bool) {
+		f, ok := msg.Field(label)
+		if !ok {
+			return "", false
+		}
+		return f.Value.Text(), true
+	})
+	if err != nil {
+		return nil, err
+	}
+	msg.Name = def.Name
+	if err := p.parseBinaryFields(r, data, def.Fields, msg, nil); err != nil {
+		return nil, fmt.Errorf("parser: %s %s body: %w", p.spec.Protocol, def.Name, err)
+	}
+	p.markMandatory(msg, def)
+	return msg, nil
+}
+
+// parseBinaryFields parses a field list. When into is non-nil the
+// decoded fields are appended as children (repeat-group items);
+// otherwise they are added to msg.
+func (p *Parser) parseBinaryFields(r *bitio.Reader, data []byte, defs []*mdl.FieldDef, msg *message.Message, into *message.Field) error {
+	addField := func(f *message.Field) {
+		if into != nil {
+			into.Children = append(into.Children, f)
+		} else {
+			msg.Add(f)
+		}
+	}
+	lookupInt := func(label string) (int64, error) {
+		var f *message.Field
+		if into != nil {
+			if c, ok := into.Child(label); ok {
+				f = c
+			}
+		}
+		if f == nil {
+			if c, ok := msg.Field(label); ok {
+				f = c
+			}
+		}
+		if f == nil {
+			return 0, fmt.Errorf("size/count field %q not yet parsed", label)
+		}
+		v, ok := f.Value.AsInt()
+		if !ok {
+			return 0, fmt.Errorf("size/count field %q is not an integer", label)
+		}
+		return v, nil
+	}
+
+	for _, def := range defs {
+		if def.IsGroup() {
+			n, err := lookupInt(def.CountRef)
+			if err != nil {
+				return err
+			}
+			if n < 0 || n > 1<<16 {
+				return fmt.Errorf("group %q count %d out of range", def.Label, n)
+			}
+			group := &message.Field{Label: def.Label, Type: "Group", Children: []*message.Field{}}
+			for i := int64(0); i < n; i++ {
+				item := &message.Field{Label: fmt.Sprintf("%d", i), Type: "GroupItem", Children: []*message.Field{}}
+				if err := p.parseBinaryFields(r, data, def.Group, msg, item); err != nil {
+					return fmt.Errorf("group %q item %d: %w", def.Label, i, err)
+				}
+				group.Children = append(group.Children, item)
+			}
+			addField(group)
+			continue
+		}
+
+		td := p.spec.TypeOf(def.Label)
+		m, err := p.types.Lookup(td.TypeName)
+		if err != nil {
+			return fmt.Errorf("field %q: %w", def.Label, err)
+		}
+
+		var f *message.Field
+		switch {
+		case def.SizeBits > 0:
+			f, err = p.parseFixed(r, def, td, m)
+		case def.SizeRef != "":
+			n, lerr := lookupInt(def.SizeRef)
+			if lerr != nil {
+				return lerr
+			}
+			if n < 0 {
+				return fmt.Errorf("field %q: negative length %d", def.Label, n)
+			}
+			raw, rerr := r.ReadBytes(int(n))
+			if rerr != nil {
+				return fmt.Errorf("field %q: %w", def.Label, rerr)
+			}
+			f, err = p.buildField(def, td, m, raw, 0)
+		case def.Rest:
+			raw, rerr := r.ReadAll()
+			if rerr != nil {
+				return fmt.Errorf("field %q: %w", def.Label, rerr)
+			}
+			f, err = p.buildField(def, td, m, raw, 0)
+		default:
+			// Self-delimiting type (FQDN): decode from the remaining
+			// bytes and skip the consumed amount.
+			if !r.Aligned() {
+				return fmt.Errorf("field %q: self-delimiting field at unaligned position", def.Label)
+			}
+			remaining := data[r.Pos()/8:]
+			if td.TypeName != "FQDN" {
+				return fmt.Errorf("field %q: type %q is not self-delimiting", def.Label, td.TypeName)
+			}
+			name, n, derr := types.DecodeFQDN(remaining)
+			if derr != nil {
+				return fmt.Errorf("field %q: %w", def.Label, derr)
+			}
+			if serr := r.Skip(n * 8); serr != nil {
+				return fmt.Errorf("field %q: %w", def.Label, serr)
+			}
+			f = &message.Field{Label: def.Label, Type: td.TypeName, Value: message.Str(name)}
+			err = nil
+		}
+		if err != nil {
+			return err
+		}
+		addField(f)
+	}
+	return nil
+}
+
+// parseFixed reads a fixed-width field.
+func (p *Parser) parseFixed(r *bitio.Reader, def *mdl.FieldDef, td mdl.TypeDef, m types.Marshaller) (*message.Field, error) {
+	bits := def.SizeBits
+	if m.Kind() == message.KindInt && bits <= 64 {
+		v, err := r.ReadBits(bits)
+		if err != nil {
+			return nil, fmt.Errorf("field %q: %w", def.Label, err)
+		}
+		return &message.Field{Label: def.Label, Type: td.TypeName, Length: bits, Value: message.Int(int64(v))}, nil
+	}
+	if m.Kind() == message.KindBool && bits <= 64 {
+		v, err := r.ReadBits(bits)
+		if err != nil {
+			return nil, fmt.Errorf("field %q: %w", def.Label, err)
+		}
+		return &message.Field{Label: def.Label, Type: td.TypeName, Length: bits, Value: message.Bool(v != 0)}, nil
+	}
+	if bits%8 != 0 {
+		return nil, fmt.Errorf("field %q: non-integer type with unaligned width %d", def.Label, bits)
+	}
+	raw, err := r.ReadBytes(bits / 8)
+	if err != nil {
+		return nil, fmt.Errorf("field %q: %w", def.Label, err)
+	}
+	return p.buildField(def, td, m, raw, bits)
+}
+
+// buildField unmarshals raw content into a message field, exploding
+// structured types.
+func (p *Parser) buildField(def *mdl.FieldDef, td mdl.TypeDef, m types.Marshaller, raw []byte, bits int) (*message.Field, error) {
+	v, err := m.Unmarshal(raw, bits)
+	if err != nil {
+		return nil, fmt.Errorf("field %q: %w", def.Label, err)
+	}
+	f := &message.Field{Label: def.Label, Type: td.TypeName, Length: bits, Value: v}
+	if sm, ok := m.(types.StructuredMarshaller); ok {
+		children, err := sm.Explode(v)
+		if err != nil {
+			return nil, fmt.Errorf("field %q: %w", def.Label, err)
+		}
+		f.Children = children
+	}
+	return f, nil
+}
+
+// ---------------------------------------------------------------------
+// Text dialect
+// ---------------------------------------------------------------------
+
+func (p *Parser) parseText(data []byte) (*message.Message, error) {
+	msg := message.New(p.spec.Protocol, "")
+	rest := data
+	var err error
+	for _, def := range p.spec.Header.Fields {
+		if def.Wildcard {
+			rest, err = p.parseWildcard(rest, def, msg)
+			if err != nil {
+				return nil, fmt.Errorf("parser: %s wildcard: %w", p.spec.Protocol, err)
+			}
+			continue
+		}
+		var token []byte
+		token, rest, err = cutDelim(rest, def.Delim)
+		if err != nil {
+			return nil, fmt.Errorf("parser: %s field %q: %w", p.spec.Protocol, def.Label, err)
+		}
+		f, err := p.textField(def.Label, string(token))
+		if err != nil {
+			return nil, fmt.Errorf("parser: %s: %w", p.spec.Protocol, err)
+		}
+		msg.Add(f)
+	}
+	def, err := p.spec.SelectMessage(func(label string) (string, bool) {
+		f, ok := msg.Field(label)
+		if !ok {
+			return "", false
+		}
+		return f.Value.Text(), true
+	})
+	if err != nil {
+		return nil, err
+	}
+	msg.Name = def.Name
+	switch def.Body {
+	case mdl.BodyRaw:
+		msg.Add(&message.Field{Label: "Body", Type: "Bytes", Value: message.Bytes(rest)})
+	case mdl.BodyXML:
+		if err := flattenXMLBody(rest, msg); err != nil {
+			return nil, fmt.Errorf("parser: %s xml body: %w", p.spec.Protocol, err)
+		}
+		// Preserve the raw body so it can be recomposed verbatim.
+		msg.Add(&message.Field{Label: "Body", Type: "Bytes", Value: message.Bytes(rest)})
+	case mdl.BodyNone:
+		// Trailing bytes after the blank line are ignored (some stacks
+		// pad datagrams).
+	}
+	p.markMandatory(msg, def)
+	return msg, nil
+}
+
+// parseWildcard consumes label:value lines until an empty line.
+func (p *Parser) parseWildcard(data []byte, def *mdl.FieldDef, msg *message.Message) (rest []byte, err error) {
+	rest = data
+	for {
+		if len(rest) == 0 {
+			// Datagram ended exactly at the last line; treat as
+			// terminated (tolerates stacks omitting the blank line).
+			return rest, nil
+		}
+		if bytes.HasPrefix(rest, def.Delim) {
+			return rest[len(def.Delim):], nil
+		}
+		var line []byte
+		line, rest, err = cutDelim(rest, def.Delim)
+		if err != nil {
+			return nil, err
+		}
+		i := bytes.IndexByte(line, def.InnerSplit)
+		if i < 0 {
+			return nil, fmt.Errorf("line %q has no %q separator", line, string(def.InnerSplit))
+		}
+		label := string(bytes.TrimSpace(line[:i]))
+		value := string(bytes.TrimSpace(line[i+1:]))
+		if label == "" {
+			return nil, fmt.Errorf("line %q has empty label", line)
+		}
+		f, ferr := p.textField(label, value)
+		if ferr != nil {
+			return nil, ferr
+		}
+		msg.Add(f)
+	}
+}
+
+// textField builds an abstract field from a text token using the
+// spec's type table (unknown labels default to String).
+func (p *Parser) textField(label, token string) (*message.Field, error) {
+	td := p.spec.TypeOf(label)
+	m, err := p.types.Lookup(td.TypeName)
+	if err != nil {
+		return nil, fmt.Errorf("field %q: %w", label, err)
+	}
+	var v message.Value
+	if m.Kind() == message.KindInt {
+		// Text integers arrive as decimal strings.
+		var n int64
+		if _, err := fmt.Sscanf(token, "%d", &n); err != nil {
+			return nil, fmt.Errorf("field %q: %q is not an integer", label, token)
+		}
+		v = message.Int(n)
+	} else {
+		var err error
+		v, err = m.Unmarshal([]byte(token), 0)
+		if err != nil {
+			return nil, fmt.Errorf("field %q: %w", label, err)
+		}
+	}
+	f := &message.Field{Label: label, Type: td.TypeName, Value: v}
+	if sm, ok := m.(types.StructuredMarshaller); ok {
+		children, err := sm.Explode(v)
+		if err != nil {
+			return nil, fmt.Errorf("field %q: %w", label, err)
+		}
+		f.Children = children
+	}
+	return f, nil
+}
+
+// cutDelim splits data at the first occurrence of delim.
+func cutDelim(data, delim []byte) (token, rest []byte, err error) {
+	i := bytes.Index(data, delim)
+	if i < 0 {
+		return nil, nil, fmt.Errorf("delimiter %v not found in %q", delim, truncate(data))
+	}
+	return data[:i], data[i+len(delim):], nil
+}
+
+func truncate(b []byte) string {
+	if len(b) > 48 {
+		return string(b[:48]) + "..."
+	}
+	return string(b)
+}
+
+func (p *Parser) markMandatory(msg *message.Message, def *mdl.MessageDef) {
+	for _, l := range def.Mandatory {
+		if f, ok := msg.Field(l); ok {
+			f.Mandatory = true
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package parser
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"starlink/internal/message"
+)
+
+// flattenXMLBody parses an XML payload and adds every leaf element
+// (element whose content is character data only) as a primitive String
+// field labelled by the element's local name. Nested container elements
+// contribute no field of their own. This supports text messages that
+// carry an XML document — the UPnP device description whose URLBase
+// element feeds the SLP reply in the paper's Fig. 4 translation logic.
+//
+// Duplicate leaf names keep the first occurrence, matching the
+// "first match wins" reading used by the translation XPath engine.
+func flattenXMLBody(body []byte, msg *message.Message) error {
+	body = bytes.TrimSpace(body)
+	if len(body) == 0 {
+		return nil
+	}
+	dec := xml.NewDecoder(bytes.NewReader(body))
+	type frame struct {
+		name    string
+		text    strings.Builder
+		hasElem bool
+	}
+	var stack []*frame
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("xml body: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if len(stack) > 0 {
+				stack[len(stack)-1].hasElem = true
+			}
+			stack = append(stack, &frame{name: t.Name.Local})
+		case xml.CharData:
+			if len(stack) > 0 {
+				stack[len(stack)-1].text.Write(t)
+			}
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return fmt.Errorf("xml body: unbalanced end element %q", t.Name.Local)
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if !top.hasElem {
+				label := top.name
+				if _, exists := msg.Field(label); !exists {
+					msg.Add(&message.Field{
+						Label: label,
+						Type:  "String",
+						Value: message.Str(strings.TrimSpace(top.text.String())),
+					})
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,343 @@
+// Package dnssd is a from-scratch legacy stack for multicast DNS
+// service discovery — the Bonjour protocol of the paper's case study
+// (Fig. 9: the mDNS colored automaton). It stands in for the Apple
+// Bonjour SDK (DESIGN.md §5).
+//
+// Wire format: standard DNS messages on 224.0.0.251:5353. Queries carry
+// one question (QTYPE PTR). Responses carry no question echo and one
+// answer record whose RDATA is the service URL as text (a TXT-style
+// record) — the simplification the paper itself uses, where the SLP
+// reply URL "was transfered from the RDATA value of the DNS Response"
+// (§V-A). Name compression is not emitted (legal per RFC 6762).
+package dnssd
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"starlink/internal/netapi"
+)
+
+// Port and Group are the paper's Fig. 9 color attributes.
+const (
+	Port  = 5353
+	Group = "224.0.0.251"
+)
+
+// DNS constants used by the stack.
+const (
+	TypePTR  = 12
+	TypeTXT  = 16
+	ClassIN  = 1
+	FlagResp = 0x8400 // QR=1, AA=1 — the paper MDL's Flags=33792 rule
+)
+
+// DefaultBrowseWindow is how long the one-shot browse client collects
+// responses — calibrated to the paper's Fig. 12(a) Bonjour median of
+// 710 ms (see internal/bench/calibration.go).
+const DefaultBrowseWindow = 700 * time.Millisecond
+
+// Question is a DNS question.
+type Question struct {
+	Name  string
+	QType int
+}
+
+// Answer is one DNS resource record.
+type Answer struct {
+	Name  string
+	AType int
+	TTL   int
+	RDATA string
+}
+
+// Message is a DNS message.
+type Message struct {
+	ID        int
+	Flags     int
+	Questions []Question
+	Answers   []Answer
+}
+
+// IsQuery reports whether the message is a query.
+func (m *Message) IsQuery() bool { return m.Flags&0x8000 == 0 }
+
+func appendName(out []byte, name string) ([]byte, error) {
+	if name != "" && name != "." {
+		for _, label := range strings.Split(strings.TrimSuffix(name, "."), ".") {
+			if label == "" || len(label) > 63 {
+				return nil, fmt.Errorf("dnssd: bad label %q in %q", label, name)
+			}
+			out = append(out, byte(len(label)))
+			out = append(out, label...)
+		}
+	}
+	return append(out, 0), nil
+}
+
+// Marshal encodes the message.
+func (m *Message) Marshal() ([]byte, error) {
+	var out []byte
+	out = binary.BigEndian.AppendUint16(out, uint16(m.ID))
+	out = binary.BigEndian.AppendUint16(out, uint16(m.Flags))
+	out = binary.BigEndian.AppendUint16(out, uint16(len(m.Questions)))
+	out = binary.BigEndian.AppendUint16(out, uint16(len(m.Answers)))
+	out = binary.BigEndian.AppendUint16(out, 0) // NSCOUNT
+	out = binary.BigEndian.AppendUint16(out, 0) // ARCOUNT
+	var err error
+	for _, q := range m.Questions {
+		if out, err = appendName(out, q.Name); err != nil {
+			return nil, err
+		}
+		out = binary.BigEndian.AppendUint16(out, uint16(q.QType))
+		out = binary.BigEndian.AppendUint16(out, ClassIN)
+	}
+	for _, a := range m.Answers {
+		if out, err = appendName(out, a.Name); err != nil {
+			return nil, err
+		}
+		out = binary.BigEndian.AppendUint16(out, uint16(a.AType))
+		out = binary.BigEndian.AppendUint16(out, ClassIN)
+		out = binary.BigEndian.AppendUint32(out, uint32(a.TTL))
+		out = binary.BigEndian.AppendUint16(out, uint16(len(a.RDATA)))
+		out = append(out, a.RDATA...)
+	}
+	return out, nil
+}
+
+func readName(data []byte, pos int) (string, int, error) {
+	var labels []string
+	for {
+		if pos >= len(data) {
+			return "", 0, fmt.Errorf("dnssd: truncated name")
+		}
+		l := int(data[pos])
+		pos++
+		if l == 0 {
+			break
+		}
+		if l > 63 {
+			return "", 0, fmt.Errorf("dnssd: compression pointers unsupported")
+		}
+		if pos+l > len(data) {
+			return "", 0, fmt.Errorf("dnssd: truncated label")
+		}
+		labels = append(labels, string(data[pos:pos+l]))
+		pos += l
+	}
+	return strings.Join(labels, "."), pos, nil
+}
+
+// Parse decodes a DNS message.
+func Parse(data []byte) (*Message, error) {
+	if len(data) < 12 {
+		return nil, fmt.Errorf("dnssd: short header")
+	}
+	m := &Message{
+		ID:    int(binary.BigEndian.Uint16(data[0:])),
+		Flags: int(binary.BigEndian.Uint16(data[2:])),
+	}
+	qd := int(binary.BigEndian.Uint16(data[4:]))
+	an := int(binary.BigEndian.Uint16(data[6:]))
+	pos := 12
+	for i := 0; i < qd; i++ {
+		name, next, err := readName(data, pos)
+		if err != nil {
+			return nil, err
+		}
+		pos = next
+		if pos+4 > len(data) {
+			return nil, fmt.Errorf("dnssd: truncated question")
+		}
+		m.Questions = append(m.Questions, Question{
+			Name:  name,
+			QType: int(binary.BigEndian.Uint16(data[pos:])),
+		})
+		pos += 4
+	}
+	for i := 0; i < an; i++ {
+		name, next, err := readName(data, pos)
+		if err != nil {
+			return nil, err
+		}
+		pos = next
+		if pos+10 > len(data) {
+			return nil, fmt.Errorf("dnssd: truncated answer header")
+		}
+		atype := int(binary.BigEndian.Uint16(data[pos:]))
+		ttl := int(binary.BigEndian.Uint32(data[pos+4:]))
+		rdlen := int(binary.BigEndian.Uint16(data[pos+8:]))
+		pos += 10
+		if pos+rdlen > len(data) {
+			return nil, fmt.Errorf("dnssd: truncated RDATA")
+		}
+		m.Answers = append(m.Answers, Answer{
+			Name: name, AType: atype, TTL: ttl,
+			RDATA: string(data[pos : pos+rdlen]),
+		})
+		pos += rdlen
+	}
+	return m, nil
+}
+
+// ResponderOption configures a Responder.
+type ResponderOption func(*Responder)
+
+// WithAnswerDelay makes the responder wait a uniform random delay in
+// [min, max) before answering — RFC 6762 §6 requires randomised
+// response delays for shared records; the bench harness calibrates
+// this to the ~250 ms the paper's bridge observes.
+func WithAnswerDelay(min, max time.Duration, rng *rand.Rand) ResponderOption {
+	return func(r *Responder) { r.delayMin, r.delayMax, r.rng = min, max, rng }
+}
+
+// Responder is the legacy Bonjour service side: it answers PTR queries
+// for its registered service name with the service URL.
+type Responder struct {
+	node     netapi.Node
+	sock     netapi.UDPSocket
+	name     string
+	url      string
+	delayMin time.Duration
+	delayMax time.Duration
+	rng      *rand.Rand
+
+	// Answered counts queries served; used by tests.
+	Answered int
+}
+
+// NewResponder registers a service and starts answering queries.
+func NewResponder(node netapi.Node, name, url string, opts ...ResponderOption) (*Responder, error) {
+	r := &Responder{node: node, name: name, url: url}
+	for _, o := range opts {
+		o(r)
+	}
+	sock, err := node.JoinGroup(netapi.Addr{IP: Group, Port: Port}, r.onPacket)
+	if err != nil {
+		return nil, fmt.Errorf("dnssd: responder: %w", err)
+	}
+	r.sock = sock
+	return r, nil
+}
+
+// Close stops the responder.
+func (r *Responder) Close() error { return r.sock.Close() }
+
+func (r *Responder) onPacket(pkt netapi.Packet) {
+	msg, err := Parse(pkt.Data)
+	if err != nil || !msg.IsQuery() || len(msg.Questions) == 0 {
+		return
+	}
+	q := msg.Questions[0]
+	if !strings.EqualFold(q.Name, r.name) {
+		return
+	}
+	resp := &Message{
+		ID:    msg.ID,
+		Flags: FlagResp,
+		Answers: []Answer{{
+			Name: r.name, AType: TypeTXT, TTL: 120, RDATA: r.url,
+		}},
+	}
+	data, err := resp.Marshal()
+	if err != nil {
+		return
+	}
+	send := func() {
+		r.Answered++
+		_ = r.sock.Send(pkt.From, data)
+	}
+	if r.rng != nil && r.delayMax > r.delayMin {
+		delay := r.delayMin + time.Duration(r.rng.Int63n(int64(r.delayMax-r.delayMin)))
+		r.node.After(delay, send)
+		return
+	}
+	if r.delayMin > 0 {
+		r.node.After(r.delayMin, send)
+		return
+	}
+	send()
+}
+
+// BrowserOption configures a Browser.
+type BrowserOption func(*Browser)
+
+// WithBrowseWindow overrides the collection window.
+func WithBrowseWindow(d time.Duration) BrowserOption {
+	return func(b *Browser) { b.window = d }
+}
+
+// WithWindowJitter perturbs the window by a uniform value in
+// [-d/2, +d/2], modelling SDK scheduling variance.
+func WithWindowJitter(d time.Duration, rng *rand.Rand) BrowserOption {
+	return func(b *Browser) { b.jitter, b.rng = d, rng }
+}
+
+// Browser is the legacy Bonjour one-shot lookup client.
+type Browser struct {
+	node   netapi.Node
+	window time.Duration
+	jitter time.Duration
+	rng    *rand.Rand
+	nextID int
+}
+
+// NewBrowser creates a browse client.
+func NewBrowser(node netapi.Node, opts ...BrowserOption) *Browser {
+	b := &Browser{node: node, window: DefaultBrowseWindow, nextID: 1}
+	for _, o := range opts {
+		o(b)
+	}
+	return b
+}
+
+// BrowseResult is delivered when a browse completes.
+type BrowseResult struct {
+	URLs    []string
+	Elapsed time.Duration
+	Err     error
+}
+
+// Browse multicasts a PTR question for the service name and collects
+// answers for the browse window.
+func (b *Browser) Browse(name string, done func(BrowseResult)) {
+	b.nextID++
+	id := b.nextID
+	query := &Message{ID: id, Questions: []Question{{Name: name, QType: TypePTR}}}
+	data, err := query.Marshal()
+	if err != nil {
+		done(BrowseResult{Err: err})
+		return
+	}
+	start := b.node.Now()
+	var urls []string
+	sock, err := b.node.OpenUDP(0, func(pkt netapi.Packet) {
+		msg, err := Parse(pkt.Data)
+		if err != nil || msg.IsQuery() || msg.ID != id {
+			return
+		}
+		for _, a := range msg.Answers {
+			urls = append(urls, a.RDATA)
+		}
+	})
+	if err != nil {
+		done(BrowseResult{Err: fmt.Errorf("dnssd: browse: %w", err)})
+		return
+	}
+	if err := sock.Send(netapi.Addr{IP: Group, Port: Port}, data); err != nil {
+		_ = sock.Close()
+		done(BrowseResult{Err: fmt.Errorf("dnssd: browse: %w", err)})
+		return
+	}
+	wait := b.window
+	if b.jitter > 0 && b.rng != nil {
+		wait += time.Duration(b.rng.Int63n(int64(b.jitter))) - b.jitter/2
+	}
+	b.node.After(wait, func() {
+		_ = sock.Close()
+		done(BrowseResult{URLs: urls, Elapsed: b.node.Now().Sub(start)})
+	})
+}

@@ -1,0 +1,239 @@
+package dnssd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"starlink/internal/netapi"
+	"starlink/internal/simnet"
+)
+
+func TestQueryRoundtrip(t *testing.T) {
+	q := &Message{ID: 42, Questions: []Question{{Name: "printer._slp._udp.local", QType: TypePTR}}}
+	data, err := q.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.IsQuery() || back.ID != 42 {
+		t.Fatalf("back = %+v", back)
+	}
+	if len(back.Questions) != 1 || back.Questions[0].Name != "printer._slp._udp.local" {
+		t.Fatalf("questions = %+v", back.Questions)
+	}
+	if back.Questions[0].QType != TypePTR {
+		t.Fatalf("qtype = %d", back.Questions[0].QType)
+	}
+}
+
+func TestResponseRoundtrip(t *testing.T) {
+	r := &Message{ID: 7, Flags: FlagResp, Answers: []Answer{
+		{Name: "printer.local", AType: TypeTXT, TTL: 120, RDATA: "service:printer://10.0.0.9:515"},
+	}}
+	data, err := r.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.IsQuery() {
+		t.Fatal("response parsed as query")
+	}
+	if len(back.Answers) != 1 || back.Answers[0].RDATA != "service:printer://10.0.0.9:515" {
+		t.Fatalf("answers = %+v", back.Answers)
+	}
+	if back.Answers[0].TTL != 120 || back.Answers[0].AType != TypeTXT {
+		t.Fatalf("answer meta = %+v", back.Answers[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse([]byte{1, 2, 3}); err == nil {
+		t.Error("short header should fail")
+	}
+	q := &Message{ID: 1, Questions: []Question{{Name: "a.b", QType: TypePTR}}}
+	data, _ := q.Marshal()
+	for cut := 13; cut < len(data); cut++ {
+		if _, err := Parse(data[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := (&Message{Questions: []Question{{Name: "a..b"}}}).Marshal(); err == nil {
+		t.Error("empty label should fail")
+	}
+}
+
+// Property: marshal/parse identity for arbitrary names and RDATA.
+func TestQuickRoundtrip(t *testing.T) {
+	f := func(id uint16, nameRaw, rdataRaw []byte) bool {
+		name := "svc"
+		for _, b := range nameRaw {
+			if b%7 == 0 {
+				name += "."
+				name += string(rune('a' + b%26))
+			} else {
+				name += string(rune('a' + b%26))
+			}
+		}
+		rdata := string(rdataRaw)
+		m := &Message{ID: int(id), Flags: FlagResp, Answers: []Answer{{Name: name, AType: TypeTXT, TTL: 1, RDATA: rdata}}}
+		data, err := m.Marshal()
+		if err != nil {
+			return true // invalid names are allowed to fail
+		}
+		back, err := Parse(data)
+		if err != nil {
+			return false
+		}
+		return back.ID == int(id) && len(back.Answers) == 1 &&
+			back.Answers[0].Name == name && back.Answers[0].RDATA == rdata
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBrowseAgainstResponder(t *testing.T) {
+	sim := simnet.New()
+	svcNode, _ := sim.NewNode("10.0.0.9")
+	cliNode, _ := sim.NewNode("10.0.0.1")
+	resp, err := NewResponder(svcNode, "printer._slp._udp.local", "service:printer://10.0.0.9:515")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Close()
+
+	b := NewBrowser(cliNode, WithBrowseWindow(100*time.Millisecond))
+	var res BrowseResult
+	done := false
+	b.Browse("printer._slp._udp.local", func(r BrowseResult) { res = r; done = true })
+	if err := sim.RunUntil(func() bool { return done }, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if len(res.URLs) != 1 || res.URLs[0] != "service:printer://10.0.0.9:515" {
+		t.Fatalf("urls = %v", res.URLs)
+	}
+	if resp.Answered != 1 {
+		t.Fatalf("answered = %d", resp.Answered)
+	}
+}
+
+func TestBrowseDefaultWindow(t *testing.T) {
+	sim := simnet.New()
+	svcNode, _ := sim.NewNode("10.0.0.9")
+	cliNode, _ := sim.NewNode("10.0.0.1")
+	if _, err := NewResponder(svcNode, "svc.local", "service:x"); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBrowser(cliNode)
+	var res BrowseResult
+	done := false
+	b.Browse("svc.local", func(r BrowseResult) { res = r; done = true })
+	if err := sim.RunUntil(func() bool { return done }, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// The ~700 ms browse window behind Fig. 12(a)'s Bonjour median.
+	if res.Elapsed < 700*time.Millisecond || res.Elapsed > 750*time.Millisecond {
+		t.Fatalf("elapsed = %v, want ~700ms", res.Elapsed)
+	}
+}
+
+func TestResponderNameMatchingCaseInsensitive(t *testing.T) {
+	sim := simnet.New()
+	svcNode, _ := sim.NewNode("10.0.0.9")
+	cliNode, _ := sim.NewNode("10.0.0.1")
+	r, _ := NewResponder(svcNode, "Printer.Local", "service:x")
+	b := NewBrowser(cliNode, WithBrowseWindow(50*time.Millisecond))
+	done := false
+	var res BrowseResult
+	b.Browse("printer.local", func(br BrowseResult) { res = br; done = true })
+	if err := sim.RunUntil(func() bool { return done }, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.URLs) != 1 || r.Answered != 1 {
+		t.Fatalf("urls=%v answered=%d", res.URLs, r.Answered)
+	}
+}
+
+func TestResponderIgnoresOtherNamesAndGarbage(t *testing.T) {
+	sim := simnet.New()
+	svcNode, _ := sim.NewNode("10.0.0.9")
+	cliNode, _ := sim.NewNode("10.0.0.1")
+	r, _ := NewResponder(svcNode, "printer.local", "service:x")
+	sock, _ := cliNode.OpenUDP(0, func(netapi.Packet) {})
+	q := &Message{ID: 1, Questions: []Question{{Name: "other.local", QType: TypePTR}}}
+	data, _ := q.Marshal()
+	if err := sock.Send(netapi.Addr{IP: Group, Port: Port}, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := sock.Send(netapi.Addr{IP: Group, Port: Port}, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunToQuiescence()
+	if r.Answered != 0 {
+		t.Fatalf("answered = %d", r.Answered)
+	}
+}
+
+func TestResponderAnswerDelay(t *testing.T) {
+	sim := simnet.New()
+	svcNode, _ := sim.NewNode("10.0.0.9")
+	cliNode, _ := sim.NewNode("10.0.0.1")
+	rng := rand.New(rand.NewSource(11))
+	if _, err := NewResponder(svcNode, "printer.local", "service:x",
+		WithAnswerDelay(230*time.Millisecond, 280*time.Millisecond, rng)); err != nil {
+		t.Fatal(err)
+	}
+	start := sim.Now()
+	var gotAt time.Duration
+	sock, _ := cliNode.OpenUDP(0, func(netapi.Packet) {
+		if gotAt == 0 {
+			gotAt = sim.Now().Sub(start)
+		}
+	})
+	q := &Message{ID: 3, Questions: []Question{{Name: "printer.local", QType: TypePTR}}}
+	data, _ := q.Marshal()
+	if err := sock.Send(netapi.Addr{IP: Group, Port: Port}, data); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunToQuiescence()
+	if gotAt < 230*time.Millisecond || gotAt > 290*time.Millisecond {
+		t.Fatalf("answer at %v, want within delay bounds", gotAt)
+	}
+}
+
+func TestBrowserIgnoresForeignIDs(t *testing.T) {
+	sim := simnet.New()
+	svcNode, _ := sim.NewNode("10.0.0.9")
+	cliNode, _ := sim.NewNode("10.0.0.1")
+	// A responder that echoes with the wrong transaction ID.
+	var rsock netapi.UDPSocket
+	rsock, err := svcNode.JoinGroup(netapi.Addr{IP: Group, Port: Port}, func(pkt netapi.Packet) {
+		resp := &Message{ID: 9999, Flags: FlagResp, Answers: []Answer{{Name: "x", AType: TypeTXT, RDATA: "bad"}}}
+		data, _ := resp.Marshal()
+		_ = rsock.Send(pkt.From, data)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBrowser(cliNode, WithBrowseWindow(50*time.Millisecond))
+	done := false
+	var res BrowseResult
+	b.Browse("x", func(br BrowseResult) { res = br; done = true })
+	if err := sim.RunUntil(func() bool { return done }, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.URLs) != 0 {
+		t.Fatalf("foreign-ID answer accepted: %v", res.URLs)
+	}
+}

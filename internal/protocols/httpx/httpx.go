@@ -1,0 +1,221 @@
+// Package httpx is a from-scratch minimal HTTP/1.1 stack for the
+// description-retrieval leg of UPnP discovery (paper Fig. 3): a GET
+// request answered by a 200 OK carrying the device description XML.
+// It runs over netapi streams so it works identically on the simulator
+// and on real TCP.
+package httpx
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"starlink/internal/netapi"
+)
+
+// Request is a parsed HTTP request.
+type Request struct {
+	Method  string
+	Path    string
+	Version string
+	Headers map[string]string
+}
+
+// Response is a parsed HTTP response.
+type Response struct {
+	Status  int
+	Reason  string
+	Headers map[string]string
+	Body    []byte
+}
+
+// MarshalRequest renders a GET request.
+func MarshalRequest(path, host string) []byte {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "GET %s HTTP/1.1\r\n", path)
+	fmt.Fprintf(&sb, "HOST: %s\r\n", host)
+	sb.WriteString("\r\n")
+	return []byte(sb.String())
+}
+
+// MarshalResponse renders a response with a body and Content-Length.
+func MarshalResponse(status int, reason, contentType string, body []byte) []byte {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "HTTP/1.1 %d %s\r\n", status, reason)
+	fmt.Fprintf(&sb, "Content-Type: %s\r\n", contentType)
+	fmt.Fprintf(&sb, "Content-Length: %d\r\n", len(body))
+	sb.WriteString("\r\n")
+	out := []byte(sb.String())
+	return append(out, body...)
+}
+
+// FrameLength reports the byte length of the first complete HTTP
+// message in buf, or 0 if more data is needed.
+func FrameLength(buf []byte) (int, error) {
+	head, _, found := strings.Cut(string(buf), "\r\n\r\n")
+	if !found {
+		return 0, nil
+	}
+	headEnd := len(head) + 4
+	bodyLen := 0
+	for _, line := range strings.Split(head, "\r\n")[1:] {
+		k, v, found := strings.Cut(line, ":")
+		if !found {
+			continue
+		}
+		if strings.EqualFold(strings.TrimSpace(k), "Content-Length") {
+			n, err := strconv.Atoi(strings.TrimSpace(v))
+			if err != nil || n < 0 {
+				return 0, fmt.Errorf("httpx: bad Content-Length %q", v)
+			}
+			bodyLen = n
+			break
+		}
+	}
+	if len(buf) < headEnd+bodyLen {
+		return 0, nil
+	}
+	return headEnd + bodyLen, nil
+}
+
+// ParseRequest decodes a complete request.
+func ParseRequest(data []byte) (*Request, error) {
+	head, _, found := strings.Cut(string(data), "\r\n\r\n")
+	if !found {
+		return nil, fmt.Errorf("httpx: missing blank line")
+	}
+	lines := strings.Split(head, "\r\n")
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("httpx: bad request line %q", lines[0])
+	}
+	r := &Request{Method: parts[0], Path: parts[1], Version: parts[2], Headers: map[string]string{}}
+	for _, line := range lines[1:] {
+		k, v, found := strings.Cut(line, ":")
+		if !found {
+			return nil, fmt.Errorf("httpx: bad header %q", line)
+		}
+		r.Headers[strings.ToUpper(strings.TrimSpace(k))] = strings.TrimSpace(v)
+	}
+	return r, nil
+}
+
+// ParseResponse decodes a complete response.
+func ParseResponse(data []byte) (*Response, error) {
+	head, body, found := strings.Cut(string(data), "\r\n\r\n")
+	if !found {
+		return nil, fmt.Errorf("httpx: missing blank line")
+	}
+	lines := strings.Split(head, "\r\n")
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+		return nil, fmt.Errorf("httpx: bad status line %q", lines[0])
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("httpx: bad status %q", parts[1])
+	}
+	r := &Response{Status: status, Headers: map[string]string{}, Body: []byte(body)}
+	if len(parts) == 3 {
+		r.Reason = parts[2]
+	}
+	for _, line := range lines[1:] {
+		k, v, found := strings.Cut(line, ":")
+		if !found {
+			return nil, fmt.Errorf("httpx: bad header %q", line)
+		}
+		r.Headers[strings.ToUpper(strings.TrimSpace(k))] = strings.TrimSpace(v)
+	}
+	return r, nil
+}
+
+// Handler serves a request, returning status, reason, content type and
+// body.
+type Handler func(req *Request) (int, string, string, []byte)
+
+// Server is a minimal HTTP server over netapi streams.
+type Server struct {
+	listener netapi.Closer
+	addr     netapi.Addr
+	// Served counts completed requests; used by tests.
+	Served int
+}
+
+// NewServer starts serving on the port (0 = ephemeral is not supported
+// here: devices advertise a fixed LOCATION port).
+func NewServer(node netapi.Node, port int, handler Handler) (*Server, error) {
+	s := &Server{addr: netapi.Addr{IP: node.IP(), Port: port}}
+	buffers := map[netapi.Conn][]byte{}
+	l, err := node.ListenStream(port, nil, func(c netapi.Conn, data []byte) {
+		if data == nil {
+			delete(buffers, c)
+			return
+		}
+		buf := append(buffers[c], data...)
+		for {
+			n, err := FrameLength(buf)
+			if err != nil || n == 0 {
+				break
+			}
+			req, perr := ParseRequest(buf[:n])
+			buf = buf[n:]
+			if perr != nil {
+				_ = c.Send(MarshalResponse(400, "Bad Request", "text/plain", []byte(perr.Error())))
+				continue
+			}
+			status, reason, ctype, body := handler(req)
+			s.Served++
+			_ = c.Send(MarshalResponse(status, reason, ctype, body))
+		}
+		buffers[c] = buf
+	})
+	if err != nil {
+		return nil, fmt.Errorf("httpx: server: %w", err)
+	}
+	s.listener = l
+	return s, nil
+}
+
+// Addr returns the server's address.
+func (s *Server) Addr() netapi.Addr { return s.addr }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.listener.Close() }
+
+// Get performs an HTTP GET and delivers the parsed response.
+func Get(node netapi.Node, to netapi.Addr, path string, done func(*Response, error)) {
+	var buf []byte
+	finished := false
+	conn, err := node.DialStream(to, func(c netapi.Conn, data []byte) {
+		if finished {
+			return
+		}
+		if data == nil {
+			finished = true
+			done(nil, fmt.Errorf("httpx: connection closed before response"))
+			return
+		}
+		buf = append(buf, data...)
+		n, err := FrameLength(buf)
+		if err != nil {
+			finished = true
+			_ = c.Close()
+			done(nil, err)
+			return
+		}
+		if n == 0 {
+			return
+		}
+		resp, perr := ParseResponse(buf[:n])
+		finished = true
+		_ = c.Close()
+		done(resp, perr)
+	})
+	if err != nil {
+		done(nil, err)
+		return
+	}
+	if err := conn.Send(MarshalRequest(path, to.String())); err != nil {
+		done(nil, err)
+	}
+}

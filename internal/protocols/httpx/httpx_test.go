@@ -1,0 +1,216 @@
+package httpx
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"starlink/internal/netapi"
+	"starlink/internal/simnet"
+)
+
+func TestRequestRoundtrip(t *testing.T) {
+	data := MarshalRequest("/desc.xml", "10.0.0.7:5431")
+	req, err := ParseRequest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Method != "GET" || req.Path != "/desc.xml" || req.Version != "HTTP/1.1" {
+		t.Fatalf("req = %+v", req)
+	}
+	if req.Headers["HOST"] != "10.0.0.7:5431" {
+		t.Fatalf("host = %q", req.Headers["HOST"])
+	}
+}
+
+func TestResponseRoundtrip(t *testing.T) {
+	body := []byte("<root><URLBase>http://x/</URLBase></root>")
+	data := MarshalResponse(200, "OK", "text/xml", body)
+	resp, err := ParseResponse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || resp.Reason != "OK" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if !bytes.Equal(resp.Body, body) {
+		t.Fatalf("body = %q", resp.Body)
+	}
+	if resp.Headers["CONTENT-LENGTH"] != "41" {
+		t.Fatalf("content-length = %q", resp.Headers["CONTENT-LENGTH"])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := ParseRequest([]byte("GET /x HTTP/1.1\r\n")); err == nil {
+		t.Error("missing blank line should fail")
+	}
+	if _, err := ParseRequest([]byte("BAD\r\n\r\n")); err == nil {
+		t.Error("bad request line should fail")
+	}
+	if _, err := ParseResponse([]byte("NOTHTTP 200 OK\r\n\r\n")); err == nil {
+		t.Error("bad status line should fail")
+	}
+	if _, err := ParseResponse([]byte("HTTP/1.1 abc OK\r\n\r\n")); err == nil {
+		t.Error("bad status code should fail")
+	}
+}
+
+func TestFrameLength(t *testing.T) {
+	body := "0123456789"
+	msg := "HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\n" + body
+	// Needs more data until complete.
+	for cut := 0; cut < len(msg); cut++ {
+		n, err := FrameLength([]byte(msg[:cut]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 0 {
+			t.Fatalf("cut %d framed %d", cut, n)
+		}
+	}
+	n, err := FrameLength([]byte(msg))
+	if err != nil || n != len(msg) {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	// Pipelined second message is not included.
+	n, _ = FrameLength([]byte(msg + "GET"))
+	if n != len(msg) {
+		t.Fatalf("pipelined n=%d", n)
+	}
+	// No Content-Length: header-only message.
+	req := "GET / HTTP/1.1\r\n\r\n"
+	n, _ = FrameLength([]byte(req))
+	if n != len(req) {
+		t.Fatalf("req n=%d", n)
+	}
+	if _, err := FrameLength([]byte("HTTP/1.1 200 OK\r\nContent-Length: nope\r\n\r\n")); err == nil {
+		t.Fatal("bad content-length should fail")
+	}
+}
+
+func TestServerAndGet(t *testing.T) {
+	sim := simnet.New()
+	srvNode, _ := sim.NewNode("10.0.0.7")
+	cliNode, _ := sim.NewNode("10.0.0.1")
+
+	desc := []byte("<root><URLBase>http://10.0.0.7:5431/svc</URLBase></root>")
+	srv, err := NewServer(srvNode, 5431, func(req *Request) (int, string, string, []byte) {
+		if req.Path != "/desc.xml" {
+			return 404, "Not Found", "text/plain", []byte("nope")
+		}
+		return 200, "OK", "text/xml", desc
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var resp *Response
+	Get(cliNode, netapi.Addr{IP: "10.0.0.7", Port: 5431}, "/desc.xml", func(r *Response, err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		resp = r
+	})
+	if err := sim.RunUntil(func() bool { return resp != nil }, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || !bytes.Equal(resp.Body, desc) {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if srv.Served != 1 {
+		t.Fatalf("served = %d", srv.Served)
+	}
+}
+
+func TestServer404(t *testing.T) {
+	sim := simnet.New()
+	srvNode, _ := sim.NewNode("10.0.0.7")
+	cliNode, _ := sim.NewNode("10.0.0.1")
+	srv, _ := NewServer(srvNode, 5431, func(req *Request) (int, string, string, []byte) {
+		return 404, "Not Found", "text/plain", []byte("x")
+	})
+	defer srv.Close()
+	var resp *Response
+	Get(cliNode, netapi.Addr{IP: "10.0.0.7", Port: 5431}, "/missing", func(r *Response, err error) { resp = r })
+	if err := sim.RunUntil(func() bool { return resp != nil }, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 404 {
+		t.Fatalf("status = %d", resp.Status)
+	}
+}
+
+func TestServerBadRequest(t *testing.T) {
+	sim := simnet.New()
+	srvNode, _ := sim.NewNode("10.0.0.7")
+	cliNode, _ := sim.NewNode("10.0.0.1")
+	srv, _ := NewServer(srvNode, 5431, func(req *Request) (int, string, string, []byte) {
+		return 200, "OK", "text/plain", nil
+	})
+	defer srv.Close()
+	var got []byte
+	conn, err := cliNode.DialStream(netapi.Addr{IP: "10.0.0.7", Port: 5431}, func(c netapi.Conn, data []byte) {
+		got = append(got, data...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send([]byte("NONSENSE\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunUntil(func() bool { return len(got) > 0 }, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(got), "400 Bad Request") {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestGetConnectionRefused(t *testing.T) {
+	sim := simnet.New()
+	cliNode, _ := sim.NewNode("10.0.0.1")
+	called := false
+	Get(cliNode, netapi.Addr{IP: "10.0.0.9", Port: 80}, "/", func(r *Response, err error) {
+		if err == nil {
+			t.Error("want error")
+		}
+		called = true
+	})
+	sim.RunToQuiescence()
+	if !called {
+		t.Fatal("callback not invoked")
+	}
+}
+
+func TestServerHandlesChunkedDelivery(t *testing.T) {
+	// A request arriving byte-by-byte must still be framed correctly.
+	sim := simnet.New()
+	srvNode, _ := sim.NewNode("10.0.0.7")
+	cliNode, _ := sim.NewNode("10.0.0.1")
+	srv, _ := NewServer(srvNode, 5431, func(req *Request) (int, string, string, []byte) {
+		return 200, "OK", "text/plain", []byte("hi")
+	})
+	defer srv.Close()
+	var got []byte
+	conn, err := cliNode.DialStream(netapi.Addr{IP: "10.0.0.7", Port: 5431}, func(c netapi.Conn, data []byte) {
+		got = append(got, data...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := MarshalRequest("/x", "h")
+	for _, b := range req {
+		if err := conn.Send([]byte{b}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sim.RunUntil(func() bool { return len(got) > 0 }, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(got), "200 OK") {
+		t.Fatalf("got %q", got)
+	}
+}

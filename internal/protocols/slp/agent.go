@@ -1,0 +1,165 @@
+package slp
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"starlink/internal/netapi"
+)
+
+// DefaultConvergenceWait is how long a user agent collects multicast
+// replies before reporting results. OpenSLP's multicast convergence
+// schedule makes native lookups take ~6 s (the paper's Fig. 12(a)
+// measures a 6022 ms median); see internal/bench/calibration.go.
+const DefaultConvergenceWait = 6 * time.Second
+
+// ServiceAgentOption configures a ServiceAgent.
+type ServiceAgentOption func(*ServiceAgent)
+
+// WithResponseDelay makes the agent wait a uniform random delay in
+// [0, d) before answering a multicast request — RFC 2608 mandates
+// randomised response times to avoid reply implosion.
+func WithResponseDelay(d time.Duration, rng *rand.Rand) ServiceAgentOption {
+	return func(sa *ServiceAgent) { sa.maxDelay, sa.rng = d, rng }
+}
+
+// ServiceAgent is the legacy SLP server: it joins the SLP multicast
+// group and answers SrvRqst messages for its registered service.
+type ServiceAgent struct {
+	node        netapi.Node
+	sock        netapi.UDPSocket
+	serviceType string
+	url         string
+	maxDelay    time.Duration
+	rng         *rand.Rand
+
+	// Answered counts requests served; used by tests.
+	Answered int
+}
+
+// NewServiceAgent registers a service and starts answering lookups.
+func NewServiceAgent(node netapi.Node, serviceType, url string, opts ...ServiceAgentOption) (*ServiceAgent, error) {
+	sa := &ServiceAgent{node: node, serviceType: serviceType, url: url}
+	for _, o := range opts {
+		o(sa)
+	}
+	group := netapi.Addr{IP: Group, Port: Port}
+	sock, err := node.JoinGroup(group, sa.onPacket)
+	if err != nil {
+		return nil, fmt.Errorf("slp: service agent: %w", err)
+	}
+	sa.sock = sock
+	return sa, nil
+}
+
+// Close stops the agent.
+func (sa *ServiceAgent) Close() error { return sa.sock.Close() }
+
+func (sa *ServiceAgent) onPacket(pkt netapi.Packet) {
+	msg, err := Parse(pkt.Data)
+	if err != nil {
+		return // legacy stacks ignore garbage datagrams
+	}
+	req, ok := msg.(*SrvRqst)
+	if !ok {
+		return
+	}
+	if req.ServiceType != sa.serviceType {
+		return
+	}
+	reply := &SrvRply{
+		Header: Header{XID: req.XID, LangTag: req.LangTag},
+		URLs:   []string{sa.url},
+	}
+	data := reply.Marshal()
+	send := func() {
+		sa.Answered++
+		_ = sa.sock.Send(pkt.From, data)
+	}
+	if sa.maxDelay > 0 && sa.rng != nil {
+		sa.node.After(time.Duration(sa.rng.Int63n(int64(sa.maxDelay))), send)
+	} else {
+		send()
+	}
+}
+
+// UserAgentOption configures a UserAgent.
+type UserAgentOption func(*UserAgent)
+
+// WithConvergenceWait overrides the multicast convergence window.
+func WithConvergenceWait(d time.Duration) UserAgentOption {
+	return func(ua *UserAgent) { ua.wait = d }
+}
+
+// WithWaitJitter adds a uniform random perturbation in [-d/2, +d/2] to
+// the convergence window, modelling the variance of the retransmission
+// schedule visible in the paper's min/max columns.
+func WithWaitJitter(d time.Duration, rng *rand.Rand) UserAgentOption {
+	return func(ua *UserAgent) { ua.jitter, ua.rng = d, rng }
+}
+
+// UserAgent is the legacy SLP client.
+type UserAgent struct {
+	node   netapi.Node
+	wait   time.Duration
+	jitter time.Duration
+	rng    *rand.Rand
+	xid    int
+}
+
+// NewUserAgent creates a client on the node.
+func NewUserAgent(node netapi.Node, opts ...UserAgentOption) *UserAgent {
+	ua := &UserAgent{node: node, wait: DefaultConvergenceWait, xid: 1}
+	for _, o := range opts {
+		o(ua)
+	}
+	return ua
+}
+
+// LookupResult is delivered when a lookup completes.
+type LookupResult struct {
+	URLs    []string
+	Elapsed time.Duration
+	Err     error
+}
+
+// Lookup multicasts a SrvRqst for the service type and collects unicast
+// replies for the convergence window, then invokes done. It mirrors
+// OpenSLP's blocking SLPFindSrvs call in event-driven form.
+func (ua *UserAgent) Lookup(serviceType string, done func(LookupResult)) {
+	ua.xid++
+	req := &SrvRqst{Header: Header{XID: ua.xid, LangTag: "en"}, ServiceType: serviceType}
+	wantXID := ua.xid
+	start := ua.node.Now()
+	var urls []string
+
+	sock, err := ua.node.OpenUDP(0, func(pkt netapi.Packet) {
+		msg, err := Parse(pkt.Data)
+		if err != nil {
+			return
+		}
+		rply, ok := msg.(*SrvRply)
+		if !ok || rply.XID != wantXID || rply.ErrorCode != 0 {
+			return
+		}
+		urls = append(urls, rply.URLs...)
+	})
+	if err != nil {
+		done(LookupResult{Err: fmt.Errorf("slp: lookup: %w", err)})
+		return
+	}
+	if err := sock.Send(netapi.Addr{IP: Group, Port: Port}, req.Marshal()); err != nil {
+		_ = sock.Close()
+		done(LookupResult{Err: fmt.Errorf("slp: lookup: %w", err)})
+		return
+	}
+	wait := ua.wait
+	if ua.jitter > 0 && ua.rng != nil {
+		wait += time.Duration(ua.rng.Int63n(int64(ua.jitter))) - ua.jitter/2
+	}
+	ua.node.After(wait, func() {
+		_ = sock.Close()
+		done(LookupResult{URLs: urls, Elapsed: ua.node.Now().Sub(start)})
+	})
+}

@@ -1,0 +1,235 @@
+// Package slp is a from-scratch legacy stack for the Service Location
+// Protocol (RFC 2608 subset) — the binary discovery protocol of the
+// paper's case study. It stands in for OpenSLP (DESIGN.md §5): an
+// independent implementation of the same wire format, deliberately NOT
+// sharing the Starlink MDL machinery, so bridging tests exercise real
+// cross-implementation interoperability.
+//
+// Wire layout follows the paper's Fig. 7 MDL (which matches RFC 2608):
+//
+//	Header: Version(8) FunctionID(8) MessageLength(24) reserved(16)
+//	        NextExtOffset(24) XID(16) LangTagLen(16) LangTag(var)
+//	SrvRqst body: PRLength(16) PRList SrvTypeLen(16) SrvType
+//	              PredLen(16) Pred SPILen(16) SPI
+//	SrvRply body: ErrorCode(16) URLCount(16) URLLen(16) URL
+package slp
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Function IDs (RFC 2608 §4.1).
+const (
+	FnSrvRqst = 1
+	FnSrvRply = 2
+)
+
+// Version is the SLPv2 protocol version.
+const Version = 2
+
+// Port and group are the paper's Fig. 1 color attributes.
+const (
+	Port  = 427
+	Group = "239.255.255.253"
+)
+
+// Header is the common SLP message header.
+type Header struct {
+	Version    int
+	FunctionID int
+	Length     int // total message length, filled by Marshal
+	XID        int
+	LangTag    string
+}
+
+// SrvRqst is a service request.
+type SrvRqst struct {
+	Header
+	PRList      string
+	ServiceType string
+	Predicate   string
+	SPI         string
+}
+
+// SrvRply is a service reply.
+type SrvRply struct {
+	Header
+	ErrorCode int
+	URLs      []string
+}
+
+func marshalHeader(h *Header, fn int, out []byte) []byte {
+	lang := h.LangTag
+	if lang == "" {
+		lang = "en"
+	}
+	out = append(out, byte(Version), byte(fn))
+	out = append(out, 0, 0, 0) // MessageLength placeholder
+	out = append(out, 0, 0)    // reserved/flags
+	out = append(out, 0, 0, 0) // NextExtOffset
+	out = binary.BigEndian.AppendUint16(out, uint16(h.XID))
+	out = binary.BigEndian.AppendUint16(out, uint16(len(lang)))
+	out = append(out, lang...)
+	return out
+}
+
+func appendString16(out []byte, s string) []byte {
+	out = binary.BigEndian.AppendUint16(out, uint16(len(s)))
+	return append(out, s...)
+}
+
+func patchLength(out []byte) []byte {
+	n := len(out)
+	out[2], out[3], out[4] = byte(n>>16), byte(n>>8), byte(n)
+	return out
+}
+
+// Marshal encodes a SrvRqst.
+func (m *SrvRqst) Marshal() []byte {
+	out := marshalHeader(&m.Header, FnSrvRqst, nil)
+	out = appendString16(out, m.PRList)
+	out = appendString16(out, m.ServiceType)
+	out = appendString16(out, m.Predicate)
+	out = appendString16(out, m.SPI)
+	return patchLength(out)
+}
+
+// Marshal encodes a SrvRply. Only single-URL replies are emitted by
+// this stack (the paper's case study exchanges one URL per lookup).
+func (m *SrvRply) Marshal() []byte {
+	out := marshalHeader(&m.Header, FnSrvRply, nil)
+	out = binary.BigEndian.AppendUint16(out, uint16(m.ErrorCode))
+	out = binary.BigEndian.AppendUint16(out, uint16(len(m.URLs)))
+	for _, u := range m.URLs {
+		out = appendString16(out, u)
+	}
+	return patchLength(out)
+}
+
+type reader struct {
+	data []byte
+	pos  int
+}
+
+func (r *reader) u8() (int, error) {
+	if r.pos+1 > len(r.data) {
+		return 0, fmt.Errorf("slp: truncated message")
+	}
+	v := int(r.data[r.pos])
+	r.pos++
+	return v, nil
+}
+
+func (r *reader) u16() (int, error) {
+	if r.pos+2 > len(r.data) {
+		return 0, fmt.Errorf("slp: truncated message")
+	}
+	v := int(binary.BigEndian.Uint16(r.data[r.pos:]))
+	r.pos += 2
+	return v, nil
+}
+
+func (r *reader) u24() (int, error) {
+	if r.pos+3 > len(r.data) {
+		return 0, fmt.Errorf("slp: truncated message")
+	}
+	v := int(r.data[r.pos])<<16 | int(r.data[r.pos+1])<<8 | int(r.data[r.pos+2])
+	r.pos += 3
+	return v, nil
+}
+
+func (r *reader) str(n int) (string, error) {
+	if n < 0 || r.pos+n > len(r.data) {
+		return "", fmt.Errorf("slp: truncated string")
+	}
+	s := string(r.data[r.pos : r.pos+n])
+	r.pos += n
+	return s, nil
+}
+
+func (r *reader) str16() (string, error) {
+	n, err := r.u16()
+	if err != nil {
+		return "", err
+	}
+	return r.str(n)
+}
+
+func parseHeader(r *reader) (Header, error) {
+	var h Header
+	var err error
+	if h.Version, err = r.u8(); err != nil {
+		return h, err
+	}
+	if h.Version != Version {
+		return h, fmt.Errorf("slp: unsupported version %d", h.Version)
+	}
+	if h.FunctionID, err = r.u8(); err != nil {
+		return h, err
+	}
+	if h.Length, err = r.u24(); err != nil {
+		return h, err
+	}
+	if h.Length != len(r.data) {
+		return h, fmt.Errorf("slp: header length %d != datagram %d", h.Length, len(r.data))
+	}
+	if _, err = r.u16(); err != nil { // reserved
+		return h, err
+	}
+	if _, err = r.u24(); err != nil { // next ext offset
+		return h, err
+	}
+	if h.XID, err = r.u16(); err != nil {
+		return h, err
+	}
+	if h.LangTag, err = r.str16(); err != nil {
+		return h, err
+	}
+	return h, nil
+}
+
+// Parse decodes any SLP message, returning *SrvRqst or *SrvRply.
+func Parse(data []byte) (interface{}, error) {
+	r := &reader{data: data}
+	h, err := parseHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	switch h.FunctionID {
+	case FnSrvRqst:
+		m := &SrvRqst{Header: h}
+		if m.PRList, err = r.str16(); err != nil {
+			return nil, err
+		}
+		if m.ServiceType, err = r.str16(); err != nil {
+			return nil, err
+		}
+		if m.Predicate, err = r.str16(); err != nil {
+			return nil, err
+		}
+		if m.SPI, err = r.str16(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case FnSrvRply:
+		m := &SrvRply{Header: h}
+		if m.ErrorCode, err = r.u16(); err != nil {
+			return nil, err
+		}
+		count, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < count; i++ {
+			u, err := r.str16()
+			if err != nil {
+				return nil, err
+			}
+			m.URLs = append(m.URLs, u)
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("slp: unknown function id %d", h.FunctionID)
+	}
+}

@@ -1,0 +1,257 @@
+package slp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"starlink/internal/netapi"
+	"starlink/internal/simnet"
+)
+
+func TestCodecSrvRqstRoundtrip(t *testing.T) {
+	m := &SrvRqst{
+		Header:      Header{XID: 77, LangTag: "en"},
+		ServiceType: "service:printer",
+		Predicate:   "(color=true)",
+	}
+	data := m.Marshal()
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := back.(*SrvRqst)
+	if !ok {
+		t.Fatalf("got %T", back)
+	}
+	if got.XID != 77 || got.ServiceType != "service:printer" || got.Predicate != "(color=true)" {
+		t.Fatalf("got %+v", got)
+	}
+	if got.Length != len(data) {
+		t.Fatalf("length field %d != %d", got.Length, len(data))
+	}
+}
+
+func TestCodecSrvRplyRoundtrip(t *testing.T) {
+	m := &SrvRply{
+		Header: Header{XID: 9},
+		URLs:   []string{"service:printer://10.0.0.9:515", "service:printer://10.0.0.8:515"},
+	}
+	back, err := Parse(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := back.(*SrvRply)
+	if len(got.URLs) != 2 || got.URLs[0] != "service:printer://10.0.0.9:515" {
+		t.Fatalf("got %+v", got)
+	}
+	if got.XID != 9 {
+		t.Fatalf("xid = %d", got.XID)
+	}
+}
+
+func TestCodecErrors(t *testing.T) {
+	m := &SrvRqst{Header: Header{XID: 1}, ServiceType: "service:x"}
+	data := m.Marshal()
+	// Truncations at every prefix must fail cleanly, never panic.
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := Parse(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Wrong version.
+	bad := append([]byte{}, data...)
+	bad[0] = 1
+	if _, err := Parse(bad); err == nil {
+		t.Fatal("version 1 should fail")
+	}
+	// Unknown function.
+	bad = append([]byte{}, data...)
+	bad[1] = 42
+	if _, err := Parse(bad); err == nil {
+		t.Fatal("unknown function should fail")
+	}
+	// Corrupt length field.
+	bad = append([]byte{}, data...)
+	bad[4] = bad[4] + 1
+	if _, err := Parse(bad); err == nil {
+		t.Fatal("bad length should fail")
+	}
+}
+
+// Property: marshal/parse identity over arbitrary field content.
+func TestQuickCodecRoundtrip(t *testing.T) {
+	f := func(xid uint16, svcRaw, urlRaw []byte) bool {
+		svc := sanitize(svcRaw)
+		url := sanitize(urlRaw)
+		rq := &SrvRqst{Header: Header{XID: int(xid)}, ServiceType: svc}
+		back, err := Parse(rq.Marshal())
+		if err != nil {
+			return false
+		}
+		brq, ok := back.(*SrvRqst)
+		if !ok || brq.XID != int(xid) || brq.ServiceType != svc {
+			return false
+		}
+		rp := &SrvRply{Header: Header{XID: int(xid)}, URLs: []string{url}}
+		back, err = Parse(rp.Marshal())
+		if err != nil {
+			return false
+		}
+		brp, ok := back.(*SrvRply)
+		return ok && len(brp.URLs) == 1 && brp.URLs[0] == url
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sanitize(raw []byte) string {
+	out := make([]byte, 0, len(raw))
+	for _, b := range raw {
+		out = append(out, 'a'+b%26)
+	}
+	return string(out)
+}
+
+func TestLookupAgainstServiceAgent(t *testing.T) {
+	sim := simnet.New()
+	svcNode, _ := sim.NewNode("10.0.0.2")
+	cliNode, _ := sim.NewNode("10.0.0.1")
+
+	sa, err := NewServiceAgent(svcNode, "service:printer", "service:printer://10.0.0.2:515")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sa.Close()
+
+	ua := NewUserAgent(cliNode, WithConvergenceWait(100*time.Millisecond))
+	var res LookupResult
+	gotResult := false
+	ua.Lookup("service:printer", func(r LookupResult) { res = r; gotResult = true })
+	if err := sim.RunUntil(func() bool { return gotResult }, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if len(res.URLs) != 1 || res.URLs[0] != "service:printer://10.0.0.2:515" {
+		t.Fatalf("urls = %v", res.URLs)
+	}
+	if res.Elapsed < 100*time.Millisecond {
+		t.Fatalf("elapsed %v shorter than convergence window", res.Elapsed)
+	}
+	if sa.Answered != 1 {
+		t.Fatalf("answered = %d", sa.Answered)
+	}
+}
+
+func TestLookupDefaultWindowIsSixSeconds(t *testing.T) {
+	sim := simnet.New()
+	svcNode, _ := sim.NewNode("10.0.0.2")
+	cliNode, _ := sim.NewNode("10.0.0.1")
+	if _, err := NewServiceAgent(svcNode, "service:printer", "service:x"); err != nil {
+		t.Fatal(err)
+	}
+	ua := NewUserAgent(cliNode)
+	var elapsed time.Duration
+	done := false
+	ua.Lookup("service:printer", func(r LookupResult) { elapsed = r.Elapsed; done = true })
+	if err := sim.RunUntil(func() bool { return done }, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// The native SLP lookup must be dominated by the ~6 s convergence
+	// window — the effect behind Fig. 12(a)'s 6022 ms median.
+	if elapsed < 6*time.Second || elapsed > 6*time.Second+50*time.Millisecond {
+		t.Fatalf("elapsed = %v, want ~6s", elapsed)
+	}
+}
+
+func TestLookupNoService(t *testing.T) {
+	sim := simnet.New()
+	cliNode, _ := sim.NewNode("10.0.0.1")
+	ua := NewUserAgent(cliNode, WithConvergenceWait(50*time.Millisecond))
+	var res LookupResult
+	done := false
+	ua.Lookup("service:ghost", func(r LookupResult) { res = r; done = true })
+	if err := sim.RunUntil(func() bool { return done }, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil || len(res.URLs) != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestServiceAgentIgnoresOtherTypes(t *testing.T) {
+	sim := simnet.New()
+	svcNode, _ := sim.NewNode("10.0.0.2")
+	cliNode, _ := sim.NewNode("10.0.0.1")
+	sa, _ := NewServiceAgent(svcNode, "service:printer", "service:x")
+	ua := NewUserAgent(cliNode, WithConvergenceWait(50*time.Millisecond))
+	done := false
+	var res LookupResult
+	ua.Lookup("service:scanner", func(r LookupResult) { res = r; done = true })
+	if err := sim.RunUntil(func() bool { return done }, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.URLs) != 0 || sa.Answered != 0 {
+		t.Fatalf("res=%v answered=%d", res.URLs, sa.Answered)
+	}
+}
+
+func TestServiceAgentIgnoresGarbage(t *testing.T) {
+	sim := simnet.New()
+	svcNode, _ := sim.NewNode("10.0.0.2")
+	cliNode, _ := sim.NewNode("10.0.0.1")
+	sa, _ := NewServiceAgent(svcNode, "service:printer", "service:x")
+	cs, _ := cliNode.OpenUDP(0, func(netapi.Packet) {})
+	if err := cs.Send(netapi.Addr{IP: Group, Port: Port}, []byte{0xFF, 0x00, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunToQuiescence()
+	if sa.Answered != 0 {
+		t.Fatal("garbage datagram must be ignored")
+	}
+}
+
+func TestServiceAgentRandomisedDelay(t *testing.T) {
+	sim := simnet.New()
+	svcNode, _ := sim.NewNode("10.0.0.2")
+	cliNode, _ := sim.NewNode("10.0.0.1")
+	rng := rand.New(rand.NewSource(7))
+	sa, err := NewServiceAgent(svcNode, "service:printer", "service:x",
+		WithResponseDelay(70*time.Millisecond, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sa.Close()
+	ua := NewUserAgent(cliNode, WithConvergenceWait(200*time.Millisecond))
+	var res LookupResult
+	done := false
+	ua.Lookup("service:printer", func(r LookupResult) { res = r; done = true })
+	if err := sim.RunUntil(func() bool { return done }, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.URLs) != 1 {
+		t.Fatalf("urls = %v (reply must arrive within the window despite delay)", res.URLs)
+	}
+}
+
+func TestUserAgentJitterStaysBounded(t *testing.T) {
+	sim := simnet.New()
+	cliNode, _ := sim.NewNode("10.0.0.1")
+	rng := rand.New(rand.NewSource(3))
+	ua := NewUserAgent(cliNode,
+		WithConvergenceWait(100*time.Millisecond),
+		WithWaitJitter(40*time.Millisecond, rng))
+	var elapsed time.Duration
+	done := false
+	ua.Lookup("service:x", func(r LookupResult) { elapsed = r.Elapsed; done = true })
+	if err := sim.RunUntil(func() bool { return done }, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed < 80*time.Millisecond || elapsed > 120*time.Millisecond {
+		t.Fatalf("elapsed %v outside jitter bounds", elapsed)
+	}
+}

@@ -1,0 +1,230 @@
+// Package ssdp is a from-scratch legacy stack for the Simple Service
+// Discovery Protocol — the text-based multicast half of UPnP discovery
+// (paper Fig. 2). It stands in for the Cyberlink UPnP stack's SSDP
+// layer (DESIGN.md §5).
+package ssdp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"starlink/internal/netapi"
+)
+
+// Port and Group are the paper's Fig. 2 color attributes.
+const (
+	Port  = 1900
+	Group = "239.255.255.250"
+)
+
+// Message is a parsed SSDP message: the start line plus headers.
+type Message struct {
+	// Method is "M-SEARCH" for searches or "HTTP/1.1" for responses
+	// (the discriminator the paper's Fig. 11 rules switch on).
+	Method  string
+	URI     string
+	Version string
+	Headers map[string]string
+}
+
+// IsSearch reports whether the message is an M-SEARCH request.
+func (m *Message) IsSearch() bool { return m.Method == "M-SEARCH" }
+
+// IsResponse reports whether the message is a 200 OK response.
+func (m *Message) IsResponse() bool { return m.Method == "HTTP/1.1" }
+
+// Marshal renders the wire form.
+func (m *Message) Marshal() []byte {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s %s %s\r\n", m.Method, m.URI, m.Version)
+	keys := make([]string, 0, len(m.Headers))
+	for k := range m.Headers {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s: %s\r\n", k, m.Headers[k])
+	}
+	sb.WriteString("\r\n")
+	return []byte(sb.String())
+}
+
+// Parse decodes an SSDP datagram.
+func Parse(data []byte) (*Message, error) {
+	text := string(data)
+	head, _, found := strings.Cut(text, "\r\n\r\n")
+	if !found {
+		return nil, fmt.Errorf("ssdp: missing blank line")
+	}
+	lines := strings.Split(head, "\r\n")
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("ssdp: bad start line %q", lines[0])
+	}
+	m := &Message{Method: parts[0], URI: parts[1], Version: parts[2], Headers: map[string]string{}}
+	for _, line := range lines[1:] {
+		if line == "" {
+			continue
+		}
+		k, v, found := strings.Cut(line, ":")
+		if !found {
+			return nil, fmt.Errorf("ssdp: bad header line %q", line)
+		}
+		m.Headers[strings.ToUpper(strings.TrimSpace(k))] = strings.TrimSpace(v)
+	}
+	return m, nil
+}
+
+// NewMSearch builds a search request for a service type.
+func NewMSearch(st string, mxSeconds int) *Message {
+	return &Message{
+		Method: "M-SEARCH", URI: "*", Version: "HTTP/1.1",
+		Headers: map[string]string{
+			"HOST": fmt.Sprintf("%s:%d", Group, Port),
+			"MAN":  `"ssdp:discover"`,
+			"MX":   fmt.Sprintf("%d", mxSeconds),
+			"ST":   st,
+		},
+	}
+}
+
+// NewResponse builds a 200 OK response advertising a device description
+// location.
+func NewResponse(st, location, usn string) *Message {
+	return &Message{
+		Method: "HTTP/1.1", URI: "200", Version: "OK",
+		Headers: map[string]string{
+			"CACHE-CONTROL": "max-age=1800",
+			"LOCATION":      location,
+			"ST":            st,
+			"USN":           usn,
+		},
+	}
+}
+
+// DeviceOption configures a Device responder.
+type DeviceOption func(*Device)
+
+// WithResponseDelay makes the device answer after a uniform random
+// delay in [min, max) — SSDP devices spread responses across the MX
+// window; the bench harness calibrates this to the paper's ~300 ms
+// bridge-observed latency (internal/bench/calibration.go).
+func WithResponseDelay(min, max time.Duration, rng *rand.Rand) DeviceOption {
+	return func(d *Device) { d.delayMin, d.delayMax, d.rng = min, max, rng }
+}
+
+// Device is the legacy SSDP responder half of a UPnP device.
+type Device struct {
+	node     netapi.Node
+	sock     netapi.UDPSocket
+	st       string
+	location string
+	usn      string
+	delayMin time.Duration
+	delayMax time.Duration
+	rng      *rand.Rand
+
+	// Answered counts searches served; used by tests.
+	Answered int
+}
+
+// NewDevice starts answering M-SEARCH requests for the service type,
+// advertising the given description location URL.
+func NewDevice(node netapi.Node, st, location, usn string, opts ...DeviceOption) (*Device, error) {
+	d := &Device{node: node, st: st, location: location, usn: usn}
+	for _, o := range opts {
+		o(d)
+	}
+	sock, err := node.JoinGroup(netapi.Addr{IP: Group, Port: Port}, d.onPacket)
+	if err != nil {
+		return nil, fmt.Errorf("ssdp: device: %w", err)
+	}
+	d.sock = sock
+	return d, nil
+}
+
+// Close stops the device.
+func (d *Device) Close() error { return d.sock.Close() }
+
+func (d *Device) onPacket(pkt netapi.Packet) {
+	msg, err := Parse(pkt.Data)
+	if err != nil || !msg.IsSearch() {
+		return
+	}
+	st := msg.Headers["ST"]
+	if st != d.st && st != "ssdp:all" {
+		return
+	}
+	resp := NewResponse(d.st, d.location, d.usn).Marshal()
+	send := func() {
+		d.Answered++
+		_ = d.sock.Send(pkt.From, resp)
+	}
+	if d.rng != nil && d.delayMax > d.delayMin {
+		delay := d.delayMin + time.Duration(d.rng.Int63n(int64(d.delayMax-d.delayMin)))
+		d.node.After(delay, send)
+		return
+	}
+	if d.delayMin > 0 {
+		d.node.After(d.delayMin, send)
+		return
+	}
+	send()
+}
+
+// SearchResult is one device response to a search.
+type SearchResult struct {
+	ST       string
+	Location string
+	USN      string
+	From     netapi.Addr
+}
+
+// ControlPoint is the legacy SSDP search client.
+type ControlPoint struct {
+	node netapi.Node
+}
+
+// NewControlPoint creates a search client on the node.
+func NewControlPoint(node netapi.Node) *ControlPoint {
+	return &ControlPoint{node: node}
+}
+
+// Search multicasts an M-SEARCH and collects responses for the MX
+// window, then calls done with everything received (the Cyberlink
+// behaviour: the full MX window is always waited).
+func (cp *ControlPoint) Search(st string, mx time.Duration, done func([]SearchResult, error)) {
+	var results []SearchResult
+	sock, err := cp.node.OpenUDP(0, func(pkt netapi.Packet) {
+		msg, err := Parse(pkt.Data)
+		if err != nil || !msg.IsResponse() {
+			return
+		}
+		results = append(results, SearchResult{
+			ST:       msg.Headers["ST"],
+			Location: msg.Headers["LOCATION"],
+			USN:      msg.Headers["USN"],
+			From:     pkt.From,
+		})
+	})
+	if err != nil {
+		done(nil, fmt.Errorf("ssdp: search: %w", err))
+		return
+	}
+	mxSecs := int((mx + time.Second - 1) / time.Second)
+	if mxSecs < 1 {
+		mxSecs = 1
+	}
+	if err := sock.Send(netapi.Addr{IP: Group, Port: Port}, NewMSearch(st, mxSecs).Marshal()); err != nil {
+		_ = sock.Close()
+		done(nil, fmt.Errorf("ssdp: search: %w", err))
+		return
+	}
+	cp.node.After(mx, func() {
+		_ = sock.Close()
+		done(results, nil)
+	})
+}

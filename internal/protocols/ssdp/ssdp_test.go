@@ -1,0 +1,193 @@
+package ssdp
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"starlink/internal/netapi"
+	"starlink/internal/simnet"
+)
+
+func TestMSearchRoundtrip(t *testing.T) {
+	m := NewMSearch("urn:printer", 1)
+	data := m.Marshal()
+	text := string(data)
+	if !strings.HasPrefix(text, "M-SEARCH * HTTP/1.1\r\n") {
+		t.Fatalf("start line: %q", text)
+	}
+	if !strings.HasSuffix(text, "\r\n\r\n") {
+		t.Fatalf("no blank line: %q", text)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.IsSearch() || back.Headers["ST"] != "urn:printer" || back.Headers["MX"] != "1" {
+		t.Fatalf("back = %+v", back)
+	}
+}
+
+func TestResponseRoundtrip(t *testing.T) {
+	m := NewResponse("urn:printer", "http://10.0.0.7:5431/desc.xml", "uuid:x")
+	back, err := Parse(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.IsResponse() {
+		t.Fatal("not a response")
+	}
+	if back.Headers["LOCATION"] != "http://10.0.0.7:5431/desc.xml" {
+		t.Fatalf("location = %q", back.Headers["LOCATION"])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"M-SEARCH * HTTP/1.1\r\nST: x\r\n", // no blank line
+		"JUNK\r\n\r\n",                     // bad start line
+		"M-SEARCH * HTTP/1.1\r\nBADLINE\r\n\r\n",
+	} {
+		if _, err := Parse([]byte(bad)); err == nil {
+			t.Errorf("%q should fail", bad)
+		}
+	}
+}
+
+func TestHeaderNamesCanonicalised(t *testing.T) {
+	m, err := Parse([]byte("HTTP/1.1 200 OK\r\nlocation: http://x/\r\n\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Headers["LOCATION"] != "http://x/" {
+		t.Fatalf("headers = %v", m.Headers)
+	}
+}
+
+func TestSearchAgainstDevice(t *testing.T) {
+	sim := simnet.New()
+	devNode, _ := sim.NewNode("10.0.0.7")
+	cliNode, _ := sim.NewNode("10.0.0.1")
+
+	dev, err := NewDevice(devNode, "urn:printer", "http://10.0.0.7:5431/desc.xml", "uuid:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+
+	cp := NewControlPoint(cliNode)
+	var got []SearchResult
+	done := false
+	cp.Search("urn:printer", 100*time.Millisecond, func(r []SearchResult, err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		got = r
+		done = true
+	})
+	if err := sim.RunUntil(func() bool { return done }, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Location != "http://10.0.0.7:5431/desc.xml" {
+		t.Fatalf("got = %+v", got)
+	}
+	if dev.Answered != 1 {
+		t.Fatalf("answered = %d", dev.Answered)
+	}
+}
+
+func TestDeviceAnswersSSDPAll(t *testing.T) {
+	sim := simnet.New()
+	devNode, _ := sim.NewNode("10.0.0.7")
+	cliNode, _ := sim.NewNode("10.0.0.1")
+	dev, _ := NewDevice(devNode, "urn:printer", "http://x/", "uuid:1")
+	cp := NewControlPoint(cliNode)
+	done := false
+	var got []SearchResult
+	cp.Search("ssdp:all", 50*time.Millisecond, func(r []SearchResult, err error) { got = r; done = true })
+	if err := sim.RunUntil(func() bool { return done }, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || dev.Answered != 1 {
+		t.Fatalf("got=%v answered=%d", got, dev.Answered)
+	}
+}
+
+func TestDeviceIgnoresOtherST(t *testing.T) {
+	sim := simnet.New()
+	devNode, _ := sim.NewNode("10.0.0.7")
+	cliNode, _ := sim.NewNode("10.0.0.1")
+	dev, _ := NewDevice(devNode, "urn:printer", "http://x/", "uuid:1")
+	cp := NewControlPoint(cliNode)
+	done := false
+	var got []SearchResult
+	cp.Search("urn:camera", 50*time.Millisecond, func(r []SearchResult, err error) { got = r; done = true })
+	if err := sim.RunUntil(func() bool { return done }, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 || dev.Answered != 0 {
+		t.Fatalf("got=%v answered=%d", got, dev.Answered)
+	}
+}
+
+func TestDeviceResponseDelayWithinBounds(t *testing.T) {
+	sim := simnet.New()
+	devNode, _ := sim.NewNode("10.0.0.7")
+	cliNode, _ := sim.NewNode("10.0.0.1")
+	rng := rand.New(rand.NewSource(5))
+	if _, err := NewDevice(devNode, "urn:printer", "http://x/", "uuid:1",
+		WithResponseDelay(280*time.Millisecond, 350*time.Millisecond, rng)); err != nil {
+		t.Fatal(err)
+	}
+	start := sim.Now()
+	var gotAt time.Duration
+	sock, _ := cliNode.OpenUDP(0, func(pkt netapi.Packet) {
+		if gotAt == 0 {
+			gotAt = sim.Now().Sub(start)
+		}
+	})
+	if err := sock.Send(netapi.Addr{IP: Group, Port: Port}, NewMSearch("urn:printer", 1).Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunToQuiescence()
+	if gotAt < 280*time.Millisecond || gotAt > 360*time.Millisecond {
+		t.Fatalf("response at %v, want within delay bounds", gotAt)
+	}
+}
+
+func TestDeviceIgnoresGarbage(t *testing.T) {
+	sim := simnet.New()
+	devNode, _ := sim.NewNode("10.0.0.7")
+	cliNode, _ := sim.NewNode("10.0.0.1")
+	dev, _ := NewDevice(devNode, "urn:printer", "http://x/", "uuid:1")
+	sock, _ := cliNode.OpenUDP(0, func(netapi.Packet) {})
+	if err := sock.Send(netapi.Addr{IP: Group, Port: Port}, []byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunToQuiescence()
+	if dev.Answered != 0 {
+		t.Fatal("garbage must be ignored")
+	}
+}
+
+func TestSearchCollectsMultipleDevices(t *testing.T) {
+	sim := simnet.New()
+	cliNode, _ := sim.NewNode("10.0.0.1")
+	for i := 0; i < 3; i++ {
+		devNode, _ := sim.NewNode("10.0.0.1" + string(rune('0'+i)))
+		if _, err := NewDevice(devNode, "urn:printer", "http://dev/", "uuid:x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp := NewControlPoint(cliNode)
+	done := false
+	var got []SearchResult
+	cp.Search("urn:printer", 50*time.Millisecond, func(r []SearchResult, err error) { got = r; done = true })
+	if err := sim.RunUntil(func() bool { return done }, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d responses, want 3", len(got))
+	}
+}

@@ -1,0 +1,226 @@
+// Package upnp composes the SSDP and HTTP legacy stacks into full UPnP
+// discovery roles: a Device (SSDP responder + HTTP description server)
+// and a ControlPoint (M-SEARCH then description GET), standing in for
+// the Cyberlink stack of the paper's case study (§V, DESIGN.md §5).
+package upnp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"starlink/internal/netapi"
+	"starlink/internal/protocols/httpx"
+	"starlink/internal/protocols/ssdp"
+)
+
+// DefaultMX is the control point's search window — UPnP control points
+// wait the full MX window before processing results; calibrated to the
+// paper's Fig. 12(a) UPnP median of 1014 ms.
+const DefaultMX = time.Second
+
+// DescriptionPath is where devices serve their description document.
+const DescriptionPath = "/desc.xml"
+
+// DeviceOption configures a Device.
+type DeviceOption func(*Device)
+
+// WithSSDPDelay forwards a randomised response delay to the SSDP layer.
+func WithSSDPDelay(min, max time.Duration, rng *rand.Rand) DeviceOption {
+	return func(d *Device) { d.ssdpOpts = append(d.ssdpOpts, ssdp.WithResponseDelay(min, max, rng)) }
+}
+
+// Device is a legacy UPnP device: it answers SSDP searches with a
+// LOCATION header pointing at its HTTP description, which carries the
+// service URL in URLBase.
+type Device struct {
+	ssdp     *ssdp.Device
+	http     *httpx.Server
+	ssdpOpts []ssdp.DeviceOption
+	// FriendlyName appears in the description document.
+	FriendlyName string
+}
+
+// NewDevice starts a device serving the service type with the given
+// control URL (URLBase) on httpPort.
+func NewDevice(node netapi.Node, st, serviceURL string, httpPort int, opts ...DeviceOption) (*Device, error) {
+	d := &Device{FriendlyName: "Starlink test device"}
+	for _, o := range opts {
+		o(d)
+	}
+	desc := DescriptionXML(d.FriendlyName, st, serviceURL)
+	httpSrv, err := httpx.NewServer(node, httpPort, func(req *httpx.Request) (int, string, string, []byte) {
+		if req.Method != "GET" || req.Path != DescriptionPath {
+			return 404, "Not Found", "text/plain", []byte("not found")
+		}
+		return 200, "OK", "text/xml", desc
+	})
+	if err != nil {
+		return nil, fmt.Errorf("upnp: device: %w", err)
+	}
+	location := fmt.Sprintf("http://%s:%d%s", node.IP(), httpPort, DescriptionPath)
+	usn := "uuid:starlink-" + strings.ReplaceAll(st, ":", "-")
+	ssdpDev, err := ssdp.NewDevice(node, st, location, usn, d.ssdpOpts...)
+	if err != nil {
+		_ = httpSrv.Close()
+		return nil, fmt.Errorf("upnp: device: %w", err)
+	}
+	d.ssdp = ssdpDev
+	d.http = httpSrv
+	return d, nil
+}
+
+// Close stops both halves of the device.
+func (d *Device) Close() error {
+	err1 := d.ssdp.Close()
+	err2 := d.http.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// SSDPAnswered reports how many searches the SSDP layer served.
+func (d *Device) SSDPAnswered() int { return d.ssdp.Answered }
+
+// HTTPServed reports how many description requests were served.
+func (d *Device) HTTPServed() int { return d.http.Served }
+
+// DescriptionXML renders the UPnP device description document. URLBase
+// is the element the paper's Fig. 4 translation logic reads
+// (HTTP_OK.URL_BASE feeds SLP_SrvReply.URL).
+func DescriptionXML(friendlyName, st, urlBase string) []byte {
+	var sb strings.Builder
+	sb.WriteString(`<?xml version="1.0"?>` + "\n")
+	sb.WriteString(`<root xmlns="urn:schemas-upnp-org:device-1-0">` + "\n")
+	sb.WriteString(" <specVersion><major>1</major><minor>0</minor></specVersion>\n")
+	fmt.Fprintf(&sb, " <URLBase>%s</URLBase>\n", urlBase)
+	sb.WriteString(" <device>\n")
+	fmt.Fprintf(&sb, "  <deviceType>%s</deviceType>\n", st)
+	fmt.Fprintf(&sb, "  <friendlyName>%s</friendlyName>\n", friendlyName)
+	sb.WriteString("  <manufacturer>starlink-go</manufacturer>\n")
+	sb.WriteString(" </device>\n")
+	sb.WriteString("</root>\n")
+	return []byte(sb.String())
+}
+
+// ExtractURLBase pulls the URLBase element out of a description
+// document the way a legacy control point does.
+func ExtractURLBase(desc []byte) (string, error) {
+	s := string(desc)
+	start := strings.Index(s, "<URLBase>")
+	if start < 0 {
+		return "", fmt.Errorf("upnp: description has no URLBase")
+	}
+	start += len("<URLBase>")
+	end := strings.Index(s[start:], "</URLBase>")
+	if end < 0 {
+		return "", fmt.Errorf("upnp: unterminated URLBase")
+	}
+	return strings.TrimSpace(s[start : start+end]), nil
+}
+
+// ControlPointOption configures a ControlPoint.
+type ControlPointOption func(*ControlPoint)
+
+// WithMX overrides the search window.
+func WithMX(d time.Duration) ControlPointOption {
+	return func(cp *ControlPoint) { cp.mx = d }
+}
+
+// WithMXJitter perturbs the window by a uniform value in [-d/2, +d/2].
+func WithMXJitter(d time.Duration, rng *rand.Rand) ControlPointOption {
+	return func(cp *ControlPoint) { cp.jitter, cp.rng = d, rng }
+}
+
+// ControlPoint is a legacy UPnP discovery client.
+type ControlPoint struct {
+	node   netapi.Node
+	cp     *ssdp.ControlPoint
+	mx     time.Duration
+	jitter time.Duration
+	rng    *rand.Rand
+}
+
+// NewControlPoint creates a control point on the node.
+func NewControlPoint(node netapi.Node, opts ...ControlPointOption) *ControlPoint {
+	cp := &ControlPoint{node: node, cp: ssdp.NewControlPoint(node), mx: DefaultMX}
+	for _, o := range opts {
+		o(cp)
+	}
+	return cp
+}
+
+// DiscoverResult is delivered when discovery completes.
+type DiscoverResult struct {
+	// ServiceURLs are the URLBase values of every discovered device.
+	ServiceURLs []string
+	Elapsed     time.Duration
+	Err         error
+}
+
+// Discover searches for the service type, retrieves each responder's
+// description and extracts the service URLs.
+func (cp *ControlPoint) Discover(st string, done func(DiscoverResult)) {
+	start := cp.node.Now()
+	mx := cp.mx
+	if cp.jitter > 0 && cp.rng != nil {
+		mx += time.Duration(cp.rng.Int63n(int64(cp.jitter))) - cp.jitter/2
+	}
+	cp.cp.Search(st, mx, func(results []ssdp.SearchResult, err error) {
+		if err != nil {
+			done(DiscoverResult{Err: err})
+			return
+		}
+		if len(results) == 0 {
+			done(DiscoverResult{Elapsed: cp.node.Now().Sub(start)})
+			return
+		}
+		var urls []string
+		remaining := len(results)
+		for _, r := range results {
+			addr, path, err := SplitLocation(r.Location)
+			if err != nil {
+				remaining--
+				if remaining == 0 {
+					done(DiscoverResult{ServiceURLs: urls, Elapsed: cp.node.Now().Sub(start)})
+				}
+				continue
+			}
+			httpx.Get(cp.node, addr, path, func(resp *httpx.Response, err error) {
+				if err == nil && resp.Status == 200 {
+					if base, berr := ExtractURLBase(resp.Body); berr == nil {
+						urls = append(urls, base)
+					}
+				}
+				remaining--
+				if remaining == 0 {
+					done(DiscoverResult{ServiceURLs: urls, Elapsed: cp.node.Now().Sub(start)})
+				}
+			})
+		}
+	})
+}
+
+// SplitLocation parses an http LOCATION URL into a dial address and
+// path.
+func SplitLocation(location string) (netapi.Addr, string, error) {
+	rest, ok := strings.CutPrefix(location, "http://")
+	if !ok {
+		return netapi.Addr{}, "", fmt.Errorf("upnp: unsupported location %q", location)
+	}
+	hostport, path, found := strings.Cut(rest, "/")
+	if !found {
+		path = ""
+	}
+	host, portStr, found := strings.Cut(hostport, ":")
+	if !found {
+		portStr = "80"
+	}
+	var port int
+	if _, err := fmt.Sscanf(portStr, "%d", &port); err != nil {
+		return netapi.Addr{}, "", fmt.Errorf("upnp: bad port in %q", location)
+	}
+	return netapi.Addr{IP: host, Port: port}, "/" + path, nil
+}

@@ -1,0 +1,146 @@
+package upnp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"starlink/internal/netapi"
+	"starlink/internal/simnet"
+)
+
+func TestDiscoverEndToEnd(t *testing.T) {
+	sim := simnet.New()
+	devNode, _ := sim.NewNode("10.0.0.7")
+	cliNode, _ := sim.NewNode("10.0.0.1")
+
+	dev, err := NewDevice(devNode, "urn:printer", "http://10.0.0.7:5431/svc", 5431)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+
+	cp := NewControlPoint(cliNode, WithMX(100*time.Millisecond))
+	var res DiscoverResult
+	done := false
+	cp.Discover("urn:printer", func(r DiscoverResult) { res = r; done = true })
+	if err := sim.RunUntil(func() bool { return done }, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if len(res.ServiceURLs) != 1 || res.ServiceURLs[0] != "http://10.0.0.7:5431/svc" {
+		t.Fatalf("urls = %v", res.ServiceURLs)
+	}
+	if dev.SSDPAnswered() != 1 || dev.HTTPServed() != 1 {
+		t.Fatalf("ssdp=%d http=%d", dev.SSDPAnswered(), dev.HTTPServed())
+	}
+	// The control point waits the full MX window (Cyberlink behaviour).
+	if res.Elapsed < 100*time.Millisecond {
+		t.Fatalf("elapsed = %v", res.Elapsed)
+	}
+}
+
+func TestDiscoverDefaultMXIsOneSecond(t *testing.T) {
+	sim := simnet.New()
+	devNode, _ := sim.NewNode("10.0.0.7")
+	cliNode, _ := sim.NewNode("10.0.0.1")
+	dev, err := NewDevice(devNode, "urn:printer", "http://10.0.0.7:5431/svc", 5431)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	cp := NewControlPoint(cliNode)
+	var res DiscoverResult
+	done := false
+	cp.Discover("urn:printer", func(r DiscoverResult) { res = r; done = true })
+	if err := sim.RunUntil(func() bool { return done }, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// ~1 s MX + HTTP fetch: the effect behind Fig. 12(a)'s 1014 ms.
+	if res.Elapsed < time.Second || res.Elapsed > time.Second+100*time.Millisecond {
+		t.Fatalf("elapsed = %v, want ~1s", res.Elapsed)
+	}
+}
+
+func TestDiscoverNoDevice(t *testing.T) {
+	sim := simnet.New()
+	cliNode, _ := sim.NewNode("10.0.0.1")
+	cp := NewControlPoint(cliNode, WithMX(50*time.Millisecond))
+	var res DiscoverResult
+	done := false
+	cp.Discover("urn:ghost", func(r DiscoverResult) { res = r; done = true })
+	if err := sim.RunUntil(func() bool { return done }, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil || len(res.ServiceURLs) != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestDescriptionXMLAndExtract(t *testing.T) {
+	desc := DescriptionXML("My printer", "urn:printer", "http://10.0.0.7:5431/svc")
+	if !strings.Contains(string(desc), "<friendlyName>My printer</friendlyName>") {
+		t.Fatalf("desc = %s", desc)
+	}
+	base, err := ExtractURLBase(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != "http://10.0.0.7:5431/svc" {
+		t.Fatalf("base = %q", base)
+	}
+	if _, err := ExtractURLBase([]byte("<root/>")); err == nil {
+		t.Fatal("missing URLBase should fail")
+	}
+	if _, err := ExtractURLBase([]byte("<URLBase>x")); err == nil {
+		t.Fatal("unterminated URLBase should fail")
+	}
+}
+
+func TestSplitLocation(t *testing.T) {
+	addr, path, err := SplitLocation("http://10.0.0.7:5431/desc.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != (netapi.Addr{IP: "10.0.0.7", Port: 5431}) || path != "/desc.xml" {
+		t.Fatalf("addr=%v path=%q", addr, path)
+	}
+	addr, path, err = SplitLocation("http://10.0.0.7/d")
+	if err != nil || addr.Port != 80 || path != "/d" {
+		t.Fatalf("addr=%v path=%q err=%v", addr, path, err)
+	}
+	if _, _, err := SplitLocation("ftp://x/"); err == nil {
+		t.Fatal("non-http should fail")
+	}
+	if _, _, err := SplitLocation("http://h:bad/"); err == nil {
+		t.Fatal("bad port should fail")
+	}
+}
+
+func TestDeviceServes404ForOtherPaths(t *testing.T) {
+	sim := simnet.New()
+	devNode, _ := sim.NewNode("10.0.0.7")
+	cliNode, _ := sim.NewNode("10.0.0.1")
+	dev, err := NewDevice(devNode, "urn:printer", "http://10.0.0.7:5431/svc", 5431)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	var status int
+	conn, err := cliNode.DialStream(netapi.Addr{IP: "10.0.0.7", Port: 5431}, func(c netapi.Conn, data []byte) {
+		if data != nil && strings.Contains(string(data), "404") {
+			status = 404
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send([]byte("GET /other HTTP/1.1\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunUntil(func() bool { return status == 404 }, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,378 @@
+// Package realnet implements netapi over real loopback sockets. It lets
+// the same protocol stacks and bridges that run under the simulator run
+// over the operating system's UDP and TCP on 127.0.0.1 — used by the
+// examples and the starlinkd daemon.
+//
+// Substitution note (DESIGN.md §5): IP multicast is virtualised with an
+// in-process group registry — joining a group binds a real ephemeral
+// UDP port and registers it; sending to a group address fans out
+// unicast datagrams to every member. Containers frequently lack
+// multicast routes, and the paper's evaluation was single-machine, so
+// the rendezvous semantics are preserved exactly while staying
+// deployable anywhere.
+//
+// All handler callbacks are serialised through a single dispatcher
+// mutex, giving protocol code the same single-threaded execution model
+// as the simulator.
+package realnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"starlink/internal/netapi"
+)
+
+// Runtime is a real-socket netapi runtime.
+//
+// Locking: dispatchMu serialises handler callbacks (the single
+// dispatcher contract of netapi); stateMu guards the runtime's own
+// tables. Handlers run holding only dispatchMu, so they may freely
+// call Send / After / Cancel / Close, which take only stateMu.
+type Runtime struct {
+	dispatchMu sync.Mutex // held during every callback
+	stateMu    sync.Mutex // guards timers and groups
+	waitCh     chan struct{}
+	timers     map[netapi.TimerID]*time.Timer
+	timerSeq   uint64
+	groups     map[string][]*udpSocket // group "ip:port" -> members
+}
+
+var _ netapi.Runtime = (*Runtime)(nil)
+
+// New creates a runtime.
+func New() *Runtime {
+	return &Runtime{
+		waitCh: make(chan struct{}, 1),
+		timers: map[netapi.TimerID]*time.Timer{},
+		groups: map[string][]*udpSocket{},
+	}
+}
+
+// dispatch runs fn under the dispatcher lock and wakes RunUntil waiters.
+func (rt *Runtime) dispatch(fn func()) {
+	rt.dispatchMu.Lock()
+	fn()
+	rt.dispatchMu.Unlock()
+	select {
+	case rt.waitCh <- struct{}{}:
+	default:
+	}
+}
+
+// NewNode returns a host bound to 127.0.0.1. The requested IP is kept
+// as a label only; all real sockets live on loopback.
+func (rt *Runtime) NewNode(ip string) (netapi.Node, error) {
+	if ip == "" {
+		ip = "127.0.0.1"
+	}
+	return &node{rt: rt, label: ip}, nil
+}
+
+// RunUntil waits (wall-clock) until cond holds or timeout elapses.
+// cond is evaluated under the dispatcher lock.
+func (rt *Runtime) RunUntil(cond func() bool, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		rt.dispatchMu.Lock()
+		ok := cond()
+		rt.dispatchMu.Unlock()
+		if ok {
+			return nil
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return fmt.Errorf("realnet: RunUntil: timeout after %s", timeout)
+		}
+		wait := 10 * time.Millisecond
+		if remain < wait {
+			wait = remain
+		}
+		select {
+		case <-rt.waitCh:
+		case <-time.After(wait):
+		}
+	}
+}
+
+// Run sleeps for d of wall-clock time (events dispatch in background).
+func (rt *Runtime) Run(d time.Duration) { time.Sleep(d) }
+
+type node struct {
+	rt    *Runtime
+	label string
+}
+
+var _ netapi.Node = (*node)(nil)
+
+func (n *node) IP() string { return "127.0.0.1" }
+
+func (n *node) Now() time.Time { return time.Now() }
+
+func (n *node) After(d time.Duration, fn func()) netapi.TimerID {
+	n.rt.stateMu.Lock()
+	n.rt.timerSeq++
+	id := netapi.TimerID(n.rt.timerSeq)
+	n.rt.stateMu.Unlock()
+	t := time.AfterFunc(d, func() {
+		n.rt.stateMu.Lock()
+		_, live := n.rt.timers[id]
+		delete(n.rt.timers, id)
+		n.rt.stateMu.Unlock()
+		if !live {
+			return // cancelled between fire and dispatch
+		}
+		n.rt.dispatch(fn)
+	})
+	n.rt.stateMu.Lock()
+	n.rt.timers[id] = t
+	n.rt.stateMu.Unlock()
+	return id
+}
+
+func (n *node) Cancel(id netapi.TimerID) {
+	n.rt.stateMu.Lock()
+	defer n.rt.stateMu.Unlock()
+	if t, ok := n.rt.timers[id]; ok {
+		t.Stop()
+		delete(n.rt.timers, id)
+	}
+}
+
+// ---------------------------------------------------------------------
+// UDP
+// ---------------------------------------------------------------------
+
+type udpSocket struct {
+	rt      *Runtime
+	conn    *net.UDPConn
+	addr    netapi.Addr
+	handler netapi.PacketHandler
+	groups  []string
+	closed  bool
+}
+
+var _ netapi.UDPSocket = (*udpSocket)(nil)
+
+func (n *node) OpenUDP(port int, h netapi.PacketHandler) (netapi.UDPSocket, error) {
+	if h == nil {
+		return nil, fmt.Errorf("realnet: OpenUDP needs a handler")
+	}
+	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: port})
+	if err != nil {
+		return nil, fmt.Errorf("realnet: %w", err)
+	}
+	local := conn.LocalAddr().(*net.UDPAddr)
+	s := &udpSocket{
+		rt:      n.rt,
+		conn:    conn,
+		addr:    netapi.Addr{IP: "127.0.0.1", Port: local.Port},
+		handler: h,
+	}
+	go s.readLoop()
+	return s, nil
+}
+
+func (n *node) JoinGroup(group netapi.Addr, h netapi.PacketHandler) (netapi.UDPSocket, error) {
+	if !group.IsMulticast() {
+		return nil, fmt.Errorf("realnet: %s is not a multicast group", group)
+	}
+	sock, err := n.OpenUDP(0, h)
+	if err != nil {
+		return nil, err
+	}
+	s := sock.(*udpSocket)
+	key := group.String()
+	n.rt.stateMu.Lock()
+	n.rt.groups[key] = append(n.rt.groups[key], s)
+	s.groups = append(s.groups, key)
+	n.rt.stateMu.Unlock()
+	return s, nil
+}
+
+func (s *udpSocket) readLoop() {
+	buf := make([]byte, 64*1024)
+	for {
+		n, from, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		data := make([]byte, n)
+		copy(data, buf[:n])
+		src := netapi.Addr{IP: "127.0.0.1", Port: from.Port}
+		s.rt.dispatch(func() {
+			if s.closed {
+				return
+			}
+			s.handler(netapi.Packet{From: src, To: s.addr, Data: data})
+		})
+	}
+}
+
+func (s *udpSocket) LocalAddr() netapi.Addr { return s.addr }
+
+func (s *udpSocket) Send(to netapi.Addr, data []byte) error {
+	if to.IsMulticast() {
+		s.rt.stateMu.Lock()
+		members := append([]*udpSocket(nil), s.rt.groups[to.String()]...)
+		s.rt.stateMu.Unlock()
+		for _, m := range members {
+			if m.closed {
+				continue
+			}
+			dst := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: m.addr.Port}
+			if _, err := s.conn.WriteToUDP(data, dst); err != nil {
+				return fmt.Errorf("realnet: multicast to %s: %w", m.addr, err)
+			}
+		}
+		return nil
+	}
+	dst := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: to.Port}
+	if _, err := s.conn.WriteToUDP(data, dst); err != nil {
+		return fmt.Errorf("realnet: send to %s: %w", to, err)
+	}
+	return nil
+}
+
+func (s *udpSocket) Close() error {
+	s.rt.stateMu.Lock()
+	if s.closed {
+		s.rt.stateMu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for _, key := range s.groups {
+		members := s.rt.groups[key]
+		for i, m := range members {
+			if m == s {
+				s.rt.groups[key] = append(members[:i], members[i+1:]...)
+				break
+			}
+		}
+	}
+	s.rt.stateMu.Unlock()
+	return s.conn.Close()
+}
+
+// ---------------------------------------------------------------------
+// Streams
+// ---------------------------------------------------------------------
+
+type listener struct {
+	rt     *Runtime
+	ln     net.Listener
+	closed bool
+}
+
+func (n *node) ListenStream(port int, accept netapi.ConnHandler, recv netapi.StreamHandler) (netapi.Closer, error) {
+	if recv == nil {
+		return nil, fmt.Errorf("realnet: ListenStream needs a recv handler")
+	}
+	ln, err := net.Listen("tcp4", fmt.Sprintf("127.0.0.1:%d", port))
+	if err != nil {
+		return nil, fmt.Errorf("realnet: %w", err)
+	}
+	l := &listener{rt: n.rt, ln: ln}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			sc := newStreamConn(n.rt, c, recv)
+			n.rt.dispatch(func() {
+				if accept != nil {
+					accept(sc)
+				}
+			})
+			go sc.readLoop()
+		}
+	}()
+	return l, nil
+}
+
+func (l *listener) Close() error {
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	return l.ln.Close()
+}
+
+type streamConn struct {
+	rt     *Runtime
+	c      net.Conn
+	recv   netapi.StreamHandler
+	local  netapi.Addr
+	remote netapi.Addr
+	closed bool
+}
+
+var _ netapi.Conn = (*streamConn)(nil)
+
+func newStreamConn(rt *Runtime, c net.Conn, recv netapi.StreamHandler) *streamConn {
+	la := c.LocalAddr().(*net.TCPAddr)
+	ra := c.RemoteAddr().(*net.TCPAddr)
+	return &streamConn{
+		rt: rt, c: c, recv: recv,
+		local:  netapi.Addr{IP: "127.0.0.1", Port: la.Port},
+		remote: netapi.Addr{IP: "127.0.0.1", Port: ra.Port},
+	}
+}
+
+func (n *node) DialStream(to netapi.Addr, recv netapi.StreamHandler) (netapi.Conn, error) {
+	if recv == nil {
+		return nil, fmt.Errorf("realnet: DialStream needs a recv handler")
+	}
+	c, err := net.DialTimeout("tcp4", fmt.Sprintf("127.0.0.1:%d", to.Port), 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("realnet: dial %s: %w", to, err)
+	}
+	sc := newStreamConn(n.rt, c, recv)
+	go sc.readLoop()
+	return sc, nil
+}
+
+func (sc *streamConn) readLoop() {
+	buf := make([]byte, 64*1024)
+	for {
+		n, err := sc.c.Read(buf)
+		if n > 0 {
+			data := make([]byte, n)
+			copy(data, buf[:n])
+			sc.rt.dispatch(func() { sc.recv(sc, data) })
+		}
+		if err != nil {
+			sc.rt.dispatch(func() {
+				if !sc.closed {
+					sc.closed = true
+					sc.recv(sc, nil)
+				}
+			})
+			return
+		}
+	}
+}
+
+func (sc *streamConn) LocalAddr() netapi.Addr  { return sc.local }
+func (sc *streamConn) RemoteAddr() netapi.Addr { return sc.remote }
+
+func (sc *streamConn) Send(data []byte) error {
+	if _, err := sc.c.Write(data); err != nil {
+		return fmt.Errorf("realnet: %w", err)
+	}
+	return nil
+}
+
+func (sc *streamConn) Close() error {
+	sc.rt.stateMu.Lock()
+	already := sc.closed
+	sc.closed = true
+	sc.rt.stateMu.Unlock()
+	if already {
+		return nil
+	}
+	return sc.c.Close()
+}

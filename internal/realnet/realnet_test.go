@@ -1,0 +1,165 @@
+package realnet
+
+import (
+	"testing"
+	"time"
+
+	"starlink/internal/netapi"
+)
+
+func TestUnicastUDPLoopback(t *testing.T) {
+	rt := New()
+	a, err := rt.NewNode("10.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := rt.NewNode("10.0.0.2")
+
+	var got string
+	bs, err := b.OpenUDP(0, func(p netapi.Packet) { got = string(p.Data) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bs.Close()
+	as, err := a.OpenUDP(0, func(netapi.Packet) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer as.Close()
+	if err := as.Send(bs.LocalAddr(), []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RunUntil(func() bool { return got == "hello" }, 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulticastRegistryFanout(t *testing.T) {
+	rt := New()
+	group := netapi.Addr{IP: "239.255.255.253", Port: 427}
+	recvA, recvB := false, false
+
+	a, _ := rt.NewNode("svc-a")
+	b, _ := rt.NewNode("svc-b")
+	c, _ := rt.NewNode("client")
+
+	sa, err := a.JoinGroup(group, func(netapi.Packet) { recvA = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sa.Close()
+	sb, err := b.JoinGroup(group, func(netapi.Packet) { recvB = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sb.Close()
+	cs, _ := c.OpenUDP(0, func(netapi.Packet) {})
+	defer cs.Close()
+	if err := cs.Send(group, []byte("query")); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RunUntil(func() bool { return recvA && recvB }, 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupReplyToSource(t *testing.T) {
+	rt := New()
+	group := netapi.Addr{IP: "224.0.0.251", Port: 5353}
+	svc, _ := rt.NewNode("svc")
+	cli, _ := rt.NewNode("cli")
+
+	var svcSock netapi.UDPSocket
+	svcSock, err := svc.JoinGroup(group, func(p netapi.Packet) {
+		if err := svcSock.Send(p.From, []byte("pong")); err != nil {
+			t.Error(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svcSock.Close()
+
+	var got string
+	cs, _ := cli.OpenUDP(0, func(p netapi.Packet) { got = string(p.Data) })
+	defer cs.Close()
+	if err := cs.Send(group, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RunUntil(func() bool { return got == "pong" }, 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamRoundtrip(t *testing.T) {
+	rt := New()
+	srv, _ := rt.NewNode("srv")
+	cli, _ := rt.NewNode("cli")
+
+	l, err := srv.ListenStream(0, nil, func(c netapi.Conn, data []byte) {
+		if data != nil {
+			if err := c.Send(append([]byte("echo:"), data...)); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	// Find the listener's port by dialing its Close-protected API is
+	// not exposed; use a fixed port instead.
+	l2, err := srv.ListenStream(39571, nil, func(c netapi.Conn, data []byte) {
+		if data != nil {
+			if err := c.Send(append([]byte("echo:"), data...)); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+
+	var got string
+	conn, err := cli.DialStream(netapi.Addr{IP: "127.0.0.1", Port: 39571}, func(c netapi.Conn, data []byte) {
+		if data != nil {
+			got += string(data)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RunUntil(func() bool { return got == "echo:ping" }, 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimerFireAndCancel(t *testing.T) {
+	rt := New()
+	n, _ := rt.NewNode("x")
+	fired := false
+	n.After(20*time.Millisecond, func() { fired = true })
+	if err := rt.RunUntil(func() bool { return fired }, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	cancelled := false
+	id := n.After(50*time.Millisecond, func() { cancelled = true })
+	n.Cancel(id)
+	rt.Run(80 * time.Millisecond)
+	if cancelled {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestRunUntilTimeout(t *testing.T) {
+	rt := New()
+	if err := rt.RunUntil(func() bool { return false }, 30*time.Millisecond); err == nil {
+		t.Fatal("want timeout")
+	}
+}

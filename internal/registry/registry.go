@@ -1,0 +1,196 @@
+// Package registry loads and indexes Starlink models — MDL
+// specifications, k-colored automata and merged automata — and builds
+// the per-protocol codecs an engine deployment needs. It is the
+// runtime embodiment of the paper's model-reuse claim (§V-C): each
+// protocol is modelled once and reused across every merged automaton
+// that mentions it.
+package registry
+
+import (
+	"fmt"
+	"sort"
+
+	"starlink/internal/automata"
+	"starlink/internal/engine"
+	"starlink/internal/mdl"
+	"starlink/internal/merge"
+	"starlink/internal/models"
+	"starlink/internal/types"
+)
+
+// Registry indexes loaded models.
+type Registry struct {
+	types     *types.Registry
+	typeFuncs *types.FuncRegistry
+	specs     map[string]*mdl.Spec           // by protocol
+	automata  map[string]*automata.Automaton // by model name (role-specific)
+	merged    map[string]*merge.Merged       // by case name
+}
+
+// New returns an empty registry backed by the built-in type system.
+func New() *Registry {
+	return &Registry{
+		types:     types.NewRegistry(),
+		typeFuncs: types.NewFuncRegistry(),
+		specs:     map[string]*mdl.Spec{},
+		automata:  map[string]*automata.Automaton{},
+		merged:    map[string]*merge.Merged{},
+	}
+}
+
+// Builtin returns a registry preloaded with every model of the paper's
+// case study: the four MDLs, eight role-specific colored automata and
+// six merged automata.
+func Builtin() (*Registry, error) {
+	r := New()
+	for name, doc := range models.MDLs {
+		if err := r.LoadMDL(doc); err != nil {
+			return nil, fmt.Errorf("registry: builtin MDL %s: %w", name, err)
+		}
+	}
+	for name, doc := range models.Automata {
+		if err := r.LoadAutomaton(name, doc); err != nil {
+			return nil, fmt.Errorf("registry: builtin automaton %s: %w", name, err)
+		}
+	}
+	for name, doc := range models.MergedAutomata {
+		if err := r.LoadMerged(doc); err != nil {
+			return nil, fmt.Errorf("registry: builtin merged %s: %w", name, err)
+		}
+	}
+	return r, nil
+}
+
+// LoadMDL parses, validates and indexes an MDL document.
+func (r *Registry) LoadMDL(doc string) error {
+	spec, err := mdl.ParseXMLString(doc)
+	if err != nil {
+		return err
+	}
+	if _, dup := r.specs[spec.Protocol]; dup {
+		return fmt.Errorf("registry: MDL for %q already loaded", spec.Protocol)
+	}
+	r.specs[spec.Protocol] = spec
+	return nil
+}
+
+// LoadAutomaton parses, validates and indexes a colored automaton
+// under a model name (e.g. "slp-server").
+func (r *Registry) LoadAutomaton(name, doc string) error {
+	a, err := automata.ParseXMLString(doc)
+	if err != nil {
+		return err
+	}
+	if _, dup := r.automata[name]; dup {
+		return fmt.Errorf("registry: automaton %q already loaded", name)
+	}
+	if _, ok := r.specs[a.Protocol]; !ok {
+		return fmt.Errorf("registry: automaton %q needs MDL for protocol %q (load MDLs first)", name, a.Protocol)
+	}
+	r.automata[name] = a
+	return nil
+}
+
+// LoadMerged parses, validates and indexes a merged automaton,
+// resolving its automaton references against the registry.
+func (r *Registry) LoadMerged(doc string) error {
+	m, err := merge.ParseXMLString(doc, merge.ResolverFunc(r.resolveAutomaton))
+	if err != nil {
+		return err
+	}
+	if _, dup := r.merged[m.Name]; dup {
+		return fmt.Errorf("registry: merged automaton %q already loaded", m.Name)
+	}
+	specs := map[string]*mdl.Spec{}
+	for _, a := range m.Automata {
+		specs[a.Protocol] = r.specs[a.Protocol]
+	}
+	if err := m.CheckEquivalences(specs); err != nil {
+		return err
+	}
+	r.merged[m.Name] = m
+	return nil
+}
+
+func (r *Registry) resolveAutomaton(name string) (*automata.Automaton, error) {
+	if a, ok := r.automata[name]; ok {
+		return a, nil
+	}
+	return nil, fmt.Errorf("registry: unknown automaton %q", name)
+}
+
+// Spec returns the MDL spec for a protocol.
+func (r *Registry) Spec(protocol string) (*mdl.Spec, error) {
+	s, ok := r.specs[protocol]
+	if !ok {
+		return nil, fmt.Errorf("registry: no MDL for protocol %q", protocol)
+	}
+	return s, nil
+}
+
+// Automaton returns the automaton loaded under a model name.
+func (r *Registry) Automaton(name string) (*automata.Automaton, error) {
+	return r.resolveAutomaton(name)
+}
+
+// Merged returns the merged automaton for a case name.
+func (r *Registry) Merged(name string) (*merge.Merged, error) {
+	m, ok := r.merged[name]
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown merged automaton %q (have %v)", name, r.MergedNames())
+	}
+	return m, nil
+}
+
+// MergedNames lists the loaded case names, sorted.
+func (r *Registry) MergedNames() []string {
+	out := make([]string, 0, len(r.merged))
+	for n := range r.merged {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AutomatonNames lists the loaded automaton model names, sorted.
+func (r *Registry) AutomatonNames() []string {
+	out := make([]string, 0, len(r.automata))
+	for n := range r.automata {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Protocols lists the protocols with loaded MDLs, sorted.
+func (r *Registry) Protocols() []string {
+	out := make([]string, 0, len(r.specs))
+	for n := range r.specs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Codecs builds the engine codec set for a merged automaton: one
+// MDL-specialised parser/composer (plus framer where available) per
+// member protocol.
+func (r *Registry) Codecs(m *merge.Merged) (map[string]*engine.Codec, error) {
+	out := map[string]*engine.Codec{}
+	for _, a := range m.Automata {
+		spec, err := r.Spec(a.Protocol)
+		if err != nil {
+			return nil, err
+		}
+		c, err := engine.NewCodec(spec, r.types, r.typeFuncs)
+		if err != nil {
+			return nil, err
+		}
+		out[a.Protocol] = c
+	}
+	return out, nil
+}
+
+// Types exposes the shared marshaller registry (for plugging in
+// additional MDL types at runtime, §IV-A).
+func (r *Registry) Types() *types.Registry { return r.types }

@@ -1,0 +1,97 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+
+	"starlink/internal/models"
+)
+
+func TestBuiltinLoadsAllModels(t *testing.T) {
+	r, err := Builtin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Protocols(); len(got) != 4 {
+		t.Fatalf("protocols = %v", got)
+	}
+	if got := r.AutomatonNames(); len(got) != 8 {
+		t.Fatalf("automata = %v", got)
+	}
+	want := []string{"bonjour-to-slp", "bonjour-to-upnp", "slp-to-bonjour",
+		"slp-to-upnp", "upnp-to-bonjour", "upnp-to-slp"}
+	got := r.MergedNames()
+	if len(got) != len(want) {
+		t.Fatalf("merged = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBuiltinMergedCompile(t *testing.T) {
+	r, err := Builtin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range r.MergedNames() {
+		m, err := r.Merged(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		program, err := m.Compile()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(program) < 5 {
+			t.Fatalf("%s: suspiciously short program (%d steps)", name, len(program))
+		}
+		if _, err := r.Codecs(m); err != nil {
+			t.Fatalf("%s codecs: %v", name, err)
+		}
+	}
+}
+
+func TestRegistryErrors(t *testing.T) {
+	r := New()
+	if err := r.LoadAutomaton("x", `<Automaton protocol="SLP" initial="a" finals="a"><State name="a"/></Automaton>`); err == nil || !strings.Contains(err.Error(), "MDL") {
+		// Either validation fails (no transitions needed?) or MDL missing.
+		if err == nil {
+			t.Fatal("automaton without MDL should fail")
+		}
+	}
+	if _, err := r.Merged("ghost"); err == nil {
+		t.Fatal("unknown merged should fail")
+	}
+	if _, err := r.Spec("ghost"); err == nil {
+		t.Fatal("unknown spec should fail")
+	}
+	if _, err := r.Automaton("ghost"); err == nil {
+		t.Fatal("unknown automaton should fail")
+	}
+}
+
+func TestRegistryDuplicates(t *testing.T) {
+	r, err := Builtin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.LoadMDL(`<MDL protocol="SLP" dialect="binary"><Types><A>Integer</A></Types><Header type="SLP"><A>8</A></Header><Message type="M"><Rule>A=1</Rule></Message></MDL>`); err == nil {
+		t.Fatal("duplicate MDL should fail")
+	}
+}
+
+// TestModelSizes checks the paper's §V-C claim that merged automata
+// are compact models ("typically, these automata are around 100 lines
+// of XML, but this depends on the complexity of the translation").
+func TestModelSizes(t *testing.T) {
+	for name, doc := range models.MergedAutomata {
+		lines := strings.Count(doc, "\n") + 1
+		if lines < 20 || lines > 350 {
+			t.Errorf("%s: %d lines of XML, outside the paper's model-scale claim", name, lines)
+		}
+		t.Logf("%s: %d lines of XML", name, lines)
+	}
+}

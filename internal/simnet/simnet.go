@@ -1,0 +1,494 @@
+// Package simnet is a deterministic discrete-event network simulator
+// implementing netapi. It provides a virtual clock, configurable
+// latency with seeded jitter, packet loss injection, UDP with multicast
+// groups, and reliable ordered streams.
+//
+// Why a simulator: the paper's evaluation (§VI) ran client and service
+// on one machine to exclude variable network latency, and its dominant
+// timing effects are protocol waits (the 6 s SLP multicast convergence
+// window). Virtual time reproduces those waits exactly and makes the
+// 100-iteration Fig. 12 runs take milliseconds of wall-clock time while
+// remaining fully deterministic for a given seed (see DESIGN.md §5).
+//
+// Execution model: single-threaded. All protocol logic runs inside
+// event callbacks; Run/RunUntil pop events from a time-ordered heap.
+// Nothing here is safe for concurrent use from multiple goroutines —
+// by design, there are none.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"starlink/internal/netapi"
+)
+
+// Option configures the simulator.
+type Option func(*Net)
+
+// WithSeed sets the RNG seed for latency jitter and loss decisions.
+func WithSeed(seed int64) Option {
+	return func(n *Net) { n.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithLatency sets the base one-way latency and the maximum additional
+// uniform jitter applied per packet.
+func WithLatency(base, jitter time.Duration) Option {
+	return func(n *Net) { n.latBase, n.latJitter = base, jitter }
+}
+
+// WithLoss sets the probability (0..1) that any datagram is dropped.
+// Streams are never lossy (TCP semantics).
+func WithLoss(p float64) Option {
+	return func(n *Net) { n.lossProb = p }
+}
+
+// WithStart sets the virtual epoch.
+func WithStart(t time.Time) Option {
+	return func(n *Net) { n.now = t }
+}
+
+type event struct {
+	at  time.Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+type sockKey struct {
+	ip   string
+	port int
+}
+
+// Net is the simulated network.
+type Net struct {
+	now       time.Time
+	events    eventHeap
+	seq       uint64
+	rng       *rand.Rand
+	latBase   time.Duration
+	latJitter time.Duration
+	lossProb  float64
+
+	nodes     map[string]*node
+	udpSocks  map[sockKey]*udpSocket
+	groups    map[sockKey]map[sockKey]*udpSocket // group addr -> members
+	listeners map[sockKey]*listener
+	timers    map[netapi.TimerID]*event
+	timerSeq  uint64
+
+	// Stats counters for tests and diagnostics.
+	PacketsSent    int
+	PacketsDropped int
+}
+
+var _ netapi.Runtime = (*Net)(nil)
+
+// New creates a simulator. Defaults: seed 1, latency 200µs ± 300µs
+// jitter, no loss, epoch 2011-01-01 (the paper's year).
+func New(opts ...Option) *Net {
+	n := &Net{
+		now:       time.Date(2011, 1, 1, 0, 0, 0, 0, time.UTC),
+		rng:       rand.New(rand.NewSource(1)),
+		latBase:   200 * time.Microsecond,
+		latJitter: 300 * time.Microsecond,
+		nodes:     map[string]*node{},
+		udpSocks:  map[sockKey]*udpSocket{},
+		groups:    map[sockKey]map[sockKey]*udpSocket{},
+		listeners: map[sockKey]*listener{},
+		timers:    map[netapi.TimerID]*event{},
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Now returns the current virtual time.
+func (n *Net) Now() time.Time { return n.now }
+
+func (n *Net) schedule(d time.Duration, fn func()) *event {
+	if d < 0 {
+		d = 0
+	}
+	n.seq++
+	e := &event{at: n.now.Add(d), seq: n.seq, fn: fn}
+	heap.Push(&n.events, e)
+	return e
+}
+
+// latency draws a per-packet one-way delay.
+func (n *Net) latency() time.Duration {
+	d := n.latBase
+	if n.latJitter > 0 {
+		d += time.Duration(n.rng.Int63n(int64(n.latJitter)))
+	}
+	return d
+}
+
+// step executes the next event; reports false when none remain.
+func (n *Net) step() bool {
+	for len(n.events) > 0 {
+		e := heap.Pop(&n.events).(*event)
+		if e.fn == nil { // cancelled
+			continue
+		}
+		n.now = e.at
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run drives the simulation for d of virtual time.
+func (n *Net) Run(d time.Duration) {
+	deadline := n.now.Add(d)
+	for len(n.events) > 0 && !n.events[0].at.After(deadline) {
+		n.step()
+	}
+	if n.now.Before(deadline) {
+		n.now = deadline
+	}
+}
+
+// RunUntil drives the simulation until cond holds or timeout of virtual
+// time elapses.
+func (n *Net) RunUntil(cond func() bool, timeout time.Duration) error {
+	deadline := n.now.Add(timeout)
+	for !cond() {
+		if len(n.events) == 0 {
+			return fmt.Errorf("simnet: RunUntil: no pending events and condition not met at %s", n.now.Format(time.RFC3339Nano))
+		}
+		if n.events[0].at.After(deadline) {
+			return fmt.Errorf("simnet: RunUntil: timeout after %s", timeout)
+		}
+		n.step()
+	}
+	return nil
+}
+
+// RunToQuiescence drains every pending event.
+func (n *Net) RunToQuiescence() {
+	for n.step() {
+	}
+}
+
+// NewNode creates a simulated host.
+func (n *Net) NewNode(ip string) (netapi.Node, error) {
+	if ip == "" {
+		return nil, fmt.Errorf("simnet: node needs an IP")
+	}
+	if _, exists := n.nodes[ip]; exists {
+		return nil, fmt.Errorf("simnet: node %s already exists", ip)
+	}
+	nd := &node{net: n, ip: ip, nextEphemeral: 32768}
+	n.nodes[ip] = nd
+	return nd, nil
+}
+
+type node struct {
+	net           *Net
+	ip            string
+	nextEphemeral int
+}
+
+var _ netapi.Node = (*node)(nil)
+
+func (nd *node) IP() string { return nd.ip }
+
+func (nd *node) Now() time.Time { return nd.net.now }
+
+func (nd *node) After(d time.Duration, fn func()) netapi.TimerID {
+	e := nd.net.schedule(d, fn)
+	nd.net.timerSeq++
+	id := netapi.TimerID(nd.net.timerSeq)
+	nd.net.timers[id] = e
+	return id
+}
+
+func (nd *node) Cancel(id netapi.TimerID) {
+	if e, ok := nd.net.timers[id]; ok {
+		e.fn = nil
+		delete(nd.net.timers, id)
+	}
+}
+
+func (nd *node) allocPort() int {
+	for {
+		p := nd.nextEphemeral
+		nd.nextEphemeral++
+		if _, taken := nd.net.udpSocks[sockKey{nd.ip, p}]; !taken {
+			if _, taken := nd.net.listeners[sockKey{nd.ip, p}]; !taken {
+				return p
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// UDP
+// ---------------------------------------------------------------------
+
+type udpSocket struct {
+	net     *Net
+	node    *node
+	addr    netapi.Addr
+	handler netapi.PacketHandler
+	closed  bool
+	groups  []sockKey
+}
+
+var _ netapi.UDPSocket = (*udpSocket)(nil)
+
+func (nd *node) OpenUDP(port int, h netapi.PacketHandler) (netapi.UDPSocket, error) {
+	if h == nil {
+		return nil, fmt.Errorf("simnet: OpenUDP needs a handler")
+	}
+	if port == 0 {
+		port = nd.allocPort()
+	}
+	key := sockKey{nd.ip, port}
+	if _, taken := nd.net.udpSocks[key]; taken {
+		return nil, fmt.Errorf("simnet: %s:%d already bound", nd.ip, port)
+	}
+	s := &udpSocket{net: nd.net, node: nd, addr: netapi.Addr{IP: nd.ip, Port: port}, handler: h}
+	nd.net.udpSocks[key] = s
+	return s, nil
+}
+
+func (nd *node) JoinGroup(group netapi.Addr, h netapi.PacketHandler) (netapi.UDPSocket, error) {
+	if !group.IsMulticast() {
+		return nil, fmt.Errorf("simnet: %s is not a multicast group", group)
+	}
+	sock, err := nd.OpenUDP(0, h)
+	if err != nil {
+		return nil, err
+	}
+	s := sock.(*udpSocket)
+	gk := sockKey{group.IP, group.Port}
+	members := nd.net.groups[gk]
+	if members == nil {
+		members = map[sockKey]*udpSocket{}
+		nd.net.groups[gk] = members
+	}
+	sk := sockKey{s.addr.IP, s.addr.Port}
+	members[sk] = s
+	s.groups = append(s.groups, gk)
+	return s, nil
+}
+
+func (s *udpSocket) LocalAddr() netapi.Addr { return s.addr }
+
+func (s *udpSocket) Send(to netapi.Addr, data []byte) error {
+	if s.closed {
+		return fmt.Errorf("simnet: send on closed socket %s", s.addr)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	if to.IsMulticast() {
+		members := s.net.groups[sockKey{to.IP, to.Port}]
+		for _, m := range sortedMembers(members) {
+			s.deliver(m, cp, to)
+		}
+		return nil
+	}
+	dst, ok := s.net.udpSocks[sockKey{to.IP, to.Port}]
+	if !ok {
+		// Real UDP silently drops datagrams to unbound ports.
+		s.net.PacketsDropped++
+		return nil
+	}
+	s.deliver(dst, cp, to)
+	return nil
+}
+
+// sortedMembers returns group members in deterministic order.
+func sortedMembers(members map[sockKey]*udpSocket) []*udpSocket {
+	out := make([]*udpSocket, 0, len(members))
+	for _, k := range sortedKeys(members) {
+		out = append(out, members[k])
+	}
+	return out
+}
+
+func sortedKeys(m map[sockKey]*udpSocket) []sockKey {
+	keys := make([]sockKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0; j-- {
+			a, b := keys[j-1], keys[j]
+			if a.ip < b.ip || (a.ip == b.ip && a.port <= b.port) {
+				break
+			}
+			keys[j-1], keys[j] = b, a
+		}
+	}
+	return keys
+}
+
+func (s *udpSocket) deliver(dst *udpSocket, data []byte, to netapi.Addr) {
+	s.net.PacketsSent++
+	if s.net.lossProb > 0 && s.net.rng.Float64() < s.net.lossProb {
+		s.net.PacketsDropped++
+		return
+	}
+	from := s.addr
+	s.net.schedule(s.net.latency(), func() {
+		if dst.closed {
+			return
+		}
+		dst.handler(netapi.Packet{From: from, To: to, Data: data})
+	})
+}
+
+func (s *udpSocket) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	delete(s.net.udpSocks, sockKey{s.addr.IP, s.addr.Port})
+	for _, gk := range s.groups {
+		delete(s.net.groups[gk], sockKey{s.addr.IP, s.addr.Port})
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Streams
+// ---------------------------------------------------------------------
+
+type listener struct {
+	net    *Net
+	node   *node
+	addr   netapi.Addr
+	accept netapi.ConnHandler
+	recv   netapi.StreamHandler
+	closed bool
+}
+
+func (nd *node) ListenStream(port int, accept netapi.ConnHandler, recv netapi.StreamHandler) (netapi.Closer, error) {
+	if recv == nil {
+		return nil, fmt.Errorf("simnet: ListenStream needs a recv handler")
+	}
+	if port == 0 {
+		port = nd.allocPort()
+	}
+	key := sockKey{nd.ip, port}
+	if _, taken := nd.net.listeners[key]; taken {
+		return nil, fmt.Errorf("simnet: %s:%d already listening", nd.ip, port)
+	}
+	l := &listener{net: nd.net, node: nd, addr: netapi.Addr{IP: nd.ip, Port: port}, accept: accept, recv: recv}
+	nd.net.listeners[key] = l
+	return l, nil
+}
+
+func (l *listener) Close() error {
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	delete(l.net.listeners, sockKey{l.addr.IP, l.addr.Port})
+	return nil
+}
+
+// conn is one direction-aware endpoint of a stream.
+type conn struct {
+	net    *Net
+	local  netapi.Addr
+	remote netapi.Addr
+	peer   *conn
+	recv   netapi.StreamHandler
+	closed bool
+	// lastDelivery enforces TCP's in-order delivery: a chunk never
+	// arrives before one sent earlier on the same connection, even
+	// though each draws an independent latency sample.
+	lastDelivery time.Time
+}
+
+var _ netapi.Conn = (*conn)(nil)
+
+func (nd *node) DialStream(to netapi.Addr, recv netapi.StreamHandler) (netapi.Conn, error) {
+	if recv == nil {
+		return nil, fmt.Errorf("simnet: DialStream needs a recv handler")
+	}
+	l, ok := nd.net.listeners[sockKey{to.IP, to.Port}]
+	if !ok {
+		return nil, fmt.Errorf("simnet: connection refused: %s", to)
+	}
+	local := netapi.Addr{IP: nd.ip, Port: nd.allocPort()}
+	client := &conn{net: nd.net, local: local, remote: to, recv: recv}
+	server := &conn{net: nd.net, local: to, remote: local, recv: l.recv}
+	client.peer, server.peer = server, client
+	nd.net.schedule(nd.net.latency(), func() {
+		if l.closed {
+			return
+		}
+		if l.accept != nil {
+			l.accept(server)
+		}
+	})
+	return client, nil
+}
+
+func (c *conn) LocalAddr() netapi.Addr  { return c.local }
+func (c *conn) RemoteAddr() netapi.Addr { return c.remote }
+
+func (c *conn) Send(data []byte) error {
+	if c.closed {
+		return fmt.Errorf("simnet: send on closed conn %s->%s", c.local, c.remote)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	peer := c.peer
+	at := c.net.now.Add(c.net.latency())
+	if at.Before(c.lastDelivery) {
+		at = c.lastDelivery
+	}
+	c.lastDelivery = at
+	c.net.schedule(at.Sub(c.net.now), func() {
+		if peer.closed {
+			return
+		}
+		peer.recv(peer, cp)
+	})
+	return nil
+}
+
+func (c *conn) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	peer := c.peer
+	c.net.schedule(c.net.latency(), func() {
+		if peer.closed {
+			return
+		}
+		peer.closed = true
+		peer.recv(peer, nil) // nil data signals close
+	})
+	return nil
+}

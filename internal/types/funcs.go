@@ -1,0 +1,117 @@
+package types
+
+import (
+	"fmt"
+
+	"starlink/internal/message"
+)
+
+// FuncContext provides a field function with access to the message being
+// composed: encoded sibling field lengths and the total message length.
+// Implemented by the composer.
+type FuncContext interface {
+	// EncodedLength returns the wire length in bytes of the named
+	// field's encoding within the current message.
+	EncodedLength(fieldLabel string) (int, error)
+	// TotalLength returns the total wire length in bytes of the
+	// message once fully composed.
+	TotalLength() (int, error)
+	// FieldValue returns the abstract value of the named field.
+	FieldValue(fieldLabel string) (message.Value, error)
+	// Count returns the number of elements of the named repeated group.
+	Count(groupLabel string) (int, error)
+}
+
+// Func computes the value of a function field during composition
+// (paper §IV-A: "the named f-method is executed by the marshaller when
+// writing the type", e.g. Integer[f-length(URLEntry)]).
+type Func func(ctx FuncContext, args []string) (message.Value, error)
+
+// FuncRegistry maps f-method names to implementations.
+type FuncRegistry struct {
+	byName map[string]Func
+}
+
+// NewFuncRegistry returns a registry preloaded with the built-in
+// functions: f-length, f-totallength, f-count and f-value.
+func NewFuncRegistry() *FuncRegistry {
+	r := &FuncRegistry{byName: make(map[string]Func)}
+	r.MustRegister("f-length", fLength)
+	r.MustRegister("f-totallength", fTotalLength)
+	r.MustRegister("f-count", fCount)
+	r.MustRegister("f-value", fValue)
+	return r
+}
+
+// Register adds a function; it fails if the name is taken.
+func (r *FuncRegistry) Register(name string, fn Func) error {
+	if _, exists := r.byName[name]; exists {
+		return fmt.Errorf("types: function %q already registered", name)
+	}
+	r.byName[name] = fn
+	return nil
+}
+
+// MustRegister is Register, panicking on error; for package setup only.
+func (r *FuncRegistry) MustRegister(name string, fn Func) {
+	if err := r.Register(name, fn); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the function with the given name.
+func (r *FuncRegistry) Lookup(name string) (Func, error) {
+	fn, ok := r.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("types: unknown function %q", name)
+	}
+	return fn, nil
+}
+
+// fLength returns the encoded byte length of the referenced field
+// (SLP's URLLength = f-length(URLEntry)).
+func fLength(ctx FuncContext, args []string) (message.Value, error) {
+	if len(args) != 1 {
+		return message.Value{}, fmt.Errorf("types: f-length wants 1 arg, got %d", len(args))
+	}
+	n, err := ctx.EncodedLength(args[0])
+	if err != nil {
+		return message.Value{}, err
+	}
+	return message.Int(int64(n)), nil
+}
+
+// fTotalLength returns the total message length in bytes (SLP's
+// MessageLength header field).
+func fTotalLength(ctx FuncContext, args []string) (message.Value, error) {
+	if len(args) != 0 {
+		return message.Value{}, fmt.Errorf("types: f-totallength wants 0 args, got %d", len(args))
+	}
+	n, err := ctx.TotalLength()
+	if err != nil {
+		return message.Value{}, err
+	}
+	return message.Int(int64(n)), nil
+}
+
+// fCount returns the number of elements in a repeated group (DNS
+// ANCOUNT = f-count(Answers)).
+func fCount(ctx FuncContext, args []string) (message.Value, error) {
+	if len(args) != 1 {
+		return message.Value{}, fmt.Errorf("types: f-count wants 1 arg, got %d", len(args))
+	}
+	n, err := ctx.Count(args[0])
+	if err != nil {
+		return message.Value{}, err
+	}
+	return message.Int(int64(n)), nil
+}
+
+// fValue copies another field's abstract value (used to mirror a header
+// field into a body position, or for fixed echoes).
+func fValue(ctx FuncContext, args []string) (message.Value, error) {
+	if len(args) != 1 {
+		return message.Value{}, fmt.Errorf("types: f-value wants 1 arg, got %d", len(args))
+	}
+	return ctx.FieldValue(args[0])
+}

@@ -1,0 +1,67 @@
+// Package starlink is a Go implementation of the Starlink framework
+// (Bromberg, Grace, Réveillère — "Starlink: runtime interoperability
+// between heterogeneous middleware protocols", ICDCS 2011).
+//
+// Starlink makes two legacy systems that speak different middleware
+// protocols interoperate at runtime, with no protocol-specific code:
+// everything is driven by loadable high-level models —
+//
+//   - MDL specifications describing each protocol's message formats,
+//     interpreted by generic parsers and composers;
+//   - k-colored automata describing each protocol's behaviour and
+//     network semantics (transport, ports, multicast, sync/async);
+//   - merged automata chaining the protocols with δ-transitions and
+//     carrying the translation logic that maps field content across.
+//
+// Quickstart (bridging an SLP client to a Bonjour service on the
+// deterministic network simulator):
+//
+//	sim := simnet.New()
+//	fw, _ := starlink.New(sim)
+//	bridge, _ := fw.DeployBridge("10.0.0.5", "slp-to-bonjour")
+//	defer bridge.Close()
+//	// ... start a dnssd.Responder and an slp.UserAgent; the lookup
+//	// completes across protocols, through the bridge.
+//
+// See examples/ for complete programs and DESIGN.md for the mapping
+// from the paper's formal model to this implementation.
+package starlink
+
+import (
+	"starlink/internal/core"
+	"starlink/internal/engine"
+	"starlink/internal/netapi"
+)
+
+// Framework is a Starlink deployment context: a model registry plus a
+// network runtime (simulated or real).
+type Framework = core.Framework
+
+// Bridge is a deployed interoperability connector executing one merged
+// automaton.
+type Bridge = core.Bridge
+
+// SessionStats summarises one bridged interaction (the paper's §VI
+// translation-time measurement is the Duration field).
+type SessionStats = engine.SessionStats
+
+// BridgeOption configures a deployed bridge (observers, environment
+// variables, timing).
+type BridgeOption = engine.Option
+
+// New creates a framework on the given runtime with the paper's
+// case-study models preloaded (four protocol MDLs, eight colored
+// automata, six merged automata).
+func New(rt netapi.Runtime) (*Framework, error) { return core.New(rt) }
+
+// NewEmpty creates a framework with no models loaded; use
+// Framework.Registry to load your own MDL / automaton / merged
+// automaton XML at runtime.
+func NewEmpty(rt netapi.Runtime) *Framework { return core.NewEmpty(rt) }
+
+// WithObserver registers a per-session callback on a deployed bridge.
+func WithObserver(fn func(SessionStats)) BridgeOption { return engine.WithObserver(fn) }
+
+// WithVars injects bridge environment variables referenced by
+// translation constants (e.g. ${bridge.host}).
+func WithVars(vars map[string]string) BridgeOption { return engine.WithVars(vars) }
