@@ -8,6 +8,7 @@
 package starlink_test
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"starlink/internal/automata"
@@ -58,6 +59,51 @@ func BenchmarkFig12bCase3UPnPToSLP(b *testing.B)     { benchBridge(b, "upnp-to-s
 func BenchmarkFig12bCase4UPnPToBonjour(b *testing.B) { benchBridge(b, "upnp-to-bonjour") }
 func BenchmarkFig12bCase5BonjourToUPnP(b *testing.B) { benchBridge(b, "bonjour-to-upnp") }
 func BenchmarkFig12bCase6BonjourToSLP(b *testing.B)  { benchBridge(b, "bonjour-to-slp") }
+
+// ---------------------------------------------------------------------
+// Concurrent session runtime: parallel vs sequential throughput
+// ---------------------------------------------------------------------
+
+// parallelUnitClients is sized so that at GOMAXPROCS ≥ 4 the parallel
+// benchmark keeps ≥ 64 bridge sessions in flight (4 units × 16).
+const parallelUnitClients = 16
+
+// BenchmarkParallelSessions measures the concurrent engine under
+// parallel load: every iteration bridges parallelUnitClients
+// concurrent SLP sessions through one engine on an independent
+// simulator, and RunParallel spreads iterations across GOMAXPROCS
+// goroutines. Compare ns/op against BenchmarkSequentialSessions — the
+// same workload driven one unit at a time — to see the parallel
+// speedup (≥ 2× at GOMAXPROCS ≥ 4; the scaling axis is independent
+// simulators per core, since each simulator serialises its own events
+// to stay deterministic — see bench.RunParallelSessions). The same
+// comparison is reproducible outside `go test` via
+// `starlink-bench -table p`.
+func BenchmarkParallelSessions(b *testing.B) {
+	var seed atomic.Int64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := bench.RunParallelUnit(parallelUnitClients, seed.Add(1)); err != nil {
+				// b.Fatal must not be called off the benchmark goroutine.
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkSequentialSessions is the sequential baseline for
+// BenchmarkParallelSessions: identical per-iteration workload, no
+// parallelism.
+func BenchmarkSequentialSessions(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunParallelUnit(parallelUnitClients, int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // ---------------------------------------------------------------------
 // Ablations: per-message cost of the framework's stages

@@ -4,24 +4,37 @@
 // min/median/max over -iters runs on the deterministic network
 // simulator.
 //
+// It also measures the concurrent Automata Engine's parallel-session
+// throughput (-table p): the same multi-client bridge workload driven
+// sequentially and across GOMAXPROCS workers, with the speedup.
+//
 // Usage:
 //
-//	starlink-bench [-table a|b|both] [-iters 100] [-seed 1]
+//	starlink-bench [-table a|b|both|p] [-iters 100] [-seed 1]
+//	               [-parallel-units 64] [-parallel-clients 16]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"starlink/internal/bench"
 )
 
 func main() {
-	table := flag.String("table", "both", "which table to run: a, b or both")
+	table := flag.String("table", "both", "which table to run: a, b, both or p (parallel throughput)")
 	iters := flag.Int("iters", 100, "iterations per row (the paper used 100)")
 	seed := flag.Int64("seed", 1, "base RNG seed (results are deterministic per seed)")
+	punits := flag.Int("parallel-units", 64, "simulations driven by -table p")
+	pclients := flag.Int("parallel-clients", 16, "concurrent bridge sessions per simulation in -table p")
 	flag.Parse()
+
+	if *table == "p" {
+		runParallel(*punits, *pclients, *seed)
+		return
+	}
 
 	if *table == "a" || *table == "both" {
 		natives, err := bench.RunTable12a(*iters, *seed)
@@ -44,7 +57,32 @@ func main() {
 			bench.CaseOrder, bridges, bench.Fig12b))
 	}
 	if *table != "a" && *table != "b" && *table != "both" {
-		fmt.Fprintf(os.Stderr, "starlink-bench: unknown table %q (want a, b or both)\n", *table)
+		fmt.Fprintf(os.Stderr, "starlink-bench: unknown table %q (want a, b, both or p)\n", *table)
 		os.Exit(2)
+	}
+}
+
+// runParallel compares sequential against parallel session throughput
+// on the concurrent engine: the same units, first on one worker, then
+// on GOMAXPROCS workers.
+func runParallel(units, clients int, seed int64) {
+	workers := runtime.GOMAXPROCS(0)
+	fmt.Printf("Parallel session throughput — %d simulations × %d concurrent bridge sessions\n", units, clients)
+	seq, err := bench.RunParallelSessions(units, clients, 1, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "starlink-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("  sequential (1 worker):   %5d sessions in %8s  (%8.0f sessions/s)\n",
+		seq.Sessions, seq.Elapsed.Round(0), seq.PerSecond)
+	par, err := bench.RunParallelSessions(units, clients, workers, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "starlink-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("  parallel (%2d workers):   %5d sessions in %8s  (%8.0f sessions/s)\n",
+		workers, par.Sessions, par.Elapsed.Round(0), par.PerSecond)
+	if seq.PerSecond > 0 {
+		fmt.Printf("  speedup: %.2fx (GOMAXPROCS=%d)\n", par.PerSecond/seq.PerSecond, workers)
 	}
 }

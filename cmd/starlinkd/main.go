@@ -7,9 +7,12 @@
 // Usage:
 //
 //	starlinkd -case slp-to-bonjour [-host 127.0.0.1] [-v]
+//	          [-max-sessions 4096] [-stats-interval 30s]
 //
-// The daemon prints one line per bridged session and runs until
-// interrupted.
+// The daemon prints one line per bridged session, logs engine and
+// session-table shard statistics periodically, and runs until
+// interrupted. -max-sessions bounds the concurrent session count:
+// initiator requests beyond it are rejected instead of queued.
 package main
 
 import (
@@ -17,7 +20,9 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
+	"time"
 
 	"starlink"
 	"starlink/internal/realnet"
@@ -27,33 +32,76 @@ func main() {
 	caseName := flag.String("case", "slp-to-bonjour", "merged automaton to deploy (see mdlc list)")
 	host := flag.String("host", "127.0.0.1", "bridge host address")
 	verbose := flag.Bool("v", false, "log every session")
+	maxSessions := flag.Int("max-sessions", 4096, "bound on concurrently live bridge sessions")
+	statsInterval := flag.Duration("stats-interval", 30*time.Second, "how often to log shard statistics (0 disables)")
 	flag.Parse()
+
+	if *maxSessions < 1 {
+		fatal(fmt.Errorf("-max-sessions must be >= 1, got %d", *maxSessions))
+	}
 
 	rt := realnet.New()
 	fw, err := starlink.New(rt)
 	if err != nil {
 		fatal(err)
 	}
-	bridge, err := fw.DeployBridge(*host, *caseName, starlink.WithObserver(func(s starlink.SessionStats) {
-		if s.Err != nil {
-			fmt.Printf("session from %s FAILED after %s: %v\n", s.Origin, s.Duration, s.Err)
-			return
-		}
-		if *verbose {
-			fmt.Printf("session from %s bridged in %s\n", s.Origin, s.Duration)
-		}
-	}))
+	bridge, err := fw.DeployBridge(*host, *caseName,
+		starlink.WithMaxSessions(*maxSessions),
+		starlink.WithObserver(func(s starlink.SessionStats) {
+			if s.Err != nil {
+				fmt.Printf("session from %s FAILED after %s: %v\n", s.Origin, s.Duration, s.Err)
+				return
+			}
+			if *verbose {
+				fmt.Printf("session from %s bridged in %s\n", s.Origin, s.Duration)
+			}
+		}))
 	if err != nil {
 		fatal(err)
 	}
 	defer bridge.Close()
 
-	fmt.Printf("starlinkd: case %s deployed on %s; ctrl-c to stop\n", *caseName, *host)
+	fmt.Printf("starlinkd: case %s deployed on %s (max %d sessions); ctrl-c to stop\n",
+		*caseName, *host, *maxSessions)
+
+	stop := make(chan struct{})
+	if *statsInterval > 0 {
+		go func() {
+			t := time.NewTicker(*statsInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					logStats(bridge)
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Printf("starlinkd: %d sessions bridged, %d failed\n",
-		bridge.Engine.Completed, bridge.Engine.Failed)
+	close(stop)
+	logStats(bridge)
+	st := bridge.Engine.Stats()
+	fmt.Printf("starlinkd: %d sessions bridged, %d failed, %d rejected\n",
+		st.Completed, st.Failed, st.Rejected)
+}
+
+// logStats prints the engine counters and the per-shard session
+// distribution of the sharded table.
+func logStats(bridge *starlink.Bridge) {
+	st := bridge.Engine.Stats()
+	shards := bridge.Engine.ShardStats()
+	parts := make([]string, len(shards))
+	for i, n := range shards {
+		parts[i] = fmt.Sprintf("%d", n)
+	}
+	fmt.Printf("starlinkd: live=%d completed=%d failed=%d rejected=%d dropped=%d parseErrs=%d ignored=%d shards=[%s]\n",
+		st.Live, st.Completed, st.Failed, st.Rejected, st.Dropped, st.ParseErrors, st.Ignored,
+		strings.Join(parts, " "))
 }
 
 func fatal(err error) {

@@ -1,0 +1,61 @@
+// Example max-sessions demonstrates the concurrent engine's graceful
+// overload behaviour: five SLP clients look up a Bonjour-advertised
+// service at once through a bridge bounded to two concurrent sessions.
+// Two clients are bridged; the other three are rejected (not queued)
+// and simply see their convergence window close empty — exactly what
+// an absent service looks like to a legacy SLP client.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"starlink"
+	"starlink/internal/protocols/dnssd"
+	"starlink/internal/protocols/slp"
+	"starlink/internal/simnet"
+)
+
+func main() {
+	sim := simnet.New()
+	fw, err := starlink.New(sim)
+	if err != nil {
+		panic(err)
+	}
+	bridge, err := fw.DeployBridge("10.0.0.5", "slp-to-bonjour",
+		starlink.WithMaxSessions(2))
+	if err != nil {
+		panic(err)
+	}
+	defer bridge.Close()
+
+	svcNode, _ := sim.NewNode("10.0.0.9")
+	if _, err := dnssd.NewResponder(svcNode, "printer.local", "service:printer://10.0.0.9:515"); err != nil {
+		panic(err)
+	}
+
+	done, answered := 0, 0
+	for i := 0; i < 5; i++ {
+		n, _ := sim.NewNode(fmt.Sprintf("10.0.1.%d", i+1))
+		ua := slp.NewUserAgent(n, slp.WithConvergenceWait(300*time.Millisecond))
+		ua.Lookup("service:printer", func(r slp.LookupResult) {
+			done++
+			if len(r.URLs) == 1 {
+				answered++
+			}
+		})
+	}
+	if err := sim.RunUntil(func() bool { return done == 5 }, time.Minute); err != nil {
+		panic(err)
+	}
+	sim.RunToQuiescence()
+
+	st := bridge.Engine.Stats()
+	fmt.Printf("5 concurrent clients, max 2 sessions: answered=%d rejected=%d completed=%d live=%d\n",
+		answered, st.Rejected, st.Completed, st.Live)
+	fmt.Printf("shard occupancy after drain: %v\n", bridge.Engine.ShardStats())
+	if answered != 2 || st.Rejected != 3 || st.Live != 0 {
+		panic("unexpected outcome")
+	}
+	fmt.Println("overload degraded gracefully: excess clients rejected, none queued, nothing leaked")
+}

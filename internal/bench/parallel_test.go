@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestRunParallelUnit(t *testing.T) {
+	n, err := RunParallelUnit(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 {
+		t.Fatalf("completed = %d, want 8", n)
+	}
+}
+
+func TestRunParallelSessions(t *testing.T) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 4 {
+		workers = 4
+	}
+	res, err := RunParallelSessions(6, 4, workers, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sessions != 24 {
+		t.Fatalf("sessions = %d, want 24", res.Sessions)
+	}
+	if res.PerSecond <= 0 {
+		t.Fatalf("throughput = %v", res.PerSecond)
+	}
+}
+
+func TestRunParallelSessionsValidates(t *testing.T) {
+	if _, err := RunParallelSessions(0, 4, 1, 1); err == nil {
+		t.Fatal("zero units should fail")
+	}
+	if _, err := RunParallelUnit(0, 1); err == nil {
+		t.Fatal("zero clients should fail")
+	}
+}

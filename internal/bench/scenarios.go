@@ -130,7 +130,7 @@ func RunBridge(caseName string, seed int64) (time.Duration, error) {
 	var stats []engine.SessionStats
 	bridge, err := fw.DeployBridge("10.0.0.5", caseName,
 		engine.WithObserver(func(s engine.SessionStats) { stats = append(stats, s) }),
-		engine.WithWindowJitter(BridgeSLPWindowJitter, rng))
+		engine.WithWindowJitter(BridgeSLPWindowJitter, seed*6007))
 	if err != nil {
 		return 0, err
 	}

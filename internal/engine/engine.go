@@ -15,13 +15,31 @@
 //     back to the session origin for replies.
 //
 // One Engine hosts one deployed merged automaton; each incoming
-// initiator request opens an independent session (concurrent legacy
-// clients are bridged in parallel).
+// initiator request opens an independent session, and the engine is a
+// concurrent session runtime — the paper's "concurrent legacy clients
+// are bridged in parallel" made literal:
+//
+//   - sessions live in a sharded, keyed table (key = entry color +
+//     origin address), so listener goroutines contend only on 1/N of
+//     the table;
+//   - each session's receive→translate→compose loop runs on its own
+//     goroutine fed by a bounded inbox channel; timers and requester
+//     payloads post events to the inbox instead of touching session
+//     state;
+//   - inbound entry payloads are parsed and routed by a bounded ingest
+//     worker pool, and a max-sessions semaphore rejects (rather than
+//     accumulates) load beyond the configured ceiling, so overload
+//     degrades gracefully;
+//   - on runtimes with a virtual clock the engine reports in-flight
+//     work through netapi.WorkTracker, which keeps simulated runs
+//     deterministic and engine state safe to read after RunUntil.
 package engine
 
 import (
 	"fmt"
-	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"starlink/internal/automata"
@@ -36,7 +54,16 @@ import (
 	"starlink/internal/types"
 )
 
+// Defaults for the concurrency knobs; all overridable via options.
+const (
+	defaultShardCount  = 16
+	defaultMaxSessions = 4096
+	ingestQueueCap     = 1024
+)
+
 // Codec bundles the MDL-driven marshalling machinery for one protocol.
+// Parsers and composers are stateless per call, so one codec is shared
+// by every session goroutine.
 type Codec struct {
 	Spec     *mdl.Spec
 	Parser   *parser.Parser
@@ -83,6 +110,18 @@ type SessionStats struct {
 	Err      error
 }
 
+// Counters is a consistent snapshot of the engine's counters.
+type Counters struct {
+	Completed   int
+	Failed      int
+	ParseErrors int
+	Ignored     int
+	Rejected    int
+	Dropped     int
+	// Live is the number of sessions currently registered.
+	Live int
+}
+
 // Option configures an Engine.
 type Option func(*Engine)
 
@@ -109,15 +148,69 @@ func WithReceiveTimeout(d time.Duration) Option {
 
 // WithWindowJitter perturbs every convergence window by a uniform
 // value in [-d/2, +d/2], modelling the scheduler and retransmission
-// variance visible in the paper's Fig. 12(b) min/max columns.
-func WithWindowJitter(d time.Duration, rng *rand.Rand) Option {
-	return func(e *Engine) { e.windowJitter, e.windowRNG = d, rng }
+// variance visible in the paper's Fig. 12(b) min/max columns. Each
+// session derives its own RNG from seed and its creation sequence
+// number, so concurrent sessions never share a random stream and
+// simulated runs stay reproducible.
+func WithWindowJitter(d time.Duration, seed int64) Option {
+	return func(e *Engine) { e.windowJitter, e.jitterSeed = d, seed }
 }
 
 // WithObserver registers a callback invoked as each session ends.
+// Invocations are serialised, so the callback needs no locking of its
+// own.
 func WithObserver(fn func(SessionStats)) Option {
 	return func(e *Engine) { e.observer = fn }
 }
+
+// WithMaxSessions bounds the number of concurrently live sessions.
+// Initiator requests beyond the bound are rejected (counted in
+// Rejected) instead of queued, so a flood degrades into dropped
+// requests rather than unbounded memory growth. Values < 1 are
+// ignored and keep the default (4096).
+func WithMaxSessions(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.maxSessions = n
+		}
+	}
+}
+
+// WithIngestWorkers sets the size of the worker pool that parses and
+// routes inbound entry payloads.
+func WithIngestWorkers(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.ingestWorkers = n
+		}
+	}
+}
+
+// WithShardCount sets the number of session-table shards.
+func WithShardCount(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.shardCount = n
+		}
+	}
+}
+
+// ingestJob is one inbound entry payload awaiting parse + route. It
+// carries one work-tracker token. key is the payload's routing key,
+// computed once on the listener hot path.
+type ingestJob struct {
+	proto string
+	key   string
+	data  []byte
+	src   netengine.Source
+}
+
+// noTracker is the WorkTracker used on runtimes that do not implement
+// netapi.WorkTracker.
+type noTracker struct{}
+
+func (noTracker) WorkAdd()  {}
+func (noTracker) WorkDone() {}
 
 // Engine executes one merged automaton on one bridge node.
 type Engine struct {
@@ -131,17 +224,42 @@ type Engine struct {
 
 	recvTimeout  time.Duration
 	windowJitter time.Duration
-	windowRNG    *rand.Rand
+	jitterSeed   int64
 	observer     func(SessionStats)
 
-	entries  []netapi.Closer
-	sessions []*session
+	maxSessions   int
+	ingestWorkers int
+	shardCount    int
 
-	// Counters exposed for tests and diagnostics.
+	tracker netapi.WorkTracker
+	table   *sessionTable
+	sem     chan struct{} // max-sessions semaphore
+	// ingestQs holds one bounded queue per ingest worker; payloads are
+	// assigned by routing key, so payloads from one origin are always
+	// parsed and routed in arrival order.
+	ingestQs   []chan ingestJob
+	quit       chan struct{}
+	workerWG   sync.WaitGroup
+	sessionWG  sync.WaitGroup
+	closed     atomic.Bool
+	closeMu    sync.RWMutex // serialises onEntry's token+enqueue against Close
+	sessionSeq atomic.Uint64
+
+	entries []netapi.Closer
+
+	// Counters exposed for tests and diagnostics. They are updated
+	// under statsMu; read them via Stats, or directly only while the
+	// runtime is quiesced (after RunUntil / RunToQuiescence).
+	statsMu     sync.Mutex
 	Completed   int
 	Failed      int
 	ParseErrors int
 	Ignored     int
+	Rejected    int
+	Dropped     int
+
+	// obsMu serialises observer invocations.
+	obsMu sync.Mutex
 }
 
 // New builds an engine for the merged automaton. codecs must contain
@@ -168,15 +286,25 @@ func New(node netapi.Node, merged *merge.Merged, codecs map[string]*Codec, opts 
 	if err := merged.CheckEquivalences(specs); err != nil {
 		return nil, err
 	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	if workers > 8 {
+		workers = 8
+	}
 	e := &Engine{
-		node:        node,
-		net:         netengine.New(node),
-		merged:      merged,
-		program:     program,
-		codecs:      codecs,
-		tfuncs:      translation.NewFuncRegistry(),
-		vars:        map[string]string{"bridge.host": node.IP()},
-		recvTimeout: 30 * time.Second,
+		node:          node,
+		net:           netengine.New(node),
+		merged:        merged,
+		program:       program,
+		codecs:        codecs,
+		tfuncs:        translation.NewFuncRegistry(),
+		vars:          map[string]string{"bridge.host": node.IP()},
+		recvTimeout:   30 * time.Second,
+		maxSessions:   defaultMaxSessions,
+		ingestWorkers: workers,
+		shardCount:    defaultShardCount,
 	}
 	if err := merged.Logic.Validate(e.tfuncs); err != nil {
 		return nil, err
@@ -184,15 +312,56 @@ func New(node netapi.Node, merged *merge.Merged, codecs map[string]*Codec, opts 
 	for _, o := range opts {
 		o(e)
 	}
+	e.table = newSessionTable(e.shardCount)
+	e.sem = make(chan struct{}, e.maxSessions)
+	e.ingestQs = make([]chan ingestJob, e.ingestWorkers)
+	for i := range e.ingestQs {
+		e.ingestQs[i] = make(chan ingestJob, ingestQueueCap/e.ingestWorkers+1)
+	}
+	e.quit = make(chan struct{})
+	if wt, ok := node.(netapi.WorkTracker); ok {
+		e.tracker = wt
+	} else {
+		e.tracker = noTracker{}
+	}
 	return e, nil
 }
 
 // Program returns the compiled step list (diagnostics, mdlc tool).
 func (e *Engine) Program() []merge.Step { return e.program }
 
-// Start opens the entry listeners. The bridge is then transparently
-// deployed: legacy clients of the initiator protocol reach it via
-// their normal multicast groups/ports.
+// Stats returns a consistent snapshot of the engine's counters; safe
+// to call from any goroutine at any time. Live is sampled under the
+// same lock that orders session finish (table removal + counter
+// update), so a finishing session is always counted in exactly one of
+// Live or Completed/Failed.
+func (e *Engine) Stats() Counters {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return Counters{
+		Completed:   e.Completed,
+		Failed:      e.Failed,
+		ParseErrors: e.ParseErrors,
+		Ignored:     e.Ignored,
+		Rejected:    e.Rejected,
+		Dropped:     e.Dropped,
+		Live:        e.table.live(),
+	}
+}
+
+// ShardStats returns the number of live sessions per table shard.
+func (e *Engine) ShardStats() []int { return e.table.stats() }
+
+// bump increments one of the engine counters under statsMu.
+func (e *Engine) bump(counter *int) {
+	e.statsMu.Lock()
+	*counter++
+	e.statsMu.Unlock()
+}
+
+// Start opens the entry listeners and the ingest worker pool. The
+// bridge is then transparently deployed: legacy clients of the
+// initiator protocol reach it via their normal multicast groups/ports.
 func (e *Engine) Start() error {
 	entryColors, err := e.merged.EntryProtocols()
 	if err != nil {
@@ -217,18 +386,43 @@ func (e *Engine) Start() error {
 		}
 		e.entries = append(e.entries, closer)
 	}
+	for i := range e.ingestQs {
+		e.workerWG.Add(1)
+		go e.ingestLoop(e.ingestQs[i])
+	}
 	return nil
 }
 
-// Close stops the engine: entry listeners and live sessions.
+// Close stops the engine: entry listeners, ingest workers, and live
+// sessions, draining every session goroutine before returning.
 func (e *Engine) Close() error {
+	e.closeMu.Lock()
+	already := e.closed.Swap(true)
+	e.closeMu.Unlock()
+	if already {
+		return nil
+	}
 	e.closeEntries()
-	for _, s := range e.sessions {
-		if !s.done {
-			s.cleanup()
+	close(e.quit)
+	e.workerWG.Wait()
+	// Release the tokens of jobs the workers never picked up. onEntry
+	// holds closeMu.RLock around its token+enqueue, and closed was
+	// flipped under the write lock, so no job can slip in after this.
+	for _, q := range e.ingestQs {
+		for {
+			select {
+			case <-q:
+				e.tracker.WorkDone()
+				continue
+			default:
+			}
+			break
 		}
 	}
-	e.sessions = nil
+	for _, s := range e.table.removeAll() {
+		close(s.stop)
+	}
+	e.sessionWG.Wait()
 	return nil
 }
 
@@ -239,49 +433,225 @@ func (e *Engine) closeEntries() {
 	e.entries = nil
 }
 
-// onEntry handles a payload arriving on an entry listener.
+// releaseSlot returns a max-sessions semaphore slot.
+func (e *Engine) releaseSlot() { <-e.sem }
+
+// onEntry accepts a payload arriving on an entry listener: it takes a
+// work token and hands the payload to the ingest worker owning the
+// payload's routing key, so payloads from one origin keep their
+// arrival order. Safe to call from any listener goroutine; the read
+// lock makes the closed-check + token + enqueue atomic with respect
+// to Close, so no token or job can leak past shutdown.
 func (e *Engine) onEntry(proto string, data []byte, src netengine.Source) {
-	codec := e.codecs[proto]
-	msg, err := codec.Parser.Parse(data)
-	if err != nil {
-		e.ParseErrors++
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
+	if e.closed.Load() {
 		return
 	}
-	// New session?
+	e.tracker.WorkAdd()
+	key := src.RoutingKey()
+	q := e.ingestQs[fnv32a(key)%uint32(len(e.ingestQs))]
+	select {
+	case q <- ingestJob{proto: proto, key: key, data: data, src: src}:
+	default:
+		e.tracker.WorkDone()
+		e.bump(&e.Dropped)
+	}
+}
+
+func (e *Engine) ingestLoop(q chan ingestJob) {
+	defer e.workerWG.Done()
+	for {
+		select {
+		case job := <-q:
+			e.ingest(job)
+		case <-e.quit:
+			return
+		}
+	}
+}
+
+// ingest parses one entry payload and routes it: initiator requests
+// open (or rendezvous with) a keyed session; anything else goes to a
+// session awaiting that message.
+func (e *Engine) ingest(job ingestJob) {
+	codec := e.codecs[job.proto]
+	msg, err := codec.Parser.Parse(job.data)
+	if err != nil {
+		e.bump(&e.ParseErrors)
+		e.tracker.WorkDone()
+		return
+	}
 	first := e.program[0]
-	if proto == first.Protocol && msg.Name == first.Message {
-		s := newSession(e, msg, src)
-		e.sessions = append(e.sessions, s)
-		s.advance()
+	if job.proto == first.Protocol && msg.Name == first.Message {
+		e.openSession(job, msg)
 		return
 	}
 	// Route to a session awaiting this message on this protocol,
 	// preferring one opened by the same peer host.
-	var fallback *session
-	for _, s := range e.sessions {
-		if s.done || !s.awaitingEntry(proto, msg.Name) {
-			continue
-		}
-		if s.origin.Addr.IP == src.Addr.IP {
-			s.deliverEntry(proto, msg, src)
-			return
-		}
-		if fallback == nil {
-			fallback = s
-		}
-	}
-	if fallback != nil {
-		fallback.deliverEntry(proto, msg, src)
+	if s := e.table.findAwaiting(job.proto, msg.Name, job.src.Addr.IP); s != nil {
+		e.enqueue(s, sessEvent{kind: evEntry, proto: job.proto, msg: msg, src: job.src})
 		return
 	}
-	e.Ignored++
+	e.bump(&e.Ignored)
+	e.tracker.WorkDone()
 }
 
-func (e *Engine) sessionDone(s *session, err error) {
-	if s.done {
+// openSession handles an initiator request. If the session keyed by
+// the payload's routing key is awaiting exactly this message, the
+// payload is delivered to it (a rendezvous/re-delivery). Otherwise —
+// no session under the key, or a live one already past this message
+// (a legacy client reusing one socket for a new interaction) — an
+// independent session is admitted against the max-sessions semaphore
+// and started on its own goroutine, under a uniquified key when the
+// base key is taken. One session per initiator request, as in the
+// paper.
+func (e *Engine) openSession(job ingestJob, msg *message.Message) {
+	key := job.key
+	sh := e.table.shardFor(key)
+	sh.mu.Lock()
+	if s, ok := sh.sessions[key]; ok {
+		if ak := s.await.Load(); ak != nil && ak.proto == job.proto && ak.msg == msg.Name {
+			if len(s.inbox) < inboxCap {
+				s.inbox <- sessEvent{kind: evEntry, proto: job.proto, msg: msg, src: job.src}
+				sh.mu.Unlock()
+			} else {
+				sh.mu.Unlock()
+				e.tracker.WorkDone()
+				e.bump(&e.Dropped)
+			}
+			return
+		}
+		// The keyed session is mid-program: this is a new interaction
+		// from the same client socket. Give it its own key. Payloads
+		// for one origin are handled by one sticky ingest worker, so
+		// no other goroutine can race the creation for this origin.
+		sh.mu.Unlock()
+		seq := e.sessionSeq.Add(1)
+		key = fmt.Sprintf("%s#%d", key, seq)
+		sh = e.table.shardFor(key)
+		sh.mu.Lock()
+		e.admitLocked(sh, key, seq, msg, job.src)
 		return
 	}
-	s.done = true
+	e.admitLocked(sh, key, e.sessionSeq.Add(1), msg, job.src)
+}
+
+// admitLocked creates and starts a session under key. The caller holds
+// sh.mu (the shard owning key) and a work token; both are released or
+// transferred on every path.
+func (e *Engine) admitLocked(sh *tableShard, key string, seq uint64, msg *message.Message, src netengine.Source) {
+	if e.closed.Load() {
+		sh.mu.Unlock()
+		e.tracker.WorkDone()
+		return
+	}
+	select {
+	case e.sem <- struct{}{}:
+	default:
+		sh.mu.Unlock()
+		e.bump(&e.Rejected)
+		e.tracker.WorkDone()
+		return
+	}
+	s := newSession(e, key, seq, msg, src)
+	sh.sessions[key] = s
+	e.sessionWG.Add(1)
+	go s.run()
+	s.inbox <- sessEvent{kind: evStart} // fresh buffered inbox: never blocks
+	sh.mu.Unlock()
+}
+
+// enqueue hands a payload event to a session's inbox if the session
+// is still registered. The caller must hold a work token: ownership
+// transfers to the session goroutine on success and is released here
+// otherwise. The soft inboxCap check keeps drops at the documented
+// bound; the channel's physical slack guarantees openSession's
+// write-lock-guarded rendezvous send can never block. Timer events
+// use deliverTimer, never this path.
+func (e *Engine) enqueue(s *session, ev sessEvent) bool {
+	sh := e.table.shardFor(s.key)
+	sh.mu.RLock()
+	if sh.sessions[s.key] != s {
+		sh.mu.RUnlock()
+		e.tracker.WorkDone()
+		return false
+	}
+	if len(s.inbox) >= inboxCap {
+		sh.mu.RUnlock()
+		e.tracker.WorkDone()
+		e.bump(&e.Dropped)
+		return false
+	}
+	select {
+	case s.inbox <- ev:
+		sh.mu.RUnlock()
+		return true
+	default:
+		sh.mu.RUnlock()
+		e.tracker.WorkDone()
+		e.bump(&e.Dropped)
+		return false
+	}
+}
+
+// deliverTimer posts a fired receive timer to its session. Timer
+// delivery is guaranteed: the dedicated channel is priority-drained
+// by the session loop, and in the never-expected case that it is
+// momentarily full the delivery is retried — with the token released
+// in between so a virtual-clock runtime can advance to the retry —
+// rather than dropped, because a lost timer would stall the session
+// forever and leak its max-sessions slot.
+func (e *Engine) deliverTimer(s *session, gen uint64) {
+	sh := e.table.shardFor(s.key)
+	sh.mu.RLock()
+	alive := sh.sessions[s.key] == s
+	if alive {
+		select {
+		case s.timerCh <- sessEvent{kind: evTimer, gen: gen}:
+			sh.mu.RUnlock()
+			return
+		default:
+		}
+	}
+	sh.mu.RUnlock()
+	e.tracker.WorkDone()
+	if alive {
+		e.node.After(time.Millisecond, func() {
+			e.tracker.WorkAdd()
+			e.deliverTimer(s, gen)
+		})
+	}
+}
+
+// rerouteEntry gives an entry payload that reached a session already
+// past the awaited state one more chance to find the session actually
+// awaiting it: the original routing choice is made from a lock-free
+// await snapshot, which can go stale by delivery time under realnet
+// concurrency, and the payload would otherwise starve the session it
+// was meant for. One hop only; if no other session awaits it, the
+// payload is counted Ignored. Called from the session goroutine, which
+// holds the event's work token (released by its run loop); the forward
+// takes a token of its own.
+func (e *Engine) rerouteEntry(s *session, ev sessEvent) {
+	if !ev.rerouted {
+		if s2 := e.table.findAwaiting(ev.proto, ev.msg.Name, ev.src.Addr.IP); s2 != nil && s2 != s {
+			ev.rerouted = true
+			e.tracker.WorkAdd()
+			e.enqueue(s2, ev)
+			return
+		}
+	}
+	e.bump(&e.Ignored)
+}
+
+// sessionDone finishes a session: it is called only from the session's
+// own goroutine.
+func (e *Engine) sessionDone(s *session, err error) {
+	if s.finished {
+		return
+	}
+	s.finished = true
 	s.cleanup()
 	end := e.node.Now()
 	stats := SessionStats{
@@ -296,288 +666,23 @@ func (e *Engine) sessionDone(s *session, err error) {
 	} else {
 		stats.Duration = end.Sub(s.start)
 	}
+	// Removal and counter update happen under one lock so Stats never
+	// sees the session in neither Live nor Completed/Failed. Lock
+	// order is always statsMu → shard mutex, never the reverse.
+	e.statsMu.Lock()
+	e.table.remove(s.key, s)
 	if err != nil {
 		e.Failed++
 	} else {
 		e.Completed++
 	}
+	e.statsMu.Unlock()
+	e.releaseSlot()
 	if e.observer != nil {
+		e.obsMu.Lock()
 		e.observer(stats)
+		e.obsMu.Unlock()
 	}
-	// Compact the session list occasionally.
-	if len(e.sessions) > 64 {
-		live := e.sessions[:0]
-		for _, x := range e.sessions {
-			if !x.done {
-				live = append(live, x)
-			}
-		}
-		e.sessions = live
-	}
-}
-
-// session executes the compiled program for one bridged interaction.
-type session struct {
-	e  *Engine
-	pc int
-	// origin is the source of the initiating request.
-	origin netengine.Source
-	// entrySources remembers, per protocol, the latest entry peer so
-	// ReplyToOrigin sends answer the right socket/connection.
-	entrySources map[string]netengine.Source
-	// history holds every stored message instance per abstract name —
-	// the state queues and the ⇒ history operator of §III-B.
-	history map[string][]*message.Message
-	// requesters are the session's client-role channels per protocol.
-	requesters map[string]*netengine.Requester
-	// override is the destination set by a setHost λ action, consumed
-	// by the next requester opened.
-	override netapi.Addr
-
-	// awaiting receive state.
-	waitProto string
-	waitMsg   string
-	collected []*message.Message
-	windowed  bool
-	timer     netapi.TimerID
-	timerSet  bool
-
-	start   time.Time
-	replyAt time.Time
-	done    bool
-}
-
-func newSession(e *Engine, first *message.Message, src netengine.Source) *session {
-	s := &session{
-		e:            e,
-		pc:           1, // step 0 is the initiator receive, satisfied by first
-		origin:       src,
-		entrySources: map[string]netengine.Source{},
-		history:      map[string][]*message.Message{},
-		requesters:   map[string]*netengine.Requester{},
-		start:        e.node.Now(),
-	}
-	s.entrySources[e.program[0].Protocol] = src
-	s.store(first)
-	return s
-}
-
-func (s *session) store(m *message.Message) {
-	s.history[m.Name] = append(s.history[m.Name], m)
-}
-
-// lookup returns the most recent stored instance of a message.
-func (s *session) lookup(name string) *message.Message {
-	h := s.history[name]
-	if len(h) == 0 {
-		return nil
-	}
-	return h[len(h)-1]
-}
-
-// History exposes the stored sequence for a message name (tests).
-func (s *session) History(name string) []*message.Message { return s.history[name] }
-
-func (s *session) awaitingEntry(proto, msgName string) bool {
-	return s.waitProto == proto && s.waitMsg == msgName
-}
-
-// advance executes program steps until the session blocks on a receive
-// or completes.
-func (s *session) advance() {
-	for !s.done {
-		if s.pc >= len(s.e.program) {
-			s.e.sessionDone(s, nil)
-			return
-		}
-		step := s.e.program[s.pc]
-		switch step.Kind {
-		case merge.StepDelta:
-			if err := s.runDelta(step); err != nil {
-				s.e.sessionDone(s, err)
-				return
-			}
-			s.pc++
-		case merge.StepSend:
-			if err := s.runSend(step); err != nil {
-				s.e.sessionDone(s, err)
-				return
-			}
-			s.pc++
-		case merge.StepRecv:
-			s.armReceive(step)
-			return
-		}
-	}
-}
-
-// runDelta executes the λ actions of a δ-transition.
-func (s *session) runDelta(step merge.Step) error {
-	for _, act := range step.Delta.Actions {
-		vals, err := act.Resolve(s.lookup)
-		if err != nil {
-			return err
-		}
-		switch act.Name {
-		case translation.ActionSetHost:
-			host := vals[0].Text()
-			port, ok := vals[1].AsInt()
-			if !ok {
-				var n int64
-				if _, err := fmt.Sscanf(vals[1].Text(), "%d", &n); err != nil {
-					return fmt.Errorf("engine: setHost port %q is not numeric", vals[1].Text())
-				}
-				port = n
-			}
-			s.override = netapi.Addr{IP: host, Port: int(port)}
-		default:
-			return fmt.Errorf("engine: unknown λ action %q", act.Name)
-		}
-	}
-	return nil
-}
-
-// runSend builds, translates, composes and transmits a message.
-func (s *session) runSend(step merge.Step) error {
-	codec := s.e.codecs[step.Protocol]
-	out := message.New(step.Protocol, step.Message)
-	env := translation.Env{Lookup: s.lookup, Vars: s.e.vars}
-	if err := s.e.merged.Logic.Apply(out, env, s.e.tfuncs); err != nil {
-		return err
-	}
-	wire, err := codec.Composer.Compose(out)
-	if err != nil {
-		return err
-	}
-	s.store(out) // sent instances join the history (⇒ over sends)
-
-	if step.ReplyToOrigin {
-		src, ok := s.entrySources[step.Protocol]
-		if !ok {
-			src = s.origin
-		}
-		if err := src.Reply(wire); err != nil {
-			return fmt.Errorf("engine: reply: %w", err)
-		}
-		if s.replyAt.IsZero() && step.Protocol == s.e.merged.Initiator {
-			s.replyAt = s.e.node.Now()
-		}
-		return nil
-	}
-	r, ok := s.requesters[step.Protocol]
-	if !ok {
-		dest := s.override
-		s.override = netapi.Addr{}
-		proto := step.Protocol
-		r, err = s.e.net.NewRequester(step.Color, dest, codec.Framer, func(data []byte, src netengine.Source) {
-			s.onRequesterData(proto, data)
-		})
-		if err != nil {
-			return err
-		}
-		s.requesters[step.Protocol] = r
-	}
-	if err := r.Send(wire); err != nil {
-		return fmt.Errorf("engine: send: %w", err)
-	}
-	return nil
-}
-
-// armReceive blocks the session on a receive step.
-func (s *session) armReceive(step merge.Step) {
-	s.waitProto = step.Protocol
-	s.waitMsg = step.Message
-	s.collected = nil
-	scheme, err := netengine.SchemeOf(step.Color)
-	if err != nil {
-		s.e.sessionDone(s, err)
-		return
-	}
-	if scheme.Convergence > 0 {
-		// Requester-side multicast collection window: gather responses
-		// for the full window (the SLP convergence behaviour that
-		// dominates the →SLP rows of Fig. 12(b)).
-		wait := scheme.Convergence
-		if s.e.windowJitter > 0 && s.e.windowRNG != nil {
-			wait += time.Duration(s.e.windowRNG.Int63n(int64(s.e.windowJitter))) - s.e.windowJitter/2
-		}
-		s.windowed = true
-		s.timer = s.e.node.After(wait, s.windowExpired)
-		s.timerSet = true
-		return
-	}
-	s.windowed = false
-	s.timer = s.e.node.After(s.e.recvTimeout, func() {
-		s.e.sessionDone(s, fmt.Errorf("engine: timeout waiting for %s/%s", s.waitProto, s.waitMsg))
-	})
-	s.timerSet = true
-}
-
-func (s *session) windowExpired() {
-	s.timerSet = false
-	if len(s.collected) == 0 {
-		s.e.sessionDone(s, fmt.Errorf("engine: no %s/%s response within convergence window", s.waitProto, s.waitMsg))
-		return
-	}
-	s.clearWait()
-	s.pc++
-	s.advance()
-}
-
-func (s *session) clearWait() {
-	if s.timerSet {
-		s.e.node.Cancel(s.timer)
-		s.timerSet = false
-	}
-	s.waitProto, s.waitMsg = "", ""
-	s.collected = nil
-}
-
-// onRequesterData handles a response arriving on a client-role channel.
-func (s *session) onRequesterData(proto string, data []byte) {
-	if s.done {
-		return
-	}
-	codec := s.e.codecs[proto]
-	msg, err := codec.Parser.Parse(data)
-	if err != nil {
-		s.e.ParseErrors++
-		return
-	}
-	s.deliver(proto, msg)
-}
-
-// deliverEntry handles an entry-routed message for this session
-// (e.g. the control point's HTTP GET in the reverse-UPnP cases).
-func (s *session) deliverEntry(proto string, msg *message.Message, src netengine.Source) {
-	s.entrySources[proto] = src
-	s.deliver(proto, msg)
-}
-
-func (s *session) deliver(proto string, msg *message.Message) {
-	if s.waitProto != proto || s.waitMsg != msg.Name {
-		s.e.Ignored++
-		return
-	}
-	s.store(msg)
-	if s.windowed {
-		s.collected = append(s.collected, msg)
-		return // keep collecting until the window expires
-	}
-	s.clearWait()
-	s.pc++
-	s.advance()
-}
-
-func (s *session) cleanup() {
-	if s.timerSet {
-		s.e.node.Cancel(s.timer)
-		s.timerSet = false
-	}
-	for _, r := range s.requesters {
-		_ = r.Close()
-	}
-	s.requesters = map[string]*netengine.Requester{}
 }
 
 // ColorsInUse lists the colors of the merged automaton in program

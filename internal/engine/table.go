@@ -1,0 +1,129 @@
+package engine
+
+import "sync"
+
+// fnv32a hashes a routing key (FNV-1a) without allocating; shared by
+// the shard selector and the ingest-queue selector.
+func fnv32a(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// sessionTable is the engine's sharded, keyed session registry. The
+// key is the routing key of the initiating payload — entry color +
+// origin address (netengine.Source.RoutingKey) — so every payload from
+// one legacy client socket maps to one shard, and concurrent listener
+// or ingest goroutines contend only on 1/N of the table.
+type sessionTable struct {
+	shards []tableShard
+}
+
+type tableShard struct {
+	mu       sync.RWMutex
+	sessions map[string]*session
+}
+
+func newSessionTable(shards int) *sessionTable {
+	if shards < 1 {
+		shards = 1
+	}
+	t := &sessionTable{shards: make([]tableShard, shards)}
+	for i := range t.shards {
+		t.shards[i].sessions = map[string]*session{}
+	}
+	return t
+}
+
+func (t *sessionTable) shardFor(key string) *tableShard {
+	return &t.shards[fnv32a(key)%uint32(len(t.shards))]
+}
+
+// remove unregisters s if it is still the session bound to key.
+// Returning from remove guarantees no further enqueue can target s:
+// enqueues hold the shard read lock while checking membership.
+func (t *sessionTable) remove(key string, s *session) {
+	sh := t.shardFor(key)
+	sh.mu.Lock()
+	if sh.sessions[key] == s {
+		delete(sh.sessions, key)
+	}
+	sh.mu.Unlock()
+}
+
+// removeAll empties the table and returns every session that was live.
+func (t *sessionTable) removeAll() []*session {
+	var out []*session
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for _, s := range sh.sessions {
+			out = append(out, s)
+		}
+		sh.sessions = map[string]*session{}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// findAwaiting locates a live session blocked on (proto, msg),
+// preferring one whose origin host matches ip — the routing rule for
+// entry payloads that are not initiator requests (e.g. the control
+// point's description GET in the reverse-UPnP cases). Ties are broken
+// by the lowest session sequence number (oldest session), keeping the
+// choice deterministic despite map iteration order. Sessions publish
+// their awaited (proto, msg) via an atomic snapshot, so the scan never
+// touches goroutine-confined session state; a stale match is harmless
+// because the session re-checks on delivery.
+func (t *sessionTable) findAwaiting(proto, msg, ip string) *session {
+	var sameIP, fallback *session
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.sessions {
+			ak := s.await.Load()
+			if ak == nil || ak.proto != proto || ak.msg != msg {
+				continue
+			}
+			if s.originIP == ip {
+				if sameIP == nil || s.seq < sameIP.seq {
+					sameIP = s
+				}
+			} else if fallback == nil || s.seq < fallback.seq {
+				fallback = s
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	if sameIP != nil {
+		return sameIP
+	}
+	return fallback
+}
+
+// live counts registered sessions.
+func (t *sessionTable) live() int {
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		n += len(sh.sessions)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// stats returns the per-shard session counts.
+func (t *sessionTable) stats() []int {
+	out := make([]int, len(t.shards))
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		out[i] = len(sh.sessions)
+		sh.mu.RUnlock()
+	}
+	return out
+}

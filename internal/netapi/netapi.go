@@ -14,6 +14,8 @@ package netapi
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -26,6 +28,19 @@ type Addr struct {
 
 // String renders "ip:port".
 func (a Addr) String() string { return fmt.Sprintf("%s:%d", a.IP, a.Port) }
+
+// ParseAddr parses an "ip:port" endpoint as rendered by Addr.String.
+func ParseAddr(s string) (Addr, error) {
+	i := strings.LastIndexByte(s, ':')
+	if i <= 0 || i == len(s)-1 {
+		return Addr{}, fmt.Errorf("netapi: address %q is not ip:port", s)
+	}
+	port, err := strconv.Atoi(s[i+1:])
+	if err != nil || port < 0 || port > 65535 {
+		return Addr{}, fmt.Errorf("netapi: address %q has invalid port", s)
+	}
+	return Addr{IP: s[:i], Port: port}, nil
+}
 
 // IsZero reports whether the address is unset.
 func (a Addr) IsZero() bool { return a.IP == "" && a.Port == 0 }
@@ -109,6 +124,32 @@ type Node interface {
 // Closer releases a listener or other bound resource.
 type Closer interface {
 	Close() error
+}
+
+// WorkTracker is optionally implemented by nodes of runtimes whose
+// event loop must know about work handed off to other goroutines.
+//
+// The concurrent Automata Engine processes inbound payloads on
+// per-session goroutines instead of inside the dispatcher callback.
+// A runtime with a virtual clock (simnet) must therefore not advance
+// time — nor let RunUntil conclude "no pending events" — while such
+// work is still in flight, because the work will schedule new events
+// when it completes. The contract:
+//
+//   - WorkAdd is called before a payload/timer is handed off the
+//     dispatcher; WorkDone when the resulting processing finished
+//     (including every follow-up Send/After it performs).
+//   - The runtime's event loop waits for the in-flight count to reach
+//     zero before popping the next event and before evaluating a
+//     RunUntil condition, which also establishes the happens-before
+//     edge that makes engine state safe to read after RunUntil.
+//
+// Runtimes running on the wall clock (realnet) implement it so that
+// RunUntil conditions observe quiesced state; pure wall-clock users
+// may omit it, in which case callers fall back to no tracking.
+type WorkTracker interface {
+	WorkAdd()
+	WorkDone()
 }
 
 // Runtime creates nodes and drives the event loop.

@@ -13,11 +13,20 @@
 //
 // Every inbound payload is delivered with a Source handle that Reply
 // can use to answer the exact peer — the mechanism behind the paper's
-// transparent replies to legacy clients.
+// transparent replies to legacy clients — and a routing key combining
+// the endpoint's color with the peer address, which the concurrent
+// Automata Engine uses to shard sessions.
+//
+// Concurrency: handlers for one endpoint are invoked by the runtime
+// dispatcher, but different endpoints may deliver from different
+// goroutines, and Reply/Send may be called from any goroutine (the
+// engine replies from per-session goroutines). All mutable framing
+// state is therefore lock-guarded.
 package netengine
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"starlink/internal/automata"
@@ -26,15 +35,23 @@ import (
 )
 
 // Source identifies where an inbound payload came from, with enough
-// context to reply.
+// context to reply and to route the payload to a session.
 type Source struct {
 	// Addr is the peer's address.
 	Addr netapi.Addr
+	// colorKey is the §III-B key of the color the payload arrived on.
+	colorKey string
 	// sock is the UDP socket the payload arrived on (nil for streams).
 	sock netapi.UDPSocket
 	// conn is the stream connection (nil for datagrams).
 	conn netapi.Conn
 }
+
+// RoutingKey identifies the (color, peer) pair a payload belongs to —
+// the session-table key of the concurrent engine: payloads from the
+// same legacy client socket on the same colored endpoint always map to
+// the same key.
+func (s Source) RoutingKey() string { return s.colorKey + "|" + s.Addr.String() }
 
 // Reply sends data back to the source peer: unicast for datagrams, on
 // the same connection for streams.
@@ -52,6 +69,28 @@ func (s Source) Reply(data []byte) error {
 // Handler consumes inbound payloads (whole datagrams, or framed
 // messages on streams).
 type Handler func(data []byte, src Source)
+
+// splitFrames appends a stream chunk to *buf and extracts every
+// complete frame. On an unframeable remainder it resets *buf — so
+// later healthy data is not wedged behind a corrupt prefix — and
+// reports ok=false; frames completed before the error are still
+// returned. Callers hold their buffer lock and deliver the returned
+// frames after releasing it.
+func splitFrames(framer *parser.Framer, buf *[]byte, data []byte) (frames [][]byte, ok bool) {
+	*buf = append(*buf, data...)
+	for {
+		n, err := framer.Frame(*buf)
+		if err != nil {
+			*buf = nil
+			return frames, false
+		}
+		if n == 0 {
+			return frames, true
+		}
+		frames = append(frames, (*buf)[:n])
+		*buf = (*buf)[n:]
+	}
+}
 
 // Engine opens colored endpoints on one node (the bridge host).
 type Engine struct {
@@ -110,12 +149,13 @@ func (e *Engine) Listen(c automata.Color, framer *parser.Framer, h Handler) (net
 	if err != nil {
 		return nil, err
 	}
+	colorKey := c.Key()
 	switch {
 	case scheme.Transport == "udp" && scheme.Multicast:
 		group := netapi.Addr{IP: scheme.Group, Port: scheme.Port}
 		var sock netapi.UDPSocket
 		sock, err := e.node.JoinGroup(group, func(pkt netapi.Packet) {
-			h(pkt.Data, Source{Addr: pkt.From, sock: sock})
+			h(pkt.Data, Source{Addr: pkt.From, colorKey: colorKey, sock: sock})
 		})
 		if err != nil {
 			return nil, fmt.Errorf("netengine: listen %s: %w", c, err)
@@ -124,7 +164,7 @@ func (e *Engine) Listen(c automata.Color, framer *parser.Framer, h Handler) (net
 	case scheme.Transport == "udp":
 		var sock netapi.UDPSocket
 		sock, err := e.node.OpenUDP(scheme.Port, func(pkt netapi.Packet) {
-			h(pkt.Data, Source{Addr: pkt.From, sock: sock})
+			h(pkt.Data, Source{Addr: pkt.From, colorKey: colorKey, sock: sock})
 		})
 		if err != nil {
 			return nil, fmt.Errorf("netengine: listen %s: %w", c, err)
@@ -134,28 +174,26 @@ func (e *Engine) Listen(c automata.Color, framer *parser.Framer, h Handler) (net
 		if framer == nil {
 			return nil, fmt.Errorf("netengine: tcp listen %s needs a framer", c)
 		}
+		var bufMu sync.Mutex
 		buffers := map[netapi.Conn][]byte{}
 		l, err := e.node.ListenStream(scheme.Port, nil, func(conn netapi.Conn, data []byte) {
+			bufMu.Lock()
 			if data == nil {
 				delete(buffers, conn)
+				bufMu.Unlock()
 				return
 			}
-			buf := append(buffers[conn], data...)
-			for {
-				n, ferr := framer.Frame(buf)
-				if ferr != nil {
-					// Unframeable stream: drop the connection state.
-					delete(buffers, conn)
-					return
-				}
-				if n == 0 {
-					break
-				}
-				frame := buf[:n]
-				buf = buf[n:]
-				h(frame, Source{Addr: conn.RemoteAddr(), conn: conn})
+			buf := buffers[conn]
+			frames, ok := splitFrames(framer, &buf, data)
+			if ok {
+				buffers[conn] = buf
+			} else {
+				delete(buffers, conn)
 			}
-			buffers[conn] = buf
+			bufMu.Unlock()
+			for _, frame := range frames {
+				h(frame, Source{Addr: conn.RemoteAddr(), colorKey: colorKey, conn: conn})
+			}
 		})
 		if err != nil {
 			return nil, fmt.Errorf("netengine: listen %s: %w", c, err)
@@ -183,6 +221,7 @@ func (e *Engine) NewRequester(c automata.Color, dest netapi.Addr, framer *parser
 		return nil, err
 	}
 	r := &Requester{scheme: scheme}
+	colorKey := c.Key()
 	switch scheme.Transport {
 	case "udp":
 		switch {
@@ -195,7 +234,7 @@ func (e *Engine) NewRequester(c automata.Color, dest netapi.Addr, framer *parser
 		}
 		var sock netapi.UDPSocket
 		sock, err := e.node.OpenUDP(0, func(pkt netapi.Packet) {
-			h(pkt.Data, Source{Addr: pkt.From, sock: sock})
+			h(pkt.Data, Source{Addr: pkt.From, colorKey: colorKey, sock: sock})
 		})
 		if err != nil {
 			return nil, fmt.Errorf("netengine: requester %s: %w", c, err)
@@ -210,20 +249,17 @@ func (e *Engine) NewRequester(c automata.Color, dest netapi.Addr, framer *parser
 			return nil, fmt.Errorf("netengine: tcp requester %s needs a framer", c)
 		}
 		r.dest = dest
+		var bufMu sync.Mutex
 		var buf []byte
 		conn, err := e.node.DialStream(dest, func(conn netapi.Conn, data []byte) {
 			if data == nil {
 				return
 			}
-			buf = append(buf, data...)
-			for {
-				n, ferr := framer.Frame(buf)
-				if ferr != nil || n == 0 {
-					return
-				}
-				frame := buf[:n]
-				buf = buf[n:]
-				h(frame, Source{Addr: conn.RemoteAddr(), conn: conn})
+			bufMu.Lock()
+			frames, _ := splitFrames(framer, &buf, data)
+			bufMu.Unlock()
+			for _, frame := range frames {
+				h(frame, Source{Addr: conn.RemoteAddr(), colorKey: colorKey, conn: conn})
 			}
 		})
 		if err != nil {

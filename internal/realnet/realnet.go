@@ -29,15 +29,25 @@ import (
 //
 // Locking: dispatchMu serialises handler callbacks (the single
 // dispatcher contract of netapi); stateMu guards the runtime's own
-// tables. Handlers run holding only dispatchMu, so they may freely
-// call Send / After / Cancel / Close, which take only stateMu.
+// tables and every socket/connection closed flag. Handlers run holding
+// only dispatchMu, so they may freely call Send / After / Cancel /
+// Close, which take only stateMu.
+//
+// Components such as the concurrent Automata Engine hand payloads off
+// to worker goroutines; they report that work through the node's
+// netapi.WorkTracker so RunUntil only evaluates its condition while no
+// handed-off work is in flight (which also publishes the workers'
+// writes to the condition).
 type Runtime struct {
 	dispatchMu sync.Mutex // held during every callback
-	stateMu    sync.Mutex // guards timers and groups
+	stateMu    sync.Mutex // guards timers, groups and closed flags
 	waitCh     chan struct{}
 	timers     map[netapi.TimerID]*time.Timer
 	timerSeq   uint64
 	groups     map[string][]*udpSocket // group "ip:port" -> members
+
+	workMu   sync.Mutex
+	inflight int
 }
 
 var _ netapi.Runtime = (*Runtime)(nil)
@@ -49,6 +59,34 @@ func New() *Runtime {
 		timers: map[netapi.TimerID]*time.Timer{},
 		groups: map[string][]*udpSocket{},
 	}
+}
+
+// WorkAdd registers one unit of in-flight off-dispatcher work
+// (netapi.WorkTracker).
+func (rt *Runtime) WorkAdd() {
+	rt.workMu.Lock()
+	rt.inflight++
+	rt.workMu.Unlock()
+}
+
+// WorkDone retires one unit of in-flight work and wakes RunUntil
+// waiters (netapi.WorkTracker).
+func (rt *Runtime) WorkDone() {
+	rt.workMu.Lock()
+	rt.inflight--
+	rt.workMu.Unlock()
+	select {
+	case rt.waitCh <- struct{}{}:
+	default:
+	}
+}
+
+// idle reports whether no handed-off work is in flight; acquiring
+// workMu publishes the finished workers' writes.
+func (rt *Runtime) idle() bool {
+	rt.workMu.Lock()
+	defer rt.workMu.Unlock()
+	return rt.inflight == 0
 }
 
 // dispatch runs fn under the dispatcher lock and wakes RunUntil waiters.
@@ -76,11 +114,13 @@ func (rt *Runtime) NewNode(ip string) (netapi.Node, error) {
 func (rt *Runtime) RunUntil(cond func() bool, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
-		rt.dispatchMu.Lock()
-		ok := cond()
-		rt.dispatchMu.Unlock()
-		if ok {
-			return nil
+		if rt.idle() {
+			rt.dispatchMu.Lock()
+			ok := cond()
+			rt.dispatchMu.Unlock()
+			if ok {
+				return nil
+			}
 		}
 		remain := time.Until(deadline)
 		if remain <= 0 {
@@ -105,9 +145,17 @@ type node struct {
 	label string
 }
 
-var _ netapi.Node = (*node)(nil)
+var (
+	_ netapi.Node        = (*node)(nil)
+	_ netapi.WorkTracker = (*node)(nil)
+)
 
 func (n *node) IP() string { return "127.0.0.1" }
+
+// WorkAdd / WorkDone expose the runtime's work tracker on the node
+// (netapi.WorkTracker).
+func (n *node) WorkAdd()  { n.rt.WorkAdd() }
+func (n *node) WorkDone() { n.rt.WorkDone() }
 
 func (n *node) Now() time.Time { return time.Now() }
 
@@ -203,7 +251,10 @@ func (s *udpSocket) readLoop() {
 		copy(data, buf[:n])
 		src := netapi.Addr{IP: "127.0.0.1", Port: from.Port}
 		s.rt.dispatch(func() {
-			if s.closed {
+			s.rt.stateMu.Lock()
+			closed := s.closed
+			s.rt.stateMu.Unlock()
+			if closed {
 				return
 			}
 			s.handler(netapi.Packet{From: src, To: s.addr, Data: data})
@@ -216,12 +267,14 @@ func (s *udpSocket) LocalAddr() netapi.Addr { return s.addr }
 func (s *udpSocket) Send(to netapi.Addr, data []byte) error {
 	if to.IsMulticast() {
 		s.rt.stateMu.Lock()
-		members := append([]*udpSocket(nil), s.rt.groups[to.String()]...)
+		members := make([]*udpSocket, 0, len(s.rt.groups[to.String()]))
+		for _, m := range s.rt.groups[to.String()] {
+			if !m.closed {
+				members = append(members, m)
+			}
+		}
 		s.rt.stateMu.Unlock()
 		for _, m := range members {
-			if m.closed {
-				continue
-			}
 			dst := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: m.addr.Port}
 			if _, err := s.conn.WriteToUDP(data, dst); err != nil {
 				return fmt.Errorf("realnet: multicast to %s: %w", m.addr, err)
@@ -294,10 +347,13 @@ func (n *node) ListenStream(port int, accept netapi.ConnHandler, recv netapi.Str
 }
 
 func (l *listener) Close() error {
-	if l.closed {
+	l.rt.stateMu.Lock()
+	already := l.closed
+	l.closed = true
+	l.rt.stateMu.Unlock()
+	if already {
 		return nil
 	}
-	l.closed = true
 	return l.ln.Close()
 }
 
@@ -346,8 +402,11 @@ func (sc *streamConn) readLoop() {
 		}
 		if err != nil {
 			sc.rt.dispatch(func() {
-				if !sc.closed {
-					sc.closed = true
+				sc.rt.stateMu.Lock()
+				already := sc.closed
+				sc.closed = true
+				sc.rt.stateMu.Unlock()
+				if !already {
 					sc.recv(sc, nil)
 				}
 			})

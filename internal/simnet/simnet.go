@@ -10,16 +10,26 @@
 // 100-iteration Fig. 12 runs take milliseconds of wall-clock time while
 // remaining fully deterministic for a given seed (see DESIGN.md §5).
 //
-// Execution model: single-threaded. All protocol logic runs inside
-// event callbacks; Run/RunUntil pop events from a time-ordered heap.
-// Nothing here is safe for concurrent use from multiple goroutines —
-// by design, there are none.
+// Execution model: one dispatcher, many callers. Run/RunUntil pop
+// events from a time-ordered heap on the calling goroutine, and
+// protocol logic runs inside those event callbacks; but every node
+// operation (Send, After, Cancel, OpenUDP, DialStream, ...) is safe to
+// call from any goroutine, so components like the concurrent Automata
+// Engine may hand payloads to worker goroutines that later transmit.
+//
+// Determinism is preserved through the netapi.WorkTracker contract:
+// nodes implement WorkAdd/WorkDone, and the event loop refuses to pop
+// the next event — or conclude anything about pending events — while
+// handed-off work is still in flight. Virtual time therefore never
+// advances past the instant at which in-flight work will schedule its
+// follow-up events, and a given seed still yields a single execution.
 package simnet
 
 import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"starlink/internal/netapi"
@@ -82,7 +92,13 @@ type sockKey struct {
 }
 
 // Net is the simulated network.
+//
+// Locking: mu guards all simulator state (clock, event heap, sockets,
+// groups, listeners, timers, RNG, counters). Event callbacks run with
+// mu released, so they may freely call back into any node operation.
+// workMu/workCond implement the netapi.WorkTracker handshake.
 type Net struct {
+	mu        sync.Mutex
 	now       time.Time
 	events    eventHeap
 	seq       uint64
@@ -98,7 +114,12 @@ type Net struct {
 	timers    map[netapi.TimerID]*event
 	timerSeq  uint64
 
-	// Stats counters for tests and diagnostics.
+	workMu   sync.Mutex
+	workCond *sync.Cond
+	inflight int
+
+	// Stats counters for tests and diagnostics; read them only while
+	// the simulation is not being driven.
 	PacketsSent    int
 	PacketsDropped int
 }
@@ -119,6 +140,7 @@ func New(opts ...Option) *Net {
 		listeners: map[sockKey]*listener{},
 		timers:    map[netapi.TimerID]*event{},
 	}
+	n.workCond = sync.NewCond(&n.workMu)
 	for _, o := range opts {
 		o(n)
 	}
@@ -126,9 +148,14 @@ func New(opts ...Option) *Net {
 }
 
 // Now returns the current virtual time.
-func (n *Net) Now() time.Time { return n.now }
+func (n *Net) Now() time.Time {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.now
+}
 
-func (n *Net) schedule(d time.Duration, fn func()) *event {
+// scheduleLocked enqueues fn at now+d. Caller holds n.mu.
+func (n *Net) scheduleLocked(d time.Duration, fn func()) *event {
 	if d < 0 {
 		d = 0
 	}
@@ -138,8 +165,8 @@ func (n *Net) schedule(d time.Duration, fn func()) *event {
 	return e
 }
 
-// latency draws a per-packet one-way delay.
-func (n *Net) latency() time.Duration {
+// latencyLocked draws a per-packet one-way delay. Caller holds n.mu.
+func (n *Net) latencyLocked() time.Duration {
 	d := n.latBase
 	if n.latJitter > 0 {
 		d += time.Duration(n.rng.Int63n(int64(n.latJitter)))
@@ -147,50 +174,134 @@ func (n *Net) latency() time.Duration {
 	return d
 }
 
-// step executes the next event; reports false when none remain.
-func (n *Net) step() bool {
+// WorkAdd registers one unit of in-flight off-dispatcher work
+// (netapi.WorkTracker).
+func (n *Net) WorkAdd() {
+	n.workMu.Lock()
+	n.inflight++
+	n.workMu.Unlock()
+}
+
+// WorkDone retires one unit of in-flight work (netapi.WorkTracker).
+func (n *Net) WorkDone() {
+	n.workMu.Lock()
+	n.inflight--
+	if n.inflight < 0 {
+		n.workMu.Unlock()
+		panic("simnet: WorkDone without matching WorkAdd")
+	}
+	if n.inflight == 0 {
+		n.workCond.Broadcast()
+	}
+	n.workMu.Unlock()
+}
+
+// waitIdle blocks until no handed-off work is in flight. Acquiring
+// workMu here also publishes every write the finished workers made.
+func (n *Net) waitIdle() {
+	n.workMu.Lock()
+	for n.inflight > 0 {
+		n.workCond.Wait()
+	}
+	n.workMu.Unlock()
+}
+
+// popLocked removes and returns the next live event, or nil. Caller
+// holds n.mu; the clock is advanced to the event's timestamp.
+func (n *Net) popLocked() *event {
 	for len(n.events) > 0 {
 		e := heap.Pop(&n.events).(*event)
 		if e.fn == nil { // cancelled
 			continue
 		}
 		n.now = e.at
-		e.fn()
-		return true
+		return e
 	}
-	return false
+	return nil
+}
+
+// step executes the next event; reports false when none remain.
+func (n *Net) step() bool {
+	n.mu.Lock()
+	e := n.popLocked()
+	n.mu.Unlock()
+	if e == nil {
+		return false
+	}
+	e.fn()
+	return true
+}
+
+// peekLocked skips cancelled events and returns the next timestamp.
+func (n *Net) peekLocked() (time.Time, bool) {
+	for len(n.events) > 0 {
+		if n.events[0].fn == nil {
+			heap.Pop(&n.events)
+			continue
+		}
+		return n.events[0].at, true
+	}
+	return time.Time{}, false
 }
 
 // Run drives the simulation for d of virtual time.
 func (n *Net) Run(d time.Duration) {
+	n.mu.Lock()
 	deadline := n.now.Add(d)
-	for len(n.events) > 0 && !n.events[0].at.After(deadline) {
-		n.step()
-	}
-	if n.now.Before(deadline) {
-		n.now = deadline
+	n.mu.Unlock()
+	for {
+		n.waitIdle()
+		n.mu.Lock()
+		at, ok := n.peekLocked()
+		if !ok || at.After(deadline) {
+			if n.now.Before(deadline) {
+				n.now = deadline
+			}
+			n.mu.Unlock()
+			return
+		}
+		e := n.popLocked()
+		n.mu.Unlock()
+		e.fn()
 	}
 }
 
 // RunUntil drives the simulation until cond holds or timeout of virtual
 // time elapses.
 func (n *Net) RunUntil(cond func() bool, timeout time.Duration) error {
+	n.mu.Lock()
 	deadline := n.now.Add(timeout)
-	for !cond() {
-		if len(n.events) == 0 {
-			return fmt.Errorf("simnet: RunUntil: no pending events and condition not met at %s", n.now.Format(time.RFC3339Nano))
+	n.mu.Unlock()
+	for {
+		n.waitIdle()
+		if cond() {
+			return nil
 		}
-		if n.events[0].at.After(deadline) {
+		n.mu.Lock()
+		at, ok := n.peekLocked()
+		if !ok {
+			now := n.now
+			n.mu.Unlock()
+			return fmt.Errorf("simnet: RunUntil: no pending events and condition not met at %s", now.Format(time.RFC3339Nano))
+		}
+		if at.After(deadline) {
+			n.mu.Unlock()
 			return fmt.Errorf("simnet: RunUntil: timeout after %s", timeout)
 		}
-		n.step()
+		e := n.popLocked()
+		n.mu.Unlock()
+		e.fn()
 	}
-	return nil
 }
 
-// RunToQuiescence drains every pending event.
+// RunToQuiescence drains every pending event and waits out all
+// in-flight off-dispatcher work.
 func (n *Net) RunToQuiescence() {
-	for n.step() {
+	for {
+		n.waitIdle()
+		if !n.step() {
+			return
+		}
 	}
 }
 
@@ -199,6 +310,8 @@ func (n *Net) NewNode(ip string) (netapi.Node, error) {
 	if ip == "" {
 		return nil, fmt.Errorf("simnet: node needs an IP")
 	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	if _, exists := n.nodes[ip]; exists {
 		return nil, fmt.Errorf("simnet: node %s already exists", ip)
 	}
@@ -213,14 +326,24 @@ type node struct {
 	nextEphemeral int
 }
 
-var _ netapi.Node = (*node)(nil)
+var (
+	_ netapi.Node        = (*node)(nil)
+	_ netapi.WorkTracker = (*node)(nil)
+)
 
 func (nd *node) IP() string { return nd.ip }
 
-func (nd *node) Now() time.Time { return nd.net.now }
+func (nd *node) Now() time.Time { return nd.net.Now() }
+
+// WorkAdd / WorkDone expose the runtime's work tracker on the node
+// (netapi.WorkTracker).
+func (nd *node) WorkAdd()  { nd.net.WorkAdd() }
+func (nd *node) WorkDone() { nd.net.WorkDone() }
 
 func (nd *node) After(d time.Duration, fn func()) netapi.TimerID {
-	e := nd.net.schedule(d, fn)
+	nd.net.mu.Lock()
+	defer nd.net.mu.Unlock()
+	e := nd.net.scheduleLocked(d, fn)
 	nd.net.timerSeq++
 	id := netapi.TimerID(nd.net.timerSeq)
 	nd.net.timers[id] = e
@@ -228,13 +351,16 @@ func (nd *node) After(d time.Duration, fn func()) netapi.TimerID {
 }
 
 func (nd *node) Cancel(id netapi.TimerID) {
+	nd.net.mu.Lock()
+	defer nd.net.mu.Unlock()
 	if e, ok := nd.net.timers[id]; ok {
 		e.fn = nil
 		delete(nd.net.timers, id)
 	}
 }
 
-func (nd *node) allocPort() int {
+// allocPortLocked picks a free ephemeral port. Caller holds net.mu.
+func (nd *node) allocPortLocked() int {
 	for {
 		p := nd.nextEphemeral
 		nd.nextEphemeral++
@@ -262,11 +388,17 @@ type udpSocket struct {
 var _ netapi.UDPSocket = (*udpSocket)(nil)
 
 func (nd *node) OpenUDP(port int, h netapi.PacketHandler) (netapi.UDPSocket, error) {
+	nd.net.mu.Lock()
+	defer nd.net.mu.Unlock()
+	return nd.openUDPLocked(port, h)
+}
+
+func (nd *node) openUDPLocked(port int, h netapi.PacketHandler) (*udpSocket, error) {
 	if h == nil {
 		return nil, fmt.Errorf("simnet: OpenUDP needs a handler")
 	}
 	if port == 0 {
-		port = nd.allocPort()
+		port = nd.allocPortLocked()
 	}
 	key := sockKey{nd.ip, port}
 	if _, taken := nd.net.udpSocks[key]; taken {
@@ -281,11 +413,12 @@ func (nd *node) JoinGroup(group netapi.Addr, h netapi.PacketHandler) (netapi.UDP
 	if !group.IsMulticast() {
 		return nil, fmt.Errorf("simnet: %s is not a multicast group", group)
 	}
-	sock, err := nd.OpenUDP(0, h)
+	nd.net.mu.Lock()
+	defer nd.net.mu.Unlock()
+	s, err := nd.openUDPLocked(0, h)
 	if err != nil {
 		return nil, err
 	}
-	s := sock.(*udpSocket)
 	gk := sockKey{group.IP, group.Port}
 	members := nd.net.groups[gk]
 	if members == nil {
@@ -301,6 +434,8 @@ func (nd *node) JoinGroup(group netapi.Addr, h netapi.PacketHandler) (netapi.UDP
 func (s *udpSocket) LocalAddr() netapi.Addr { return s.addr }
 
 func (s *udpSocket) Send(to netapi.Addr, data []byte) error {
+	s.net.mu.Lock()
+	defer s.net.mu.Unlock()
 	if s.closed {
 		return fmt.Errorf("simnet: send on closed socket %s", s.addr)
 	}
@@ -309,7 +444,7 @@ func (s *udpSocket) Send(to netapi.Addr, data []byte) error {
 	if to.IsMulticast() {
 		members := s.net.groups[sockKey{to.IP, to.Port}]
 		for _, m := range sortedMembers(members) {
-			s.deliver(m, cp, to)
+			s.deliverLocked(m, cp, to)
 		}
 		return nil
 	}
@@ -319,7 +454,7 @@ func (s *udpSocket) Send(to netapi.Addr, data []byte) error {
 		s.net.PacketsDropped++
 		return nil
 	}
-	s.deliver(dst, cp, to)
+	s.deliverLocked(dst, cp, to)
 	return nil
 }
 
@@ -349,15 +484,18 @@ func sortedKeys(m map[sockKey]*udpSocket) []sockKey {
 	return keys
 }
 
-func (s *udpSocket) deliver(dst *udpSocket, data []byte, to netapi.Addr) {
+func (s *udpSocket) deliverLocked(dst *udpSocket, data []byte, to netapi.Addr) {
 	s.net.PacketsSent++
 	if s.net.lossProb > 0 && s.net.rng.Float64() < s.net.lossProb {
 		s.net.PacketsDropped++
 		return
 	}
 	from := s.addr
-	s.net.schedule(s.net.latency(), func() {
-		if dst.closed {
+	s.net.scheduleLocked(s.net.latencyLocked(), func() {
+		s.net.mu.Lock()
+		closed := dst.closed
+		s.net.mu.Unlock()
+		if closed {
 			return
 		}
 		dst.handler(netapi.Packet{From: from, To: to, Data: data})
@@ -365,6 +503,8 @@ func (s *udpSocket) deliver(dst *udpSocket, data []byte, to netapi.Addr) {
 }
 
 func (s *udpSocket) Close() error {
+	s.net.mu.Lock()
+	defer s.net.mu.Unlock()
 	if s.closed {
 		return nil
 	}
@@ -393,8 +533,10 @@ func (nd *node) ListenStream(port int, accept netapi.ConnHandler, recv netapi.St
 	if recv == nil {
 		return nil, fmt.Errorf("simnet: ListenStream needs a recv handler")
 	}
+	nd.net.mu.Lock()
+	defer nd.net.mu.Unlock()
 	if port == 0 {
-		port = nd.allocPort()
+		port = nd.allocPortLocked()
 	}
 	key := sockKey{nd.ip, port}
 	if _, taken := nd.net.listeners[key]; taken {
@@ -406,6 +548,8 @@ func (nd *node) ListenStream(port int, accept netapi.ConnHandler, recv netapi.St
 }
 
 func (l *listener) Close() error {
+	l.net.mu.Lock()
+	defer l.net.mu.Unlock()
 	if l.closed {
 		return nil
 	}
@@ -434,20 +578,26 @@ func (nd *node) DialStream(to netapi.Addr, recv netapi.StreamHandler) (netapi.Co
 	if recv == nil {
 		return nil, fmt.Errorf("simnet: DialStream needs a recv handler")
 	}
+	nd.net.mu.Lock()
+	defer nd.net.mu.Unlock()
 	l, ok := nd.net.listeners[sockKey{to.IP, to.Port}]
 	if !ok {
 		return nil, fmt.Errorf("simnet: connection refused: %s", to)
 	}
-	local := netapi.Addr{IP: nd.ip, Port: nd.allocPort()}
+	local := netapi.Addr{IP: nd.ip, Port: nd.allocPortLocked()}
 	client := &conn{net: nd.net, local: local, remote: to, recv: recv}
 	server := &conn{net: nd.net, local: to, remote: local, recv: l.recv}
 	client.peer, server.peer = server, client
-	nd.net.schedule(nd.net.latency(), func() {
-		if l.closed {
+	nd.net.scheduleLocked(nd.net.latencyLocked(), func() {
+		nd.net.mu.Lock()
+		closed := l.closed
+		accept := l.accept
+		nd.net.mu.Unlock()
+		if closed {
 			return
 		}
-		if l.accept != nil {
-			l.accept(server)
+		if accept != nil {
+			accept(server)
 		}
 	})
 	return client, nil
@@ -457,19 +607,24 @@ func (c *conn) LocalAddr() netapi.Addr  { return c.local }
 func (c *conn) RemoteAddr() netapi.Addr { return c.remote }
 
 func (c *conn) Send(data []byte) error {
+	c.net.mu.Lock()
+	defer c.net.mu.Unlock()
 	if c.closed {
 		return fmt.Errorf("simnet: send on closed conn %s->%s", c.local, c.remote)
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	peer := c.peer
-	at := c.net.now.Add(c.net.latency())
+	at := c.net.now.Add(c.net.latencyLocked())
 	if at.Before(c.lastDelivery) {
 		at = c.lastDelivery
 	}
 	c.lastDelivery = at
-	c.net.schedule(at.Sub(c.net.now), func() {
-		if peer.closed {
+	c.net.scheduleLocked(at.Sub(c.net.now), func() {
+		c.net.mu.Lock()
+		closed := peer.closed
+		c.net.mu.Unlock()
+		if closed {
 			return
 		}
 		peer.recv(peer, cp)
@@ -478,16 +633,21 @@ func (c *conn) Send(data []byte) error {
 }
 
 func (c *conn) Close() error {
+	c.net.mu.Lock()
+	defer c.net.mu.Unlock()
 	if c.closed {
 		return nil
 	}
 	c.closed = true
 	peer := c.peer
-	c.net.schedule(c.net.latency(), func() {
+	c.net.scheduleLocked(c.net.latencyLocked(), func() {
+		c.net.mu.Lock()
 		if peer.closed {
+			c.net.mu.Unlock()
 			return
 		}
 		peer.closed = true
+		c.net.mu.Unlock()
 		peer.recv(peer, nil) // nil data signals close
 	})
 	return nil

@@ -23,6 +23,22 @@
 //	// ... start a dnssd.Responder and an slp.UserAgent; the lookup
 //	// completes across protocols, through the bridge.
 //
+// # Concurrency model
+//
+// The Automata Engine is a concurrent session runtime. Each initiator
+// request opens a session keyed by (entry color, origin address) in a
+// sharded session table; each session executes its
+// receive→translate→compose loop on its own goroutine, fed by a
+// bounded inbox channel. Inbound entry payloads are parsed and routed
+// by a bounded ingest worker pool, and a max-sessions semaphore
+// (WithMaxSessions) rejects initiator requests beyond the configured
+// ceiling so overload degrades into dropped requests rather than
+// unbounded memory growth. Timers and requester payloads post events
+// into the session inbox instead of touching session state, so session
+// state needs no locks. On the virtual-clock simulator the engine
+// reports in-flight work through netapi.WorkTracker, which keeps
+// simulated runs deterministic; see README.md for the full lifecycle.
+//
 // See examples/ for complete programs and DESIGN.md for the mapping
 // from the paper's formal model to this implementation.
 package starlink
@@ -65,3 +81,8 @@ func WithObserver(fn func(SessionStats)) BridgeOption { return engine.WithObserv
 // WithVars injects bridge environment variables referenced by
 // translation constants (e.g. ${bridge.host}).
 func WithVars(vars map[string]string) BridgeOption { return engine.WithVars(vars) }
+
+// WithMaxSessions bounds the number of concurrently live bridge
+// sessions; initiator requests beyond the bound are rejected instead
+// of queued.
+func WithMaxSessions(n int) BridgeOption { return engine.WithMaxSessions(n) }
