@@ -291,7 +291,8 @@ func BenchmarkColorKey(b *testing.B) {
 }
 
 // BenchmarkMergedCompile measures linearising the Fig. 4 merged
-// automaton into its execution program.
+// automaton into its execution program (the uncached compiler —
+// Recompile bypasses the memo that the runtime path hits).
 func BenchmarkMergedCompile(b *testing.B) {
 	reg := mustRegistry(b)
 	m, err := reg.Merged("slp-to-upnp")
@@ -301,7 +302,51 @@ func BenchmarkMergedCompile(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		if _, err := m.Recompile(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMergedCompileMemoized measures what engine deployment
+// actually pays: Compile on an already-compiled case. Expect zero
+// allocations — repeated deployments of a cached case do zero
+// recompilation.
+func BenchmarkMergedCompileMemoized(b *testing.B) {
+	reg := mustRegistry(b)
+	m, err := reg.Merged("slp-to-upnp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.Compile(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
 		if _, err := m.Compile(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.EntryProtocols(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompiledCaseHit measures the registry's compiled-case cache
+// on the deployment hot path: program + entry index + full codec set
+// for an unchanged case. Expect zero allocations after the first
+// build — this is what makes redeploying (or hot-syncing) a cached
+// case free.
+func BenchmarkCompiledCaseHit(b *testing.B) {
+	reg := mustRegistry(b)
+	if _, err := reg.Compiled("slp-to-upnp"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.Compiled("slp-to-upnp"); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -10,6 +10,10 @@
 //	mdlc program <case>            compiled execution program of a case
 //	mdlc check <file.xml>          validate an MDL / automaton / merged
 //	                               automaton document from disk
+//	mdlc validate <dir>            load a model directory over the
+//	                               builtins (the starlinkd -models
+//	                               loader) and compile every case;
+//	                               exits non-zero on the first error
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"starlink/internal/automata"
 	"starlink/internal/mdl"
 	"starlink/internal/merge"
+	"starlink/internal/provision"
 	"starlink/internal/registry"
 )
 
@@ -90,6 +95,24 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("OK")
+	case "validate":
+		if len(os.Args) != 3 {
+			usage()
+			os.Exit(2)
+		}
+		res, err := provision.LoadDir(reg, os.Args[2])
+		if err != nil {
+			fatal(err)
+		}
+		// Compile every case (builtin and external) end to end: step
+		// program, entry-color index and MDL-specialised codecs —
+		// exactly what a deployment needs.
+		for _, name := range reg.MergedNames() {
+			if _, err := reg.Compiled(name); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("%s: %s; %d cases compile\n", os.Args[2], res, len(reg.MergedNames()))
 	default:
 		usage()
 		os.Exit(2)
@@ -118,7 +141,7 @@ func checkDocument(reg *registry.Registry, doc string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mdlc list | dot <automaton> | program <case> | check <file.xml>")
+	fmt.Fprintln(os.Stderr, "usage: mdlc list | dot <automaton> | program <case> | check <file.xml> | validate <dir>")
 }
 
 func fatal(err error) {

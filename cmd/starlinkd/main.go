@@ -1,18 +1,30 @@
-// Command starlinkd deploys a Starlink bridge on the local machine
+// Command starlinkd deploys Starlink bridges on the local machine
 // over real sockets (loopback UDP/TCP with an in-process multicast
 // registry — see internal/realnet). Legacy clients and services of the
 // bridged protocols, started in the same process group via the
 // examples or tests, interoperate transparently through it.
 //
+// The daemon is a multi-case runtime: one process hosts any number of
+// merged automata at once behind shared entry listeners, and inbound
+// payloads are classified to the right case by trial-parsing them
+// against the candidate entry parsers (internal/provision).
+//
 // Usage:
 //
-//	starlinkd -case slp-to-bonjour [-host 127.0.0.1] [-v]
+//	starlinkd [-case all | name,name,...] [-host 127.0.0.1] [-v]
+//	          [-models dir] [-models-poll 2s]
 //	          [-max-sessions 4096] [-stats-interval 30s]
 //
-// The daemon prints one line per bridged session, logs engine and
-// session-table shard statistics periodically, and runs until
-// interrupted. -max-sessions bounds the concurrent session count:
-// initiator requests beyond it are rejected instead of queued.
+// -case selects the cases to host: "all" (the default) hosts every
+// loaded case, a comma-separated list hosts exactly those. -models
+// names a directory of MDL / automaton / merged-automaton XML files
+// loaded on top of the builtins at startup and hot-reloaded while the
+// daemon runs — polled every -models-poll, and reloaded immediately on
+// SIGHUP — so dropping a new case file into the directory deploys it
+// with zero restart. The daemon logs one line per bridged session
+// (with its case name), periodically logs per-case session stats plus
+// the dispatcher's classification counters, and runs until
+// interrupted.
 package main
 
 import (
@@ -20,49 +32,98 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
 
 	"starlink"
+	"starlink/internal/provision"
 	"starlink/internal/realnet"
+	"starlink/internal/registry"
 )
 
 func main() {
-	caseName := flag.String("case", "slp-to-bonjour", "merged automaton to deploy (see mdlc list)")
+	caseList := flag.String("case", "all", `cases to host: "all" or a comma-separated list (see mdlc list)`)
 	host := flag.String("host", "127.0.0.1", "bridge host address")
 	verbose := flag.Bool("v", false, "log every session")
-	maxSessions := flag.Int("max-sessions", 4096, "bound on concurrently live bridge sessions")
-	statsInterval := flag.Duration("stats-interval", 30*time.Second, "how often to log shard statistics (0 disables)")
+	modelsDir := flag.String("models", "", "directory of model XML files loaded over the builtins and hot-reloaded")
+	modelsPoll := flag.Duration("models-poll", 2*time.Second, "how often to poll -models for changes (0 disables polling; SIGHUP still reloads)")
+	maxSessions := flag.Int("max-sessions", 4096, "bound on concurrently live sessions per case")
+	statsInterval := flag.Duration("stats-interval", 30*time.Second, "how often to log per-case statistics (0 disables)")
 	flag.Parse()
 
 	if *maxSessions < 1 {
 		fatal(fmt.Errorf("-max-sessions must be >= 1, got %d", *maxSessions))
 	}
+	var cases []string
+	if *caseList != "all" {
+		for _, c := range strings.Split(*caseList, ",") {
+			if c = strings.TrimSpace(c); c != "" {
+				cases = append(cases, c)
+			}
+		}
+		if len(cases) == 0 {
+			fatal(fmt.Errorf(`-case must be "all" or a non-empty case list`))
+		}
+	}
 
-	rt := realnet.New()
-	fw, err := starlink.New(rt)
+	reg, err := registry.Builtin()
 	if err != nil {
 		fatal(err)
 	}
-	bridge, err := fw.DeployBridge(*host, *caseName,
-		starlink.WithMaxSessions(*maxSessions),
-		starlink.WithObserver(func(s starlink.SessionStats) {
+	if *modelsDir != "" {
+		if res, err := provision.LoadDir(reg, *modelsDir); err != nil {
+			fatal(err)
+		} else if res.Changed() {
+			fmt.Printf("starlinkd: models %s: %s\n", *modelsDir, res)
+		}
+	}
+
+	rt := realnet.New()
+	node, err := rt.NewNode(*host)
+	if err != nil {
+		fatal(err)
+	}
+	opts := []provision.Option{
+		provision.WithEngineOptions(starlink.WithMaxSessions(*maxSessions)),
+		provision.WithLogf(func(format string, args ...any) {
+			fmt.Printf("starlinkd: "+format+"\n", args...)
+		}),
+		provision.WithSessionObserver(func(caseName string, s starlink.SessionStats) {
 			if s.Err != nil {
-				fmt.Printf("session from %s FAILED after %s: %v\n", s.Origin, s.Duration, s.Err)
+				fmt.Printf("starlinkd: [%s] session from %s FAILED after %s: %v\n", caseName, s.Origin, s.Duration, s.Err)
 				return
 			}
 			if *verbose {
-				fmt.Printf("session from %s bridged in %s\n", s.Origin, s.Duration)
+				fmt.Printf("starlinkd: [%s] session from %s bridged in %s\n", caseName, s.Origin, s.Duration)
 			}
-		}))
-	if err != nil {
+		}),
+	}
+	if len(cases) > 0 {
+		opts = append(opts, provision.WithCases(cases...))
+	}
+	disp := provision.NewDispatcher(reg, node, opts...)
+	if err := disp.Sync(); err != nil {
 		fatal(err)
 	}
-	defer bridge.Close()
+	defer disp.Close()
 
-	fmt.Printf("starlinkd: case %s deployed on %s (max %d sessions); ctrl-c to stop\n",
-		*caseName, *host, *maxSessions)
+	var watcher *provision.Watcher
+	if *modelsDir != "" {
+		watcher = provision.NewWatcher(reg, *modelsDir, *modelsPoll, func(provision.LoadResult) {
+			if err := disp.Sync(); err != nil {
+				fmt.Fprintln(os.Stderr, "starlinkd: sync:", err)
+			}
+		}, func(format string, args ...any) {
+			fmt.Printf("starlinkd: "+format+"\n", args...)
+		})
+		watcher.Start()
+		defer watcher.Stop()
+	}
+
+	fmt.Printf("starlinkd: hosting %s on %s (max %d sessions/case); ctrl-c to stop\n",
+		strings.Join(disp.Cases(), ", "), *host, *maxSessions)
 
 	stop := make(chan struct{})
 	if *statsInterval > 0 {
@@ -72,7 +133,7 @@ func main() {
 			for {
 				select {
 				case <-t.C:
-					logStats(bridge)
+					logStats(disp)
 				case <-stop:
 					return
 				}
@@ -81,27 +142,49 @@ func main() {
 	}
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+	for s := range sig {
+		if s == syscall.SIGHUP {
+			if watcher == nil {
+				fmt.Println("starlinkd: SIGHUP ignored (no -models directory)")
+				continue
+			}
+			fmt.Println("starlinkd: SIGHUP: reloading models")
+			if err := watcher.Reload(); err != nil {
+				fmt.Fprintln(os.Stderr, "starlinkd: reload:", err)
+			}
+			continue
+		}
+		break
+	}
 	close(stop)
-	logStats(bridge)
-	st := bridge.Engine.Stats()
-	fmt.Printf("starlinkd: %d sessions bridged, %d failed, %d rejected\n",
-		st.Completed, st.Failed, st.Rejected)
+	logStats(disp)
+	total := 0
+	failed := 0
+	for _, st := range disp.Stats() {
+		total += st.Completed
+		failed += st.Failed
+	}
+	fmt.Printf("starlinkd: %d sessions bridged, %d failed\n", total, failed)
 }
 
-// logStats prints the engine counters and the per-shard session
-// distribution of the sharded table.
-func logStats(bridge *starlink.Bridge) {
-	st := bridge.Engine.Stats()
-	shards := bridge.Engine.ShardStats()
-	parts := make([]string, len(shards))
-	for i, n := range shards {
-		parts[i] = fmt.Sprintf("%d", n)
+// logStats prints per-case engine counters and the dispatcher's
+// payload-classification counters.
+func logStats(disp *provision.Dispatcher) {
+	stats := disp.Stats()
+	names := make([]string, 0, len(stats))
+	for n := range stats {
+		names = append(names, n)
 	}
-	fmt.Printf("starlinkd: live=%d completed=%d failed=%d rejected=%d dropped=%d parseErrs=%d ignored=%d shards=[%s]\n",
-		st.Live, st.Completed, st.Failed, st.Rejected, st.Dropped, st.ParseErrors, st.Ignored,
-		strings.Join(parts, " "))
+	sort.Strings(names)
+	for _, n := range names {
+		st := stats[n]
+		fmt.Printf("starlinkd: [%s] live=%d completed=%d failed=%d rejected=%d dropped=%d parseErrs=%d ignored=%d\n",
+			n, st.Live, st.Completed, st.Failed, st.Rejected, st.Dropped, st.ParseErrors, st.Ignored)
+	}
+	dc := disp.DispatchStats()
+	fmt.Printf("starlinkd: dispatch: dispatched=%d ambiguous=%d suppressed=%d unroutable=%d parseErrs=%d\n",
+		dc.Dispatched, dc.Ambiguous, dc.Suppressed, dc.Unroutable, dc.ParseErrors)
 }
 
 func fatal(err error) {

@@ -16,6 +16,7 @@ import (
 
 	"starlink/internal/engine"
 	"starlink/internal/netapi"
+	"starlink/internal/provision"
 	"starlink/internal/registry"
 )
 
@@ -65,11 +66,9 @@ func (b *Bridge) Close() error { return b.Engine.Close() }
 // the named merged automaton on it and starts listening. The bridge is
 // transparent: neither legacy side needs to know it exists.
 func (f *Framework) DeployBridge(hostIP, caseName string, opts ...engine.Option) (*Bridge, error) {
-	merged, err := f.reg.Merged(caseName)
-	if err != nil {
-		return nil, err
-	}
-	codecs, err := f.reg.Codecs(merged)
+	// The registry's compiled-case cache makes repeated deployments of
+	// an unchanged case free of recompilation and codec construction.
+	c, err := f.reg.Compiled(caseName)
 	if err != nil {
 		return nil, err
 	}
@@ -77,7 +76,7 @@ func (f *Framework) DeployBridge(hostIP, caseName string, opts ...engine.Option)
 	if err != nil {
 		return nil, fmt.Errorf("core: bridge host: %w", err)
 	}
-	eng, err := engine.New(node, merged, codecs, opts...)
+	eng, err := engine.New(node, c.Merged, c.Codecs, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -85,4 +84,26 @@ func (f *Framework) DeployBridge(hostIP, caseName string, opts ...engine.Option)
 		return nil, err
 	}
 	return &Bridge{Case: caseName, Engine: eng, Node: node}, nil
+}
+
+// DeployDispatcher creates a bridge host with the given IP and hosts
+// the named cases on it through one provisioning dispatcher — every
+// loaded case when cases is empty. The dispatcher owns the shared
+// entry listeners and classifies inbound payloads to the right case;
+// call Sync on it after mutating the registry (or drive it from a
+// provision.Watcher) to pick up model changes with zero restart.
+func (f *Framework) DeployDispatcher(hostIP string, cases []string, opts ...provision.Option) (*provision.Dispatcher, error) {
+	node, err := f.rt.NewNode(hostIP)
+	if err != nil {
+		return nil, fmt.Errorf("core: bridge host: %w", err)
+	}
+	if len(cases) > 0 {
+		opts = append(opts, provision.WithCases(cases...))
+	}
+	d := provision.NewDispatcher(f.reg, node, opts...)
+	if err := d.Sync(); err != nil {
+		_ = d.Close()
+		return nil, err
+	}
+	return d, nil
 }

@@ -195,6 +195,15 @@ func WithShardCount(n int) Option {
 	}
 }
 
+// WithEgressTable registers the local address of every requester
+// channel the engine's sessions open in t for the requesters'
+// lifetime. A multi-case dispatcher shares one table across its
+// engines so it can recognise — and not re-bridge — the deployment's
+// own outbound requests arriving back on shared multicast listeners.
+func WithEgressTable(t *netengine.EgressTable) Option {
+	return func(e *Engine) { e.egress = t }
+}
+
 // ingestJob is one inbound entry payload awaiting parse + route. It
 // carries one work-tracker token. key is the payload's routing key,
 // computed once on the listener hot path.
@@ -221,6 +230,7 @@ type Engine struct {
 	codecs  map[string]*Codec
 	tfuncs  *translation.FuncRegistry
 	vars    map[string]string
+	egress  *netengine.EgressTable
 
 	recvTimeout  time.Duration
 	windowJitter time.Duration
@@ -386,11 +396,48 @@ func (e *Engine) Start() error {
 		}
 		e.entries = append(e.entries, closer)
 	}
+	e.startWorkers()
+	return nil
+}
+
+// StartManaged starts the engine without binding entry listeners: the
+// ingest worker pool runs, but payloads only arrive through Inject.
+// This is the mode used under a provisioning dispatcher, which owns
+// the shared entry listeners for every case it hosts and classifies
+// inbound payloads before handing them to the right engine.
+func (e *Engine) StartManaged() error {
+	e.startWorkers()
+	return nil
+}
+
+func (e *Engine) startWorkers() {
 	for i := range e.ingestQs {
 		e.workerWG.Add(1)
 		go e.ingestLoop(e.ingestQs[i])
 	}
-	return nil
+}
+
+// Inject feeds an entry payload to the engine as if it had arrived on
+// an entry listener for the protocol: it is parsed and routed by the
+// ingest pool exactly like a listener payload. Safe to call from any
+// goroutine; payloads for an unknown protocol are counted Ignored.
+func (e *Engine) Inject(proto string, data []byte, src netengine.Source) {
+	if _, ok := e.codecs[proto]; !ok {
+		e.bump(&e.Ignored)
+		return
+	}
+	e.onEntry(proto, data, src)
+}
+
+// AwaitsEntry reports whether some live session is blocked waiting for
+// the given (protocol, message), preferring none in particular — it is
+// the dispatcher's routing probe for entry payloads that are not
+// initiator requests (e.g. the control point's description GET in the
+// reverse-UPnP cases). The answer is a snapshot and may go stale by
+// delivery time; the engine re-checks on delivery, so a stale true is
+// harmless (the payload is rerouted or counted Ignored).
+func (e *Engine) AwaitsEntry(proto, msg, ip string) bool {
+	return e.table.findAwaiting(proto, msg, ip) != nil
 }
 
 // Close stops the engine: entry listeners, ingest workers, and live

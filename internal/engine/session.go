@@ -336,6 +336,9 @@ func (s *session) runSend(step merge.Step) error {
 			return err
 		}
 		s.requesters[step.Protocol] = r
+		if s.e.egress != nil {
+			s.e.egress.Add(r.LocalAddr())
+		}
 	}
 	if err := r.Send(wire); err != nil {
 		return fmt.Errorf("engine: send: %w", err)
@@ -421,6 +424,9 @@ func (s *session) cleanup() {
 	s.timerGen++
 	s.await.Store(nil)
 	for _, r := range s.requesters {
+		if s.e.egress != nil {
+			s.e.egress.Remove(r.LocalAddr())
+		}
 		_ = r.Close()
 	}
 	s.requesters = map[string]*netengine.Requester{}

@@ -75,7 +75,24 @@ func (s Step) String() string {
 // Compile fails if the walk is nondeterministic (a state offers more
 // than one unused transition), incomplete (transitions or δs never
 // executed), or does not end in a final state.
+//
+// The result (program or error) is memoized on the Merged value: load
+// validation, engine deployment and entry indexing all share one
+// compilation. Callers must treat the returned slice as read-only.
 func (m *Merged) Compile() ([]Step, error) {
+	m.compileOnce.Do(func() {
+		m.program, m.compileErr = m.compileProgram()
+	})
+	return m.program, m.compileErr
+}
+
+// Recompile runs the compiler from scratch, bypassing and leaving
+// untouched the memoized program. It exists for diagnostics and
+// benchmarks that need the true compilation cost; everything on the
+// runtime path goes through Compile.
+func (m *Merged) Recompile() ([]Step, error) { return m.compileProgram() }
+
+func (m *Merged) compileProgram() ([]Step, error) {
 	init, ok := m.AutomatonFor(m.Initiator)
 	if !ok {
 		return nil, fmt.Errorf("merge: %s: initiator %q missing", m.Name, m.Initiator)
@@ -189,24 +206,31 @@ func (m *Merged) Compile() ([]Step, error) {
 // is a receive, the color it must listen on. These are the automata in
 // server role: the initiator, plus e.g. the HTTP automaton when the
 // bridge itself serves the device description in reverse-UPnP cases.
+//
+// The result is memoized alongside Compile's program; callers must
+// treat the returned map as read-only.
 func (m *Merged) EntryProtocols() (map[string]automata.Color, error) {
-	program, err := m.Compile()
-	if err != nil {
-		return nil, err
-	}
-	out := map[string]automata.Color{}
-	seen := map[string]bool{}
-	for _, step := range program {
-		if step.Kind == StepDelta {
-			continue
+	m.entryOnce.Do(func() {
+		program, err := m.Compile()
+		if err != nil {
+			m.entryErr = err
+			return
 		}
-		if seen[step.Protocol] {
-			continue
+		out := map[string]automata.Color{}
+		seen := map[string]bool{}
+		for _, step := range program {
+			if step.Kind == StepDelta {
+				continue
+			}
+			if seen[step.Protocol] {
+				continue
+			}
+			seen[step.Protocol] = true
+			if step.Kind == StepRecv {
+				out[step.Protocol] = step.Color
+			}
 		}
-		seen[step.Protocol] = true
-		if step.Kind == StepRecv {
-			out[step.Protocol] = step.Color
-		}
-	}
-	return out, nil
+		m.entries = out
+	})
+	return m.entries, m.entryErr
 }

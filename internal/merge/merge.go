@@ -11,6 +11,7 @@ package merge
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"starlink/internal/automata"
 	"starlink/internal/mdl"
@@ -53,6 +54,10 @@ type Equivalence struct {
 
 // Merged is a merged automaton: the automata, the δ-transitions
 // connecting them, the declared equivalences and the translation logic.
+// A Merged is immutable once loaded: Compile and EntryProtocols
+// memoize their result on the value (every validation, engine
+// deployment and entry indexing of a case shares one compilation), so
+// mutating the model after the first Compile has no effect.
 type Merged struct {
 	// Name identifies the bridge, e.g. "slp-to-upnp".
 	Name string
@@ -63,6 +68,14 @@ type Merged struct {
 	Deltas       []*Delta
 	Equivalences []Equivalence
 	Logic        *translation.Logic
+
+	// Memoized compile artifacts (see Compile / EntryProtocols).
+	compileOnce sync.Once
+	program     []Step
+	compileErr  error
+	entryOnce   sync.Once
+	entries     map[string]automata.Color
+	entryErr    error
 }
 
 // AutomatonFor returns the member automaton for a protocol.

@@ -467,3 +467,58 @@ func TestParseXMLErrors(t *testing.T) {
 		t.Fatal("bad xml should fail")
 	}
 }
+
+// TestCompileMemoized checks that Compile and EntryProtocols are
+// computed once per Merged value: validation, deployment and entry
+// indexing share one compilation.
+func TestCompileMemoized(t *testing.T) {
+	m := fig4()
+	p1, err := m.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := m.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &p1[0] != &p2[0] {
+		t.Error("Compile recompiled instead of returning the memoized program")
+	}
+	e1, err := m.EntryProtocols()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := m.EntryProtocols()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e1) != 1 {
+		t.Fatalf("entries = %v", e1)
+	}
+	// Same map instance, not a recomputed copy.
+	e1["sentinel"] = e1["SLP"]
+	if _, ok := e2["sentinel"]; !ok {
+		t.Error("EntryProtocols recomputed instead of returning the memoized index")
+	}
+	delete(e1, "sentinel")
+
+	// Recompile bypasses the memo and yields a fresh program.
+	p3, err := m.Recompile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &p3[0] == &p1[0] {
+		t.Error("Recompile returned the memoized program")
+	}
+	if len(p3) != len(p1) {
+		t.Errorf("Recompile program differs: %d vs %d steps", len(p3), len(p1))
+	}
+
+	// Errors memoize too.
+	bad := &Merged{Name: "bad", Initiator: "GHOST", Automata: []*automata.Automaton{slpA()}}
+	if _, err1 := bad.Compile(); err1 == nil {
+		t.Fatal("invalid merge should not compile")
+	} else if _, err2 := bad.Compile(); err2 != err1 {
+		t.Error("compile error was not memoized")
+	}
+}

@@ -281,6 +281,66 @@ func (r *Requester) Send(data []byte) error {
 // Convergence returns the color's response-collection window.
 func (r *Requester) Convergence() time.Duration { return r.scheme.Convergence }
 
+// LocalAddr returns the channel's local socket address — the source
+// address peers (and multicast group members) see on its requests.
+func (r *Requester) LocalAddr() netapi.Addr {
+	if r.conn != nil {
+		return r.conn.LocalAddr()
+	}
+	if r.sock != nil {
+		return r.sock.LocalAddr()
+	}
+	return netapi.Addr{}
+}
+
+// EgressTable is a concurrent set of the local addresses a bridge
+// deployment currently sends requests from. A multi-case dispatcher
+// consults it on every inbound entry payload: a payload whose source
+// is one of our own requester sockets is the bridge hearing its own
+// multicast request, and bridging it again through an
+// opposite-direction case would loop traffic forever.
+type EgressTable struct {
+	mu    sync.RWMutex
+	addrs map[netapi.Addr]int
+}
+
+// NewEgressTable returns an empty table.
+func NewEgressTable() *EgressTable {
+	return &EgressTable{addrs: map[netapi.Addr]int{}}
+}
+
+// Add registers a local egress address (refcounted).
+func (t *EgressTable) Add(a netapi.Addr) {
+	if a.IsZero() {
+		return
+	}
+	t.mu.Lock()
+	t.addrs[a]++
+	t.mu.Unlock()
+}
+
+// Remove unregisters one registration of the address.
+func (t *EgressTable) Remove(a netapi.Addr) {
+	if a.IsZero() {
+		return
+	}
+	t.mu.Lock()
+	if n := t.addrs[a]; n <= 1 {
+		delete(t.addrs, a)
+	} else {
+		t.addrs[a] = n - 1
+	}
+	t.mu.Unlock()
+}
+
+// Contains reports whether the address is a registered egress source.
+func (t *EgressTable) Contains(a netapi.Addr) bool {
+	t.mu.RLock()
+	_, ok := t.addrs[a]
+	t.mu.RUnlock()
+	return ok
+}
+
 // Close releases the channel.
 func (r *Requester) Close() error {
 	if r.conn != nil {

@@ -1,0 +1,502 @@
+package provision
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"starlink/internal/automata"
+	"starlink/internal/engine"
+	"starlink/internal/message"
+	"starlink/internal/netapi"
+	"starlink/internal/netengine"
+	"starlink/internal/registry"
+)
+
+// Option configures a Dispatcher.
+type Option func(*Dispatcher)
+
+// WithCases restricts the dispatcher to an explicit case list instead
+// of hosting every case in the registry. Sync fails if an explicitly
+// requested case is not loaded.
+func WithCases(names ...string) Option {
+	return func(d *Dispatcher) { d.cases = names }
+}
+
+// WithEngineOptions passes engine options (max sessions, timeouts,
+// jitter, ...) to every engine the dispatcher deploys.
+func WithEngineOptions(opts ...engine.Option) Option {
+	return func(d *Dispatcher) { d.engOpts = opts }
+}
+
+// WithSessionObserver registers a per-session callback tagged with the
+// case name that bridged the session — the multi-tenant form of
+// engine.WithObserver.
+func WithSessionObserver(fn func(caseName string, s engine.SessionStats)) Option {
+	return func(d *Dispatcher) { d.observer = fn }
+}
+
+// WithLogf routes the dispatcher's operational log lines (deploys,
+// undeploys, ambiguous classifications) to fn.
+func WithLogf(fn func(format string, args ...any)) Option {
+	return func(d *Dispatcher) { d.logf = fn }
+}
+
+// DispatchCounters snapshots the dispatcher's classification counters.
+type DispatchCounters struct {
+	// Dispatched counts payloads handed to an engine.
+	Dispatched int
+	// Ambiguous counts payloads that matched the entry parser of more
+	// than one case (each was still dispatched, deterministically).
+	Ambiguous int
+	// Unroutable counts payloads that parsed under some candidate
+	// protocol but matched no case's entry message and no awaiting
+	// session.
+	Unroutable int
+	// ParseErrors counts payloads no candidate entry parser accepted.
+	ParseErrors int
+	// Suppressed counts payloads originating from this dispatcher's
+	// own bridge sessions (their requester sockets): the deployment
+	// hearing its own multicast requests. Re-bridging those through an
+	// opposite-direction case would loop traffic forever.
+	Suppressed int
+}
+
+// deployment is one hosted case: its engine plus the compiled
+// artifacts it was deployed from (pointer identity against
+// registry.Compiled detects staleness).
+type deployment struct {
+	name     string
+	compiled *registry.CompiledCase
+	eng      *engine.Engine
+}
+
+// entryPoint is one case's claim on a listener color: the protocol it
+// receives there and, for the initiator protocol, the message that
+// opens a session.
+type entryPoint struct {
+	dep       *deployment
+	proto     string
+	initiator bool
+	initMsg   string
+}
+
+// listener is one shared entry listener: a bound color plus the entry
+// points of every case currently listening on it, sorted by case name
+// so classification ties break deterministically.
+type listener struct {
+	color  automata.Color
+	closer netapi.Closer
+	points []entryPoint
+}
+
+// Dispatcher hosts every loaded (or explicitly selected) case of a
+// registry on one bridge node at once. It owns the entry listeners —
+// one per distinct entry color across all deployed cases — and
+// classifies each inbound payload by trial-parsing it against the
+// candidate entry parsers ("entry sniffing"), then hands it to the
+// engine of the case it belongs to. Engines run in managed mode
+// (engine.StartManaged): they never bind sockets of their own, so two
+// cases sharing an entry endpoint (e.g. both SLP-initiated bridges on
+// the SLP multicast group) coexist without port conflicts or duplicate
+// deliveries.
+//
+// Sync reconciles the deployments with the registry's current state
+// and is cheap when nothing changed, so it can run after every model
+// reload; payload dispatch proceeds concurrently under a read lock.
+type Dispatcher struct {
+	reg  *registry.Registry
+	node netapi.Node
+	net  *netengine.Engine
+	// egress tracks the requester sockets of every hosted engine so
+	// dispatch can suppress the deployment's own outbound requests.
+	egress *netengine.EgressTable
+
+	cases    []string // explicit case filter; nil hosts all
+	engOpts  []engine.Option
+	observer func(string, engine.SessionStats)
+	logf     func(format string, args ...any)
+
+	mu        sync.RWMutex
+	deployed  map[string]*deployment
+	listeners map[string]*listener // by color key
+	closed    bool
+
+	statsMu  sync.Mutex
+	counters DispatchCounters
+}
+
+// NewDispatcher builds a dispatcher for the registry on the node. Call
+// Sync to deploy; the zero deployment set serves nothing.
+func NewDispatcher(reg *registry.Registry, node netapi.Node, opts ...Option) *Dispatcher {
+	d := &Dispatcher{
+		reg:       reg,
+		node:      node,
+		net:       netengine.New(node),
+		egress:    netengine.NewEgressTable(),
+		deployed:  map[string]*deployment{},
+		listeners: map[string]*listener{},
+	}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+func (d *Dispatcher) logeach(format string, args ...any) {
+	if d.logf != nil {
+		d.logf(format, args...)
+	}
+}
+
+// desiredCases resolves the case list to host. With an explicit filter
+// every name must be loaded; otherwise all loaded cases are desired.
+func (d *Dispatcher) desiredCases() ([]string, error) {
+	if d.cases == nil {
+		return d.reg.MergedNames(), nil
+	}
+	loaded := map[string]bool{}
+	for _, n := range d.reg.MergedNames() {
+		loaded[n] = true
+	}
+	var missing []string
+	for _, n := range d.cases {
+		if !loaded[n] {
+			missing = append(missing, n)
+		}
+	}
+	if len(missing) > 0 {
+		return nil, fmt.Errorf("provision: case(s) not loaded: %s (have %s)",
+			strings.Join(missing, ", "), strings.Join(d.reg.MergedNames(), ", "))
+	}
+	out := append([]string(nil), d.cases...)
+	sort.Strings(out)
+	return out, nil
+}
+
+// Sync reconciles the hosted deployments with the registry: new cases
+// are compiled (from the registry's compiled-case cache) and deployed,
+// cases whose models changed are redeployed, and unloaded cases are
+// undeployed. Shared entry listeners are rebound to match. Unchanged
+// cases are left entirely alone — same engine, same sessions — so a
+// Sync with nothing changed is a cheap no-op.
+func (d *Dispatcher) Sync() error {
+	names, err := d.desiredCases()
+	if err != nil {
+		return err
+	}
+	desired := make(map[string]*registry.CompiledCase, len(names))
+	for _, n := range names {
+		c, err := d.reg.Compiled(n)
+		if err != nil {
+			return fmt.Errorf("provision: case %s: %w", n, err)
+		}
+		desired[n] = c
+	}
+
+	var stale []*deployment
+	var staleListeners []netapi.Closer
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return fmt.Errorf("provision: dispatcher is closed")
+	}
+	// Undeploy removed or changed cases.
+	for name, dep := range d.deployed {
+		if c, ok := desired[name]; ok && c == dep.compiled {
+			continue
+		}
+		delete(d.deployed, name)
+		stale = append(stale, dep)
+	}
+	// Deploy new or changed cases. A failing deploy does not abort the
+	// reconciliation: the listeners must still be rebound to the cases
+	// that ARE live, or stale entry points would keep routing payloads
+	// to engines closed above.
+	var deployErr error
+	for name, c := range desired {
+		if _, ok := d.deployed[name]; ok {
+			continue
+		}
+		dep, err := d.deploy(name, c)
+		if err != nil {
+			if deployErr == nil {
+				deployErr = fmt.Errorf("provision: deploying %s: %w", name, err)
+			}
+			continue
+		}
+		d.deployed[name] = dep
+	}
+	staleListeners, err = d.rebindLocked()
+	d.mu.Unlock()
+	d.closeAll(stale, staleListeners)
+	if deployErr != nil {
+		return deployErr
+	}
+	return err
+}
+
+// deploy builds and starts a managed engine for one case. Caller holds
+// d.mu.
+func (d *Dispatcher) deploy(name string, c *registry.CompiledCase) (*deployment, error) {
+	opts := append([]engine.Option(nil), d.engOpts...)
+	opts = append(opts, engine.WithEgressTable(d.egress))
+	if d.observer != nil {
+		obs := d.observer
+		opts = append(opts, engine.WithObserver(func(s engine.SessionStats) { obs(name, s) }))
+	}
+	eng, err := engine.New(d.node, c.Merged, c.Codecs, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.StartManaged(); err != nil {
+		return nil, err
+	}
+	d.logeach("provision: deployed case %s (generation %d)", name, c.Generation)
+	return &deployment{name: name, compiled: c, eng: eng}, nil
+}
+
+// rebindLocked reconciles the shared listeners with the deployed
+// cases' entry colors: existing listeners get fresh entry-point sets,
+// new colors are bound, orphaned listeners are returned for closing.
+// Caller holds d.mu.
+func (d *Dispatcher) rebindLocked() ([]netapi.Closer, error) {
+	type spec struct {
+		color  automata.Color
+		points []entryPoint
+	}
+	needed := map[string]*spec{}
+	for _, dep := range d.deployed {
+		init := dep.compiled.Program[0]
+		for proto, color := range dep.compiled.Entries {
+			key := color.Key()
+			s := needed[key]
+			if s == nil {
+				s = &spec{color: color}
+				needed[key] = s
+			}
+			s.points = append(s.points, entryPoint{
+				dep:       dep,
+				proto:     proto,
+				initiator: proto == init.Protocol,
+				initMsg:   init.Message,
+			})
+		}
+	}
+	for _, s := range needed {
+		sort.Slice(s.points, func(i, j int) bool {
+			if s.points[i].dep.name != s.points[j].dep.name {
+				return s.points[i].dep.name < s.points[j].dep.name
+			}
+			return s.points[i].proto < s.points[j].proto
+		})
+	}
+
+	var stale []netapi.Closer
+	for key, l := range d.listeners {
+		if s, ok := needed[key]; ok {
+			l.points = s.points // refresh candidates on the kept binding
+			continue
+		}
+		stale = append(stale, l.closer)
+		delete(d.listeners, key)
+	}
+	for key, s := range needed {
+		if _, ok := d.listeners[key]; ok {
+			continue
+		}
+		l := &listener{color: s.color, points: s.points}
+		// A color carries one protocol's network semantics, so every
+		// candidate shares the framer; take it from the first.
+		framer := s.points[0].dep.compiled.Codecs[s.points[0].proto].Framer
+		key := key
+		closer, err := d.net.Listen(s.color, framer, func(data []byte, src netengine.Source) {
+			d.dispatch(key, data, src)
+		})
+		if err != nil {
+			return stale, fmt.Errorf("provision: binding %s: %w", s.color, err)
+		}
+		l.closer = closer
+		d.listeners[key] = l
+	}
+	return stale, nil
+}
+
+// closeAll closes stale engines and listeners outside the lock.
+// Listeners close first so no payload races a draining engine.
+func (d *Dispatcher) closeAll(deps []*deployment, listeners []netapi.Closer) {
+	for _, c := range listeners {
+		_ = c.Close()
+	}
+	for _, dep := range deps {
+		_ = dep.eng.Close()
+		d.logeach("provision: undeployed case %s", dep.name)
+	}
+}
+
+// dispatch classifies one inbound payload and hands it to the engine
+// of the case it belongs to:
+//
+//  1. the payload is trial-parsed with the candidate entry parsers
+//     (once per protocol — cases of one registry share specs, so the
+//     parse result is case-independent);
+//  2. cases whose initiator entry message matches win first — this is
+//     the request that opens a session;
+//  3. otherwise cases with a live session awaiting the message win
+//     (mid-session entry payloads, e.g. the description GET the
+//     bridge serves in reverse-UPnP cases);
+//  4. a payload matching several cases is dispatched to the
+//     lexicographically first case name — deterministic — and the
+//     ambiguity is counted and logged.
+func (d *Dispatcher) dispatch(colorKey string, data []byte, src netengine.Source) {
+	if d.egress.Contains(src.Addr) {
+		// Our own multicast request echoed back by the group: an
+		// opposite-direction case must not bridge it.
+		d.statsMu.Lock()
+		d.counters.Suppressed++
+		d.statsMu.Unlock()
+		return
+	}
+	d.mu.RLock()
+	l := d.listeners[colorKey]
+	if l == nil || d.closed {
+		d.mu.RUnlock()
+		return
+	}
+	points := l.points // rebind replaces the slice, never mutates it
+	d.mu.RUnlock()
+
+	type outcome struct {
+		msg *message.Message
+		ok  bool
+	}
+	parsed := map[string]outcome{}
+	parse := func(p entryPoint) outcome {
+		o, seen := parsed[p.proto]
+		if !seen {
+			m, err := p.dep.compiled.Codecs[p.proto].Parser.Parse(data)
+			o = outcome{msg: m, ok: err == nil}
+			parsed[p.proto] = o
+		}
+		return o
+	}
+
+	var matches []entryPoint
+	anyParsed := false
+	for _, p := range points {
+		o := parse(p)
+		if !o.ok {
+			continue
+		}
+		anyParsed = true
+		if p.initiator && o.msg.Name == p.initMsg {
+			matches = append(matches, p)
+		}
+	}
+	if len(matches) == 0 {
+		for _, p := range points {
+			if o := parse(p); o.ok && p.dep.eng.AwaitsEntry(p.proto, o.msg.Name, src.Addr.IP) {
+				matches = append(matches, p)
+			}
+		}
+	}
+	if len(matches) == 0 {
+		d.statsMu.Lock()
+		if anyParsed {
+			d.counters.Unroutable++
+		} else {
+			d.counters.ParseErrors++
+		}
+		d.statsMu.Unlock()
+		return
+	}
+	chosen := matches[0]
+	d.statsMu.Lock()
+	d.counters.Dispatched++
+	if len(matches) > 1 {
+		d.counters.Ambiguous++
+	}
+	d.statsMu.Unlock()
+	if len(matches) > 1 {
+		names := make([]string, len(matches))
+		for i, m := range matches {
+			names[i] = m.dep.name
+		}
+		d.logeach("provision: payload from %s on %s matches cases %s; dispatching to %s",
+			src.Addr, chosen.proto, strings.Join(names, ", "), chosen.dep.name)
+	}
+	chosen.dep.eng.Inject(chosen.proto, data, src)
+}
+
+// Cases lists the currently deployed case names, sorted.
+func (d *Dispatcher) Cases() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.deployed))
+	for n := range d.deployed {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Engine returns the live engine for a deployed case.
+func (d *Dispatcher) Engine(caseName string) (*engine.Engine, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	dep, ok := d.deployed[caseName]
+	if !ok {
+		return nil, false
+	}
+	return dep.eng, true
+}
+
+// Stats snapshots the per-case engine counters.
+func (d *Dispatcher) Stats() map[string]engine.Counters {
+	d.mu.RLock()
+	deps := make([]*deployment, 0, len(d.deployed))
+	for _, dep := range d.deployed {
+		deps = append(deps, dep)
+	}
+	d.mu.RUnlock()
+	out := make(map[string]engine.Counters, len(deps))
+	for _, dep := range deps {
+		out[dep.name] = dep.eng.Stats()
+	}
+	return out
+}
+
+// DispatchStats snapshots the classification counters.
+func (d *Dispatcher) DispatchStats() DispatchCounters {
+	d.statsMu.Lock()
+	defer d.statsMu.Unlock()
+	return d.counters
+}
+
+// Node returns the bridge host node.
+func (d *Dispatcher) Node() netapi.Node { return d.node }
+
+// Close undeploys everything: listeners first (stopping inflow), then
+// every engine, draining their sessions.
+func (d *Dispatcher) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	var deps []*deployment
+	var closers []netapi.Closer
+	for _, l := range d.listeners {
+		closers = append(closers, l.closer)
+	}
+	for _, dep := range d.deployed {
+		deps = append(deps, dep)
+	}
+	d.listeners = map[string]*listener{}
+	d.deployed = map[string]*deployment{}
+	d.mu.Unlock()
+	d.closeAll(deps, closers)
+	return nil
+}

@@ -1,0 +1,456 @@
+package provision
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"starlink/internal/composer"
+	"starlink/internal/message"
+	"starlink/internal/netapi"
+	"starlink/internal/parser"
+	"starlink/internal/protocols/dnssd"
+	"starlink/internal/protocols/slp"
+	"starlink/internal/protocols/upnp"
+	"starlink/internal/registry"
+	"starlink/internal/simnet"
+	"starlink/internal/xpath"
+)
+
+// fixturesDir is the shipped on-disk model set for the alternate
+// Fig. 4 case (examples/models).
+const fixturesDir = "../../examples/models"
+
+func builtin(t *testing.T) *registry.Registry {
+	t.Helper()
+	reg, err := registry.Builtin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// copyFixtures copies the shipped model fixtures into a fresh temp
+// directory and returns it.
+func copyFixtures(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	entries, err := os.ReadDir(fixturesDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(fixturesDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestClassify(t *testing.T) {
+	cases := map[string]DocKind{
+		`<MDL protocol="X">`:            KindMDL,
+		`  <Automaton protocol="X">`:    KindAutomaton,
+		`<MergedAutomaton name="x">`:    KindMerged,
+		`<?xml version="1.0"?><MDL x>`:  KindMDL,
+		`<Something>`:                   KindUnknown,
+		`plain text`:                    KindUnknown,
+		"\n\t<MergedAutomaton name=*>":  KindMerged,
+		`<?xml version="1.0"?><Banana>`: KindUnknown,
+	}
+	for doc, want := range cases {
+		if got := Classify(doc); got != want {
+			t.Errorf("Classify(%q) = %v, want %v", doc, got, want)
+		}
+	}
+}
+
+// TestLoadDirFixtures loads the shipped examples/models fixtures over
+// the builtins: the MDL copy must be an identity no-op, the alternate
+// automaton and case must apply, and reloading must change nothing.
+func TestLoadDirFixtures(t *testing.T) {
+	reg := builtin(t)
+	gen := reg.Generation()
+	res, err := LoadDir(reg, fixturesDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MDLs) != 0 || res.Unchanged != 1 {
+		t.Errorf("SLP MDL fixture should be identity with the builtin: %+v", res)
+	}
+	if len(res.Automata) != 1 || res.Automata[0] != "slp-server-alt" {
+		t.Errorf("automata applied = %v", res.Automata)
+	}
+	if len(res.Cases) != 1 || res.Cases[0] != "slp-to-upnp-alt" {
+		t.Errorf("cases applied = %v", res.Cases)
+	}
+	if reg.Generation() == gen {
+		t.Error("effective load must bump the generation")
+	}
+	if _, err := reg.Compiled("slp-to-upnp-alt"); err != nil {
+		t.Fatalf("alt case does not compile: %v", err)
+	}
+
+	// Loading a second time must be a complete no-op.
+	gen = reg.Generation()
+	res, err = LoadDir(reg, fixturesDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Changed() || res.Unchanged != 3 {
+		t.Errorf("reload should be all-unchanged: %+v", res)
+	}
+	if reg.Generation() != gen {
+		t.Error("no-op load must not bump the generation")
+	}
+}
+
+func TestLoadDirMissingAndBadDocs(t *testing.T) {
+	reg := builtin(t)
+	if res, err := LoadDir(reg, filepath.Join(t.TempDir(), "missing")); err != nil || res.Changed() {
+		t.Errorf("missing dir should load as empty, got %+v, %v", res, err)
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.xml"), []byte("<Banana/>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(reg, dir); err == nil || !strings.Contains(err.Error(), "bad.xml") {
+		t.Errorf("unclassifiable file should fail naming the file, got %v", err)
+	}
+}
+
+// TestDispatcherHostsAllCases is the multi-tenant core claim: one
+// dispatcher hosts all six builtin cases at once behind shared
+// listeners, an SLP lookup and a UPnP M-SEARCH each reach the right
+// case, and the deployment's own multicast requests are suppressed
+// rather than bridged back through the opposite-direction cases.
+func TestDispatcherHostsAllCases(t *testing.T) {
+	sim := simnet.New()
+	reg := builtin(t)
+	node, err := sim.NewNode("10.0.0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var lines []string
+	d := NewDispatcher(reg, node, WithLogf(func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, format)
+		mu.Unlock()
+	}))
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if got := d.Cases(); len(got) != 6 {
+		t.Fatalf("cases = %v", got)
+	}
+
+	devNode, err := sim.NewNode("10.0.0.7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dnssd.NewResponder(devNode, "printer.local", "service:printer://10.0.0.7:515"); err != nil {
+		t.Fatal(err)
+	}
+	cliNode, err := sim.NewNode("10.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	var urls []string
+	slp.NewUserAgent(cliNode, slp.WithConvergenceWait(time.Second)).
+		Lookup("service:printer", func(r slp.LookupResult) {
+			done = true
+			if r.Err != nil {
+				t.Error(r.Err)
+			}
+			urls = r.URLs
+		})
+	if err := sim.RunUntil(func() bool { return done }, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(urls) != 1 || urls[0] != "service:printer://10.0.0.7:515" {
+		t.Fatalf("urls = %v", urls)
+	}
+
+	// The SLP request was ambiguous between slp-to-bonjour and
+	// slp-to-upnp; the lexicographically first case must have won.
+	stats := d.Stats()
+	if stats["slp-to-bonjour"].Completed != 1 {
+		t.Errorf("slp-to-bonjour stats = %+v", stats["slp-to-bonjour"])
+	}
+	if stats["slp-to-upnp"].Completed != 0 {
+		t.Errorf("slp-to-upnp should not have bridged: %+v", stats["slp-to-upnp"])
+	}
+	dc := d.DispatchStats()
+	if dc.Ambiguous != 1 || dc.Dispatched != 1 {
+		t.Errorf("dispatch counters = %+v", dc)
+	}
+	// The bridge's own multicast DNSQuestion reached the shared mDNS
+	// listener and must have been suppressed, not bridged through
+	// bonjour-to-*.
+	if dc.Suppressed == 0 {
+		t.Errorf("expected egress suppression, counters = %+v", dc)
+	}
+	if stats["bonjour-to-slp"].Completed != 0 || stats["bonjour-to-upnp"].Completed != 0 {
+		t.Errorf("opposite-direction cases bridged our own request: %+v", stats)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	foundAmbig := false
+	for _, l := range lines {
+		if strings.Contains(l, "matches cases") {
+			foundAmbig = true
+		}
+	}
+	if !foundAmbig {
+		t.Errorf("ambiguous dispatch was not logged: %q", lines)
+	}
+}
+
+// TestDispatcherReverseCase drives a UPnP control point against the
+// hosted upnp-to-* cases: the M-SEARCH classifies on the shared SSDP
+// listener and the mid-session description GET classifies on the
+// shared HTTP listener via the awaiting-session probe.
+func TestDispatcherReverseCase(t *testing.T) {
+	sim := simnet.New()
+	reg := builtin(t)
+	node, err := sim.NewNode("10.0.0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDispatcher(reg, node)
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	devNode, err := sim.NewNode("10.0.0.7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dnssd.NewResponder(devNode, "printer.local", "service:printer://10.0.0.7:515"); err != nil {
+		t.Fatal(err)
+	}
+	cpNode, err := sim.NewNode("10.0.0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	upnp.NewControlPoint(cpNode).Discover("urn:printer", func(r upnp.DiscoverResult) {
+		done = true
+		if r.Err != nil {
+			t.Error(r.Err)
+		}
+	})
+	if err := sim.RunUntil(func() bool { return done }, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Stats()["upnp-to-bonjour"]; st.Completed != 1 {
+		t.Errorf("upnp-to-bonjour stats = %+v", st)
+	}
+}
+
+// slpUnicastLookup drives one raw SLP SrvRequest to addr and returns
+// the replied URL.
+func slpUnicastLookup(t *testing.T, sim *simnet.Net, reg *registry.Registry, cliNode netapi.Node, addr netapi.Addr) (string, bool) {
+	t.Helper()
+	spec, err := reg.Spec("SLP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := composer.New(spec, reg.Types(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := message.New("SLP", "SLPSrvRequest")
+	req.AddPrimitive("Version", "Integer", message.Int(2))
+	req.AddPrimitive("FunctionID", "Integer", message.Int(1))
+	req.AddPrimitive("XID", "Integer", message.Int(7))
+	req.AddPrimitive("LangTag", "String", message.Str("en"))
+	req.AddPrimitive("SRVType", "String", message.Str("service:printer"))
+	wire, err := comp.Compose(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := parser.New(spec, reg.Types())
+	if err != nil {
+		t.Fatal(err)
+	}
+	urlPath := xpath.MustCompile("/field/primitiveField[label='URLEntry']/value")
+	url := ""
+	done := false
+	sock, err := cliNode.OpenUDP(0, func(pkt netapi.Packet) {
+		reply, err := p.Parse(pkt.Data)
+		if err != nil {
+			t.Error(err)
+		} else if v, err := urlPath.Get(reply); err != nil {
+			t.Error(err)
+		} else {
+			url = v.Text()
+		}
+		done = true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sock.Close()
+	if err := sock.Send(addr, wire); err != nil {
+		t.Fatal(err)
+	}
+	_ = sim.RunUntil(func() bool { return done }, 5*time.Second)
+	return url, done
+}
+
+// TestDispatcherHotReload is the zero-restart provisioning loop: a
+// dispatcher hosting the six builtin cases picks up a seventh case
+// dropped into a watched model directory, deploys it without touching
+// the running six, bridges a session through it, and undeploys it when
+// the case is unloaded.
+func TestDispatcherHotReload(t *testing.T) {
+	sim := simnet.New()
+	reg := builtin(t)
+	node, err := sim.NewNode("10.0.0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDispatcher(reg, node)
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	before := map[string]any{}
+	for _, name := range d.Cases() {
+		eng, _ := d.Engine(name)
+		before[name] = eng
+	}
+
+	dir := copyFixtures(t)
+	w := NewWatcher(reg, dir, 0, func(LoadResult) {
+		if err := d.Sync(); err != nil {
+			t.Error(err)
+		}
+	}, nil)
+	if err := w.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Cases(); len(got) != 7 {
+		t.Fatalf("cases after reload = %v", got)
+	}
+	// The running six were not redeployed.
+	for name, eng := range before {
+		got, ok := d.Engine(name)
+		if !ok || any(got) != eng {
+			t.Errorf("case %s was redeployed by an unrelated hot load", name)
+		}
+	}
+
+	// The UPnP printer the new case chains to.
+	devNode, err := sim.NewNode("10.0.0.8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := upnp.NewDevice(devNode, "urn:printer", "http://10.0.0.8:5431/print", 5431); err != nil {
+		t.Fatal(err)
+	}
+	cliNode, err := sim.NewNode("10.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url, ok := slpUnicastLookup(t, sim, reg, cliNode, netapi.Addr{IP: "10.0.0.5", Port: 1427})
+	if !ok || url != "http://10.0.0.8:5431/print" {
+		t.Fatalf("hot-deployed case lookup: ok=%v url=%q", ok, url)
+	}
+
+	// Unload undeploys the case and unbinds its listener.
+	if err := reg.Unload("slp-to-upnp-alt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Cases(); len(got) != 6 {
+		t.Fatalf("cases after unload = %v", got)
+	}
+	if _, ok := d.Engine("slp-to-upnp-alt"); ok {
+		t.Error("unloaded case still has a live engine")
+	}
+	if _, ok := slpUnicastLookup(t, sim, reg, cliNode, netapi.Addr{IP: "10.0.0.5", Port: 1427}); ok {
+		t.Error("unbound entry endpoint still answered")
+	}
+}
+
+// TestWatcherPolling exercises the change-driven polling loop against
+// real files and a real ticker.
+func TestWatcherPolling(t *testing.T) {
+	reg := builtin(t)
+	dir := t.TempDir()
+	applied := make(chan LoadResult, 16)
+	w := NewWatcher(reg, dir, 5*time.Millisecond, func(res LoadResult) {
+		if res.Changed() {
+			applied <- res
+		}
+	}, nil)
+	w.Start()
+	defer w.Stop()
+
+	data, err := os.ReadFile(filepath.Join(fixturesDir, "slp-server-alt.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "slp-server-alt.xml"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-applied:
+		if len(res.Automata) != 1 || res.Automata[0] != "slp-server-alt" {
+			t.Errorf("applied = %+v", res)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watcher never picked up the new model file")
+	}
+	if _, err := reg.Automaton("slp-server-alt"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDispatcherExplicitCases checks the -case list path: only the
+// named cases deploy, and unknown names fail Sync.
+func TestDispatcherExplicitCases(t *testing.T) {
+	sim := simnet.New()
+	reg := builtin(t)
+	node, err := sim.NewNode("10.0.0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDispatcher(reg, node, WithCases("slp-to-upnp", "upnp-to-slp"))
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if got := d.Cases(); len(got) != 2 || got[0] != "slp-to-upnp" || got[1] != "upnp-to-slp" {
+		t.Fatalf("cases = %v", got)
+	}
+
+	node2, err := sim.NewNode("10.0.0.6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := NewDispatcher(reg, node2, WithCases("no-such-case"))
+	if err := d2.Sync(); err == nil || !strings.Contains(err.Error(), "no-such-case") {
+		t.Fatalf("unknown explicit case should fail Sync, got %v", err)
+	}
+	_ = d2.Close()
+}

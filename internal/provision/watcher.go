@@ -1,0 +1,163 @@
+package provision
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"starlink/internal/registry"
+)
+
+// fileStamp fingerprints one model file for change detection.
+type fileStamp struct {
+	size    int64
+	modTime time.Time
+}
+
+// Watcher keeps a registry synchronised with a model directory: it
+// polls the directory for changes (new, modified or touched files) and
+// re-runs LoadDir when anything moved, then invokes the onApply hook —
+// typically Dispatcher.Sync — so new cases deploy with zero restart.
+// Reload can also be driven directly (e.g. from a SIGHUP handler).
+type Watcher struct {
+	reg      *registry.Registry
+	dir      string
+	interval time.Duration
+	onApply  func(LoadResult)
+	logf     func(format string, args ...any)
+
+	mu     sync.Mutex // serialises Reload; guards stamps
+	stamps map[string]fileStamp
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	quit      chan struct{}
+	done      chan struct{}
+}
+
+// NewWatcher builds a watcher over dir. interval is the polling
+// period for Start (values <= 0 disable polling; Reload still works).
+// onApply, if non-nil, runs after every load — including no-op loads
+// triggered by Reload — with the load's result. logf, if non-nil,
+// receives progress and error lines.
+func NewWatcher(reg *registry.Registry, dir string, interval time.Duration, onApply func(LoadResult), logf func(format string, args ...any)) *Watcher {
+	return &Watcher{
+		reg:      reg,
+		dir:      dir,
+		interval: interval,
+		onApply:  onApply,
+		logf:     logf,
+		stamps:   map[string]fileStamp{},
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+func (w *Watcher) logeach(format string, args ...any) {
+	if w.logf != nil {
+		w.logf(format, args...)
+	}
+}
+
+// Reload fingerprints the directory and applies it to the registry
+// unconditionally, then runs the onApply hook. Unchanged files are
+// no-ops inside LoadDir, so a Reload with nothing new mutates nothing.
+// Safe for concurrent use.
+func (w *Watcher) Reload() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.reloadLocked()
+}
+
+func (w *Watcher) reloadLocked() error {
+	w.stamps = w.fingerprint()
+	res, err := LoadDir(w.reg, w.dir)
+	if res.Changed() {
+		w.logeach("provision: %s: %s", w.dir, res)
+	}
+	// Run the hook even when a file failed: LoadDir applies files up
+	// to the failure, and whatever did apply must still be synced to
+	// the deployments — otherwise the registry and the dispatcher
+	// silently diverge until the next file change.
+	if w.onApply != nil {
+		w.onApply(res)
+	}
+	return err
+}
+
+// fingerprint stamps every model file in the directory. A missing
+// directory fingerprints as empty.
+func (w *Watcher) fingerprint() map[string]fileStamp {
+	out := map[string]fileStamp{}
+	entries, err := os.ReadDir(w.dir)
+	if err != nil {
+		return out
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".xml") {
+			continue
+		}
+		info, err := os.Stat(filepath.Join(w.dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		out[e.Name()] = fileStamp{size: info.Size(), modTime: info.ModTime()}
+	}
+	return out
+}
+
+// changed reports whether the directory fingerprint differs from the
+// last applied one. Caller holds mu.
+func (w *Watcher) changedLocked() bool {
+	now := w.fingerprint()
+	if len(now) != len(w.stamps) {
+		return true
+	}
+	for name, st := range now {
+		if w.stamps[name] != st {
+			return true
+		}
+	}
+	return false
+}
+
+// Start launches the polling goroutine. It is a no-op when the
+// watcher was built with a non-positive interval.
+func (w *Watcher) Start() {
+	w.startOnce.Do(func() {
+		if w.interval <= 0 {
+			close(w.done)
+			return
+		}
+		go w.loop()
+	})
+}
+
+func (w *Watcher) loop() {
+	defer close(w.done)
+	t := time.NewTicker(w.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			w.mu.Lock()
+			if w.changedLocked() {
+				if err := w.reloadLocked(); err != nil {
+					w.logeach("provision: reload %s: %v", w.dir, err)
+				}
+			}
+			w.mu.Unlock()
+		case <-w.quit:
+			return
+		}
+	}
+}
+
+// Stop terminates the polling goroutine and waits for it to exit.
+func (w *Watcher) Stop() {
+	w.stopOnce.Do(func() { close(w.quit) })
+	w.Start() // ensure done is closed even if Start was never called
+	<-w.done
+}

@@ -1,10 +1,14 @@
 package registry
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
+	"starlink/internal/engine"
 	"starlink/internal/models"
+	"starlink/internal/simnet"
 )
 
 func TestBuiltinLoadsAllModels(t *testing.T) {
@@ -93,5 +97,251 @@ func TestModelSizes(t *testing.T) {
 			t.Errorf("%s: %d lines of XML, outside the paper's model-scale claim", name, lines)
 		}
 		t.Logf("%s: %d lines of XML", name, lines)
+	}
+}
+
+// altCaseDoc derives a distinct, valid merged-automaton document from
+// a builtin case by renaming it.
+func altCaseDoc(name string) string {
+	return strings.Replace(models.SLPToUPnP, `name="slp-to-upnp"`, `name="`+name+`"`, 1)
+}
+
+func TestReplaceUnloadGeneration(t *testing.T) {
+	r, err := Builtin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := r.Generation()
+
+	// Identity replace: no mutation, no generation bump (trailing
+	// whitespace must not count as change).
+	changed, err := r.ReplaceMerged(models.SLPToUPnP + "\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed || r.Generation() != gen {
+		t.Fatalf("identity replace mutated: changed=%v gen %d -> %d", changed, gen, r.Generation())
+	}
+
+	// New case via Replace: loads it.
+	changed, err = r.ReplaceMerged(altCaseDoc("alt-case"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed || r.Generation() == gen {
+		t.Fatal("effective replace must mutate and bump the generation")
+	}
+	c1, err := r.Compiled("alt-case")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2, _ := r.Compiled("alt-case"); c2 != c1 {
+		t.Error("unchanged case must return the cached CompiledCase pointer")
+	}
+
+	// Replacing a referenced automaton re-resolves dependents: the
+	// cached artifacts must be invalidated.
+	doc := models.Automata["slp-server"]
+	changed, err = r.ReplaceAutomaton("slp-server", doc+"\n<!-- touched -->")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("changed automaton doc should apply")
+	}
+	c3, err := r.Compiled("alt-case")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3 == c1 {
+		t.Error("automaton replace must invalidate dependent compiled cases")
+	}
+
+	// Unload removes the case and its cache entry.
+	if err := r.Unload("alt-case"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Merged("alt-case"); err == nil {
+		t.Error("unloaded case still resolves")
+	}
+	if _, err := r.Compiled("alt-case"); err == nil {
+		t.Error("unloaded case still compiles")
+	}
+	if err := r.Unload("alt-case"); err == nil {
+		t.Error("double unload should fail")
+	}
+}
+
+func TestCompiledCaseArtifacts(t *testing.T) {
+	r, err := Builtin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := r.Compiled("slp-to-upnp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Program) < 5 || c.Merged.Name != "slp-to-upnp" {
+		t.Fatalf("compiled artifacts incomplete: %+v", c)
+	}
+	if _, ok := c.Entries["SLP"]; !ok {
+		t.Errorf("entries = %v", c.Entries)
+	}
+	for _, proto := range []string{"SLP", "SSDP", "HTTP"} {
+		if c.Codecs[proto] == nil {
+			t.Errorf("missing codec for %s", proto)
+		}
+	}
+	// The compiled program is the merged automaton's memoized one: no
+	// recompilation happened to build the cache entry.
+	program, err := c.Merged.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &program[0] != &c.Program[0] {
+		t.Error("CompiledCase.Program is not the memoized program")
+	}
+}
+
+// TestConcurrentMutation hammers the registry from parallel goroutines
+// — loads, identity and effective replaces, unloads, compiled-cache
+// reads and engine deployments — and relies on the race detector to
+// catch unsynchronised access.
+func TestConcurrentMutation(t *testing.T) {
+	r, err := Builtin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := simnet.New()
+	const workers = 4
+	const iters = 50
+
+	var wg sync.WaitGroup
+	// Mutators: each owns a distinct case name, so loads/unloads
+	// interleave without stepping on each other's expectations.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("race-case-%d", w)
+			doc := altCaseDoc(name)
+			for i := 0; i < iters; i++ {
+				if _, err := r.ReplaceMerged(doc); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := r.Compiled(name); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := r.Unload(name); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Readers: list, resolve and compile the stable builtin cases.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				for _, name := range r.MergedNames() {
+					if strings.HasPrefix(name, "race-case") {
+						continue // may be mid-unload
+					}
+					if _, err := r.Compiled(name); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				_ = r.Protocols()
+				_ = r.AutomatonNames()
+				_ = r.Generation()
+			}
+		}()
+	}
+	// Deployers: build engines from the compiled cache in parallel
+	// with the mutators.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			node, err := sim.NewNode(fmt.Sprintf("10.0.9.%d", w+1))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < iters/2; i++ {
+				c, err := r.Compiled("slp-to-bonjour")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				eng, err := engine.New(node, c.Merged, c.Codecs)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := eng.StartManaged(); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := eng.Close(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestReplaceAutomatonFailedReresolve checks the consistency contract
+// when a replaced model breaks its dependents: the replace reports the
+// failing cases, bumps the generation, and the dependents keep serving
+// their previous (still-valid) models until a corrected document
+// converges the registry.
+func TestReplaceAutomatonFailedReresolve(t *testing.T) {
+	r, err := Builtin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := models.Automata["slp-server"]
+	// Valid standalone, but its state names no longer match the δ
+	// references of the slp-* cases.
+	broken := strings.ReplaceAll(good, "s0", "t0")
+	broken = strings.ReplaceAll(broken, "s1", "t1")
+
+	gen := r.Generation()
+	changed, err := r.ReplaceAutomaton("slp-server", broken)
+	if !changed || err == nil {
+		t.Fatalf("breaking replace: changed=%v err=%v", changed, err)
+	}
+	if !strings.Contains(err.Error(), "slp-to-upnp") || !strings.Contains(err.Error(), "slp-to-bonjour") {
+		t.Errorf("error should name every failing case, got: %v", err)
+	}
+	if r.Generation() == gen {
+		t.Error("failed re-resolve is still a mutation and must bump the generation")
+	}
+	// The dependent cases kept their previous models and still deploy.
+	c, err := r.Compiled("slp-to-upnp")
+	if err != nil {
+		t.Fatalf("dependent case stopped compiling after failed replace: %v", err)
+	}
+	if _, ok := c.Entries["SLP"]; !ok {
+		t.Errorf("stale-model entries = %v", c.Entries)
+	}
+
+	// Restoring the original document converges everything.
+	changed, err = r.ReplaceAutomaton("slp-server", good)
+	if !changed || err != nil {
+		t.Fatalf("restore: changed=%v err=%v", changed, err)
+	}
+	for _, name := range r.MergedNames() {
+		if _, err := r.Compiled(name); err != nil {
+			t.Errorf("%s does not compile after restore: %v", name, err)
+		}
 	}
 }

@@ -47,6 +47,7 @@ import (
 	"starlink/internal/core"
 	"starlink/internal/engine"
 	"starlink/internal/netapi"
+	"starlink/internal/provision"
 )
 
 // Framework is a Starlink deployment context: a model registry plus a
@@ -86,3 +87,30 @@ func WithVars(vars map[string]string) BridgeOption { return engine.WithVars(vars
 // sessions; initiator requests beyond the bound are rejected instead
 // of queued.
 func WithMaxSessions(n int) BridgeOption { return engine.WithMaxSessions(n) }
+
+// Dispatcher is a multi-case bridge deployment: one daemon hosting
+// every loaded case at once behind shared entry listeners, with
+// inbound payloads classified to the right case by trial-parsing
+// (see Framework.DeployDispatcher and internal/provision).
+type Dispatcher = provision.Dispatcher
+
+// DispatcherOption configures a deployed dispatcher.
+type DispatcherOption = provision.Option
+
+// WithEngineOptions passes bridge options to every engine a
+// dispatcher deploys.
+func WithEngineOptions(opts ...BridgeOption) DispatcherOption {
+	return provision.WithEngineOptions(opts...)
+}
+
+// WithSessionObserver registers a per-session callback tagged with the
+// case name that bridged the session.
+func WithSessionObserver(fn func(caseName string, s SessionStats)) DispatcherOption {
+	return provision.WithSessionObserver(fn)
+}
+
+// WithDispatchLogf routes dispatcher log lines (deploys, undeploys,
+// ambiguous payload classifications) to fn.
+func WithDispatchLogf(fn func(format string, args ...any)) DispatcherOption {
+	return provision.WithLogf(fn)
+}
