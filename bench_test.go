@@ -29,6 +29,7 @@ import (
 
 func benchNative(b *testing.B, proto string) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.RunNative(proto, int64(i+1)); err != nil {
 			b.Fatal(err)
@@ -46,6 +47,7 @@ func BenchmarkFig12aNativeUPnP(b *testing.B)    { benchNative(b, "UPnP") }
 
 func benchBridge(b *testing.B, caseName string) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.RunBridge(caseName, int64(i+1)); err != nil {
 			b.Fatal(err)
@@ -153,9 +155,13 @@ func BenchmarkParseSLPBinary(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := p.Parse(wire); err != nil {
+		// Steady-state parse: the message returns to the pool, as on
+		// the engine's session path.
+		msg, err := p.Parse(wire)
+		if err != nil {
 			b.Fatal(err)
 		}
+		msg.Release()
 	}
 }
 
@@ -178,9 +184,14 @@ func BenchmarkComposeSLPBinary(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.Compose(msg.Clone()); err != nil {
+		// Clone + release per iteration: compose mutates its message
+		// (rule and function fields), and on the engine path each
+		// composed message is session-owned and recycled.
+		cl := msg.Clone()
+		if _, err := c.Compose(cl); err != nil {
 			b.Fatal(err)
 		}
+		cl.Release()
 	}
 }
 
@@ -201,9 +212,11 @@ func BenchmarkParseSSDPText(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := p.Parse(wire); err != nil {
+		msg, err := p.Parse(wire)
+		if err != nil {
 			b.Fatal(err)
 		}
+		msg.Release()
 	}
 }
 
@@ -223,9 +236,11 @@ func BenchmarkParseHTTPXMLBody(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := p.Parse(wire); err != nil {
+		msg, err := p.Parse(wire)
+		if err != nil {
 			b.Fatal(err)
 		}
+		msg.Release()
 	}
 }
 
@@ -267,10 +282,11 @@ func BenchmarkTranslationApply(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out := message.New("SLP", "SLPSrvReply")
+		out := message.NewPooled("SLP", "SLPSrvReply")
 		if err := m.Logic.Apply(out, env, funcs); err != nil {
 			b.Fatal(err)
 		}
+		out.Release()
 	}
 }
 

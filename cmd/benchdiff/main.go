@@ -1,0 +1,70 @@
+// Command benchdiff compares two `go test -bench` output files the way
+// benchstat does — median deltas with Mann-Whitney significance — and
+// converts bench output into the JSON baseline format CI archives
+// (BENCH_PR3.json). No external dependencies, so it runs anywhere the
+// repo builds.
+//
+// Usage:
+//
+//	benchdiff old.txt new.txt     # benchstat-style comparison table
+//	benchdiff -json run.txt       # JSON summary baseline to stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"starlink/internal/bench"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "summarise one bench output file as JSON instead of comparing two")
+	alpha := flag.Float64("alpha", 0.05, "significance threshold for the Mann-Whitney test")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	parseFile := func(path string) []*bench.BenchSeries {
+		f, err := os.Open(path)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		series, err := bench.ParseBenchOutput(f)
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", path, err))
+		}
+		return series
+	}
+
+	if *jsonOut {
+		if flag.NArg() != 1 {
+			fail(fmt.Errorf("-json wants exactly one bench output file"))
+		}
+		series := parseFile(flag.Arg(0))
+		summaries := make([]bench.BenchSummary, 0, len(series))
+		for _, s := range series {
+			summaries = append(summaries, s.Summarise())
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(summaries); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff old.txt new.txt | benchdiff -json run.txt")
+		os.Exit(2)
+	}
+	rows := bench.CompareBenches(parseFile(flag.Arg(0)), parseFile(flag.Arg(1)))
+	if len(rows) == 0 {
+		fail(fmt.Errorf("no common benchmarks between %s and %s", flag.Arg(0), flag.Arg(1)))
+	}
+	fmt.Print(bench.FormatDiff(rows, *alpha))
+}

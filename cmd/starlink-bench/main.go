@@ -12,6 +12,10 @@
 //
 //	starlink-bench [-table a|b|both|p] [-iters 100] [-seed 1]
 //	               [-parallel-units 64] [-parallel-clients 16]
+//	               [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// The profile flags capture the run with runtime/pprof, so the Fig. 12
+// reproduction can be inspected directly with `go tool pprof`.
 package main
 
 import (
@@ -19,28 +23,65 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"starlink/internal/bench"
 )
 
 func main() {
+	// All work happens in run so its defers (CPU profile flush, memory
+	// profile write) execute on every path, including failures —
+	// os.Exit would skip them and truncate the profiles.
+	os.Exit(run())
+}
+
+func run() int {
 	table := flag.String("table", "both", "which table to run: a, b, both or p (parallel throughput)")
 	iters := flag.Int("iters", 100, "iterations per row (the paper used 100)")
 	seed := flag.Int64("seed", 1, "base RNG seed (results are deterministic per seed)")
 	punits := flag.Int("parallel-units", 64, "simulations driven by -table p")
 	pclients := flag.Int("parallel-clients", 16, "concurrent bridge sessions per simulation in -table p")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile of the run to this file")
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "starlink-bench:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "starlink-bench:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "starlink-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialise the final allocation statistics
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "starlink-bench:", err)
+			}
+		}()
+	}
+
 	if *table == "p" {
-		runParallel(*punits, *pclients, *seed)
-		return
+		return runParallel(*punits, *pclients, *seed)
 	}
 
 	if *table == "a" || *table == "both" {
 		natives, err := bench.RunTable12a(*iters, *seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "starlink-bench:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(bench.Table(
 			fmt.Sprintf("Fig. 12(a) — Response time measures for legacy discovery protocols (ms, %d runs)", *iters),
@@ -50,7 +91,7 @@ func main() {
 		bridges, err := bench.RunTable12b(*iters, *seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "starlink-bench:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(bench.Table(
 			fmt.Sprintf("Fig. 12(b) — Translation times of Starlink connectors (ms, %d runs)", *iters),
@@ -58,31 +99,33 @@ func main() {
 	}
 	if *table != "a" && *table != "b" && *table != "both" {
 		fmt.Fprintf(os.Stderr, "starlink-bench: unknown table %q (want a, b, both or p)\n", *table)
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
 // runParallel compares sequential against parallel session throughput
 // on the concurrent engine: the same units, first on one worker, then
 // on GOMAXPROCS workers.
-func runParallel(units, clients int, seed int64) {
+func runParallel(units, clients int, seed int64) int {
 	workers := runtime.GOMAXPROCS(0)
 	fmt.Printf("Parallel session throughput — %d simulations × %d concurrent bridge sessions\n", units, clients)
 	seq, err := bench.RunParallelSessions(units, clients, 1, seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "starlink-bench:", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("  sequential (1 worker):   %5d sessions in %8s  (%8.0f sessions/s)\n",
 		seq.Sessions, seq.Elapsed.Round(0), seq.PerSecond)
 	par, err := bench.RunParallelSessions(units, clients, workers, seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "starlink-bench:", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("  parallel (%2d workers):   %5d sessions in %8s  (%8.0f sessions/s)\n",
 		workers, par.Sessions, par.Elapsed.Round(0), par.PerSecond)
 	if seq.PerSecond > 0 {
 		fmt.Printf("  speedup: %.2fx (GOMAXPROCS=%d)\n", par.PerSecond/seq.PerSecond, workers)
 	}
+	return 0
 }

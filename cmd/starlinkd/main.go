@@ -183,8 +183,8 @@ func logStats(disp *provision.Dispatcher) {
 			n, st.Live, st.Completed, st.Failed, st.Rejected, st.Dropped, st.ParseErrors, st.Ignored)
 	}
 	dc := disp.DispatchStats()
-	fmt.Printf("starlinkd: dispatch: dispatched=%d ambiguous=%d suppressed=%d unroutable=%d parseErrs=%d\n",
-		dc.Dispatched, dc.Ambiguous, dc.Suppressed, dc.Unroutable, dc.ParseErrors)
+	fmt.Printf("starlinkd: dispatch: dispatched=%d ambiguous=%d suppressed=%d unroutable=%d parseErrs=%d fastpath=%d slowpath=%d\n",
+		dc.Dispatched, dc.Ambiguous, dc.Suppressed, dc.Unroutable, dc.ParseErrors, dc.FastPath, dc.SlowPath)
 }
 
 func fatal(err error) {

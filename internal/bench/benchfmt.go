@@ -1,0 +1,263 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the minimal benchstat workflow the repo needs
+// without external dependencies: parsing `go test -bench` output,
+// summarising repeated runs, and comparing two result sets with the
+// Mann-Whitney U test (the significance test benchstat itself uses).
+
+// BenchSeries collects the repeated measurements of one benchmark.
+type BenchSeries struct {
+	Name        string    `json:"name"`
+	NsPerOp     []float64 `json:"ns_per_op"`
+	BytesPerOp  []float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp []float64 `json:"allocs_per_op,omitempty"`
+}
+
+// BenchSummary is the per-benchmark digest stored in JSON baselines.
+type BenchSummary struct {
+	Name         string  `json:"name"`
+	N            int     `json:"n"`
+	NsMedian     float64 `json:"ns_per_op_median"`
+	NsMin        float64 `json:"ns_per_op_min"`
+	NsMax        float64 `json:"ns_per_op_max"`
+	AllocsMedian float64 `json:"allocs_per_op_median,omitempty"`
+	BytesMedian  float64 `json:"bytes_per_op_median,omitempty"`
+}
+
+// ParseBenchOutput reads `go test -bench` output and groups the
+// samples per benchmark name (the -count runs of one benchmark merge
+// into one series). The goroutine-count suffix (-8) is stripped so
+// files from machines with different GOMAXPROCS compare.
+func ParseBenchOutput(r io.Reader) ([]*BenchSeries, error) {
+	byName := map[string]*BenchSeries{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		s := byName[name]
+		if s == nil {
+			s = &BenchSeries{Name: name}
+			byName[name] = s
+			order = append(order, name)
+		}
+		// fields: name, iterations, value unit [value unit ...]
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.NsPerOp = append(s.NsPerOp, v)
+			case "B/op":
+				s.BytesPerOp = append(s.BytesPerOp, v)
+			case "allocs/op":
+				s.AllocsPerOp = append(s.AllocsPerOp, v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]*BenchSeries, 0, len(order))
+	for _, name := range order {
+		if len(byName[name].NsPerOp) > 0 {
+			out = append(out, byName[name])
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("bench: no benchmark lines found")
+	}
+	return out, nil
+}
+
+// Summarise digests a series for the JSON baseline.
+func (s *BenchSeries) Summarise() BenchSummary {
+	sum := BenchSummary{Name: s.Name, N: len(s.NsPerOp)}
+	sum.NsMedian = median(s.NsPerOp)
+	sum.NsMin, sum.NsMax = minMax(s.NsPerOp)
+	if len(s.AllocsPerOp) > 0 {
+		sum.AllocsMedian = median(s.AllocsPerOp)
+	}
+	if len(s.BytesPerOp) > 0 {
+		sum.BytesMedian = median(s.BytesPerOp)
+	}
+	return sum
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		lo, hi = math.Min(lo, x), math.Max(hi, x)
+	}
+	return lo, hi
+}
+
+// MannWhitneyP returns the two-sided p-value of the Mann-Whitney U
+// test for the hypothesis that a and b are drawn from the same
+// distribution, using the normal approximation with tie correction —
+// the same procedure benchstat applies for sample counts ≥ 8.
+func MannWhitneyP(a, b []float64) float64 {
+	n1, n2 := float64(len(a)), float64(len(b))
+	if n1 == 0 || n2 == 0 {
+		return 1
+	}
+	type obs struct {
+		v    float64
+		from int
+	}
+	all := make([]obs, 0, len(a)+len(b))
+	for _, v := range a {
+		all = append(all, obs{v, 0})
+	}
+	for _, v := range b {
+		all = append(all, obs{v, 1})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+	// Assign mid-ranks, accumulating the tie correction term.
+	ranks := make([]float64, len(all))
+	tieTerm := 0.0
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		t := float64(j - i)
+		tieTerm += t*t*t - t
+		i = j
+	}
+	r1 := 0.0
+	for i, o := range all {
+		if o.from == 0 {
+			r1 += ranks[i]
+		}
+	}
+	u1 := r1 - n1*(n1+1)/2
+	mu := n1 * n2 / 2
+	n := n1 + n2
+	sigma2 := n1 * n2 / 12 * ((n + 1) - tieTerm/(n*(n-1)))
+	if sigma2 <= 0 {
+		return 1 // all values tied: no evidence of difference
+	}
+	// Continuity correction.
+	z := (math.Abs(u1-mu) - 0.5) / math.Sqrt(sigma2)
+	if z < 0 {
+		z = 0
+	}
+	return math.Erfc(z / math.Sqrt2)
+}
+
+// DiffRow is one benchmark's old-vs-new comparison.
+type DiffRow struct {
+	Name      string
+	OldNs     float64
+	NewNs     float64
+	NsDelta   float64 // percent; negative is faster
+	NsP       float64
+	OldAllocs float64
+	NewAllocs float64
+	AllocsPct float64
+	AllocsP   float64
+	HasAllocs bool
+}
+
+// CompareBenches aligns two parsed result sets by benchmark name and
+// computes median deltas with significance.
+func CompareBenches(old, new []*BenchSeries) []DiffRow {
+	oldBy := map[string]*BenchSeries{}
+	for _, s := range old {
+		oldBy[s.Name] = s
+	}
+	var rows []DiffRow
+	for _, n := range new {
+		o, ok := oldBy[n.Name]
+		if !ok {
+			continue
+		}
+		row := DiffRow{
+			Name:  n.Name,
+			OldNs: median(o.NsPerOp),
+			NewNs: median(n.NsPerOp),
+			NsP:   MannWhitneyP(o.NsPerOp, n.NsPerOp),
+		}
+		if row.OldNs > 0 {
+			row.NsDelta = (row.NewNs - row.OldNs) / row.OldNs * 100
+		}
+		if len(o.AllocsPerOp) > 0 && len(n.AllocsPerOp) > 0 {
+			row.HasAllocs = true
+			row.OldAllocs = median(o.AllocsPerOp)
+			row.NewAllocs = median(n.AllocsPerOp)
+			row.AllocsP = MannWhitneyP(o.AllocsPerOp, n.AllocsPerOp)
+			if row.OldAllocs > 0 {
+				row.AllocsPct = (row.NewAllocs - row.OldAllocs) / row.OldAllocs * 100
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatDiff renders the comparison as a benchstat-style table. Rows
+// whose p-value exceeds alpha are marked not significant (~).
+func FormatDiff(rows []DiffRow, alpha float64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-44s %14s %14s %8s %7s\n", "name", "old", "new", "delta", "p")
+	mark := func(p float64) string {
+		if p <= alpha {
+			return ""
+		}
+		return " ~"
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-44s %12.0fns %12.0fns %+7.1f%% %6.3f%s\n",
+			r.Name+" (time)", r.OldNs, r.NewNs, r.NsDelta, r.NsP, mark(r.NsP))
+		if r.HasAllocs {
+			fmt.Fprintf(&sb, "%-44s %14.1f %14.1f %+7.1f%% %6.3f%s\n",
+				r.Name+" (allocs/op)", r.OldAllocs, r.NewAllocs, r.AllocsPct, r.AllocsP, mark(r.AllocsP))
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `
+goos: linux
+BenchmarkParse-8   	  100000	      5000 ns/op	    4000 B/op	      33 allocs/op
+BenchmarkParse-8   	  100000	      5100 ns/op	    4000 B/op	      33 allocs/op
+BenchmarkParse-8   	  100000	      4900 ns/op	    4000 B/op	      33 allocs/op
+BenchmarkCompose-8 	   50000	     21000 ns/op
+PASS
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	series, err := ParseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d, want 2", len(series))
+	}
+	p := series[0]
+	if p.Name != "BenchmarkParse" || len(p.NsPerOp) != 3 || len(p.AllocsPerOp) != 3 {
+		t.Errorf("parsed series = %+v", p)
+	}
+	if got := median(p.NsPerOp); got != 5000 {
+		t.Errorf("median ns = %v", got)
+	}
+	sum := p.Summarise()
+	if sum.N != 3 || sum.NsMin != 4900 || sum.NsMax != 5100 || sum.AllocsMedian != 33 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if _, err := ParseBenchOutput(strings.NewReader("no benches here")); err == nil {
+		t.Error("want error for empty input")
+	}
+}
+
+func TestMannWhitney(t *testing.T) {
+	a := []float64{10, 11, 10, 12, 11, 10, 11, 12, 10, 11}
+	b := []float64{20, 21, 20, 22, 21, 20, 21, 22, 20, 21}
+	if p := MannWhitneyP(a, b); p > 0.01 {
+		t.Errorf("clearly shifted samples: p = %v, want < 0.01", p)
+	}
+	if p := MannWhitneyP(a, a); p < 0.5 {
+		t.Errorf("identical samples: p = %v, want ~1", p)
+	}
+	if p := MannWhitneyP(nil, b); p != 1 {
+		t.Errorf("empty sample: p = %v, want 1", p)
+	}
+}
+
+func TestCompareAndFormat(t *testing.T) {
+	old := []*BenchSeries{{
+		Name:        "BenchmarkX",
+		NsPerOp:     []float64{100, 102, 98, 101, 99, 100, 101, 99, 100, 102},
+		AllocsPerOp: []float64{30, 30, 30, 30, 30, 30, 30, 30, 30, 30},
+	}}
+	new := []*BenchSeries{{
+		Name:        "BenchmarkX",
+		NsPerOp:     []float64{50, 52, 48, 51, 49, 50, 51, 49, 50, 52},
+		AllocsPerOp: []float64{10, 10, 10, 10, 10, 10, 10, 10, 10, 10},
+	}, {
+		Name:    "BenchmarkOnlyNew",
+		NsPerOp: []float64{1},
+	}}
+	rows := CompareBenches(old, new)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1 (unmatched benches drop)", len(rows))
+	}
+	r := rows[0]
+	if r.NsDelta > -45 || r.NsP > 0.05 {
+		t.Errorf("ns comparison = %+v", r)
+	}
+	if !r.HasAllocs || r.AllocsPct > -60 || r.AllocsP > 0.05 {
+		t.Errorf("allocs comparison = %+v", r)
+	}
+	out := FormatDiff(rows, 0.05)
+	if !strings.Contains(out, "BenchmarkX (allocs/op)") || strings.Contains(out, "~") {
+		t.Errorf("formatted output:\n%s", out)
+	}
+}

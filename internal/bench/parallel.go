@@ -39,10 +39,11 @@ func RunParallelUnit(clients int, seed int64) (int, error) {
 		return 0, fmt.Errorf("bench: clients must be in 1..200, got %d", clients)
 	}
 	sim := simnet.New(simnet.WithSeed(seed))
-	fw, err := core.New(sim)
+	reg, err := sharedRegistry()
 	if err != nil {
 		return 0, err
 	}
+	fw := core.NewWithRegistry(sim, reg)
 	bridge, err := fw.DeployBridge("10.0.0.5", "slp-to-bonjour")
 	if err != nil {
 		return 0, err

@@ -10,6 +10,7 @@ package bitio
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // ErrShortData is returned when a read runs past the end of input.
@@ -25,6 +26,13 @@ type Reader struct {
 // callers must not mutate it while reading.
 func NewReader(data []byte) *Reader {
 	return &Reader{data: data}
+}
+
+// Init (re)points the reader at data and rewinds it — the
+// allocation-free alternative to NewReader for value-embedded readers.
+func (r *Reader) Init(data []byte) {
+	r.data = data
+	r.pos = 0
 }
 
 // Pos returns the current absolute bit position.
@@ -43,6 +51,17 @@ func (r *Reader) ReadBits(n int) (uint64, error) {
 	}
 	if r.Remaining() < n {
 		return 0, fmt.Errorf("%w: need %d bits, have %d", ErrShortData, n, r.Remaining())
+	}
+	// Byte-aligned whole-byte reads are the overwhelmingly common case
+	// (MDL fields are usually 8/16/24/32 bits on byte boundaries).
+	if r.pos%8 == 0 && n%8 == 0 {
+		var v uint64
+		start := r.pos / 8
+		for i := 0; i < n/8; i++ {
+			v = v<<8 | uint64(r.data[start+i])
+		}
+		r.pos += n
+		return v, nil
 	}
 	var v uint64
 	for i := 0; i < n; i++ {
@@ -110,6 +129,31 @@ type Writer struct {
 // NewWriter returns an empty Writer.
 func NewWriter() *Writer { return &Writer{} }
 
+var writerPool = sync.Pool{New: func() any { return new(Writer) }}
+
+// AcquireWriter returns an empty Writer from the pool; pair with
+// ReleaseWriter. Pooled writers keep their grown buffers, so composers
+// on the steady-state path stop paying per-message buffer growth.
+func AcquireWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	return w
+}
+
+// ReleaseWriter resets w and returns it to the pool. The caller must
+// not use w (or retain slices from a previous Bytes call's copy — those
+// are safe, being copies) afterwards.
+func ReleaseWriter(w *Writer) {
+	w.Reset()
+	writerPool.Put(w)
+}
+
+// Reset rewinds the writer, keeping the allocated buffer.
+func (w *Writer) Reset() {
+	w.data = w.data[:0]
+	w.pos = 0
+}
+
 // Len returns the number of bits written so far.
 func (w *Writer) Len() int { return w.pos }
 
@@ -118,9 +162,22 @@ func (w *Writer) Aligned() bool { return w.pos%8 == 0 }
 
 func (w *Writer) grow(bits int) {
 	needBytes := (w.pos + bits + 7) / 8
-	for len(w.data) < needBytes {
-		w.data = append(w.data, 0)
+	if needBytes <= len(w.data) {
+		return
 	}
+	if needBytes <= cap(w.data) {
+		// Re-exposed capacity may hold stale bits from a previous use;
+		// zero it so unwritten padding bits stay zero.
+		old := len(w.data)
+		w.data = w.data[:needBytes]
+		for i := old; i < needBytes; i++ {
+			w.data[i] = 0
+		}
+		return
+	}
+	nd := make([]byte, needBytes, max(2*needBytes, 64))
+	copy(nd, w.data)
+	w.data = nd
 }
 
 // WriteBits writes the low n bits of v (1..64), most significant first.

@@ -19,7 +19,9 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 
 	"starlink/internal/bitio"
 	"starlink/internal/mdl"
@@ -27,11 +29,28 @@ import (
 	"starlink/internal/types"
 )
 
+// composePlan is the per-message compile-time layout knowledge: which
+// fields derive their value from another field's encoded size or a
+// group's element count. Built once at composer construction so the
+// per-message compose pass does no layout analysis.
+type composePlan struct {
+	// sizeOwners maps a size field label to the label of the variable
+	// field it measures; countOwners likewise for groups.
+	sizeOwners  map[string]string
+	countOwners map[string]string
+}
+
 // Composer serialises abstract messages under an MDL spec.
 type Composer struct {
 	spec  *mdl.Spec
 	types *types.Registry
 	funcs *types.FuncRegistry
+	// plans holds the precompiled layout per message definition.
+	plans map[string]*composePlan
+	// Text-dialect precompiled layout: the fixed (non-wildcard) header
+	// labels and the wildcard entry, if any.
+	textFixed map[string]bool
+	wildcard  *mdl.FieldDef
 }
 
 // New returns a composer for the specification. Nil registries use the
@@ -46,7 +65,24 @@ func New(spec *mdl.Spec, reg *types.Registry, funcs *types.FuncRegistry) (*Compo
 	if funcs == nil {
 		funcs = types.NewFuncRegistry()
 	}
-	return &Composer{spec: spec, types: reg, funcs: funcs}, nil
+	c := &Composer{spec: spec, types: reg, funcs: funcs, plans: map[string]*composePlan{}}
+	for _, def := range spec.Messages {
+		p := &composePlan{sizeOwners: map[string]string{}, countOwners: map[string]string{}}
+		indexOwners(spec.Header.Fields, p.sizeOwners, p.countOwners)
+		indexOwners(def.Fields, p.sizeOwners, p.countOwners)
+		c.plans[def.Name] = p
+	}
+	if spec.Dialect == mdl.DialectText {
+		c.textFixed = map[string]bool{}
+		for _, hf := range spec.Header.Fields {
+			if hf.Wildcard {
+				c.wildcard = hf
+				continue
+			}
+			c.textFixed[hf.Label] = true
+		}
+	}
+	return c, nil
 }
 
 // Spec returns the MDL specification the composer interprets.
@@ -89,10 +125,29 @@ type binaryCtx struct {
 	def     *mdl.MessageDef
 	w       *bitio.Writer
 	patches []patch
-	// sizeOwners maps a size field label to the label of the variable
-	// field it measures; countOwners likewise for groups.
-	sizeOwners  map[string]string
-	countOwners map[string]string
+	plan    *composePlan
+	// encCache memoizes variable-width field encodings within one
+	// compose: size fields measure their owned field before it is
+	// written, and f-length patches measure it after, so every variable
+	// field would otherwise be encoded twice. Lazily allocated.
+	encCache map[string][]byte
+}
+
+// encode returns the variable-width encoding of a field, memoized for
+// the duration of one compose.
+func (b *binaryCtx) encode(label string, f *message.Field) ([]byte, error) {
+	if raw, ok := b.encCache[label]; ok {
+		return raw, nil
+	}
+	raw, err := b.c.encodeValue(label, f, 0)
+	if err != nil {
+		return nil, err
+	}
+	if b.encCache == nil {
+		b.encCache = make(map[string][]byte, 8)
+	}
+	b.encCache[label] = raw
+	return raw, nil
 }
 
 // EncodedLength implements types.FuncContext.
@@ -102,7 +157,7 @@ func (b *binaryCtx) EncodedLength(label string) (int, error) {
 		// Unset measured fields encode as empty.
 		return 0, nil
 	}
-	raw, err := b.c.encodeValue(label, f, 0)
+	raw, err := b.encode(label, f)
 	if err != nil {
 		return 0, err
 	}
@@ -133,17 +188,29 @@ func (b *binaryCtx) Count(label string) (int, error) {
 	return len(f.Children), nil
 }
 
-func (c *Composer) composeBinary(msg *message.Message, def *mdl.MessageDef) ([]byte, error) {
-	ctx := &binaryCtx{
-		c:           c,
-		msg:         msg,
-		def:         def,
-		w:           bitio.NewWriter(),
-		sizeOwners:  map[string]string{},
-		countOwners: map[string]string{},
+var binCtxPool = sync.Pool{New: func() any { return new(binaryCtx) }}
+
+func acquireBinaryCtx() *binaryCtx {
+	ctx := binCtxPool.Get().(*binaryCtx)
+	ctx.w = bitio.AcquireWriter()
+	return ctx
+}
+
+func releaseBinaryCtx(ctx *binaryCtx) {
+	bitio.ReleaseWriter(ctx.w)
+	for k := range ctx.encCache {
+		delete(ctx.encCache, k)
 	}
-	indexOwners(c.spec.Header.Fields, ctx.sizeOwners, ctx.countOwners)
-	indexOwners(def.Fields, ctx.sizeOwners, ctx.countOwners)
+	patches := ctx.patches[:0]
+	cache := ctx.encCache
+	*ctx = binaryCtx{patches: patches, encCache: cache}
+	binCtxPool.Put(ctx)
+}
+
+func (c *Composer) composeBinary(msg *message.Message, def *mdl.MessageDef) ([]byte, error) {
+	ctx := acquireBinaryCtx()
+	defer releaseBinaryCtx(ctx)
+	ctx.c, ctx.msg, ctx.def, ctx.plan = c, msg, def, c.plans[def.Name]
 
 	if err := c.writeFields(ctx, c.spec.Header.Fields, msg, nil); err != nil {
 		return nil, fmt.Errorf("composer: %s header: %w", c.spec.Protocol, err)
@@ -170,11 +237,9 @@ func (c *Composer) composeBinary(msg *message.Message, def *mdl.MessageDef) ([]b
 		}
 		// Reflect the computed value back into the abstract message so
 		// parse(compose(m)) == m for function fields too.
-		msg.SetPath(p.label, message.Int(n))
-		if f, ok := msg.Field(p.label); ok {
-			f.Type = c.spec.TypeOf(p.label).TypeName
-			f.Length = p.bits
-		}
+		f := msg.SetPath(p.label, message.Int(n))
+		f.Type = c.spec.TypeOf(p.label).TypeName
+		f.Length = p.bits
 	}
 	return ctx.w.Bytes(), nil
 }
@@ -237,11 +302,11 @@ func (c *Composer) writeFields(ctx *binaryCtx, defs []*mdl.FieldDef, msg *messag
 		}
 
 		// Derived size/count fields: measured from the owned field.
-		if owned, isSize := ctx.sizeOwners[def.Label]; isSize && scope == nil {
+		if owned, isSize := ctx.plan.sizeOwners[def.Label]; isSize && scope == nil {
 			f, ok := lookup(owned)
 			var n int
 			if ok {
-				raw, err := c.encodeValue(owned, f, 0)
+				raw, err := ctx.encode(owned, f)
 				if err != nil {
 					return err
 				}
@@ -252,7 +317,7 @@ func (c *Composer) writeFields(ctx *binaryCtx, defs []*mdl.FieldDef, msg *messag
 			}
 			continue
 		}
-		if owned, isCount := ctx.countOwners[def.Label]; isCount && scope == nil {
+		if owned, isCount := ctx.plan.countOwners[def.Label]; isCount && scope == nil {
 			n := 0
 			if g, ok := lookup(owned); ok && g.IsStructured() {
 				n = len(g.Children)
@@ -303,7 +368,7 @@ func (c *Composer) writeFields(ctx *binaryCtx, defs []*mdl.FieldDef, msg *messag
 				msg.Add(f)
 			}
 		}
-		if err := c.writeField(ctx, def, td, f); err != nil {
+		if err := c.writeField(ctx, def, td, f, scope == nil); err != nil {
 			return err
 		}
 	}
@@ -336,15 +401,16 @@ func (c *Composer) writeIntField(ctx *binaryCtx, msg *message.Message, def *mdl.
 	if err := ctx.w.WriteBits(uint64(n), def.SizeBits); err != nil {
 		return fmt.Errorf("field %q: %w", def.Label, err)
 	}
-	msg.SetPath(def.Label, message.Int(n))
-	if f, ok := msg.Field(def.Label); ok {
-		f.Type = td.TypeName
-		f.Length = def.SizeBits
-	}
+	f := msg.SetPath(def.Label, message.Int(n))
+	f.Type = td.TypeName
+	f.Length = def.SizeBits
 	return nil
 }
 
-func (c *Composer) writeField(ctx *binaryCtx, def *mdl.FieldDef, td mdl.TypeDef, f *message.Field) error {
+// writeField serialises one field. cacheable marks top-level fields
+// whose variable-width encoding may be shared with the measurement
+// passes (group items repeat labels, so they must not hit the cache).
+func (c *Composer) writeField(ctx *binaryCtx, def *mdl.FieldDef, td mdl.TypeDef, f *message.Field, cacheable bool) error {
 	m, err := c.types.Lookup(td.TypeName)
 	if err != nil {
 		return fmt.Errorf("field %q: %w", def.Label, err)
@@ -377,7 +443,12 @@ func (c *Composer) writeField(ctx *binaryCtx, def *mdl.FieldDef, td mdl.TypeDef,
 		}
 		return nil
 	}
-	raw, err := c.encodeValue(def.Label, f, def.SizeBits)
+	var raw []byte
+	if cacheable && def.SizeBits == 0 {
+		raw, err = ctx.encode(def.Label, f)
+	} else {
+		raw, err = c.encodeValue(def.Label, f, def.SizeBits)
+	}
 	if err != nil {
 		return err
 	}
@@ -426,8 +497,8 @@ func coerceValue(v message.Value, want message.Kind) (message.Value, error) {
 	switch want {
 	case message.KindInt:
 		if s, ok := v.AsString(); ok {
-			var n int64
-			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil {
+			n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+			if err != nil {
 				return message.Value{}, fmt.Errorf("cannot coerce %q to integer", s)
 			}
 			return message.Int(n), nil
@@ -471,28 +542,26 @@ func zeroValue(td mdl.TypeDef, reg *types.Registry) message.Value {
 // Text dialect
 // ---------------------------------------------------------------------
 
+var textBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func (c *Composer) composeText(msg *message.Message, def *mdl.MessageDef) ([]byte, error) {
-	var buf bytes.Buffer
-	fixed := map[string]bool{}
-	var wildcard *mdl.FieldDef
+	buf := textBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer textBufPool.Put(buf)
+	fixed := c.textFixed
+	wildcard := c.wildcard
 	for _, hf := range c.spec.Header.Fields {
 		if hf.Wildcard {
-			wildcard = hf
 			continue
 		}
-		fixed[hf.Label] = true
 		f, ok := msg.Field(hf.Label)
-		var text string
 		if ok {
-			t, err := c.textValue(hf.Label, f)
-			if err != nil {
+			if err := c.writeTextValue(buf, hf.Label, f); err != nil {
 				return nil, err
 			}
-			text = t
 		} else if hf.Label == c.ruleLabelFor(def) {
-			text = def.Rule.Value
+			buf.WriteString(def.Rule.Value)
 		}
-		buf.WriteString(text)
 		buf.Write(hf.Delim)
 	}
 	if wildcard != nil {
@@ -503,7 +572,7 @@ func (c *Composer) composeText(msg *message.Message, def *mdl.MessageDef) ([]byt
 			if _, has := msg.Field("Content-Length"); !has {
 				if bf, ok := msg.Field("Body"); ok {
 					n := 0
-					if b, ok := bf.Value.AsBytes(); ok {
+					if b, ok := bf.Value.BytesView(); ok { // measuring only: no copy
 						n = len(b)
 					} else if s, ok := bf.Value.AsString(); ok {
 						n = len(s)
@@ -519,14 +588,12 @@ func (c *Composer) composeText(msg *message.Message, def *mdl.MessageDef) ([]byt
 			if fixed[f.Label] || f.Label == "Body" {
 				continue
 			}
-			text, err := c.textValue(f.Label, f)
-			if err != nil {
-				return nil, err
-			}
 			buf.WriteString(f.Label)
 			buf.WriteByte(wildcard.InnerSplit)
 			buf.WriteString(" ")
-			buf.WriteString(text)
+			if err := c.writeTextValue(buf, f.Label, f); err != nil {
+				return nil, err
+			}
 			buf.Write(wildcard.Delim)
 		}
 		buf.Write(wildcard.Delim) // blank line terminates the field run
@@ -534,7 +601,10 @@ func (c *Composer) composeText(msg *message.Message, def *mdl.MessageDef) ([]byt
 	switch def.Body {
 	case mdl.BodyRaw, mdl.BodyXML:
 		if f, ok := msg.Field("Body"); ok {
-			if b, ok := f.Value.AsBytes(); ok {
+			// BytesView: the buffer copies on Write, so the transient
+			// alias never outlives this call — no body-sized AsBytes
+			// copy per composed message.
+			if b, ok := f.Value.BytesView(); ok {
 				buf.Write(b)
 			} else if s, ok := f.Value.AsString(); ok {
 				buf.WriteString(s)
@@ -542,12 +612,36 @@ func (c *Composer) composeText(msg *message.Message, def *mdl.MessageDef) ([]byt
 		}
 	case mdl.BodyNone:
 	}
-	return buf.Bytes(), nil
+	// The buffer returns to the pool; hand the caller its own copy.
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out, nil
 }
 
 // ruleLabelFor returns the header label the message's rule constrains,
 // so composing can default it (e.g. Method=M-SEARCH).
 func (c *Composer) ruleLabelFor(def *mdl.MessageDef) string { return def.Rule.Field }
+
+// writeTextValue renders a field's text form straight into the compose
+// buffer: primitive values append via Value.AppendText into the
+// buffer's spare capacity, so integer headers (MX, Content-Length)
+// render without an intermediate string.
+func (c *Composer) writeTextValue(buf *bytes.Buffer, label string, f *message.Field) error {
+	if f.IsStructured() {
+		text, err := c.textValue(label, f)
+		if err != nil {
+			return err
+		}
+		buf.WriteString(text)
+		return nil
+	}
+	// Same unknown-type check textValue performs for structured fields.
+	if _, err := c.types.Lookup(c.spec.TypeOf(label).TypeName); err != nil {
+		return fmt.Errorf("field %q: %w", label, err)
+	}
+	buf.Write(f.Value.AppendText(buf.AvailableBuffer()))
+	return nil
+}
 
 func (c *Composer) textValue(label string, f *message.Field) (string, error) {
 	td := c.spec.TypeOf(label)

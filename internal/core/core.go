@@ -42,6 +42,16 @@ func NewEmpty(rt netapi.Runtime) *Framework {
 	return &Framework{reg: registry.New(), rt: rt}
 }
 
+// NewWithRegistry creates a framework on the runtime sharing an
+// existing model registry. The registry is runtime-independent (models
+// and codecs hold no sockets), so one registry — with its compiled-case
+// cache warm — can back any number of frameworks: daemons serving
+// several runtimes, tests, and steady-state benchmarks all skip
+// re-parsing and re-validating the model corpus.
+func NewWithRegistry(rt netapi.Runtime, reg *registry.Registry) *Framework {
+	return &Framework{reg: reg, rt: rt}
+}
+
 // Registry exposes the model registry for loading additional MDLs,
 // automata and merged automata at runtime.
 func (f *Framework) Registry() *registry.Registry { return f.reg }

@@ -541,6 +541,7 @@ func (e *Engine) ingest(job ingestJob) {
 		return
 	}
 	e.bump(&e.Ignored)
+	msg.Release() // never escaped this worker: recycle
 	e.tracker.WorkDone()
 }
 
@@ -566,6 +567,7 @@ func (e *Engine) openSession(job ingestJob, msg *message.Message) {
 				sh.mu.Unlock()
 				e.tracker.WorkDone()
 				e.bump(&e.Dropped)
+				msg.Release() // dropped before delivery: recycle
 			}
 			return
 		}
@@ -591,6 +593,7 @@ func (e *Engine) admitLocked(sh *tableShard, key string, seq uint64, msg *messag
 	if e.closed.Load() {
 		sh.mu.Unlock()
 		e.tracker.WorkDone()
+		msg.Release()
 		return
 	}
 	select {
@@ -599,6 +602,7 @@ func (e *Engine) admitLocked(sh *tableShard, key string, seq uint64, msg *messag
 		sh.mu.Unlock()
 		e.bump(&e.Rejected)
 		e.tracker.WorkDone()
+		msg.Release() // rejected before any session saw it: recycle
 		return
 	}
 	s := newSession(e, key, seq, msg, src)
@@ -622,12 +626,14 @@ func (e *Engine) enqueue(s *session, ev sessEvent) bool {
 	if sh.sessions[s.key] != s {
 		sh.mu.RUnlock()
 		e.tracker.WorkDone()
+		releaseEventMsg(ev)
 		return false
 	}
 	if len(s.inbox) >= inboxCap {
 		sh.mu.RUnlock()
 		e.tracker.WorkDone()
 		e.bump(&e.Dropped)
+		releaseEventMsg(ev)
 		return false
 	}
 	select {
@@ -638,7 +644,18 @@ func (e *Engine) enqueue(s *session, ev sessEvent) bool {
 		sh.mu.RUnlock()
 		e.tracker.WorkDone()
 		e.bump(&e.Dropped)
+		releaseEventMsg(ev)
 		return false
+	}
+}
+
+// releaseEventMsg recycles the parsed message of an event that was
+// never delivered. The enqueuer is the message's only holder on these
+// paths, so the pooled fast path keeps recycling under overload —
+// dropped payloads must not degrade into per-packet garbage.
+func releaseEventMsg(ev sessEvent) {
+	if ev.msg != nil {
+		ev.msg.Release()
 	}
 }
 
@@ -685,11 +702,12 @@ func (e *Engine) rerouteEntry(s *session, ev sessEvent) {
 		if s2 := e.table.findAwaiting(ev.proto, ev.msg.Name, ev.src.Addr.IP); s2 != nil && s2 != s {
 			ev.rerouted = true
 			e.tracker.WorkAdd()
-			e.enqueue(s2, ev)
+			e.enqueue(s2, ev) // on failure, enqueue recycles the message
 			return
 		}
 	}
 	e.bump(&e.Ignored)
+	releaseEventMsg(ev) // no session wanted it: recycle
 }
 
 // sessionDone finishes a session: it is called only from the session's

@@ -181,8 +181,14 @@ func (s *session) run() {
 func (s *session) drainAll() {
 	for {
 		select {
-		case <-s.inbox:
+		case ev := <-s.inbox:
 			s.e.tracker.WorkDone()
+			if ev.msg != nil {
+				// Undelivered entry messages were never stored in the
+				// (already recycled) history; this drain holds the last
+				// reference.
+				ev.msg.Release()
+			}
 		case <-s.timerCh:
 			s.e.tracker.WorkDone()
 		default:
@@ -299,13 +305,17 @@ func (s *session) runDelta(step merge.Step) error {
 // runSend builds, translates, composes and transmits a message.
 func (s *session) runSend(step merge.Step) error {
 	codec := s.e.codecs[step.Protocol]
-	out := message.New(step.Protocol, step.Message)
+	// Pooled: the composed message joins the session history and is
+	// recycled with it at cleanup.
+	out := message.NewPooled(step.Protocol, step.Message)
 	env := translation.Env{Lookup: s.lookup, Vars: s.e.vars}
 	if err := s.e.merged.Logic.Apply(out, env, s.e.tfuncs); err != nil {
+		out.Release() // never joined the history
 		return err
 	}
 	wire, err := codec.Composer.Compose(out)
 	if err != nil {
+		out.Release()
 		return err
 	}
 	s.store(out) // sent instances join the history (⇒ over sends)
@@ -404,6 +414,8 @@ func (s *session) clearWait() {
 func (s *session) deliver(proto string, msg *message.Message) {
 	if s.waitProto != proto || s.waitMsg != msg.Name {
 		s.e.bump(&s.e.Ignored)
+		// Freshly parsed on this goroutine and never stored: recycle.
+		msg.Release()
 		return
 	}
 	s.store(msg)
@@ -430,4 +442,15 @@ func (s *session) cleanup() {
 		_ = r.Close()
 	}
 	s.requesters = map[string]*netengine.Requester{}
+	// The session owns every message in its history (parsed inputs and
+	// composed outputs); nothing references them once the session ends,
+	// so the whole working set returns to the message pools here — the
+	// session boundary of the pooled fast path.
+	s.collected = nil
+	for name, h := range s.history {
+		for _, m := range h {
+			m.Release()
+		}
+		delete(s.history, name)
+	}
 }

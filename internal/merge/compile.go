@@ -82,6 +82,11 @@ func (s Step) String() string {
 func (m *Merged) Compile() ([]Step, error) {
 	m.compileOnce.Do(func() {
 		m.program, m.compileErr = m.compileProgram()
+		if m.compileErr == nil && m.Logic != nil {
+			// Steady-state sessions apply translation logic per send;
+			// build its per-target index here, at case-compile time.
+			m.Logic.Precompile()
+		}
 	})
 	return m.program, m.compileErr
 }

@@ -7,12 +7,34 @@
 // Abstract messages are the interface between the Starlink framework and
 // the underlying network messages: parsers produce them, the automata
 // engine manipulates them, and composers serialise them back to the wire.
+//
+// # Allocation discipline
+//
+// The bridge data path builds and discards one message tree per packet,
+// so the package keeps that traffic off the garbage collector:
+//
+//   - Message and Field objects come from sync.Pool arenas (NewPooled,
+//     NewField) and return to them through Release. Release is strictly
+//     owner-driven: whoever holds the last reference to a tree calls it
+//     exactly once, after which every node, value and BytesView aliasing
+//     it is invalid. Trees built with New / plain literals may be mixed
+//     in freely — Release feeds every node back to the pools regardless
+//     of origin.
+//   - Value.BytesView and Value.AppendText are the non-copying siblings
+//     of AsBytes and Text, for callers that only read transiently.
+//   - Path and SetPath split dotted paths ("LOCATION.port") at most
+//     once and delegate to PathParts/SetPathParts; callers resolving the
+//     same path repeatedly can pre-split it with SplitPath and use the
+//     parts forms directly. (The model-driven hot path addresses fields
+//     through precompiled xpath expressions instead.)
 package message
 
 import (
-	"fmt"
+	"encoding/hex"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // Kind enumerates the dynamic types a primitive field value can carry.
@@ -92,6 +114,17 @@ func (v Value) AsBytes() ([]byte, bool) {
 	return cp, true
 }
 
+// BytesView returns the bytes content without copying; ok is false if
+// the kind differs. The returned slice aliases the Value's backing
+// store: it must not be mutated, and it is invalid once the owning
+// message is Released. Use AsBytes when the bytes outlive the message.
+func (v Value) BytesView() ([]byte, bool) {
+	if v.kind != KindBytes {
+		return nil, false
+	}
+	return v.b, true
+}
+
 // AsBool returns the boolean content; ok is false if the kind differs.
 func (v Value) AsBool() (bool, bool) { return v.t, v.kind == KindBool }
 
@@ -101,11 +134,11 @@ func (v Value) AsBool() (bool, bool) { return v.t, v.kind == KindBool }
 func (v Value) Text() string {
 	switch v.kind {
 	case KindInt:
-		return fmt.Sprintf("%d", v.i)
+		return strconv.FormatInt(v.i, 10)
 	case KindString:
 		return v.s
 	case KindBytes:
-		return fmt.Sprintf("%x", v.b)
+		return hex.EncodeToString(v.b)
 	case KindBool:
 		if v.t {
 			return "true"
@@ -113,6 +146,27 @@ func (v Value) Text() string {
 		return "false"
 	default:
 		return ""
+	}
+}
+
+// AppendText appends the Text rendering of the value to dst and returns
+// the extended slice — the allocation-free sibling of Text for callers
+// that already own a buffer.
+func (v Value) AppendText(dst []byte) []byte {
+	switch v.kind {
+	case KindInt:
+		return strconv.AppendInt(dst, v.i, 10)
+	case KindString:
+		return append(dst, v.s...)
+	case KindBytes:
+		return hex.AppendEncode(dst, v.b)
+	case KindBool:
+		if v.t {
+			return append(dst, "true"...)
+		}
+		return append(dst, "false"...)
+	default:
+		return dst
 	}
 }
 
@@ -155,6 +209,23 @@ type Field struct {
 	Children []*Field
 }
 
+var fieldPool = sync.Pool{New: func() any { return new(Field) }}
+
+// NewField returns a zeroed Field from the pool. Fields added to a
+// message are returned to the pool by the message's Release.
+func NewField() *Field { return fieldPool.Get().(*Field) }
+
+// Release resets the field tree and returns every node to the pool.
+// The caller must hold the only reference; for fields inside a message
+// use the message's Release instead.
+func (f *Field) Release() {
+	for _, c := range f.Children {
+		c.Release()
+	}
+	*f = Field{}
+	fieldPool.Put(f)
+}
+
 // IsStructured reports whether f is a structured field.
 func (f *Field) IsStructured() bool { return f.Children != nil }
 
@@ -170,8 +241,10 @@ func (f *Field) Child(label string) (*Field, bool) {
 
 // Clone returns a deep copy of the field.
 func (f *Field) Clone() *Field {
-	cp := &Field{Label: f.Label, Type: f.Type, Length: f.Length, Mandatory: f.Mandatory, Value: f.Value}
+	cp := NewField()
+	cp.Label, cp.Type, cp.Length, cp.Mandatory, cp.Value = f.Label, f.Type, f.Length, f.Mandatory, f.Value
 	if f.Value.kind == KindBytes {
+		// One copy of the backing bytes so the clone cannot alias f.
 		cp.Value = Bytes(f.Value.b)
 	}
 	if f.Children != nil {
@@ -205,6 +278,12 @@ func (f *Field) Equal(o *Field) bool {
 	return true
 }
 
+// indexThreshold is the field count beyond which a message maintains a
+// label→position map. Below it, lookups scan the slice — cheaper than
+// allocating and maintaining a map for the small messages that dominate
+// bridge traffic.
+const indexThreshold = 8
+
 // Message is an abstract message: a named, ordered set of fields
 // belonging to a protocol. The paper writes msg.field for field
 // selection; that is the Field / Path methods here.
@@ -215,32 +294,85 @@ type Message struct {
 	// e.g. "SLPSrvRequest".
 	Name   string
 	fields []*Field
-	index  map[string]*Field
+	// index maps label → position in fields; nil until the message
+	// outgrows indexThreshold. Tracking positions (not pointers) makes
+	// replacement in Add O(1).
+	index  map[string]int
+	pooled bool
 }
+
+var messagePool = sync.Pool{New: func() any { return new(Message) }}
 
 // New creates an empty abstract message.
 func New(protocol, name string) *Message {
-	return &Message{Protocol: protocol, Name: name, index: make(map[string]*Field)}
+	return &Message{Protocol: protocol, Name: name}
+}
+
+// NewPooled creates an empty abstract message drawn from the pool.
+// Call Release when the tree is no longer referenced to recycle the
+// message, its fields and its internals.
+func NewPooled(protocol, name string) *Message {
+	m := messagePool.Get().(*Message)
+	m.Protocol, m.Name, m.pooled = protocol, name, true
+	return m
+}
+
+// Release returns the message and every field in it to the pools. The
+// caller must hold the last reference: after Release the message, its
+// fields, and any BytesView obtained from them are invalid. Safe to
+// call on messages built with New as well — their nodes feed the pools.
+func (m *Message) Release() {
+	for _, f := range m.fields {
+		f.Release()
+	}
+	pooled := m.pooled
+	fields := m.fields[:0]
+	index := m.index
+	for k := range index {
+		delete(index, k)
+	}
+	*m = Message{}
+	if pooled {
+		// Keep the field slice and index map capacity for the next user.
+		m.fields, m.index = fields, index
+		messagePool.Put(m)
+	}
 }
 
 // Add appends a field. Adding a field whose label already exists replaces
-// the previous field in place (labels are unique within a message).
-func (m *Message) Add(f *Field) {
+// the previous field in place (labels are unique within a message). The
+// displaced field, if any, is left to the garbage collector — callers
+// that know they hold its only reference should use Swap and Release it.
+func (m *Message) Add(f *Field) { m.Swap(f) }
+
+// Swap is Add returning the field the insertion displaced (nil when the
+// label was new). Owners that built the displaced field from the pool
+// can hand it back with Release.
+func (m *Message) Swap(f *Field) *Field {
 	if m.index == nil {
-		m.index = make(map[string]*Field)
-	}
-	if old, ok := m.index[f.Label]; ok {
 		for i, g := range m.fields {
-			if g == old {
+			if g.Label == f.Label {
 				m.fields[i] = f
-				break
+				return g
 			}
 		}
-		m.index[f.Label] = f
-		return
+		if len(m.fields) < indexThreshold {
+			m.fields = append(m.fields, f)
+			return nil
+		}
+		m.index = make(map[string]int, 2*indexThreshold)
+		for i, g := range m.fields {
+			m.index[g.Label] = i
+		}
 	}
+	if i, ok := m.index[f.Label]; ok {
+		old := m.fields[i]
+		m.fields[i] = f
+		return old
+	}
+	m.index[f.Label] = len(m.fields)
 	m.fields = append(m.fields, f)
-	m.index[f.Label] = f
+	return nil
 }
 
 // AddPrimitive is a convenience constructor for Add.
@@ -252,8 +384,19 @@ func (m *Message) AddPrimitive(label, typ string, v Value) *Field {
 
 // Field returns the top-level field with the given label.
 func (m *Message) Field(label string) (*Field, bool) {
-	f, ok := m.index[label]
-	return f, ok
+	if m.index != nil {
+		i, ok := m.index[label]
+		if !ok {
+			return nil, false
+		}
+		return m.fields[i], true
+	}
+	for _, f := range m.fields {
+		if f.Label == label {
+			return f, true
+		}
+	}
+	return nil, false
 }
 
 // Fields returns the fields in insertion order. The returned slice must
@@ -263,11 +406,24 @@ func (m *Message) Fields() []*Field { return m.fields }
 // Len returns the number of top-level fields.
 func (m *Message) Len() int { return len(m.fields) }
 
+// SplitPath splits a dotted path once, for reuse with PathParts and
+// SetPathParts. Precompile paths that are resolved repeatedly; the
+// split result is immutable and safe to share between goroutines.
+func SplitPath(path string) []string { return strings.Split(path, ".") }
+
 // Path selects a (possibly nested) field by dot-separated labels, the
 // msg.field operation of §III-A: "LOCATION.port" selects the primitive
 // port inside the structured LOCATION field.
 func (m *Message) Path(path string) (*Field, bool) {
-	parts := strings.Split(path, ".")
+	if !strings.Contains(path, ".") {
+		return m.Field(path)
+	}
+	return m.PathParts(strings.Split(path, "."))
+}
+
+// PathParts is Path over a precompiled (pre-split) dotted path. It does
+// no parsing or allocation.
+func (m *Message) PathParts(parts []string) (*Field, bool) {
 	f, ok := m.Field(parts[0])
 	if !ok {
 		return nil, false
@@ -284,16 +440,37 @@ func (m *Message) Path(path string) (*Field, bool) {
 // SetPath assigns a value to the (possibly nested) primitive field at
 // path, creating missing components as untyped primitives.
 func (m *Message) SetPath(path string, v Value) *Field {
-	parts := strings.Split(path, ".")
+	if !strings.Contains(path, ".") {
+		return m.setTop(path, v)
+	}
+	return m.SetPathParts(strings.Split(path, "."), v)
+}
+
+// setTop assigns a value to a top-level field, creating it if missing.
+func (m *Message) setTop(label string, v Value) *Field {
+	f, ok := m.Field(label)
+	if !ok {
+		f = NewField()
+		f.Label = label
+		m.Add(f)
+	}
+	f.Value = v
+	return f
+}
+
+// SetPathParts is SetPath over a precompiled (pre-split) dotted path.
+func (m *Message) SetPathParts(parts []string, v Value) *Field {
 	f, ok := m.Field(parts[0])
 	if !ok {
-		f = &Field{Label: parts[0]}
+		f = NewField()
+		f.Label = parts[0]
 		m.Add(f)
 	}
 	for _, p := range parts[1:] {
 		c, ok := f.Child(p)
 		if !ok {
-			c = &Field{Label: p}
+			c = NewField()
+			c.Label = p
 			if f.Children == nil {
 				f.Children = []*Field{}
 			}
@@ -342,7 +519,10 @@ func (m *Message) Equal(o *Message) bool {
 // String renders a compact single-line description for diagnostics.
 func (m *Message) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s/%s{", m.Protocol, m.Name)
+	b.WriteString(m.Protocol)
+	b.WriteByte('/')
+	b.WriteString(m.Name)
+	b.WriteByte('{')
 	for i, f := range m.fields {
 		if i > 0 {
 			b.WriteString(", ")
@@ -355,7 +535,8 @@ func (m *Message) String() string {
 
 func writeField(b *strings.Builder, f *Field) {
 	if f.IsStructured() {
-		fmt.Fprintf(b, "%s[", f.Label)
+		b.WriteString(f.Label)
+		b.WriteByte('[')
 		for i, c := range f.Children {
 			if i > 0 {
 				b.WriteString(", ")
@@ -365,7 +546,9 @@ func writeField(b *strings.Builder, f *Field) {
 		b.WriteString("]")
 		return
 	}
-	fmt.Fprintf(b, "%s=%s", f.Label, f.Value.Text())
+	b.WriteString(f.Label)
+	b.WriteByte('=')
+	b.WriteString(f.Value.Text())
 }
 
 // Labels returns the sorted labels of the top-level fields; useful in

@@ -3,7 +3,6 @@ package parser
 import (
 	"bytes"
 	"fmt"
-	"strconv"
 
 	"starlink/internal/mdl"
 )
@@ -91,23 +90,31 @@ func (f *Framer) frameText(buf []byte) (int, error) {
 		return 0, nil
 	}
 	headEnd := i + len(crlfcrlf)
-	// Look for a Content-Length line (case-insensitive) in the head.
+	// Look for a Content-Length line (case-insensitive) in the head,
+	// walking lines in place — this runs per stream read, so it must
+	// not allocate.
 	head := buf[:headEnd]
 	bodyLen := 0
-	for _, line := range bytes.Split(head, []byte("\r\n")) {
+	for len(head) > 0 {
+		var line []byte
+		if k := bytes.Index(head, crlfcrlf[:2]); k >= 0 {
+			line, head = head[:k], head[k+2:]
+		} else {
+			line, head = head, nil
+		}
 		j := bytes.IndexByte(line, ':')
 		if j < 0 {
 			continue
 		}
-		name := string(bytes.TrimSpace(line[:j]))
-		if !equalFold(name, "Content-Length") {
+		name := bytes.TrimSpace(line[:j])
+		if !equalFold(string(name), "Content-Length") {
 			continue
 		}
-		n, err := strconv.Atoi(string(bytes.TrimSpace(line[j+1:])))
-		if err != nil || n < 0 {
+		n, err := parseIntBytes(line[j+1:])
+		if err != nil || n < 0 || n > 1<<31-1 {
 			return 0, fmt.Errorf("parser: bad Content-Length %q", line)
 		}
-		bodyLen = n
+		bodyLen = int(n)
 		break
 	}
 	total := headEnd + bodyLen
@@ -117,6 +124,9 @@ func (f *Framer) frameText(buf []byte) (int, error) {
 	return total, nil
 }
 
+// equalFold compares ASCII case-insensitively. The string(name)
+// conversion at the call site does not allocate: the compiler sees the
+// argument never escapes.
 func equalFold(a, b string) bool {
 	if len(a) != len(b) {
 		return false

@@ -9,12 +9,21 @@ package parser
 import (
 	"bytes"
 	"fmt"
+	"strconv"
 
 	"starlink/internal/bitio"
 	"starlink/internal/mdl"
 	"starlink/internal/message"
 	"starlink/internal/types"
 )
+
+// newField builds a pooled primitive field. The field joins its
+// message's pool lifetime: the message's Release recycles it.
+func newField(label, typ string, length int, v message.Value) *message.Field {
+	f := message.NewField()
+	f.Label, f.Type, f.Length, f.Value = label, typ, length, v
+	return f
+}
 
 // Parser turns wire bytes into abstract messages under an MDL spec.
 type Parser struct {
@@ -38,6 +47,8 @@ func New(spec *mdl.Spec, reg *types.Registry) (*Parser, error) {
 func (p *Parser) Spec() *mdl.Spec { return p.spec }
 
 // Parse decodes one complete wire message into an abstract message.
+// The returned message comes from the message pool and never aliases
+// data; callers that fully consume it may hand it back with Release.
 func (p *Parser) Parse(data []byte) (*message.Message, error) {
 	switch p.spec.Dialect {
 	case mdl.DialectBinary:
@@ -54,9 +65,11 @@ func (p *Parser) Parse(data []byte) (*message.Message, error) {
 // ---------------------------------------------------------------------
 
 func (p *Parser) parseBinary(data []byte) (*message.Message, error) {
-	r := bitio.NewReader(data)
-	msg := message.New(p.spec.Protocol, "")
-	if err := p.parseBinaryFields(r, data, p.spec.Header.Fields, msg, nil); err != nil {
+	var r bitio.Reader
+	r.Init(data)
+	msg := message.NewPooled(p.spec.Protocol, "")
+	if err := p.parseBinaryFields(&r, data, p.spec.Header.Fields, msg, nil); err != nil {
+		msg.Release()
 		return nil, fmt.Errorf("parser: %s header: %w", p.spec.Protocol, err)
 	}
 	def, err := p.spec.SelectMessage(func(label string) (string, bool) {
@@ -67,10 +80,12 @@ func (p *Parser) parseBinary(data []byte) (*message.Message, error) {
 		return f.Value.Text(), true
 	})
 	if err != nil {
+		msg.Release()
 		return nil, err
 	}
 	msg.Name = def.Name
-	if err := p.parseBinaryFields(r, data, def.Fields, msg, nil); err != nil {
+	if err := p.parseBinaryFields(&r, data, def.Fields, msg, nil); err != nil {
+		msg.Release()
 		return nil, fmt.Errorf("parser: %s %s body: %w", p.spec.Protocol, def.Name, err)
 	}
 	p.markMandatory(msg, def)
@@ -119,9 +134,11 @@ func (p *Parser) parseBinaryFields(r *bitio.Reader, data []byte, defs []*mdl.Fie
 			if n < 0 || n > 1<<16 {
 				return fmt.Errorf("group %q count %d out of range", def.Label, n)
 			}
-			group := &message.Field{Label: def.Label, Type: "Group", Children: []*message.Field{}}
+			group := message.NewField()
+			group.Label, group.Type, group.Children = def.Label, "Group", []*message.Field{}
 			for i := int64(0); i < n; i++ {
-				item := &message.Field{Label: fmt.Sprintf("%d", i), Type: "GroupItem", Children: []*message.Field{}}
+				item := message.NewField()
+				item.Label, item.Type, item.Children = strconv.FormatInt(i, 10), "GroupItem", []*message.Field{}
 				if err := p.parseBinaryFields(r, data, def.Group, msg, item); err != nil {
 					return fmt.Errorf("group %q item %d: %w", def.Label, i, err)
 				}
@@ -177,7 +194,7 @@ func (p *Parser) parseBinaryFields(r *bitio.Reader, data []byte, defs []*mdl.Fie
 			if serr := r.Skip(n * 8); serr != nil {
 				return fmt.Errorf("field %q: %w", def.Label, serr)
 			}
-			f = &message.Field{Label: def.Label, Type: td.TypeName, Value: message.Str(name)}
+			f = newField(def.Label, td.TypeName, 0, message.Str(name))
 			err = nil
 		}
 		if err != nil {
@@ -196,14 +213,14 @@ func (p *Parser) parseFixed(r *bitio.Reader, def *mdl.FieldDef, td mdl.TypeDef, 
 		if err != nil {
 			return nil, fmt.Errorf("field %q: %w", def.Label, err)
 		}
-		return &message.Field{Label: def.Label, Type: td.TypeName, Length: bits, Value: message.Int(int64(v))}, nil
+		return newField(def.Label, td.TypeName, bits, message.Int(int64(v))), nil
 	}
 	if m.Kind() == message.KindBool && bits <= 64 {
 		v, err := r.ReadBits(bits)
 		if err != nil {
 			return nil, fmt.Errorf("field %q: %w", def.Label, err)
 		}
-		return &message.Field{Label: def.Label, Type: td.TypeName, Length: bits, Value: message.Bool(v != 0)}, nil
+		return newField(def.Label, td.TypeName, bits, message.Bool(v != 0)), nil
 	}
 	if bits%8 != 0 {
 		return nil, fmt.Errorf("field %q: non-integer type with unaligned width %d", def.Label, bits)
@@ -222,7 +239,7 @@ func (p *Parser) buildField(def *mdl.FieldDef, td mdl.TypeDef, m types.Marshalle
 	if err != nil {
 		return nil, fmt.Errorf("field %q: %w", def.Label, err)
 	}
-	f := &message.Field{Label: def.Label, Type: td.TypeName, Length: bits, Value: v}
+	f := newField(def.Label, td.TypeName, bits, v)
 	if sm, ok := m.(types.StructuredMarshaller); ok {
 		children, err := sm.Explode(v)
 		if err != nil {
@@ -238,13 +255,14 @@ func (p *Parser) buildField(def *mdl.FieldDef, td mdl.TypeDef, m types.Marshalle
 // ---------------------------------------------------------------------
 
 func (p *Parser) parseText(data []byte) (*message.Message, error) {
-	msg := message.New(p.spec.Protocol, "")
+	msg := message.NewPooled(p.spec.Protocol, "")
 	rest := data
 	var err error
 	for _, def := range p.spec.Header.Fields {
 		if def.Wildcard {
 			rest, err = p.parseWildcard(rest, def, msg)
 			if err != nil {
+				msg.Release()
 				return nil, fmt.Errorf("parser: %s wildcard: %w", p.spec.Protocol, err)
 			}
 			continue
@@ -252,10 +270,12 @@ func (p *Parser) parseText(data []byte) (*message.Message, error) {
 		var token []byte
 		token, rest, err = cutDelim(rest, def.Delim)
 		if err != nil {
+			msg.Release()
 			return nil, fmt.Errorf("parser: %s field %q: %w", p.spec.Protocol, def.Label, err)
 		}
-		f, err := p.textField(def.Label, string(token))
+		f, err := p.textField(def.Label, token)
 		if err != nil {
+			msg.Release()
 			return nil, fmt.Errorf("parser: %s: %w", p.spec.Protocol, err)
 		}
 		msg.Add(f)
@@ -268,18 +288,20 @@ func (p *Parser) parseText(data []byte) (*message.Message, error) {
 		return f.Value.Text(), true
 	})
 	if err != nil {
+		msg.Release()
 		return nil, err
 	}
 	msg.Name = def.Name
 	switch def.Body {
 	case mdl.BodyRaw:
-		msg.Add(&message.Field{Label: "Body", Type: "Bytes", Value: message.Bytes(rest)})
+		msg.Add(newField("Body", "Bytes", 0, message.Bytes(rest)))
 	case mdl.BodyXML:
 		if err := flattenXMLBody(rest, msg); err != nil {
+			msg.Release()
 			return nil, fmt.Errorf("parser: %s xml body: %w", p.spec.Protocol, err)
 		}
 		// Preserve the raw body so it can be recomposed verbatim.
-		msg.Add(&message.Field{Label: "Body", Type: "Bytes", Value: message.Bytes(rest)})
+		msg.Add(newField("Body", "Bytes", 0, message.Bytes(rest)))
 	case mdl.BodyNone:
 		// Trailing bytes after the blank line are ignored (some stacks
 		// pad datagrams).
@@ -310,7 +332,7 @@ func (p *Parser) parseWildcard(data []byte, def *mdl.FieldDef, msg *message.Mess
 			return nil, fmt.Errorf("line %q has no %q separator", line, string(def.InnerSplit))
 		}
 		label := string(bytes.TrimSpace(line[:i]))
-		value := string(bytes.TrimSpace(line[i+1:]))
+		value := bytes.TrimSpace(line[i+1:])
 		if label == "" {
 			return nil, fmt.Errorf("line %q has empty label", line)
 		}
@@ -318,13 +340,19 @@ func (p *Parser) parseWildcard(data []byte, def *mdl.FieldDef, msg *message.Mess
 		if ferr != nil {
 			return nil, ferr
 		}
-		msg.Add(f)
+		// A repeated header label replaces the earlier line; the parser
+		// owns the displaced pooled field, so recycle it.
+		if old := msg.Swap(f); old != nil {
+			old.Release()
+		}
 	}
 }
 
 // textField builds an abstract field from a text token using the
-// spec's type table (unknown labels default to String).
-func (p *Parser) textField(label, token string) (*message.Field, error) {
+// spec's type table (unknown labels default to String). token is
+// borrowed — marshallers copy what they keep — so the caller avoids a
+// string conversion per field.
+func (p *Parser) textField(label string, token []byte) (*message.Field, error) {
 	td := p.spec.TypeOf(label)
 	m, err := p.types.Lookup(td.TypeName)
 	if err != nil {
@@ -332,20 +360,21 @@ func (p *Parser) textField(label, token string) (*message.Field, error) {
 	}
 	var v message.Value
 	if m.Kind() == message.KindInt {
-		// Text integers arrive as decimal strings.
-		var n int64
-		if _, err := fmt.Sscanf(token, "%d", &n); err != nil {
+		// Text integers arrive as decimal strings; parsed in place so
+		// the borrowed token really does avoid a conversion.
+		n, err := parseIntBytes(token)
+		if err != nil {
 			return nil, fmt.Errorf("field %q: %q is not an integer", label, token)
 		}
 		v = message.Int(n)
 	} else {
 		var err error
-		v, err = m.Unmarshal([]byte(token), 0)
+		v, err = m.Unmarshal(token, 0)
 		if err != nil {
 			return nil, fmt.Errorf("field %q: %w", label, err)
 		}
 	}
-	f := &message.Field{Label: label, Type: td.TypeName, Value: v}
+	f := newField(label, td.TypeName, 0, v)
 	if sm, ok := m.(types.StructuredMarshaller); ok {
 		children, err := sm.Explode(v)
 		if err != nil {
@@ -354,6 +383,45 @@ func (p *Parser) textField(label, token string) (*message.Field, error) {
 		f.Children = children
 	}
 	return f, nil
+}
+
+// parseIntBytes is strconv.ParseInt(string(b), 10, 64) over a borrowed
+// byte slice, without the string conversion; leading/trailing ASCII
+// space is tolerated the way the strings.TrimSpace form was. The full
+// int64 range is representable, matching strconv exactly.
+func parseIntBytes(b []byte) (int64, error) {
+	b = bytes.TrimSpace(b)
+	neg := false
+	if len(b) > 0 && (b[0] == '-' || b[0] == '+') {
+		neg = b[0] == '-'
+		b = b[1:]
+	}
+	if len(b) == 0 {
+		return 0, fmt.Errorf("parser: empty integer")
+	}
+	// Accumulate unsigned against the sign-dependent cutoff so both
+	// MaxInt64 and MinInt64 parse exactly.
+	cutoff := uint64(1<<63 - 1)
+	if neg {
+		cutoff = 1 << 63
+	}
+	var n uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("parser: bad digit %q", c)
+		}
+		d := uint64(c - '0')
+		if n > (cutoff-d)/10 {
+			return 0, fmt.Errorf("parser: integer overflow")
+		}
+		n = n*10 + d
+	}
+	if neg {
+		// n <= 1<<63 here; two's-complement negation yields MinInt64
+		// for the n == 1<<63 boundary.
+		return -int64(n), nil
+	}
+	return int64(n), nil
 }
 
 // cutDelim splits data at the first occurrence of delim.

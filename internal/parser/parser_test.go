@@ -1,6 +1,7 @@
 package parser
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
@@ -184,6 +185,49 @@ func TestParseSSDPMSearch(t *testing.T) {
 	}
 	if f, _ := msg.Field("Method"); mustStr(t, f) != "M-SEARCH" {
 		t.Errorf("Method = %q", mustStr(t, f))
+	}
+}
+
+// TestParseTextIntegerStrict pins a deliberate strictness decision: an
+// Integer-typed text token with trailing junk ("3;ext") is a parse
+// error, not a best-effort 3. The fmt.Sscanf-based parser accepted the
+// leading digits silently; a protocol bridge should not guess at
+// malformed wire content.
+func TestParseTextIntegerStrict(t *testing.T) {
+	spec, err := mdl.ParseXMLString(ssdpMDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := "M-SEARCH * HTTP/1.1\r\n" +
+		"MX: 3;ext\r\n" +
+		"ST: urn:printer\r\n" +
+		"\r\n"
+	if _, err := p.Parse([]byte(wire)); err == nil {
+		t.Fatal("malformed integer token should fail the parse")
+	}
+}
+
+// TestParseIntBytesMatchesStrconv pins parseIntBytes against the
+// strconv behavior its doc comment claims, including the int64
+// boundaries.
+func TestParseIntBytesMatchesStrconv(t *testing.T) {
+	for _, s := range []string{
+		"0", "1", "-1", "+7", " 42 ", "9223372036854775807", "-9223372036854775808",
+		"9223372036854775808", "-9223372036854775809", "", " ", "+", "-", "3;ext", "1.5", "0x10",
+	} {
+		want, wantErr := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		got, gotErr := parseIntBytes([]byte(s))
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Errorf("parseIntBytes(%q) err = %v, strconv err = %v", s, gotErr, wantErr)
+			continue
+		}
+		if wantErr == nil && got != want {
+			t.Errorf("parseIntBytes(%q) = %d, strconv = %d", s, got, want)
+		}
 	}
 }
 

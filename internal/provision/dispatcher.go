@@ -43,6 +43,14 @@ func WithLogf(fn func(format string, args ...any)) Option {
 	return func(d *Dispatcher) { d.logf = fn }
 }
 
+// WithTrialParseOnly disables the signature-index fast path: every
+// payload is classified by trial-parsing against the candidate entry
+// parsers. For diagnostics, equivalence tests and benchmarking the two
+// classification paths against each other.
+func WithTrialParseOnly() Option {
+	return func(d *Dispatcher) { d.trialParseOnly = true }
+}
+
 // DispatchCounters snapshots the dispatcher's classification counters.
 type DispatchCounters struct {
 	// Dispatched counts payloads handed to an engine.
@@ -61,6 +69,13 @@ type DispatchCounters struct {
 	// hearing its own multicast requests. Re-bridging those through an
 	// opposite-direction case would loop traffic forever.
 	Suppressed int
+	// FastPath counts payloads classified by the signature index alone
+	// (a bounds check plus a byte comparison — no parsing).
+	FastPath int
+	// SlowPath counts payloads classified by trial-parsing, because a
+	// candidate protocol's signature was underivable or the fast path
+	// is disabled.
+	SlowPath int
 }
 
 // deployment is one hosted case: its engine plus the compiled
@@ -89,6 +104,11 @@ type listener struct {
 	color  automata.Color
 	closer netapi.Closer
 	points []entryPoint
+	// sigs maps each candidate protocol to its derived signature; sigOK
+	// is true when every candidate protocol has one, enabling the
+	// parse-free fast path. Rebuilt (never mutated) by rebindLocked.
+	sigs  map[string]*protoSignature
+	sigOK bool
 }
 
 // Dispatcher hosts every loaded (or explicitly selected) case of a
@@ -113,10 +133,11 @@ type Dispatcher struct {
 	// dispatch can suppress the deployment's own outbound requests.
 	egress *netengine.EgressTable
 
-	cases    []string // explicit case filter; nil hosts all
-	engOpts  []engine.Option
-	observer func(string, engine.SessionStats)
-	logf     func(format string, args ...any)
+	cases          []string // explicit case filter; nil hosts all
+	engOpts        []engine.Option
+	observer       func(string, engine.SessionStats)
+	logf           func(format string, args ...any)
+	trialParseOnly bool
 
 	mu        sync.RWMutex
 	deployed  map[string]*deployment
@@ -297,6 +318,7 @@ func (d *Dispatcher) rebindLocked() ([]netapi.Closer, error) {
 	for key, l := range d.listeners {
 		if s, ok := needed[key]; ok {
 			l.points = s.points // refresh candidates on the kept binding
+			l.sigs, l.sigOK = deriveSignatures(s.points)
 			continue
 		}
 		stale = append(stale, l.closer)
@@ -307,6 +329,7 @@ func (d *Dispatcher) rebindLocked() ([]netapi.Closer, error) {
 			continue
 		}
 		l := &listener{color: s.color, points: s.points}
+		l.sigs, l.sigOK = deriveSignatures(s.points)
 		// A color carries one protocol's network semantics, so every
 		// candidate shares the framer; take it from the first.
 		framer := s.points[0].dep.compiled.Codecs[s.points[0].proto].Framer
@@ -321,6 +344,25 @@ func (d *Dispatcher) rebindLocked() ([]netapi.Closer, error) {
 		d.listeners[key] = l
 	}
 	return stale, nil
+}
+
+// deriveSignatures derives the per-protocol signatures for a
+// listener's entry points. ok is true only when every candidate
+// protocol yields one — the precondition for the parse-free fast path.
+func deriveSignatures(points []entryPoint) (map[string]*protoSignature, bool) {
+	sigs := make(map[string]*protoSignature, 2)
+	ok := true
+	for _, p := range points {
+		if _, seen := sigs[p.proto]; seen {
+			continue
+		}
+		sig := deriveSignature(p.dep.compiled.Codecs[p.proto].Spec)
+		sigs[p.proto] = sig
+		if sig == nil {
+			ok = false
+		}
+	}
+	return sigs, ok
 }
 
 // closeAll closes stale engines and listeners outside the lock.
@@ -338,9 +380,12 @@ func (d *Dispatcher) closeAll(deps []*deployment, listeners []netapi.Closer) {
 // dispatch classifies one inbound payload and hands it to the engine
 // of the case it belongs to:
 //
-//  1. the payload is trial-parsed with the candidate entry parsers
-//     (once per protocol — cases of one registry share specs, so the
-//     parse result is case-independent);
+//  1. the payload is classified per candidate protocol — on the fast
+//     path by the signature index (a byte-prefix check derived from the
+//     MDL specs, no parsing), falling back to trial-parsing with the
+//     candidate entry parsers only when some candidate protocol has no
+//     derivable signature (once per protocol either way — cases of one
+//     registry share specs, so the result is case-independent);
 //  2. cases whose initiator entry message matches win first — this is
 //     the request that opens a session;
 //  3. otherwise cases with a live session awaiting the message win
@@ -349,6 +394,10 @@ func (d *Dispatcher) closeAll(deps []*deployment, listeners []netapi.Closer) {
 //  4. a payload matching several cases is dispatched to the
 //     lexicographically first case name — deterministic — and the
 //     ambiguity is counted and logged.
+//
+// Both paths implement the same decision procedure, so a payload
+// classifies identically on either; the only difference is that the
+// fast path defers body validation to the chosen engine's parser.
 func (d *Dispatcher) dispatch(colorKey string, data []byte, src netengine.Source) {
 	if d.egress.Contains(src.Addr) {
 		// Our own multicast request echoed back by the group: an
@@ -364,46 +413,27 @@ func (d *Dispatcher) dispatch(colorKey string, data []byte, src netengine.Source
 		d.mu.RUnlock()
 		return
 	}
-	points := l.points // rebind replaces the slice, never mutates it
+	// rebind replaces these, never mutates them in place.
+	points, sigs, sigOK := l.points, l.sigs, l.sigOK
 	d.mu.RUnlock()
 
-	type outcome struct {
-		msg *message.Message
-		ok  bool
-	}
-	parsed := map[string]outcome{}
-	parse := func(p entryPoint) outcome {
-		o, seen := parsed[p.proto]
-		if !seen {
-			m, err := p.dep.compiled.Codecs[p.proto].Parser.Parse(data)
-			o = outcome{msg: m, ok: err == nil}
-			parsed[p.proto] = o
-		}
-		return o
+	var matches []entryPoint
+	var anyClassified bool
+	fast := sigOK && !d.trialParseOnly
+	if fast {
+		matches, anyClassified = d.classifyFast(points, sigs, data, src.Addr.IP)
+	} else {
+		matches, anyClassified = d.classifySlow(points, data, src.Addr.IP)
 	}
 
-	var matches []entryPoint
-	anyParsed := false
-	for _, p := range points {
-		o := parse(p)
-		if !o.ok {
-			continue
-		}
-		anyParsed = true
-		if p.initiator && o.msg.Name == p.initMsg {
-			matches = append(matches, p)
-		}
+	d.statsMu.Lock()
+	if fast {
+		d.counters.FastPath++
+	} else {
+		d.counters.SlowPath++
 	}
 	if len(matches) == 0 {
-		for _, p := range points {
-			if o := parse(p); o.ok && p.dep.eng.AwaitsEntry(p.proto, o.msg.Name, src.Addr.IP) {
-				matches = append(matches, p)
-			}
-		}
-	}
-	if len(matches) == 0 {
-		d.statsMu.Lock()
-		if anyParsed {
+		if anyClassified {
 			d.counters.Unroutable++
 		} else {
 			d.counters.ParseErrors++
@@ -412,7 +442,6 @@ func (d *Dispatcher) dispatch(colorKey string, data []byte, src netengine.Source
 		return
 	}
 	chosen := matches[0]
-	d.statsMu.Lock()
 	d.counters.Dispatched++
 	if len(matches) > 1 {
 		d.counters.Ambiguous++
@@ -427,6 +456,99 @@ func (d *Dispatcher) dispatch(colorKey string, data []byte, src netengine.Source
 			src.Addr, chosen.proto, strings.Join(names, ", "), chosen.dep.name)
 	}
 	chosen.dep.eng.Inject(chosen.proto, data, src)
+}
+
+// classifyFast resolves the matching entry points from the signature
+// index alone: no parsing, no allocation beyond the match list.
+func (d *Dispatcher) classifyFast(points []entryPoint, sigs map[string]*protoSignature, data []byte, srcIP string) (matches []entryPoint, anyClassified bool) {
+	// Classification per protocol is memoized in a tiny linear cache —
+	// listeners host at most a handful of protocols.
+	type res struct {
+		proto string
+		name  string
+		ok    bool
+	}
+	var cache [4]res
+	nc := 0
+	classify := func(proto string) (string, bool) {
+		for i := 0; i < nc; i++ {
+			if cache[i].proto == proto {
+				return cache[i].name, cache[i].ok
+			}
+		}
+		name, ok := sigs[proto].Classify(data)
+		if nc < len(cache) {
+			cache[nc] = res{proto: proto, name: name, ok: ok}
+			nc++
+		}
+		return name, ok
+	}
+	for _, p := range points {
+		name, ok := classify(p.proto)
+		if !ok {
+			continue
+		}
+		anyClassified = true
+		if p.initiator && name == p.initMsg {
+			matches = append(matches, p)
+		}
+	}
+	if len(matches) == 0 {
+		for _, p := range points {
+			if name, ok := classify(p.proto); ok && p.dep.eng.AwaitsEntry(p.proto, name, srcIP) {
+				matches = append(matches, p)
+			}
+		}
+	}
+	return matches, anyClassified
+}
+
+// classifySlow resolves the matching entry points by trial-parsing the
+// payload with each candidate protocol's entry parser (once per
+// protocol). Parsed messages are classification scratch only — the
+// chosen engine re-parses from the raw payload — so they are recycled
+// before returning.
+func (d *Dispatcher) classifySlow(points []entryPoint, data []byte, srcIP string) (matches []entryPoint, anyParsed bool) {
+	type outcome struct {
+		msg *message.Message
+		ok  bool
+	}
+	parsed := map[string]outcome{}
+	parse := func(p entryPoint) outcome {
+		o, seen := parsed[p.proto]
+		if !seen {
+			m, err := p.dep.compiled.Codecs[p.proto].Parser.Parse(data)
+			o = outcome{msg: m, ok: err == nil}
+			parsed[p.proto] = o
+		}
+		return o
+	}
+	defer func() {
+		for _, o := range parsed {
+			if o.ok {
+				o.msg.Release()
+			}
+		}
+	}()
+
+	for _, p := range points {
+		o := parse(p)
+		if !o.ok {
+			continue
+		}
+		anyParsed = true
+		if p.initiator && o.msg.Name == p.initMsg {
+			matches = append(matches, p)
+		}
+	}
+	if len(matches) == 0 {
+		for _, p := range points {
+			if o := parse(p); o.ok && p.dep.eng.AwaitsEntry(p.proto, o.msg.Name, srcIP) {
+				matches = append(matches, p)
+			}
+		}
+	}
+	return matches, anyParsed
 }
 
 // Cases lists the currently deployed case names, sorted.

@@ -426,6 +426,45 @@ func TestWatcherPolling(t *testing.T) {
 	}
 }
 
+// TestWatcherRetriesFailedLoad pins the hot-reload retry contract: a
+// failed directory load must not record the fingerprint, so the next
+// poll retries even when no file size/mtime changed in the meantime.
+func TestWatcherRetriesFailedLoad(t *testing.T) {
+	reg := builtin(t)
+	dir := t.TempDir()
+	broken := filepath.Join(dir, "broken.xml")
+	if err := os.WriteFile(broken, []byte(`<MDL protocol="X">not xml`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w := NewWatcher(reg, dir, 0, nil, nil)
+	if err := w.Reload(); err == nil {
+		t.Fatal("broken model file should fail the load")
+	}
+	w.mu.Lock()
+	changed := w.changedLocked()
+	w.mu.Unlock()
+	if !changed {
+		t.Error("failed load must leave the directory marked changed so polling retries")
+	}
+	// Fixing the file makes the load succeed and record the state.
+	valid, err := os.ReadFile(filepath.Join(fixturesDir, "slp-server-alt.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(broken, valid, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	w.mu.Lock()
+	changed = w.changedLocked()
+	w.mu.Unlock()
+	if changed {
+		t.Error("successful load must record the fingerprint")
+	}
+}
+
 // TestDispatcherExplicitCases checks the -case list path: only the
 // named cases deploy, and unknown names fail Sync.
 func TestDispatcherExplicitCases(t *testing.T) {

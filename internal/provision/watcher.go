@@ -72,8 +72,14 @@ func (w *Watcher) Reload() error {
 }
 
 func (w *Watcher) reloadLocked() error {
-	w.stamps = w.fingerprint()
+	stamps := w.fingerprint()
 	res, err := LoadDir(w.reg, w.dir)
+	if err == nil {
+		// Record the fingerprint only after a successful load: a failed
+		// load (broken file, transient read error) must be retried on
+		// the next poll even if no size/mtime changes in the meantime.
+		w.stamps = stamps
+	}
 	if res.Changed() {
 		w.logeach("provision: %s: %s", w.dir, res)
 	}

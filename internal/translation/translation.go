@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 
 	"starlink/internal/message"
 	"starlink/internal/xpath"
@@ -77,6 +78,41 @@ func (a *Assignment) Validate(funcs *FuncRegistry) error {
 // of one merged automaton.
 type Logic struct {
 	Assignments []*Assignment
+
+	// compiled steady-state program: assignments grouped by target
+	// message, with literal constants pre-built as Values. Built once
+	// (Precompile / first Apply); Assignments must not be mutated after.
+	compileOnce sync.Once
+	byTarget    map[string][]compiledAssign
+}
+
+// compiledAssign is one assignment with its apply-time constants
+// resolved ahead of time.
+type compiledAssign struct {
+	a *Assignment
+	// constVal is the pre-built value for literal constants (no ${}
+	// references); constLit marks it valid.
+	constVal message.Value
+	constLit bool
+}
+
+// Precompile builds the per-target assignment index so steady-state
+// Apply calls do no scanning, no path parsing and no constant
+// re-expansion. Called by the case compiler (merge.Compile); safe and
+// cheap to call repeatedly.
+func (l *Logic) Precompile() {
+	l.compileOnce.Do(func() {
+		byTarget := make(map[string][]compiledAssign)
+		for _, a := range l.Assignments {
+			ca := compiledAssign{a: a}
+			if a.Const != nil && !strings.Contains(*a.Const, "${") {
+				ca.constVal = message.Str(*a.Const)
+				ca.constLit = true
+			}
+			byTarget[a.Target.Message] = append(byTarget[a.Target.Message], ca)
+		}
+		l.byTarget = byTarget
+	})
 }
 
 // ForTarget returns the assignments whose target is the named message.
@@ -115,17 +151,21 @@ type Env struct {
 // stored them); missing source *fields* are errors too, surfacing model
 // bugs rather than silently composing empty messages.
 func (l *Logic) Apply(target *message.Message, env Env, funcs *FuncRegistry) error {
-	for _, a := range l.ForTarget(target.Name) {
-		if err := applyOne(a, target, env, funcs); err != nil {
+	l.Precompile()
+	for _, ca := range l.byTarget[target.Name] {
+		if err := applyOne(ca, target, env, funcs); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func applyOne(a *Assignment, target *message.Message, env Env, funcs *FuncRegistry) error {
+func applyOne(ca compiledAssign, target *message.Message, env Env, funcs *FuncRegistry) error {
+	a := ca.a
 	var v message.Value
 	switch {
+	case ca.constLit:
+		v = ca.constVal
 	case a.Const != nil:
 		v = message.Str(expandVars(*a.Const, env.Vars))
 	default:
@@ -133,7 +173,7 @@ func applyOne(a *Assignment, target *message.Message, env Env, funcs *FuncRegist
 		if src == nil {
 			return fmt.Errorf("translation: %v: source message %q not stored", a.Target, a.Source.Message)
 		}
-		got, err := a.Source.Path.Get(src)
+		got, err := a.Source.Path.Eval(src)
 		if err != nil {
 			return fmt.Errorf("translation: %v: %w", a.Target, err)
 		}
@@ -379,7 +419,7 @@ func (a *Action) Resolve(lookup func(string) *message.Message) ([]message.Value,
 		if src == nil {
 			return nil, fmt.Errorf("translation: λ %s: message %q not stored", a.Name, arg.Message)
 		}
-		v, err := arg.Path.Get(src)
+		v, err := arg.Path.Eval(src)
 		if err != nil {
 			return nil, fmt.Errorf("translation: λ %s: %w", a.Name, err)
 		}

@@ -26,18 +26,23 @@ type Step struct {
 	Label string
 }
 
-// Path is a compiled XPath expression.
-type Path struct {
+// Compiled is a compiled XPath expression. Compiling happens once at
+// model-load / case-compile time; Eval/Get/Set on the steady-state
+// bridge path do no parsing and no allocation (on success).
+type Compiled struct {
 	raw   string
 	steps []Step
 }
+
+// Path is the historical name of Compiled, kept as an alias.
+type Path = Compiled
 
 // String returns the original expression.
 func (p *Path) String() string { return p.raw }
 
 // Compile parses an expression. It fails on any construct outside the
 // supported subset so model errors surface at load time, not mid-bridge.
-func Compile(expr string) (*Path, error) {
+func Compile(expr string) (*Compiled, error) {
 	raw := expr
 	expr = strings.TrimSpace(expr)
 	if !strings.HasPrefix(expr, "/") {
@@ -47,7 +52,7 @@ func Compile(expr string) (*Path, error) {
 	if len(parts) == 0 {
 		return nil, fmt.Errorf("xpath: %q is empty", raw)
 	}
-	p := &Path{raw: raw}
+	p := &Compiled{raw: raw}
 	for i, part := range parts {
 		step, err := parseStep(part)
 		if err != nil {
@@ -163,6 +168,10 @@ func (p *Path) Get(msg *message.Message) (message.Value, error) {
 	}
 	return f.Value, nil
 }
+
+// Eval reads the value the compiled path addresses — the steady-state
+// entry point: zero allocations on the success path.
+func (p *Compiled) Eval(msg *message.Message) (message.Value, error) { return p.Get(msg) }
 
 // Set writes a value at the path, creating intermediate fields as
 // needed so translation targets need not pre-exist in the outgoing

@@ -206,3 +206,36 @@ func TestQuickSetGetInverse(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCompiledEvalAllocs pins the steady-state contract: evaluating a
+// precompiled path against a message allocates nothing on success.
+func TestCompiledEvalAllocs(t *testing.T) {
+	msg := message.New("SSDP", "SSDPResponse")
+	msg.Add(&message.Field{Label: "LOCATION", Children: []*message.Field{
+		{Label: "address", Value: message.Str("10.0.0.7")},
+		{Label: "port", Value: message.Int(5431)},
+	}})
+	p := MustCompile("/field/structuredField[label='LOCATION']/primitiveField[label='port']/value")
+	v, err := p.Eval(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := v.AsInt(); n != 5431 {
+		t.Fatalf("Eval = %v", v)
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		if _, err := p.Eval(msg); err != nil {
+			t.Error(err)
+		}
+	}); got != 0 {
+		t.Errorf("Compiled.Eval allocates %.1f per run, want 0", got)
+	}
+	// Set over existing fields is allocation free too.
+	if got := testing.AllocsPerRun(100, func() {
+		if err := p.Set(msg, message.Int(80)); err != nil {
+			t.Error(err)
+		}
+	}); got != 0 {
+		t.Errorf("Compiled.Set allocates %.1f per run, want 0", got)
+	}
+}

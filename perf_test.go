@@ -1,0 +1,91 @@
+// Allocation-regression tests for the pooled message fast path: the
+// full parse → translate → compose round-trip of one bridged exchange
+// must stay within a pinned allocation budget, so creeping per-packet
+// garbage fails CI instead of surfacing as GC pressure under load.
+package starlink_test
+
+import (
+	"testing"
+
+	"starlink/internal/composer"
+	"starlink/internal/message"
+	"starlink/internal/parser"
+	"starlink/internal/registry"
+	"starlink/internal/translation"
+)
+
+// TestBridgeRoundTripAllocs drives the slp-to-upnp data path the way a
+// session does — parse the SLP request, apply the translation logic
+// for the SLP reply against the stored history, compose the reply —
+// with every message returned to the pools, and pins the steady-state
+// allocation count.
+func TestBridgeRoundTripAllocs(t *testing.T) {
+	reg, err := registry.Builtin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := reg.Compiled("slp-to-upnp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slpSpec, _ := reg.Spec("SLP")
+	p, err := parser.New(slpSpec, reg.Types())
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := composer.New(slpSpec, reg.Types(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The initiator request on the wire.
+	req := message.New("SLP", "SLPSrvRequest")
+	req.AddPrimitive("Version", "Integer", message.Int(2))
+	req.AddPrimitive("FunctionID", "Integer", message.Int(1))
+	req.AddPrimitive("XID", "Integer", message.Int(42))
+	req.AddPrimitive("LangTag", "String", message.Str("en"))
+	req.AddPrimitive("SRVType", "String", message.Str("service:printer"))
+	wire, err := comp.Compose(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mid-session HTTP OK whose URLBase feeds the reply.
+	httpOK := message.New("HTTP", "HTTPOk")
+	httpOK.AddPrimitive("URLBase", "String", message.Str("http://10.0.0.7:5431/svc"))
+
+	funcs := translation.NewFuncRegistry()
+	roundTrip := func() {
+		parsed, err := p.Parse(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := message.NewPooled("SLP", "SLPSrvReply")
+		env := translation.Env{Lookup: func(name string) *message.Message {
+			switch name {
+			case "SLPSrvRequest":
+				return parsed
+			case "HTTPOk":
+				return httpOK
+			}
+			return nil
+		}}
+		if err := c.Merged.Logic.Apply(out, env, funcs); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := comp.Compose(out); err != nil {
+			t.Fatal(err)
+		}
+		out.Release()
+		parsed.Release()
+	}
+	roundTrip() // warm the pools
+
+	// Budget: the measured steady state (~21 small allocations — value
+	// strings, translated content, the composed wire) plus slack for
+	// map-rehash jitter. The pre-PR pipeline spent several times this;
+	// a budget breach means per-packet garbage crept back in.
+	const budget = 40
+	if got := testing.AllocsPerRun(200, roundTrip); got > budget {
+		t.Errorf("bridge round-trip allocates %.1f per run, budget %d", got, budget)
+	}
+}

@@ -48,6 +48,7 @@ import (
 	"starlink/internal/engine"
 	"starlink/internal/netapi"
 	"starlink/internal/provision"
+	"starlink/internal/registry"
 )
 
 // Framework is a Starlink deployment context: a model registry plus a
@@ -57,6 +58,9 @@ type Framework = core.Framework
 // Bridge is a deployed interoperability connector executing one merged
 // automaton.
 type Bridge = core.Bridge
+
+// Registry is the mutable model store backing one or more frameworks.
+type Registry = registry.Registry
 
 // SessionStats summarises one bridged interaction (the paper's §VI
 // translation-time measurement is the Duration field).
@@ -75,6 +79,13 @@ func New(rt netapi.Runtime) (*Framework, error) { return core.New(rt) }
 // Framework.Registry to load your own MDL / automaton / merged
 // automaton XML at runtime.
 func NewEmpty(rt netapi.Runtime) *Framework { return core.NewEmpty(rt) }
+
+// NewWithRegistry creates a framework sharing an existing model
+// registry (and its warm compiled-case cache) — registries are
+// runtime-independent, so one model corpus can back many deployments.
+func NewWithRegistry(rt netapi.Runtime, reg *Registry) *Framework {
+	return core.NewWithRegistry(rt, reg)
+}
 
 // WithObserver registers a per-session callback on a deployed bridge.
 func WithObserver(fn func(SessionStats)) BridgeOption { return engine.WithObserver(fn) }
