@@ -14,6 +14,7 @@
 //	starlinkd [-case all | name,name,...] [-host 127.0.0.1] [-v]
 //	          [-models dir] [-models-poll 2s]
 //	          [-max-sessions 4096] [-stats-interval 30s]
+//	          [-drain-timeout 10s]
 //
 // -case selects the cases to host: "all" (the default) hosts every
 // loaded case, a comma-separated list hosts exactly those. -models
@@ -23,21 +24,29 @@
 // SIGHUP — so dropping a new case file into the directory deploys it
 // with zero restart. The daemon logs one line per bridged session
 // (with its case name), periodically logs per-case session stats plus
-// the dispatcher's classification counters, and runs until
-// interrupted.
+// the dispatcher's classification counters, and runs until signalled.
+//
+// On SIGTERM or SIGINT the daemon drains gracefully: no new sessions
+// are admitted (late initiator requests are refused and logged with
+// their ErrDraining reason), live sessions run to completion, and the
+// daemon exits once everything has drained or -drain-timeout has
+// elapsed, whichever comes first.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
-	"starlink"
+	"starlink/internal/engine"
+	"starlink/internal/netapi"
 	"starlink/internal/provision"
 	"starlink/internal/realnet"
 	"starlink/internal/registry"
@@ -51,6 +60,7 @@ func main() {
 	modelsPoll := flag.Duration("models-poll", 2*time.Second, "how often to poll -models for changes (0 disables polling; SIGHUP still reloads)")
 	maxSessions := flag.Int("max-sessions", 4096, "bound on concurrently live sessions per case")
 	statsInterval := flag.Duration("stats-interval", 30*time.Second, "how often to log per-case statistics (0 disables)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long a graceful shutdown waits for live sessions (0 closes immediately)")
 	flag.Parse()
 
 	if *maxSessions < 1 {
@@ -85,25 +95,37 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Cumulative session outcomes, counted by the observer so the
+	// final tally survives the dispatcher's teardown.
+	var total, failed atomic.Int64
 	opts := []provision.Option{
-		provision.WithEngineOptions(starlink.WithMaxSessions(*maxSessions)),
+		provision.WithEngineOptions(engine.WithMaxSessions(*maxSessions)),
 		provision.WithLogf(func(format string, args ...any) {
 			fmt.Printf("starlinkd: "+format+"\n", args...)
 		}),
-		provision.WithSessionObserver(func(caseName string, s starlink.SessionStats) {
-			if s.Err != nil {
-				fmt.Printf("starlinkd: [%s] session from %s FAILED after %s: %v\n", caseName, s.Origin, s.Duration, s.Err)
-				return
-			}
-			if *verbose {
-				fmt.Printf("starlinkd: [%s] session from %s bridged in %s\n", caseName, s.Origin, s.Duration)
-			}
+		provision.WithHooks(provision.Hooks{
+			SessionEnd: func(caseName string, s engine.SessionStats) {
+				if s.Err != nil {
+					failed.Add(1)
+					fmt.Printf("starlinkd: [%s] session from %s FAILED after %s: %v\n", caseName, s.Origin, s.Duration, s.Err)
+					return
+				}
+				total.Add(1)
+				if *verbose {
+					fmt.Printf("starlinkd: [%s] session from %s bridged in %s\n", caseName, s.Origin, s.Duration)
+				}
+			},
+			Dropped: func(caseName string, origin netapi.Addr, reason error) {
+				if *verbose {
+					fmt.Printf("starlinkd: [%s] dropped payload from %s: %v\n", caseName, origin, reason)
+				}
+			},
 		}),
 	}
 	if len(cases) > 0 {
 		opts = append(opts, provision.WithCases(cases...))
 	}
-	disp := provision.NewDispatcher(reg, node, opts...)
+	disp := provision.NewDispatcher(reg, node, append(opts, provision.WithOwnedNode())...)
 	if err := disp.Sync(); err != nil {
 		fatal(err)
 	}
@@ -158,14 +180,24 @@ func main() {
 		break
 	}
 	close(stop)
-	logStats(disp)
-	total := 0
-	failed := 0
+
+	// Graceful drain: stop admitting new sessions, let the live ones
+	// finish (bounded by -drain-timeout), then release everything.
+	live := 0
 	for _, st := range disp.Stats() {
-		total += st.Completed
-		failed += st.Failed
+		live += st.Live
 	}
-	fmt.Printf("starlinkd: %d sessions bridged, %d failed\n", total, failed)
+	if *drainTimeout > 0 && live > 0 {
+		fmt.Printf("starlinkd: draining %d live session(s) (up to %s)\n", live, *drainTimeout)
+	}
+	logStats(disp)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	err = disp.Shutdown(ctx)
+	cancel()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "starlinkd: drain:", err)
+	}
+	fmt.Printf("starlinkd: %d sessions bridged, %d failed\n", total.Load(), failed.Load())
 }
 
 // logStats prints per-case engine counters and the dispatcher's

@@ -12,12 +12,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
 	"starlink"
-	"starlink/internal/engine"
 	"starlink/internal/protocols/dnssd"
 	"starlink/internal/protocols/slp"
 	"starlink/internal/protocols/upnp"
@@ -59,17 +59,20 @@ func splitCase(c string) [2]string {
 
 // runCase deploys one bridge case and runs the matching legacy pair.
 func runCase(name string) (string, time.Duration, error) {
-	sim := simnet.New()
-	fw, err := starlink.New(sim)
+	rt := starlink.Simulated()
+	sim := rt.Backend().(*simnet.Net)
+	fw, err := starlink.New(rt)
 	if err != nil {
 		return "", 0, err
 	}
 	var translation time.Duration
-	bridge, err := fw.DeployBridge("10.0.0.5", name,
-		engine.WithObserver(func(s engine.SessionStats) {
-			if s.Err == nil && translation == 0 {
-				translation = s.Duration
-			}
+	bridge, err := fw.DeployBridge(context.Background(), "10.0.0.5", name,
+		starlink.WithObserver(starlink.Hooks{
+			SessionEnd: func(s starlink.SessionStats) {
+				if s.Err == nil && translation == 0 {
+					translation = s.Duration
+				}
+			},
 		}))
 	if err != nil {
 		return "", 0, err

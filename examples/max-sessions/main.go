@@ -3,10 +3,13 @@
 // service at once through a bridge bounded to two concurrent sessions.
 // Two clients are bridged; the other three are rejected (not queued)
 // and simply see their convergence window close empty — exactly what
-// an absent service looks like to a legacy SLP client.
+// an absent service looks like to a legacy SLP client. Each rejection
+// also reaches the observer as a drop tagged ErrOverloaded.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -17,13 +20,23 @@ import (
 )
 
 func main() {
-	sim := simnet.New()
-	fw, err := starlink.New(sim)
+	rt := starlink.Simulated()
+	sim := rt.Backend().(*simnet.Net)
+	fw, err := starlink.New(rt)
 	if err != nil {
 		panic(err)
 	}
-	bridge, err := fw.DeployBridge("10.0.0.5", "slp-to-bonjour",
-		starlink.WithMaxSessions(2))
+	overloadDrops := 0
+	bridge, err := fw.DeployBridge(context.Background(), "10.0.0.5", "slp-to-bonjour",
+		starlink.WithMaxSessions(2),
+		starlink.WithObserver(starlink.Hooks{
+			Drop: func(d starlink.Drop) {
+				if errors.Is(d.Reason, starlink.ErrOverloaded) {
+					overloadDrops++
+					fmt.Printf("observer: dropped %s: %v\n", d.Origin, d.Reason)
+				}
+			},
+		}))
 	if err != nil {
 		panic(err)
 	}
@@ -45,16 +58,15 @@ func main() {
 			}
 		})
 	}
-	if err := sim.RunUntil(func() bool { return done == 5 }, time.Minute); err != nil {
+	if err := rt.RunUntil(func() bool { return done == 5 }, time.Minute); err != nil {
 		panic(err)
 	}
 	sim.RunToQuiescence()
 
-	st := bridge.Engine.Stats()
+	m := bridge.Metrics()
 	fmt.Printf("5 concurrent clients, max 2 sessions: answered=%d rejected=%d completed=%d live=%d\n",
-		answered, st.Rejected, st.Completed, st.Live)
-	fmt.Printf("shard occupancy after drain: %v\n", bridge.Engine.ShardStats())
-	if answered != 2 || st.Rejected != 3 || st.Live != 0 {
+		answered, m.Sessions.Rejected, m.Sessions.Completed, m.Sessions.Live)
+	if answered != 2 || m.Sessions.Rejected != 3 || m.Sessions.Live != 0 || overloadDrops != 3 {
 		panic("unexpected outcome")
 	}
 	fmt.Println("overload degraded gracefully: excess clients rejected, none queued, nothing leaked")

@@ -5,15 +5,17 @@
 // actually meet. A single dispatcher hosts all six builtin cases at
 // once behind shared entry listeners (no port conflicts, no duplicate
 // deliveries, no loops between opposite-direction cases), classifies
-// each inbound payload by trial-parsing it against the candidate entry
-// parsers, and — when a seventh case is dropped into the model
-// directory as XML files — deploys it with zero restart and bridges a
-// session through it.
+// each inbound payload to the right case, and — when a seventh case is
+// dropped into the model directory as XML files — deploys it with zero
+// restart and bridges a session through it. At the end the dispatcher
+// drains gracefully: Shutdown(ctx) lets live sessions finish before
+// releasing everything.
 //
 // Run with: go run ./examples/provisioning
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -29,26 +31,37 @@ import (
 	"starlink/internal/protocols/slp"
 	"starlink/internal/protocols/upnp"
 	"starlink/internal/provision"
+	"starlink/internal/registry"
 	"starlink/internal/simnet"
 	"starlink/internal/xpath"
 )
 
 func main() {
-	sim := simnet.New()
-	fw, err := starlink.New(sim)
+	rt := starlink.Simulated()
+	sim := rt.Backend().(*simnet.Net)
+	fw, err := starlink.New(rt)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// One dispatcher hosts every loaded case on one bridge node.
-	disp, err := fw.DeployDispatcher("10.0.0.5", nil,
-		starlink.WithDispatchLogf(func(format string, args ...any) {
-			fmt.Printf("  "+format+"\n", args...)
-		}),
-		starlink.WithSessionObserver(func(caseName string, s starlink.SessionStats) {
-			if s.Err == nil {
-				fmt.Printf("  [%s] bridged a session from %s in %s\n", caseName, s.Origin, s.Duration)
-			}
+	// One dispatcher hosts every loaded case on one bridge node. One
+	// observer carries every signal: classifications (including
+	// ambiguities), deploys, and per-case sessions.
+	disp, err := fw.DeployDispatcher(context.Background(), "10.0.0.5", nil,
+		starlink.WithObserver(starlink.Hooks{
+			Classify: func(c starlink.Classification) {
+				if c.Ambiguous {
+					fmt.Printf("  %v\n", c.Err)
+				}
+			},
+			Deploy: func(e starlink.CaseEvent) {
+				fmt.Printf("  deployed %s (generation %d)\n", e.Case, e.Generation)
+			},
+			SessionEnd: func(s starlink.SessionStats) {
+				if s.Err == nil {
+					fmt.Printf("  [%s] bridged a session from %s in %s\n", s.Case, s.Origin, s.Duration)
+				}
+			},
 		}))
 	if err != nil {
 		log.Fatal(err)
@@ -74,8 +87,9 @@ func main() {
 
 	// A legacy SLP client looks up the printer. Its multicast request
 	// reaches the shared SLP listener, where TWO cases are candidates
-	// (slp-to-bonjour and slp-to-upnp): the dispatcher logs the
-	// ambiguity and routes deterministically.
+	// (slp-to-bonjour and slp-to-upnp): the observer reports the
+	// ambiguity (tagged ErrAmbiguousPayload) and the dispatcher routes
+	// deterministically.
 	cliNode, err := sim.NewNode("10.0.0.1")
 	if err != nil {
 		log.Fatal(err)
@@ -92,7 +106,7 @@ func main() {
 			fmt.Printf("  SLP client got: %s\n", u)
 		}
 	})
-	if err := sim.RunUntil(func() bool { return done }, time.Minute); err != nil {
+	if err := rt.RunUntil(func() bool { return done }, time.Minute); err != nil {
 		log.Fatal(err)
 	}
 
@@ -104,7 +118,8 @@ func main() {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
-	watcher := provision.NewWatcher(fw.Registry(), dir, 0, func(res provision.LoadResult) {
+	ireg := fw.Registry().Backend().(*registry.Registry)
+	watcher := provision.NewWatcher(ireg, dir, 0, func(res provision.LoadResult) {
 		if err := disp.Sync(); err != nil {
 			log.Fatal(err)
 		}
@@ -127,12 +142,11 @@ func main() {
 
 	// Drive the new case: a raw SLP SrvRequest sent unicast to the new
 	// entry endpoint, answered through SSDP + HTTP by the UPnP printer.
-	reg := fw.Registry()
-	spec, err := reg.Spec("SLP")
+	spec, err := ireg.Spec("SLP")
 	if err != nil {
 		log.Fatal(err)
 	}
-	comp, err := composer.New(spec, reg.Types(), nil)
+	comp, err := composer.New(spec, ireg.Types(), nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -146,7 +160,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	p, err := parser.New(spec, reg.Types())
+	p, err := parser.New(spec, ireg.Types())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -173,16 +187,27 @@ func main() {
 	if err := sock.Send(netapi.Addr{IP: "10.0.0.5", Port: 1427}, wire); err != nil {
 		log.Fatal(err)
 	}
-	if err := sim.RunUntil(func() bool { return altDone }, time.Minute); err != nil {
+	if err := rt.RunUntil(func() bool { return altDone }, time.Minute); err != nil {
 		log.Fatal(err)
 	}
 
-	dc := disp.DispatchStats()
+	m := disp.Metrics()
 	fmt.Printf("\ndispatch counters: dispatched=%d ambiguous=%d suppressed=%d unroutable=%d parseErrs=%d\n",
-		dc.Dispatched, dc.Ambiguous, dc.Suppressed, dc.Unroutable, dc.ParseErrors)
-	for name, st := range disp.Stats() {
+		m.Dispatch.Dispatched, m.Dispatch.Ambiguous, m.Dispatch.Suppressed,
+		m.Dispatch.Unroutable, m.Dispatch.ParseErrors)
+	for name, st := range m.Cases {
 		if st.Completed > 0 {
 			fmt.Printf("  [%s] completed=%d\n", name, st.Completed)
 		}
 	}
+
+	// Graceful teardown: drain instead of cutting sessions off. With
+	// nothing live this completes immediately; with live sessions it
+	// would let them finish (bounded by the context deadline).
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := disp.Shutdown(shutdownCtx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndispatcher drained and closed: state=%s\n", disp.State())
 }

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -25,16 +26,22 @@ import (
 )
 
 func main() {
-	sim := simnet.New()
+	rt := starlink.Simulated()
+	sim := rt.Backend().(*simnet.Net)
 
-	// Starlink: deploy the bridge from high-level models only.
-	fw, err := starlink.New(sim)
+	// Starlink: deploy the bridge from high-level models only. The
+	// context governs the bridge's lifetime: cancelling it undeploys.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fw, err := starlink.New(rt)
 	if err != nil {
 		log.Fatal(err)
 	}
-	bridge, err := fw.DeployBridge("10.0.0.5", "slp-to-bonjour",
-		starlink.WithObserver(func(s starlink.SessionStats) {
-			fmt.Printf("bridge: session from %s translated in %s\n", s.Origin, s.Duration)
+	bridge, err := fw.DeployBridge(ctx, "10.0.0.5", "slp-to-bonjour",
+		starlink.WithObserver(starlink.Hooks{
+			SessionEnd: func(s starlink.SessionStats) {
+				fmt.Printf("bridge: session from %s translated in %s\n", s.Origin, s.Duration)
+			},
 		}))
 	if err != nil {
 		log.Fatal(err)
@@ -68,8 +75,11 @@ func main() {
 		}
 	})
 
-	if err := sim.RunUntil(func() bool { return done }, time.Minute); err != nil {
+	if err := rt.RunUntil(func() bool { return done }, time.Minute); err != nil {
 		log.Fatal(err)
 	}
+	m := bridge.Metrics()
+	fmt.Printf("bridge metrics: state=%s completed=%d failed=%d\n",
+		m.State, m.Sessions.Completed, m.Sessions.Failed)
 	fmt.Println("interoperability achieved: an SLP request was answered by a Bonjour service")
 }

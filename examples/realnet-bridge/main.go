@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -21,22 +22,25 @@ import (
 )
 
 func main() {
-	rt := realnet.New()
+	rt := starlink.Loopback()
+	net := rt.Backend().(*realnet.Runtime)
 
 	fw, err := starlink.New(rt)
 	if err != nil {
 		log.Fatal(err)
 	}
-	bridge, err := fw.DeployBridge("127.0.0.1", "slp-to-bonjour",
-		starlink.WithObserver(func(s starlink.SessionStats) {
-			fmt.Printf("bridge: translated a session from %s in %s (real sockets)\n", s.Origin, s.Duration)
+	bridge, err := fw.DeployBridge(context.Background(), "127.0.0.1", "slp-to-bonjour",
+		starlink.WithObserver(starlink.Hooks{
+			SessionEnd: func(s starlink.SessionStats) {
+				fmt.Printf("bridge: translated a session from %s in %s (real sockets)\n", s.Origin, s.Duration)
+			},
 		}))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer bridge.Close()
 
-	svcNode, err := rt.NewNode("bonjour-service")
+	svcNode, err := net.NewNode("bonjour-service")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,7 +50,7 @@ func main() {
 	}
 	defer responder.Close()
 
-	cliNode, err := rt.NewNode("slp-client")
+	cliNode, err := net.NewNode("slp-client")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -42,14 +43,17 @@ func main() {
 	}
 	fmt.Println()
 
-	sim := simnet.New()
-	fw, err := starlink.New(sim)
+	rt := starlink.Simulated()
+	sim := rt.Backend().(*simnet.Net)
+	fw, err := starlink.New(rt)
 	if err != nil {
 		log.Fatal(err)
 	}
-	bridge, err := fw.DeployBridge("10.0.0.5", "slp-to-upnp",
-		starlink.WithObserver(func(s starlink.SessionStats) {
-			fmt.Printf("bridge: SLP→SSDP→HTTP→SLP chain executed in %s\n", s.Duration)
+	bridge, err := fw.DeployBridge(context.Background(), "10.0.0.5", "slp-to-upnp",
+		starlink.WithObserver(starlink.Hooks{
+			SessionEnd: func(s starlink.SessionStats) {
+				fmt.Printf("bridge: SLP→SSDP→HTTP→SLP chain executed in %s\n", s.Duration)
+			},
 		}))
 	if err != nil {
 		log.Fatal(err)

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -44,7 +45,7 @@ func RunParallelUnit(clients int, seed int64) (int, error) {
 		return 0, err
 	}
 	fw := core.NewWithRegistry(sim, reg)
-	bridge, err := fw.DeployBridge("10.0.0.5", "slp-to-bonjour")
+	bridge, err := fw.DeployBridge(context.Background(), "10.0.0.5", "slp-to-bonjour")
 	if err != nil {
 		return 0, err
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -150,7 +151,7 @@ func RunBridge(caseName string, seed int64) (time.Duration, error) {
 	}
 	fw := core.NewWithRegistry(sim, reg)
 	var stats []engine.SessionStats
-	bridge, err := fw.DeployBridge("10.0.0.5", caseName,
+	bridge, err := fw.DeployBridge(context.Background(), "10.0.0.5", caseName,
 		engine.WithObserver(func(s engine.SessionStats) { stats = append(stats, s) }),
 		engine.WithWindowJitter(BridgeSLPWindowJitter, seed*6007))
 	if err != nil {

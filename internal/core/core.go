@@ -12,7 +12,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"starlink/internal/engine"
 	"starlink/internal/netapi"
@@ -65,17 +67,67 @@ type Bridge struct {
 	Case string
 	// Engine is the running automata engine (stats, program).
 	Engine *engine.Engine
-	// Node is the bridge host.
+	// Node is the bridge host. The bridge owns it: Close and Shutdown
+	// release it along with the engine, as does cancellation of the
+	// deploy context.
 	Node netapi.Node
+
+	// done is closed when the bridge has been torn down by any path;
+	// the deploy-context watcher exits on it.
+	done     chan struct{}
+	doneOnce sync.Once
 }
 
-// Close undeploys the bridge.
-func (b *Bridge) Close() error { return b.Engine.Close() }
+// signalDone marks the bridge torn down (idempotent).
+func (b *Bridge) signalDone() {
+	b.doneOnce.Do(func() {
+		if b.done != nil {
+			close(b.done)
+		}
+	})
+}
+
+// Done is closed once the bridge has been torn down by any path —
+// Close, Shutdown, or cancellation of its deploy context.
+func (b *Bridge) Done() <-chan struct{} { return b.done }
+
+// Close undeploys the bridge immediately, tearing down in-flight
+// sessions and releasing the bridge host.
+func (b *Bridge) Close() error {
+	err := b.Engine.Close()
+	if cerr := b.Node.Close(); err == nil {
+		err = cerr
+	}
+	b.signalDone()
+	return err
+}
+
+// Shutdown drains the bridge gracefully — no new sessions, live ones
+// run to completion or until ctx expires — then releases the bridge
+// host. See engine.Shutdown for the drain contract.
+func (b *Bridge) Shutdown(ctx context.Context) error {
+	err := b.Engine.Shutdown(ctx)
+	if cerr := b.Node.Close(); err == nil {
+		err = cerr
+	}
+	b.signalDone()
+	return err
+}
 
 // DeployBridge creates a bridge host with the given IP, instantiates
 // the named merged automaton on it and starts listening. The bridge is
 // transparent: neither legacy side needs to know it exists.
-func (f *Framework) DeployBridge(hostIP, caseName string, opts ...engine.Option) (*Bridge, error) {
+//
+// ctx governs both the deployment and the bridge's lifetime (like
+// exec.CommandContext): a ctx already cancelled aborts the deploy, and
+// cancelling it later closes the bridge, tearing down in-flight
+// sessions through their per-session contexts. Every failure path
+// releases the freshly created bridge host, so an aborted deploy never
+// leaks its node or entry ports.
+func (f *Framework) DeployBridge(ctx context.Context, hostIP, caseName string, opts ...engine.Option) (*Bridge, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: deploy %s: %w", caseName, err)
+	}
 	// The registry's compiled-case cache makes repeated deployments of
 	// an unchanged case free of recompilation and codec construction.
 	c, err := f.reg.Compiled(caseName)
@@ -86,14 +138,40 @@ func (f *Framework) DeployBridge(hostIP, caseName string, opts ...engine.Option)
 	if err != nil {
 		return nil, fmt.Errorf("core: bridge host: %w", err)
 	}
+	opts = append(opts, engine.WithContext(ctx))
 	eng, err := engine.New(node, c.Merged, c.Codecs, opts...)
 	if err != nil {
+		_ = node.Close()
 		return nil, err
 	}
 	if err := eng.Start(); err != nil {
+		// Close releases the engine's derived context registration on
+		// the caller's ctx along with any listeners bound before the
+		// failure.
+		_ = eng.Close()
+		_ = node.Close()
 		return nil, err
 	}
-	return &Bridge{Case: caseName, Engine: eng, Node: node}, nil
+	if err := ctx.Err(); err != nil {
+		_ = eng.Close()
+		_ = node.Close()
+		return nil, fmt.Errorf("core: deploy %s: %w", caseName, err)
+	}
+	b := &Bridge{Case: caseName, Engine: eng, Node: node, done: make(chan struct{})}
+	if ctx.Done() != nil {
+		// The bridge owns its node: context cancellation must release
+		// the host too, not just the engine (whose own watcher only
+		// closes the engine). The watcher exits when the bridge closes
+		// by any path.
+		go func() {
+			select {
+			case <-ctx.Done():
+				_ = b.Close()
+			case <-b.done:
+			}
+		}()
+	}
+	return b, nil
 }
 
 // DeployDispatcher creates a bridge host with the given IP and hosts
@@ -102,7 +180,15 @@ func (f *Framework) DeployBridge(hostIP, caseName string, opts ...engine.Option)
 // entry listeners and classifies inbound payloads to the right case;
 // call Sync on it after mutating the registry (or drive it from a
 // provision.Watcher) to pick up model changes with zero restart.
-func (f *Framework) DeployDispatcher(hostIP string, cases []string, opts ...provision.Option) (*provision.Dispatcher, error) {
+//
+// ctx follows the DeployBridge contract: it aborts an in-progress
+// deploy and, once deployed, cancelling it closes the dispatcher. The
+// dispatcher owns the created node and releases it on Close/Shutdown
+// and on every failed-deploy path.
+func (f *Framework) DeployDispatcher(ctx context.Context, hostIP string, cases []string, opts ...provision.Option) (*provision.Dispatcher, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: deploy dispatcher: %w", err)
+	}
 	node, err := f.rt.NewNode(hostIP)
 	if err != nil {
 		return nil, fmt.Errorf("core: bridge host: %w", err)
@@ -110,10 +196,15 @@ func (f *Framework) DeployDispatcher(hostIP string, cases []string, opts ...prov
 	if len(cases) > 0 {
 		opts = append(opts, provision.WithCases(cases...))
 	}
+	opts = append(opts, provision.WithOwnedNode(), provision.WithContext(ctx))
 	d := provision.NewDispatcher(f.reg, node, opts...)
 	if err := d.Sync(); err != nil {
 		_ = d.Close()
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		_ = d.Close()
+		return nil, fmt.Errorf("core: deploy dispatcher: %w", err)
 	}
 	return d, nil
 }

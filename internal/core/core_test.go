@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -10,6 +12,7 @@ import (
 	"starlink/internal/protocols/slp"
 	"starlink/internal/realnet"
 	"starlink/internal/simnet"
+	"starlink/internal/translation"
 )
 
 func TestFrameworkDeployAllCases(t *testing.T) {
@@ -20,7 +23,7 @@ func TestFrameworkDeployAllCases(t *testing.T) {
 	}
 	for i, name := range fw.Registry().MergedNames() {
 		// Distinct host per bridge to avoid group-port collisions.
-		b, err := fw.DeployBridge("10.0.9."+string(rune('1'+i)), name)
+		b, err := fw.DeployBridge(context.Background(), "10.0.9."+string(rune('1'+i)), name)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -39,9 +42,112 @@ func TestFrameworkUnknownCase(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fw.DeployBridge("10.0.0.5", "corba-to-soap"); err == nil {
+	if _, err := fw.DeployBridge(context.Background(), "10.0.0.5", "corba-to-soap"); err == nil {
 		t.Fatal("unknown case should fail")
 	}
+}
+
+// TestDeployBridgeFailureReleasesNode is the regression test for the
+// node leak on failed deploys: when engine construction fails after
+// the bridge host was created, the host must be closed — under simnet,
+// that frees its IP for reuse. The failure is forced with an empty
+// translation-function registry: the builtin cases' logic references
+// T-functions, so Logic.Validate rejects it after the node exists.
+func TestDeployBridgeFailureReleasesNode(t *testing.T) {
+	sim := simnet.New()
+	fw, err := core.New(sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = fw.DeployBridge(context.Background(), "10.0.0.5", "slp-to-bonjour",
+		engine.WithTranslationFuncs(&translation.FuncRegistry{}))
+	if err == nil {
+		t.Fatal("deploy with an empty T-function registry should fail")
+	}
+	// The failed deploy must not have leaked the node: its IP is free.
+	node, err := sim.NewNode("10.0.0.5")
+	if err != nil {
+		t.Fatalf("node leaked by failed deploy: %v", err)
+	}
+	_ = node.Close()
+}
+
+// TestDeployBridgeCancelledContext verifies a cancelled context aborts
+// the deploy before any resource is created.
+func TestDeployBridgeCancelledContext(t *testing.T) {
+	sim := simnet.New()
+	fw, err := core.New(sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := fw.DeployBridge(ctx, "10.0.0.5", "slp-to-bonjour"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	node, err := sim.NewNode("10.0.0.5")
+	if err != nil {
+		t.Fatalf("node leaked by cancelled deploy: %v", err)
+	}
+	_ = node.Close()
+}
+
+// TestBridgeCloseReleasesNode verifies the owning side of the same
+// contract: closing a healthy bridge releases its host.
+func TestBridgeCloseReleasesNode(t *testing.T) {
+	sim := simnet.New()
+	fw, err := core.New(sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fw.DeployBridge(context.Background(), "10.0.0.5", "slp-to-bonjour")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	node, err := sim.NewNode("10.0.0.5")
+	if err != nil {
+		t.Fatalf("node not released by Close: %v", err)
+	}
+	_ = node.Close()
+}
+
+// TestContextCancelClosesBridge verifies the lifetime half of the
+// DeployBridge context contract: cancelling the deploy context closes
+// the engine.
+func TestContextCancelClosesBridge(t *testing.T) {
+	sim := simnet.New()
+	fw, err := core.New(sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	b, err := fw.DeployBridge(ctx, "10.0.0.5", "slp-to-bonjour")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Engine.State() != engine.StateClosed {
+		if time.Now().After(deadline) {
+			t.Fatalf("engine state = %v after context cancel", b.Engine.State())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Cancellation releases the node too (the bridge owns it): once the
+	// watcher finishes, the IP is free again.
+	select {
+	case <-b.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("bridge not torn down after context cancel")
+	}
+	node, err := sim.NewNode("10.0.0.5")
+	if err != nil {
+		t.Fatalf("node leaked after context cancel: %v", err)
+	}
+	_ = node.Close()
 }
 
 func TestNewEmptyHasNoModels(t *testing.T) {
@@ -63,7 +169,7 @@ func TestBridgeOverRealSockets(t *testing.T) {
 		t.Fatal(err)
 	}
 	var stats []engine.SessionStats
-	bridge, err := fw.DeployBridge("127.0.0.1", "slp-to-bonjour",
+	bridge, err := fw.DeployBridge(context.Background(), "127.0.0.1", "slp-to-bonjour",
 		engine.WithObserver(func(s engine.SessionStats) { stats = append(stats, s) }))
 	if err != nil {
 		t.Fatal(err)

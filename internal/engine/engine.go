@@ -36,6 +36,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -50,9 +51,43 @@ import (
 	"starlink/internal/netapi"
 	"starlink/internal/netengine"
 	"starlink/internal/parser"
+	"starlink/internal/serrors"
 	"starlink/internal/translation"
 	"starlink/internal/types"
 )
+
+// State is an engine's position in its lifecycle. The engine moves
+// strictly forward: Starting → Running → (Draining →) Closed.
+type State int32
+
+const (
+	// StateStarting is the window between New and Start: no listeners
+	// are bound and no sessions are admitted yet.
+	StateStarting State = iota
+	// StateRunning accepts entry payloads and admits new sessions.
+	StateRunning
+	// StateDraining admits no new sessions but keeps delivering
+	// payloads to the live ones so they can finish.
+	StateDraining
+	// StateClosed has released every listener, worker and session.
+	StateClosed
+)
+
+// String names the state for logs and metrics.
+func (s State) String() string {
+	switch s {
+	case StateStarting:
+		return "starting"
+	case StateRunning:
+		return "running"
+	case StateDraining:
+		return "draining"
+	case StateClosed:
+		return "closed"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
 
 // Defaults for the concurrency knobs; all overridable via options.
 const (
@@ -118,8 +153,32 @@ type Counters struct {
 	Ignored     int
 	Rejected    int
 	Dropped     int
+	// DrainRejected counts initiator requests that arrived while the
+	// engine was draining and were therefore refused.
+	DrainRejected int
 	// Live is the number of sessions currently registered.
 	Live int
+}
+
+// Hooks are optional lifecycle callbacks. Every field may be nil; all
+// invocations are serialised with observer invocations, so hook
+// implementations need no locking of their own. Multiple Hooks sets
+// compose: each registered set is invoked in registration order.
+// Callbacks run on engine goroutines (ingest workers, session
+// goroutines): keep them fast, and never call Close or Shutdown
+// synchronously from inside one — spawn a goroutine instead.
+type Hooks struct {
+	// SessionStart fires when an initiator request is admitted as a
+	// new session.
+	SessionStart func(origin netapi.Addr, at time.Time)
+	// SessionEnd fires as each session finishes (same timing as the
+	// WithObserver callback).
+	SessionEnd func(SessionStats)
+	// Drop fires when a payload or session is refused, with the reason
+	// classified under the structured taxonomy: serrors.ErrOverloaded
+	// for capacity rejections and queue overflow, serrors.ErrDraining
+	// for initiator requests arriving mid-shutdown.
+	Drop func(origin netapi.Addr, reason error)
 }
 
 // Option configures an Engine.
@@ -158,9 +217,9 @@ func WithWindowJitter(d time.Duration, seed int64) Option {
 
 // WithObserver registers a callback invoked as each session ends.
 // Invocations are serialised, so the callback needs no locking of its
-// own.
+// own. It is shorthand for WithHooks(Hooks{SessionEnd: fn}).
 func WithObserver(fn func(SessionStats)) Option {
-	return func(e *Engine) { e.observer = fn }
+	return WithHooks(Hooks{SessionEnd: fn})
 }
 
 // WithMaxSessions bounds the number of concurrently live sessions.
@@ -193,6 +252,25 @@ func WithShardCount(n int) Option {
 			e.shardCount = n
 		}
 	}
+}
+
+// WithContext ties the engine's lifetime to ctx: when ctx is
+// cancelled the engine closes, tearing down in-flight sessions. Every
+// session derives its own context from ctx, so cancellation reaches
+// each session goroutine directly. The default is context.Background()
+// (lifetime governed only by Close/Shutdown).
+func WithContext(ctx context.Context) Option {
+	return func(e *Engine) {
+		if ctx != nil {
+			e.baseCtx = ctx
+		}
+	}
+}
+
+// WithHooks registers a set of lifecycle hooks. Hooks compose: every
+// registered set is invoked, in registration order.
+func WithHooks(h Hooks) Option {
+	return func(e *Engine) { e.hooks = append(e.hooks, h) }
 }
 
 // WithEgressTable registers the local address of every requester
@@ -235,11 +313,23 @@ type Engine struct {
 	recvTimeout  time.Duration
 	windowJitter time.Duration
 	jitterSeed   int64
-	observer     func(SessionStats)
+	hooks        []Hooks
 
 	maxSessions   int
 	ingestWorkers int
 	shardCount    int
+
+	// Lifecycle. state moves strictly forward; baseCtx is the caller's
+	// lifetime context (WithContext), ctx/cancel the engine's own
+	// derivation of it that every session context hangs off.
+	state   atomic.Int32
+	baseCtx context.Context
+	ctx     context.Context
+	cancel  context.CancelFunc
+	// drained is closed (once) when the engine is draining and the
+	// last live session has finished.
+	drained   chan struct{}
+	drainOnce sync.Once
 
 	tracker netapi.WorkTracker
 	table   *sessionTable
@@ -251,7 +341,6 @@ type Engine struct {
 	quit       chan struct{}
 	workerWG   sync.WaitGroup
 	sessionWG  sync.WaitGroup
-	closed     atomic.Bool
 	closeMu    sync.RWMutex // serialises onEntry's token+enqueue against Close
 	sessionSeq atomic.Uint64
 
@@ -260,13 +349,14 @@ type Engine struct {
 	// Counters exposed for tests and diagnostics. They are updated
 	// under statsMu; read them via Stats, or directly only while the
 	// runtime is quiesced (after RunUntil / RunToQuiescence).
-	statsMu     sync.Mutex
-	Completed   int
-	Failed      int
-	ParseErrors int
-	Ignored     int
-	Rejected    int
-	Dropped     int
+	statsMu       sync.Mutex
+	Completed     int
+	Failed        int
+	ParseErrors   int
+	Ignored       int
+	Rejected      int
+	Dropped       int
+	DrainRejected int
 
 	// obsMu serialises observer invocations.
 	obsMu sync.Mutex
@@ -315,13 +405,16 @@ func New(node netapi.Node, merged *merge.Merged, codecs map[string]*Codec, opts 
 		maxSessions:   defaultMaxSessions,
 		ingestWorkers: workers,
 		shardCount:    defaultShardCount,
-	}
-	if err := merged.Logic.Validate(e.tfuncs); err != nil {
-		return nil, err
+		baseCtx:       context.Background(),
+		drained:       make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(e)
 	}
+	if err := merged.Logic.Validate(e.tfuncs); err != nil {
+		return nil, serrors.Mark(err, serrors.ErrModelInvalid)
+	}
+	e.ctx, e.cancel = context.WithCancel(e.baseCtx)
 	e.table = newSessionTable(e.shardCount)
 	e.sem = make(chan struct{}, e.maxSessions)
 	e.ingestQs = make([]chan ingestJob, e.ingestWorkers)
@@ -349,15 +442,19 @@ func (e *Engine) Stats() Counters {
 	e.statsMu.Lock()
 	defer e.statsMu.Unlock()
 	return Counters{
-		Completed:   e.Completed,
-		Failed:      e.Failed,
-		ParseErrors: e.ParseErrors,
-		Ignored:     e.Ignored,
-		Rejected:    e.Rejected,
-		Dropped:     e.Dropped,
-		Live:        e.table.live(),
+		Completed:     e.Completed,
+		Failed:        e.Failed,
+		ParseErrors:   e.ParseErrors,
+		Ignored:       e.Ignored,
+		Rejected:      e.Rejected,
+		Dropped:       e.Dropped,
+		DrainRejected: e.DrainRejected,
+		Live:          e.table.live(),
 	}
 }
+
+// State returns the engine's lifecycle state.
+func (e *Engine) State() State { return State(e.state.Load()) }
 
 // ShardStats returns the number of live sessions per table shard.
 func (e *Engine) ShardStats() []int { return e.table.stats() }
@@ -397,7 +494,22 @@ func (e *Engine) Start() error {
 		e.entries = append(e.entries, closer)
 	}
 	e.startWorkers()
+	e.startLifecycle()
 	return nil
+}
+
+// startLifecycle flips the engine to Running and arms the context
+// watcher: cancelling the engine's lifetime context closes it (and
+// with it every per-session context).
+func (e *Engine) startLifecycle() {
+	e.state.CompareAndSwap(int32(StateStarting), int32(StateRunning))
+	go func() {
+		select {
+		case <-e.ctx.Done():
+			_ = e.Close()
+		case <-e.quit:
+		}
+	}()
 }
 
 // StartManaged starts the engine without binding entry listeners: the
@@ -407,6 +519,7 @@ func (e *Engine) Start() error {
 // inbound payloads before handing them to the right engine.
 func (e *Engine) StartManaged() error {
 	e.startWorkers()
+	e.startLifecycle()
 	return nil
 }
 
@@ -420,13 +533,22 @@ func (e *Engine) startWorkers() {
 // Inject feeds an entry payload to the engine as if it had arrived on
 // an entry listener for the protocol: it is parsed and routed by the
 // ingest pool exactly like a listener payload. Safe to call from any
-// goroutine; payloads for an unknown protocol are counted Ignored.
-func (e *Engine) Inject(proto string, data []byte, src netengine.Source) {
+// goroutine. Payloads for an unknown protocol are counted Ignored and
+// reported; payloads injected after Close are refused with an error
+// wrapping serrors.ErrClosed. A draining engine still accepts
+// injection — live sessions need their mid-program entries to finish —
+// but refuses the ones that would open a new session at admission,
+// reporting them through the Drop hook with serrors.ErrDraining.
+func (e *Engine) Inject(proto string, data []byte, src netengine.Source) error {
 	if _, ok := e.codecs[proto]; !ok {
 		e.bump(&e.Ignored)
-		return
+		return fmt.Errorf("engine: %s: no codec for protocol %q", e.merged.Name, proto)
+	}
+	if e.State() == StateClosed {
+		return serrors.Mark(fmt.Errorf("engine: %s is closed", e.merged.Name), serrors.ErrClosed)
 	}
 	e.onEntry(proto, data, src)
+	return nil
 }
 
 // AwaitsEntry reports whether some live session is blocked waiting for
@@ -440,11 +562,15 @@ func (e *Engine) AwaitsEntry(proto, msg, ip string) bool {
 	return e.table.findAwaiting(proto, msg, ip) != nil
 }
 
-// Close stops the engine: entry listeners, ingest workers, and live
-// sessions, draining every session goroutine before returning.
+// Close stops the engine immediately: entry listeners, ingest workers,
+// and live sessions (their per-session contexts are cancelled),
+// draining every session goroutine before returning. For a graceful
+// stop that lets live sessions finish first, use Shutdown.
 func (e *Engine) Close() error {
 	e.closeMu.Lock()
-	already := e.closed.Swap(true)
+	// state is the single source of truth for the lifecycle; the swap
+	// under the write lock doubles as the idempotence latch.
+	already := State(e.state.Swap(int32(StateClosed))) == StateClosed
 	e.closeMu.Unlock()
 	if already {
 		return nil
@@ -467,10 +593,100 @@ func (e *Engine) Close() error {
 		}
 	}
 	for _, s := range e.table.removeAll() {
-		close(s.stop)
+		s.cancel()
 	}
 	e.sessionWG.Wait()
+	// Release the engine context last: session teardown above must not
+	// race a parent-cancellation signal with individual cancels.
+	e.cancel()
+	e.signalDrained() // a closed engine has, vacuously, drained
 	return nil
+}
+
+// Shutdown drains the engine gracefully: it stops admitting new
+// sessions immediately (initiator requests arriving from now on are
+// refused and reported with serrors.ErrDraining), keeps delivering
+// payloads to live sessions so they can finish, and closes the engine
+// once the last session ends. If ctx expires first the remaining
+// sessions are torn down and the returned error wraps ctx.Err().
+// Shutdown of an already closed engine returns nil.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	for {
+		s := e.state.Load()
+		if s == int32(StateClosed) {
+			return nil
+		}
+		if s == int32(StateDraining) {
+			break
+		}
+		if e.state.CompareAndSwap(s, int32(StateDraining)) {
+			break
+		}
+	}
+	// Live is read under statsMu, the same lock that orders session
+	// finish, so the "last session already gone" case cannot race
+	// sessionDone's own drain check.
+	e.statsMu.Lock()
+	if e.table.live() == 0 {
+		e.signalDrained()
+	}
+	e.statsMu.Unlock()
+	select {
+	case <-e.drained:
+		return e.Close()
+	case <-ctx.Done():
+		// Both channels may be ready (last session finished right at
+		// the deadline, or a zero timeout on an already-idle engine),
+		// and the last session may finish between the two checks — a
+		// drain that completed is never an error, so an empty table
+		// counts as success even if the signal hasn't landed yet.
+		select {
+		case <-e.drained:
+			return e.Close()
+		default:
+		}
+		live := e.table.live() // before Close empties the table
+		if live == 0 {
+			return e.Close()
+		}
+		_ = e.Close()
+		return fmt.Errorf("engine: %s: drain aborted with %d live session(s): %w",
+			e.merged.Name, live, ctx.Err())
+	}
+}
+
+// signalDrained marks the drain as complete (idempotent).
+func (e *Engine) signalDrained() {
+	e.drainOnce.Do(func() { close(e.drained) })
+}
+
+// hookSessionStart notifies every hook set of an admitted session.
+func (e *Engine) hookSessionStart(origin netapi.Addr, at time.Time) {
+	if len(e.hooks) == 0 {
+		return
+	}
+	e.obsMu.Lock()
+	defer e.obsMu.Unlock()
+	for _, h := range e.hooks {
+		if h.SessionStart != nil {
+			h.SessionStart(origin, at)
+		}
+	}
+}
+
+// hookDrop reports a refused payload or session with its structured
+// reason.
+func (e *Engine) hookDrop(origin netapi.Addr, reason error) {
+	if len(e.hooks) == 0 {
+		return
+	}
+	e.obsMu.Lock()
+	defer e.obsMu.Unlock()
+	for _, h := range e.hooks {
+		if h.Drop != nil {
+			h.Drop(origin, reason)
+		}
+	}
 }
 
 func (e *Engine) closeEntries() {
@@ -491,18 +707,31 @@ func (e *Engine) releaseSlot() { <-e.sem }
 // to Close, so no token or job can leak past shutdown.
 func (e *Engine) onEntry(proto string, data []byte, src netengine.Source) {
 	e.closeMu.RLock()
-	defer e.closeMu.RUnlock()
-	if e.closed.Load() {
+	if e.State() == StateClosed {
+		e.closeMu.RUnlock()
 		return
 	}
 	e.tracker.WorkAdd()
 	key := src.RoutingKey()
 	q := e.ingestQs[fnv32a(key)%uint32(len(e.ingestQs))]
+	dropped := false
 	select {
 	case q <- ingestJob{proto: proto, key: key, data: data, src: src}:
 	default:
-		e.tracker.WorkDone()
+		dropped = true
+	}
+	// User hooks run outside closeMu: a callback reacting to the drop
+	// (even one that tears the deployment down from a fresh goroutine)
+	// must not deadlock against Close's write lock. The work token is
+	// still held through the hook so that on a virtual-clock runtime,
+	// quiescence implies the observers have already seen the drop.
+	e.closeMu.RUnlock()
+	if dropped {
 		e.bump(&e.Dropped)
+		e.hookDrop(src.Addr, serrors.Mark(
+			fmt.Errorf("engine: %s: ingest queue full, payload from %s dropped", e.merged.Name, src.Addr),
+			serrors.ErrOverloaded))
+		e.tracker.WorkDone()
 	}
 }
 
@@ -590,10 +819,24 @@ func (e *Engine) openSession(job ingestJob, msg *message.Message) {
 // sh.mu (the shard owning key) and a work token; both are released or
 // transferred on every path.
 func (e *Engine) admitLocked(sh *tableShard, key string, seq uint64, msg *message.Message, src netengine.Source) {
-	if e.closed.Load() {
+	switch State(e.state.Load()) {
+	case StateClosed:
 		sh.mu.Unlock()
 		e.tracker.WorkDone()
 		msg.Release()
+		return
+	case StateDraining:
+		// Rendezvous deliveries to live sessions were handled by the
+		// caller; only brand-new sessions reach here, and a draining
+		// engine admits none. The hook fires before the work token is
+		// released so quiescence implies observers saw the rejection.
+		sh.mu.Unlock()
+		e.bump(&e.DrainRejected)
+		msg.Release()
+		e.hookDrop(src.Addr, serrors.Mark(
+			fmt.Errorf("engine: %s: new session from %s rejected: engine is draining", e.merged.Name, src.Addr),
+			serrors.ErrDraining))
+		e.tracker.WorkDone()
 		return
 	}
 	select {
@@ -601,8 +844,11 @@ func (e *Engine) admitLocked(sh *tableShard, key string, seq uint64, msg *messag
 	default:
 		sh.mu.Unlock()
 		e.bump(&e.Rejected)
-		e.tracker.WorkDone()
 		msg.Release() // rejected before any session saw it: recycle
+		e.hookDrop(src.Addr, serrors.Mark(
+			fmt.Errorf("engine: %s: new session from %s rejected: max sessions (%d) live", e.merged.Name, src.Addr, e.maxSessions),
+			serrors.ErrOverloaded))
+		e.tracker.WorkDone()
 		return
 	}
 	s := newSession(e, key, seq, msg, src)
@@ -611,6 +857,7 @@ func (e *Engine) admitLocked(sh *tableShard, key string, seq uint64, msg *messag
 	go s.run()
 	s.inbox <- sessEvent{kind: evStart} // fresh buffered inbox: never blocks
 	sh.mu.Unlock()
+	e.hookSessionStart(src.Addr, s.start)
 }
 
 // enqueue hands a payload event to a session's inbox if the session
@@ -631,9 +878,12 @@ func (e *Engine) enqueue(s *session, ev sessEvent) bool {
 	}
 	if len(s.inbox) >= inboxCap {
 		sh.mu.RUnlock()
-		e.tracker.WorkDone()
 		e.bump(&e.Dropped)
 		releaseEventMsg(ev)
+		e.hookDrop(ev.src.Addr, serrors.Mark(
+			fmt.Errorf("engine: %s: session inbox full, payload dropped", e.merged.Name),
+			serrors.ErrOverloaded))
+		e.tracker.WorkDone()
 		return false
 	}
 	select {
@@ -642,9 +892,12 @@ func (e *Engine) enqueue(s *session, ev sessEvent) bool {
 		return true
 	default:
 		sh.mu.RUnlock()
-		e.tracker.WorkDone()
 		e.bump(&e.Dropped)
 		releaseEventMsg(ev)
+		e.hookDrop(ev.src.Addr, serrors.Mark(
+			fmt.Errorf("engine: %s: session inbox full, payload dropped", e.merged.Name),
+			serrors.ErrOverloaded))
+		e.tracker.WorkDone()
 		return false
 	}
 }
@@ -733,7 +986,9 @@ func (e *Engine) sessionDone(s *session, err error) {
 	}
 	// Removal and counter update happen under one lock so Stats never
 	// sees the session in neither Live nor Completed/Failed. Lock
-	// order is always statsMu → shard mutex, never the reverse.
+	// order is always statsMu → shard mutex, never the reverse. The
+	// drain check rides the same critical section: a draining engine
+	// whose last session just left the table signals exactly once.
 	e.statsMu.Lock()
 	e.table.remove(s.key, s)
 	if err != nil {
@@ -741,11 +996,18 @@ func (e *Engine) sessionDone(s *session, err error) {
 	} else {
 		e.Completed++
 	}
+	if State(e.state.Load()) == StateDraining && e.table.live() == 0 {
+		e.signalDrained()
+	}
 	e.statsMu.Unlock()
 	e.releaseSlot()
-	if e.observer != nil {
+	if len(e.hooks) > 0 {
 		e.obsMu.Lock()
-		e.observer(stats)
+		for _, h := range e.hooks {
+			if h.SessionEnd != nil {
+				h.SessionEnd(stats)
+			}
+		}
 		e.obsMu.Unlock()
 	}
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync/atomic"
@@ -10,6 +11,7 @@ import (
 	"starlink/internal/message"
 	"starlink/internal/netapi"
 	"starlink/internal/netengine"
+	"starlink/internal/serrors"
 	"starlink/internal/translation"
 )
 
@@ -67,7 +69,7 @@ type awaitKey struct {
 // session executes the compiled program for one bridged interaction on
 // its own goroutine. All fields below the marker are confined to that
 // goroutine; cross-goroutine interaction happens only through inbox,
-// stop and the published await snapshot.
+// the session context and the published await snapshot.
 type session struct {
 	e        *Engine
 	key      string
@@ -75,8 +77,14 @@ type session struct {
 	originIP string
 	inbox    chan sessEvent
 	timerCh  chan sessEvent
-	stop     chan struct{}
-	await    atomic.Pointer[awaitKey]
+	// ctx is the session's own context, derived from the engine's
+	// lifetime context: cancelling either tears the session down. The
+	// engine cancels individual sessions on Close (and a caller's
+	// WithContext cancellation reaches every session through the
+	// parent edge).
+	ctx    context.Context
+	cancel context.CancelFunc
+	await  atomic.Pointer[awaitKey]
 
 	// --- goroutine-confined state ---
 	pc int
@@ -120,7 +128,6 @@ func newSession(e *Engine, key string, seq uint64, first *message.Message, src n
 		originIP:     src.Addr.IP,
 		inbox:        make(chan sessEvent, inboxCap+e.ingestWorkers+2),
 		timerCh:      make(chan sessEvent, timerChCap),
-		stop:         make(chan struct{}),
 		pc:           1, // step 0 is the initiator receive, satisfied by first
 		origin:       src,
 		entrySources: map[string]netengine.Source{},
@@ -128,6 +135,7 @@ func newSession(e *Engine, key string, seq uint64, first *message.Message, src n
 		requesters:   map[string]*netengine.Requester{},
 		start:        e.node.Now(),
 	}
+	s.ctx, s.cancel = context.WithCancel(e.ctx)
 	if e.windowJitter > 0 {
 		s.rng = rand.New(rand.NewSource(e.jitterSeed + int64(s.seq)*0x9E3779B9))
 	}
@@ -165,10 +173,15 @@ func (s *session) run() {
 		case ev := <-s.timerCh:
 			s.handle(ev)
 			s.e.tracker.WorkDone()
-		case <-s.stop:
-			s.finished = true
-			s.cleanup()
-			s.e.releaseSlot()
+		case <-s.ctx.Done():
+			// Forcible teardown (engine Close, drain deadline, context
+			// cancellation) still reports through sessionDone so the
+			// session is counted (Failed) and observers see its end —
+			// sessions must never vanish from the metrics surface.
+			s.e.sessionDone(s, serrors.Mark(
+				fmt.Errorf("engine: %s: session from %s torn down before completion",
+					s.e.merged.Name, s.origin.Addr),
+				serrors.ErrClosed))
 			s.drainAll()
 			return
 		}
@@ -429,6 +442,7 @@ func (s *session) deliver(proto string, msg *message.Message) {
 }
 
 func (s *session) cleanup() {
+	s.cancel() // release the session context (idempotent)
 	if s.timerSet {
 		s.e.node.Cancel(s.timer)
 		s.timerSet = false

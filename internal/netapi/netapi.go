@@ -119,6 +119,14 @@ type Node interface {
 	After(d time.Duration, fn func()) TimerID
 	// Cancel revokes a scheduled callback; unknown IDs are ignored.
 	Cancel(id TimerID)
+
+	// Close releases the node: every socket and listener it opened is
+	// closed, and runtimes that register nodes by address free the
+	// address for reuse. Closing twice is a no-op. Deployment owners
+	// (core.Bridge, the provisioning dispatcher) close their node on
+	// teardown and on every failed-deploy path, so an aborted deploy
+	// never leaks endpoints.
+	Close() error
 }
 
 // Closer releases a listener or other bound resource.

@@ -1,10 +1,14 @@
 package provision
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"starlink/internal/automata"
 	"starlink/internal/engine"
@@ -12,6 +16,7 @@ import (
 	"starlink/internal/netapi"
 	"starlink/internal/netengine"
 	"starlink/internal/registry"
+	"starlink/internal/serrors"
 )
 
 // Option configures a Dispatcher.
@@ -32,9 +37,10 @@ func WithEngineOptions(opts ...engine.Option) Option {
 
 // WithSessionObserver registers a per-session callback tagged with the
 // case name that bridged the session — the multi-tenant form of
-// engine.WithObserver.
+// engine.WithObserver. It is shorthand for
+// WithHooks(Hooks{SessionEnd: fn}).
 func WithSessionObserver(fn func(caseName string, s engine.SessionStats)) Option {
-	return func(d *Dispatcher) { d.observer = fn }
+	return WithHooks(Hooks{SessionEnd: fn})
 }
 
 // WithLogf routes the dispatcher's operational log lines (deploys,
@@ -49,6 +55,80 @@ func WithLogf(fn func(format string, args ...any)) Option {
 // classification paths against each other.
 func WithTrialParseOnly() Option {
 	return func(d *Dispatcher) { d.trialParseOnly = true }
+}
+
+// WithOwnedNode makes the dispatcher own its bridge node: Close and
+// Shutdown release the node after undeploying everything. Deployment
+// factories that create a node per dispatcher (core.DeployDispatcher)
+// use this so a failed or finished deployment never leaks the host.
+func WithOwnedNode() Option {
+	return func(d *Dispatcher) { d.ownsNode = true }
+}
+
+// WithContext ties the dispatcher's lifetime to ctx: when ctx is
+// cancelled the dispatcher closes, undeploying every hosted case. The
+// context is also the parent of every hosted engine's context, so
+// cancellation reaches in-flight sessions directly.
+func WithContext(ctx context.Context) Option {
+	return func(d *Dispatcher) {
+		if ctx != nil {
+			d.ctx = ctx
+		}
+	}
+}
+
+// WithHooks registers a set of dispatcher lifecycle hooks. Hooks
+// compose: every registered set is invoked, in registration order.
+func WithHooks(h Hooks) Option {
+	return func(d *Dispatcher) { d.hooks = append(d.hooks, h) }
+}
+
+// Hooks are optional dispatcher lifecycle callbacks; any field may be
+// nil. Per-case session and drop callbacks are forwarded from the
+// hosted engines tagged with the case name; invocation order within
+// one engine is serialised by that engine.
+type Hooks struct {
+	// Deployed fires when a case is (re)deployed, with the registry
+	// generation its artifacts were compiled at.
+	Deployed func(caseName string, generation uint64)
+	// Undeployed fires when a case is undeployed (unloaded, changed,
+	// or dispatcher shutdown).
+	Undeployed func(caseName string)
+	// SessionStart fires when a case's engine admits a new session.
+	SessionStart func(caseName string, origin netapi.Addr, at time.Time)
+	// SessionEnd fires as a case's session finishes.
+	SessionEnd func(caseName string, s engine.SessionStats)
+	// Classified fires for every payload handed to an engine, after
+	// classification. Events with Ambiguous set carry an Err marked
+	// serrors.ErrAmbiguousPayload and the full candidate list.
+	Classified func(ev ClassifyEvent)
+	// Dropped fires when a payload or session is refused — by an
+	// engine (capacity, draining) or by the dispatcher itself (target
+	// engine already closed). caseName is empty when the drop happened
+	// before a case was chosen.
+	Dropped func(caseName string, origin netapi.Addr, reason error)
+}
+
+// ClassifyEvent describes one classified entry payload.
+type ClassifyEvent struct {
+	// Case is the case the payload was dispatched to.
+	Case string
+	// Protocol and Message identify the classified entry message.
+	Protocol string
+	Message  string
+	// Origin is the payload's source address.
+	Origin netapi.Addr
+	// Candidates lists every matching case when the classification was
+	// ambiguous (nil otherwise).
+	Candidates []string
+	// Ambiguous reports whether more than one case matched.
+	Ambiguous bool
+	// FastPath reports whether the signature index classified the
+	// payload without parsing.
+	FastPath bool
+	// Err is non-nil for ambiguous classifications, marked with
+	// serrors.ErrAmbiguousPayload.
+	Err error
 }
 
 // DispatchCounters snapshots the dispatcher's classification counters.
@@ -69,6 +149,10 @@ type DispatchCounters struct {
 	// hearing its own multicast requests. Re-bridging those through an
 	// opposite-direction case would loop traffic forever.
 	Suppressed int
+	// Rejected counts payloads that classified to a case whose engine
+	// refused them outright (already closed — e.g. one engine finished
+	// draining before the rest during Shutdown).
+	Rejected int
 	// FastPath counts payloads classified by the signature index alone
 	// (a bounds check plus a byte comparison — no parsing).
 	FastPath int
@@ -135,14 +219,29 @@ type Dispatcher struct {
 
 	cases          []string // explicit case filter; nil hosts all
 	engOpts        []engine.Option
-	observer       func(string, engine.SessionStats)
 	logf           func(format string, args ...any)
+	hooks          []Hooks
 	trialParseOnly bool
+	ownsNode       bool
+	ctx            context.Context
+
+	// state moves strictly forward: Running → (Draining →) Closed.
+	state atomic.Int32
+	// quit ends the context watcher when the dispatcher closes first.
+	quit chan struct{}
 
 	mu        sync.RWMutex
 	deployed  map[string]*deployment
 	listeners map[string]*listener // by color key
 	closed    bool
+	// final snapshots each case's engine counters at Close so Stats
+	// (and the public Metrics) stay truthful on a closed dispatcher.
+	final map[string]engine.Counters
+
+	// obsMu serialises hook invocations made by the dispatcher itself
+	// (classification, dispatcher-level drops); per-engine callbacks
+	// are serialised by their engine.
+	obsMu sync.Mutex
 
 	statsMu  sync.Mutex
 	counters DispatchCounters
@@ -158,16 +257,81 @@ func NewDispatcher(reg *registry.Registry, node netapi.Node, opts ...Option) *Di
 		egress:    netengine.NewEgressTable(),
 		deployed:  map[string]*deployment{},
 		listeners: map[string]*listener{},
+		ctx:       context.Background(),
+		quit:      make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(d)
 	}
+	d.state.Store(int32(engine.StateStarting))
+	if d.ctx.Done() != nil {
+		ctx := d.ctx
+		go func() {
+			select {
+			case <-ctx.Done():
+				_ = d.Close()
+			case <-d.quit:
+			}
+		}()
+	}
 	return d
 }
+
+// State returns the dispatcher's lifecycle state.
+func (d *Dispatcher) State() engine.State { return engine.State(d.state.Load()) }
 
 func (d *Dispatcher) logeach(format string, args ...any) {
 	if d.logf != nil {
 		d.logf(format, args...)
+	}
+}
+
+// hookClassified reports one classified payload to every hook set.
+func (d *Dispatcher) hookClassified(ev ClassifyEvent) {
+	if len(d.hooks) == 0 {
+		return
+	}
+	d.obsMu.Lock()
+	defer d.obsMu.Unlock()
+	for _, h := range d.hooks {
+		if h.Classified != nil {
+			h.Classified(ev)
+		}
+	}
+}
+
+// hookDropped reports a dispatcher-level refusal to every hook set.
+func (d *Dispatcher) hookDropped(caseName string, origin netapi.Addr, reason error) {
+	if len(d.hooks) == 0 {
+		return
+	}
+	d.obsMu.Lock()
+	defer d.obsMu.Unlock()
+	for _, h := range d.hooks {
+		if h.Dropped != nil {
+			h.Dropped(caseName, origin, reason)
+		}
+	}
+}
+
+// hookDeployed / hookUndeployed report deployment changes.
+func (d *Dispatcher) hookDeployed(caseName string, generation uint64) {
+	d.obsMu.Lock()
+	defer d.obsMu.Unlock()
+	for _, h := range d.hooks {
+		if h.Deployed != nil {
+			h.Deployed(caseName, generation)
+		}
+	}
+}
+
+func (d *Dispatcher) hookUndeployed(caseName string) {
+	d.obsMu.Lock()
+	defer d.obsMu.Unlock()
+	for _, h := range d.hooks {
+		if h.Undeployed != nil {
+			h.Undeployed(caseName)
+		}
 	}
 }
 
@@ -188,8 +352,9 @@ func (d *Dispatcher) desiredCases() ([]string, error) {
 		}
 	}
 	if len(missing) > 0 {
-		return nil, fmt.Errorf("provision: case(s) not loaded: %s (have %s)",
-			strings.Join(missing, ", "), strings.Join(d.reg.MergedNames(), ", "))
+		return nil, serrors.Mark(fmt.Errorf("provision: case(s) not loaded: %s (have %s)",
+			strings.Join(missing, ", "), strings.Join(d.reg.MergedNames(), ", ")),
+			serrors.ErrUnknownCase)
 	}
 	out := append([]string(nil), d.cases...)
 	sort.Strings(out)
@@ -221,7 +386,11 @@ func (d *Dispatcher) Sync() error {
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
-		return fmt.Errorf("provision: dispatcher is closed")
+		return serrors.Mark(fmt.Errorf("provision: dispatcher is closed"), serrors.ErrClosed)
+	}
+	if d.State() == engine.StateDraining {
+		d.mu.Unlock()
+		return serrors.Mark(fmt.Errorf("provision: dispatcher is draining"), serrors.ErrDraining)
 	}
 	// Undeploy removed or changed cases.
 	for name, dep := range d.deployed {
@@ -236,6 +405,7 @@ func (d *Dispatcher) Sync() error {
 	// that ARE live, or stale entry points would keep routing payloads
 	// to engines closed above.
 	var deployErr error
+	var freshlyDeployed []*deployment
 	for name, c := range desired {
 		if _, ok := d.deployed[name]; ok {
 			continue
@@ -248,12 +418,22 @@ func (d *Dispatcher) Sync() error {
 			continue
 		}
 		d.deployed[name] = dep
+		freshlyDeployed = append(freshlyDeployed, dep)
 	}
 	staleListeners, err = d.rebindLocked()
 	d.mu.Unlock()
+	// Hooks fire outside d.mu so a callback may freely call back into
+	// the dispatcher (Cases, Stats, Metrics) without deadlocking.
+	for _, dep := range freshlyDeployed {
+		d.hookDeployed(dep.name, dep.compiled.Generation)
+	}
 	d.closeAll(stale, staleListeners)
 	if deployErr != nil {
 		return deployErr
+	}
+	if err == nil {
+		// First successful reconciliation: the dispatcher is serving.
+		d.state.CompareAndSwap(int32(engine.StateStarting), int32(engine.StateRunning))
 	}
 	return err
 }
@@ -262,10 +442,32 @@ func (d *Dispatcher) Sync() error {
 // d.mu.
 func (d *Dispatcher) deploy(name string, c *registry.CompiledCase) (*deployment, error) {
 	opts := append([]engine.Option(nil), d.engOpts...)
-	opts = append(opts, engine.WithEgressTable(d.egress))
-	if d.observer != nil {
-		obs := d.observer
-		opts = append(opts, engine.WithObserver(func(s engine.SessionStats) { obs(name, s) }))
+	opts = append(opts, engine.WithEgressTable(d.egress), engine.WithContext(d.ctx))
+	if len(d.hooks) > 0 {
+		caseName := name
+		opts = append(opts, engine.WithHooks(engine.Hooks{
+			SessionStart: func(origin netapi.Addr, at time.Time) {
+				for _, h := range d.hooks {
+					if h.SessionStart != nil {
+						h.SessionStart(caseName, origin, at)
+					}
+				}
+			},
+			SessionEnd: func(s engine.SessionStats) {
+				for _, h := range d.hooks {
+					if h.SessionEnd != nil {
+						h.SessionEnd(caseName, s)
+					}
+				}
+			},
+			Drop: func(origin netapi.Addr, reason error) {
+				for _, h := range d.hooks {
+					if h.Dropped != nil {
+						h.Dropped(caseName, origin, reason)
+					}
+				}
+			},
+		}))
 	}
 	eng, err := engine.New(d.node, c.Merged, c.Codecs, opts...)
 	if err != nil {
@@ -275,6 +477,7 @@ func (d *Dispatcher) deploy(name string, c *registry.CompiledCase) (*deployment,
 		return nil, err
 	}
 	d.logeach("provision: deployed case %s (generation %d)", name, c.Generation)
+	// The Deployed hook is fired by Sync after d.mu is released.
 	return &deployment{name: name, compiled: c, eng: eng}, nil
 }
 
@@ -374,6 +577,7 @@ func (d *Dispatcher) closeAll(deps []*deployment, listeners []netapi.Closer) {
 	for _, dep := range deps {
 		_ = dep.eng.Close()
 		d.logeach("provision: undeployed case %s", dep.name)
+		d.hookUndeployed(dep.name)
 	}
 }
 
@@ -417,7 +621,7 @@ func (d *Dispatcher) dispatch(colorKey string, data []byte, src netengine.Source
 	points, sigs, sigOK := l.points, l.sigs, l.sigOK
 	d.mu.RUnlock()
 
-	var matches []entryPoint
+	var matches []match
 	var anyClassified bool
 	fast := sigOK && !d.trialParseOnly
 	if fast {
@@ -447,20 +651,59 @@ func (d *Dispatcher) dispatch(colorKey string, data []byte, src netengine.Source
 		d.counters.Ambiguous++
 	}
 	d.statsMu.Unlock()
+	ev := ClassifyEvent{
+		Case:     chosen.pt.dep.name,
+		Protocol: chosen.pt.proto,
+		Message:  chosen.msg,
+		Origin:   src.Addr,
+		FastPath: fast,
+	}
 	if len(matches) > 1 {
 		names := make([]string, len(matches))
 		for i, m := range matches {
-			names[i] = m.dep.name
+			names[i] = m.pt.dep.name
 		}
+		ev.Ambiguous = true
+		ev.Candidates = names
+		ev.Err = serrors.Mark(
+			fmt.Errorf("provision: payload from %s on %s matches cases %s; dispatched to %s",
+				src.Addr, chosen.pt.proto, strings.Join(names, ", "), chosen.pt.dep.name),
+			serrors.ErrAmbiguousPayload)
 		d.logeach("provision: payload from %s on %s matches cases %s; dispatching to %s",
-			src.Addr, chosen.proto, strings.Join(names, ", "), chosen.dep.name)
+			src.Addr, chosen.pt.proto, strings.Join(names, ", "), chosen.pt.dep.name)
 	}
-	chosen.dep.eng.Inject(chosen.proto, data, src)
+	d.hookClassified(ev)
+	if err := chosen.pt.dep.eng.Inject(chosen.pt.proto, data, src); err != nil {
+		// The chosen engine refused outright — it closed between
+		// classification and delivery (e.g. it finished draining ahead
+		// of its siblings during Shutdown). While the dispatcher as a
+		// whole is still draining, that refusal IS a drain rejection:
+		// tag it ErrDraining so observers asserting the documented
+		// drain contract see every late arrival, whichever engine it
+		// classified to.
+		if d.State() == engine.StateDraining {
+			err = serrors.Mark(err, serrors.ErrDraining)
+		}
+		d.statsMu.Lock()
+		// The payload was never handed to an engine after all: keep
+		// Dispatched meaning exactly that.
+		d.counters.Dispatched--
+		d.counters.Rejected++
+		d.statsMu.Unlock()
+		d.hookDropped(chosen.pt.dep.name, src.Addr, err)
+	}
+}
+
+// match is one classified candidate: the entry point plus the message
+// name the payload classified as under that point's protocol.
+type match struct {
+	pt  entryPoint
+	msg string
 }
 
 // classifyFast resolves the matching entry points from the signature
 // index alone: no parsing, no allocation beyond the match list.
-func (d *Dispatcher) classifyFast(points []entryPoint, sigs map[string]*protoSignature, data []byte, srcIP string) (matches []entryPoint, anyClassified bool) {
+func (d *Dispatcher) classifyFast(points []entryPoint, sigs map[string]*protoSignature, data []byte, srcIP string) (matches []match, anyClassified bool) {
 	// Classification per protocol is memoized in a tiny linear cache —
 	// listeners host at most a handful of protocols.
 	type res struct {
@@ -490,13 +733,13 @@ func (d *Dispatcher) classifyFast(points []entryPoint, sigs map[string]*protoSig
 		}
 		anyClassified = true
 		if p.initiator && name == p.initMsg {
-			matches = append(matches, p)
+			matches = append(matches, match{pt: p, msg: name})
 		}
 	}
 	if len(matches) == 0 {
 		for _, p := range points {
 			if name, ok := classify(p.proto); ok && p.dep.eng.AwaitsEntry(p.proto, name, srcIP) {
-				matches = append(matches, p)
+				matches = append(matches, match{pt: p, msg: name})
 			}
 		}
 	}
@@ -508,7 +751,7 @@ func (d *Dispatcher) classifyFast(points []entryPoint, sigs map[string]*protoSig
 // protocol). Parsed messages are classification scratch only — the
 // chosen engine re-parses from the raw payload — so they are recycled
 // before returning.
-func (d *Dispatcher) classifySlow(points []entryPoint, data []byte, srcIP string) (matches []entryPoint, anyParsed bool) {
+func (d *Dispatcher) classifySlow(points []entryPoint, data []byte, srcIP string) (matches []match, anyParsed bool) {
 	type outcome struct {
 		msg *message.Message
 		ok  bool
@@ -538,13 +781,13 @@ func (d *Dispatcher) classifySlow(points []entryPoint, data []byte, srcIP string
 		}
 		anyParsed = true
 		if p.initiator && o.msg.Name == p.initMsg {
-			matches = append(matches, p)
+			matches = append(matches, match{pt: p, msg: o.msg.Name})
 		}
 	}
 	if len(matches) == 0 {
 		for _, p := range points {
 			if o := parse(p); o.ok && p.dep.eng.AwaitsEntry(p.proto, o.msg.Name, srcIP) {
-				matches = append(matches, p)
+				matches = append(matches, match{pt: p, msg: o.msg.Name})
 			}
 		}
 	}
@@ -574,15 +817,20 @@ func (d *Dispatcher) Engine(caseName string) (*engine.Engine, bool) {
 	return dep.eng, true
 }
 
-// Stats snapshots the per-case engine counters.
+// Stats snapshots the per-case engine counters. After Close it keeps
+// returning the final counters captured at teardown.
 func (d *Dispatcher) Stats() map[string]engine.Counters {
 	d.mu.RLock()
 	deps := make([]*deployment, 0, len(d.deployed))
 	for _, dep := range d.deployed {
 		deps = append(deps, dep)
 	}
+	final := d.final
 	d.mu.RUnlock()
-	out := make(map[string]engine.Counters, len(deps))
+	out := make(map[string]engine.Counters, len(deps)+len(final))
+	for name, c := range final {
+		out[name] = c
+	}
 	for _, dep := range deps {
 		out[dep.name] = dep.eng.Stats()
 	}
@@ -599,8 +847,9 @@ func (d *Dispatcher) DispatchStats() DispatchCounters {
 // Node returns the bridge host node.
 func (d *Dispatcher) Node() netapi.Node { return d.node }
 
-// Close undeploys everything: listeners first (stopping inflow), then
-// every engine, draining their sessions.
+// Close undeploys everything immediately: listeners first (stopping
+// inflow), then every engine, tearing down their sessions. For a
+// graceful stop that lets live sessions finish, use Shutdown.
 func (d *Dispatcher) Close() error {
 	d.mu.Lock()
 	if d.closed {
@@ -608,6 +857,8 @@ func (d *Dispatcher) Close() error {
 		return nil
 	}
 	d.closed = true
+	d.state.Store(int32(engine.StateClosed))
+	close(d.quit)
 	var deps []*deployment
 	var closers []netapi.Closer
 	for _, l := range d.listeners {
@@ -618,7 +869,78 @@ func (d *Dispatcher) Close() error {
 	}
 	d.listeners = map[string]*listener{}
 	d.deployed = map[string]*deployment{}
+	// A provisional snapshot is taken in the same critical section that
+	// empties the deployment map, so Stats/Metrics never dip to zero
+	// while the engines tear down; the snapshot is refreshed with the
+	// true final counters (teardown failures included) once closeAll
+	// returns.
+	provisional := make(map[string]engine.Counters, len(deps))
+	for _, dep := range deps {
+		provisional[dep.name] = dep.eng.Stats()
+	}
+	d.final = provisional
 	d.mu.Unlock()
 	d.closeAll(deps, closers)
+	final := make(map[string]engine.Counters, len(deps))
+	for _, dep := range deps {
+		final[dep.name] = dep.eng.Stats()
+	}
+	d.mu.Lock()
+	d.final = final
+	d.mu.Unlock()
+	if d.ownsNode {
+		return d.node.Close()
+	}
 	return nil
+}
+
+// Shutdown drains the dispatcher gracefully: every hosted engine stops
+// admitting new sessions immediately (late initiator requests are
+// refused and reported through the Dropped hooks with an error marked
+// serrors.ErrDraining), live sessions keep receiving their mid-program
+// entry payloads and run to completion, and once every engine has
+// drained — or ctx has expired, whichever comes first — the dispatcher
+// closes fully. The returned error wraps ctx.Err() if any engine was
+// torn down with sessions still live. Shutdown of an already closed
+// dispatcher returns nil.
+func (d *Dispatcher) Shutdown(ctx context.Context) error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	for {
+		s := d.state.Load()
+		if s >= int32(engine.StateDraining) {
+			break
+		}
+		if d.state.CompareAndSwap(s, int32(engine.StateDraining)) {
+			break
+		}
+	}
+	deps := make([]*deployment, 0, len(d.deployed))
+	for _, dep := range d.deployed {
+		deps = append(deps, dep)
+	}
+	d.mu.Unlock()
+
+	// Drain every engine concurrently: each refuses new sessions from
+	// this point on, and the wait is bounded by the slowest engine (or
+	// ctx). Listeners stay bound during the drain so live sessions
+	// still receive the entry payloads they are waiting for.
+	errs := make([]error, len(deps))
+	var wg sync.WaitGroup
+	for i, dep := range deps {
+		wg.Add(1)
+		go func(i int, dep *deployment) {
+			defer wg.Done()
+			errs[i] = dep.eng.Shutdown(ctx)
+		}(i, dep)
+	}
+	wg.Wait()
+	cerr := d.Close()
+	if err := errors.Join(errs...); err != nil {
+		return err
+	}
+	return cerr
 }

@@ -106,7 +106,7 @@ func (rt *Runtime) NewNode(ip string) (netapi.Node, error) {
 	if ip == "" {
 		ip = "127.0.0.1"
 	}
-	return &node{rt: rt, label: ip}, nil
+	return &node{rt: rt, label: ip, owned: map[netapi.Closer]struct{}{}}, nil
 }
 
 // RunUntil waits (wall-clock) until cond holds or timeout elapses.
@@ -143,6 +143,55 @@ func (rt *Runtime) Run(d time.Duration) { time.Sleep(d) }
 type node struct {
 	rt    *Runtime
 	label string
+
+	// owned tracks the live sockets, listeners and dialed connections
+	// this node opened, so Close can release them all. Entries remove
+	// themselves when closed individually, keeping the set bounded by
+	// the number of live endpoints rather than the churn.
+	ownedMu sync.Mutex
+	closed  bool
+	owned   map[netapi.Closer]struct{}
+}
+
+// adopt registers a resource for teardown with the node. If the node
+// is already closed the resource is closed immediately.
+func (n *node) adopt(c netapi.Closer) {
+	n.ownedMu.Lock()
+	if n.closed {
+		n.ownedMu.Unlock()
+		_ = c.Close()
+		return
+	}
+	n.owned[c] = struct{}{}
+	n.ownedMu.Unlock()
+}
+
+// forget unregisters a resource that closed itself.
+func (n *node) forget(c netapi.Closer) {
+	n.ownedMu.Lock()
+	delete(n.owned, c)
+	n.ownedMu.Unlock()
+}
+
+// Close releases every socket, listener and dialed connection the node
+// opened. Closing twice is a no-op.
+func (n *node) Close() error {
+	n.ownedMu.Lock()
+	if n.closed {
+		n.ownedMu.Unlock()
+		return nil
+	}
+	n.closed = true
+	owned := make([]netapi.Closer, 0, len(n.owned))
+	for c := range n.owned {
+		owned = append(owned, c)
+	}
+	n.owned = map[netapi.Closer]struct{}{}
+	n.ownedMu.Unlock()
+	for _, c := range owned {
+		_ = c.Close()
+	}
+	return nil
 }
 
 var (
@@ -195,6 +244,7 @@ func (n *node) Cancel(id netapi.TimerID) {
 
 type udpSocket struct {
 	rt      *Runtime
+	owner   *node
 	conn    *net.UDPConn
 	addr    netapi.Addr
 	handler netapi.PacketHandler
@@ -215,10 +265,12 @@ func (n *node) OpenUDP(port int, h netapi.PacketHandler) (netapi.UDPSocket, erro
 	local := conn.LocalAddr().(*net.UDPAddr)
 	s := &udpSocket{
 		rt:      n.rt,
+		owner:   n,
 		conn:    conn,
 		addr:    netapi.Addr{IP: "127.0.0.1", Port: local.Port},
 		handler: h,
 	}
+	n.adopt(s)
 	go s.readLoop()
 	return s, nil
 }
@@ -306,6 +358,7 @@ func (s *udpSocket) Close() error {
 		}
 	}
 	s.rt.stateMu.Unlock()
+	s.owner.forget(s)
 	return s.conn.Close()
 }
 
@@ -315,6 +368,7 @@ func (s *udpSocket) Close() error {
 
 type listener struct {
 	rt     *Runtime
+	owner  *node
 	ln     net.Listener
 	closed bool
 }
@@ -327,7 +381,8 @@ func (n *node) ListenStream(port int, accept netapi.ConnHandler, recv netapi.Str
 	if err != nil {
 		return nil, fmt.Errorf("realnet: %w", err)
 	}
-	l := &listener{rt: n.rt, ln: ln}
+	l := &listener{rt: n.rt, owner: n, ln: ln}
+	n.adopt(l)
 	go func() {
 		for {
 			c, err := ln.Accept()
@@ -335,6 +390,8 @@ func (n *node) ListenStream(port int, accept netapi.ConnHandler, recv netapi.Str
 				return
 			}
 			sc := newStreamConn(n.rt, c, recv)
+			sc.owner = n
+			n.adopt(sc)
 			n.rt.dispatch(func() {
 				if accept != nil {
 					accept(sc)
@@ -354,11 +411,13 @@ func (l *listener) Close() error {
 	if already {
 		return nil
 	}
+	l.owner.forget(l)
 	return l.ln.Close()
 }
 
 type streamConn struct {
 	rt     *Runtime
+	owner  *node // nil until adopted; accepted and dialed conns both register
 	c      net.Conn
 	recv   netapi.StreamHandler
 	local  netapi.Addr
@@ -387,6 +446,8 @@ func (n *node) DialStream(to netapi.Addr, recv netapi.StreamHandler) (netapi.Con
 		return nil, fmt.Errorf("realnet: dial %s: %w", to, err)
 	}
 	sc := newStreamConn(n.rt, c, recv)
+	sc.owner = n
+	n.adopt(sc)
 	go sc.readLoop()
 	return sc, nil
 }
@@ -407,6 +468,9 @@ func (sc *streamConn) readLoop() {
 				sc.closed = true
 				sc.rt.stateMu.Unlock()
 				if !already {
+					if sc.owner != nil {
+						sc.owner.forget(sc)
+					}
 					sc.recv(sc, nil)
 				}
 			})
@@ -432,6 +496,9 @@ func (sc *streamConn) Close() error {
 	sc.rt.stateMu.Unlock()
 	if already {
 		return nil
+	}
+	if sc.owner != nil {
+		sc.owner.forget(sc)
 	}
 	return sc.c.Close()
 }

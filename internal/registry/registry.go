@@ -26,6 +26,7 @@ import (
 	"starlink/internal/mdl"
 	"starlink/internal/merge"
 	"starlink/internal/models"
+	"starlink/internal/serrors"
 	"starlink/internal/types"
 )
 
@@ -129,7 +130,7 @@ func (r *Registry) Generation() uint64 {
 func (r *Registry) LoadMDL(doc string) error {
 	spec, err := mdl.ParseXMLString(doc)
 	if err != nil {
-		return err
+		return serrors.Mark(err, serrors.ErrModelInvalid)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -150,7 +151,7 @@ func (r *Registry) LoadMDL(doc string) error {
 func (r *Registry) ReplaceMDL(doc string) (changed bool, err error) {
 	spec, err := mdl.ParseXMLString(doc)
 	if err != nil {
-		return false, err
+		return false, serrors.Mark(err, serrors.ErrModelInvalid)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -178,7 +179,7 @@ func (r *Registry) ReplaceMDL(doc string) (changed bool, err error) {
 func (r *Registry) LoadAutomaton(name, doc string) error {
 	a, err := automata.ParseXMLString(doc)
 	if err != nil {
-		return err
+		return serrors.Mark(err, serrors.ErrModelInvalid)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -202,7 +203,7 @@ func (r *Registry) LoadAutomaton(name, doc string) error {
 func (r *Registry) ReplaceAutomaton(name, doc string) (changed bool, err error) {
 	a, err := automata.ParseXMLString(doc)
 	if err != nil {
-		return false, err
+		return false, serrors.Mark(err, serrors.ErrModelInvalid)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -272,7 +273,7 @@ func (r *Registry) Unload(caseName string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.merged[caseName]; !ok {
-		return fmt.Errorf("registry: unknown merged automaton %q", caseName)
+		return serrors.Mark(fmt.Errorf("registry: unknown merged automaton %q", caseName), serrors.ErrUnknownCase)
 	}
 	delete(r.merged, caseName)
 	delete(r.mergedDocs, caseName)
@@ -291,14 +292,14 @@ func (r *Registry) parseMergedLocked(doc string) (*merge.Merged, error) {
 		return nil, fmt.Errorf("registry: unknown automaton %q", name)
 	}))
 	if err != nil {
-		return nil, err
+		return nil, serrors.Mark(err, serrors.ErrModelInvalid)
 	}
 	specs := map[string]*mdl.Spec{}
 	for _, a := range m.Automata {
 		specs[a.Protocol] = r.specs[a.Protocol]
 	}
 	if err := m.CheckEquivalences(specs); err != nil {
-		return nil, err
+		return nil, serrors.Mark(err, serrors.ErrModelInvalid)
 	}
 	return m, nil
 }
@@ -356,7 +357,9 @@ func (r *Registry) Merged(name string) (*merge.Merged, error) {
 	m, ok := r.merged[name]
 	r.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("registry: unknown merged automaton %q (have %v)", name, r.MergedNames())
+		return nil, serrors.Mark(
+			fmt.Errorf("registry: unknown merged automaton %q (have %v)", name, r.MergedNames()),
+			serrors.ErrUnknownCase)
 	}
 	return m, nil
 }
@@ -365,6 +368,10 @@ func (r *Registry) Merged(name string) (*merge.Merged, error) {
 func (r *Registry) MergedNames() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	return r.mergedNamesLocked()
+}
+
+func (r *Registry) mergedNamesLocked() []string {
 	out := make([]string, 0, len(r.merged))
 	for n := range r.merged {
 		out = append(out, n)
@@ -443,15 +450,17 @@ func (r *Registry) Compiled(name string) (*CompiledCase, error) {
 	}
 	m, ok := r.merged[name]
 	if !ok {
-		return nil, fmt.Errorf("registry: unknown merged automaton %q", name)
+		return nil, serrors.Mark(
+			fmt.Errorf("registry: unknown merged automaton %q (have %v)", name, r.mergedNamesLocked()),
+			serrors.ErrUnknownCase)
 	}
 	program, err := m.Compile()
 	if err != nil {
-		return nil, err
+		return nil, serrors.Mark(err, serrors.ErrModelInvalid)
 	}
 	entries, err := m.EntryProtocols()
 	if err != nil {
-		return nil, err
+		return nil, serrors.Mark(err, serrors.ErrModelInvalid)
 	}
 	codecs, err := r.codecsLocked(m)
 	if err != nil {

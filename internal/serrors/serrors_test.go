@@ -1,0 +1,38 @@
+package serrors
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestMarkMatchesSentinelAndDetail(t *testing.T) {
+	detail := fmt.Errorf("deploy slp-to-upnp: %w", context.Canceled)
+	err := Mark(detail, ErrDraining)
+	if !errors.Is(err, ErrDraining) {
+		t.Fatalf("marked error does not match its sentinel")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("marked error lost the wrapped detail chain")
+	}
+	if errors.Is(err, ErrOverloaded) {
+		t.Fatalf("marked error matches a foreign sentinel")
+	}
+	if got := err.Error(); got != detail.Error() {
+		t.Fatalf("Error() = %q, want the detail text %q", got, detail.Error())
+	}
+}
+
+func TestMarkNil(t *testing.T) {
+	if Mark(nil, ErrClosed) != nil {
+		t.Fatalf("Mark(nil, ...) must be nil")
+	}
+}
+
+func TestMarkNested(t *testing.T) {
+	err := fmt.Errorf("provision: case x: %w", Mark(errors.New("not loaded"), ErrUnknownCase))
+	if !errors.Is(err, ErrUnknownCase) {
+		t.Fatalf("sentinel lost through an outer fmt.Errorf wrap")
+	}
+}

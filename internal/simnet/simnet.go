@@ -324,6 +324,7 @@ type node struct {
 	net           *Net
 	ip            string
 	nextEphemeral int
+	closed        bool
 }
 
 var (
@@ -357,6 +358,44 @@ func (nd *node) Cancel(id netapi.TimerID) {
 		e.fn = nil
 		delete(nd.net.timers, id)
 	}
+}
+
+// Close releases the node: every UDP socket and stream listener bound
+// on its IP is closed and the IP becomes available to NewNode again.
+// Stream connections are owned by their openers (they close with the
+// session or peer that created them) and are left to those owners.
+func (nd *node) Close() error {
+	nd.net.mu.Lock()
+	if nd.closed {
+		nd.net.mu.Unlock()
+		return nil
+	}
+	nd.closed = true
+	var socks []*udpSocket
+	var lns []*listener
+	for _, s := range nd.net.udpSocks {
+		if s.node == nd {
+			socks = append(socks, s)
+		}
+	}
+	for _, l := range nd.net.listeners {
+		if l.node == nd {
+			lns = append(lns, l)
+		}
+	}
+	// Deregister only this node: a replacement node re-created at the
+	// same IP after an earlier Close must not be swept away.
+	if nd.net.nodes[nd.ip] == nd {
+		delete(nd.net.nodes, nd.ip)
+	}
+	nd.net.mu.Unlock()
+	for _, s := range socks {
+		_ = s.Close()
+	}
+	for _, l := range lns {
+		_ = l.Close()
+	}
+	return nil
 }
 
 // allocPortLocked picks a free ephemeral port. Caller holds net.mu.

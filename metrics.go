@@ -1,0 +1,114 @@
+package starlink
+
+import (
+	"starlink/internal/engine"
+	"starlink/internal/provision"
+)
+
+// SessionMetrics is a consistent snapshot of one deployment's (or one
+// case's) session counters.
+type SessionMetrics struct {
+	// Live is the number of sessions currently executing.
+	Live int
+	// Completed and Failed count finished sessions.
+	Completed int
+	Failed    int
+	// Rejected counts initiator requests refused by the max-sessions
+	// bound (see WithMaxSessions).
+	Rejected int
+	// DrainRejected counts initiator requests refused because the
+	// deployment was draining.
+	DrainRejected int
+	// Dropped counts payloads discarded from full inboxes or ingest
+	// queues (backpressure; UDP semantics end to end).
+	Dropped int
+	// ParseErrors counts payloads no parser accepted.
+	ParseErrors int
+	// Ignored counts well-formed payloads no session wanted.
+	Ignored int
+}
+
+// add accumulates per-case metrics into an aggregate.
+func (m SessionMetrics) add(o SessionMetrics) SessionMetrics {
+	m.Live += o.Live
+	m.Completed += o.Completed
+	m.Failed += o.Failed
+	m.Rejected += o.Rejected
+	m.DrainRejected += o.DrainRejected
+	m.Dropped += o.Dropped
+	m.ParseErrors += o.ParseErrors
+	m.Ignored += o.Ignored
+	return m
+}
+
+// DispatchMetrics is a consistent snapshot of a dispatcher's payload
+// classification counters. Zero-valued for single-case bridges, which
+// bind their entry listeners directly.
+type DispatchMetrics struct {
+	// Dispatched counts payloads handed to a case's engine.
+	Dispatched int
+	// Ambiguous counts payloads that matched more than one case (each
+	// was still dispatched, deterministically).
+	Ambiguous int
+	// Unroutable counts payloads that classified under some candidate
+	// protocol but matched no case's entry message and no awaiting
+	// session.
+	Unroutable int
+	// ParseErrors counts payloads no candidate classifier accepted.
+	ParseErrors int
+	// Suppressed counts the deployment's own multicast requests heard
+	// back on shared listeners (never re-bridged: that would loop).
+	Suppressed int
+	// Rejected counts payloads that classified to a case whose engine
+	// refused them outright (already closed).
+	Rejected int
+	// FastPath counts payloads classified by the signature index alone
+	// (no parsing); SlowPath counts trial-parse classifications.
+	FastPath int
+	SlowPath int
+}
+
+// Metrics is one deployment's full observability snapshot: lifecycle
+// state, aggregate and per-case session counters, and — for
+// dispatchers — the classification counters of the shared entry
+// listeners. Obtain it from Deployment.Metrics at any time, from any
+// goroutine.
+type Metrics struct {
+	// State is the deployment's lifecycle state at snapshot time.
+	State State
+	// Sessions aggregates the session counters across every case.
+	Sessions SessionMetrics
+	// Dispatch holds the dispatcher classification counters (zero for
+	// a single-case bridge).
+	Dispatch DispatchMetrics
+	// Cases breaks the session counters down per hosted case.
+	Cases map[string]SessionMetrics
+}
+
+// sessionMetricsOf converts engine counters to the public form.
+func sessionMetricsOf(c engine.Counters) SessionMetrics {
+	return SessionMetrics{
+		Live:          c.Live,
+		Completed:     c.Completed,
+		Failed:        c.Failed,
+		Rejected:      c.Rejected,
+		DrainRejected: c.DrainRejected,
+		Dropped:       c.Dropped,
+		ParseErrors:   c.ParseErrors,
+		Ignored:       c.Ignored,
+	}
+}
+
+// dispatchMetricsOf converts dispatcher counters to the public form.
+func dispatchMetricsOf(c provision.DispatchCounters) DispatchMetrics {
+	return DispatchMetrics{
+		Dispatched:  c.Dispatched,
+		Ambiguous:   c.Ambiguous,
+		Unroutable:  c.Unroutable,
+		ParseErrors: c.ParseErrors,
+		Suppressed:  c.Suppressed,
+		Rejected:    c.Rejected,
+		FastPath:    c.FastPath,
+		SlowPath:    c.SlowPath,
+	}
+}

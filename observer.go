@@ -1,0 +1,301 @@
+package starlink
+
+import (
+	"sync"
+	"time"
+
+	"starlink/internal/engine"
+	"starlink/internal/netapi"
+	"starlink/internal/provision"
+)
+
+// SessionStart announces an admitted session.
+type SessionStart struct {
+	// Case is the merged automaton bridging the session.
+	Case string
+	// Origin is the "ip:port" of the legacy client that opened it.
+	Origin string
+	// At is when the framework admitted the session.
+	At time.Time
+}
+
+// SessionStats summarises one completed (or failed) bridge session
+// (the paper's §VI translation-time measurement is the Duration
+// field).
+type SessionStats struct {
+	// Case is the merged automaton that bridged the session.
+	Case string
+	// Origin is the "ip:port" of the legacy client that opened it.
+	Origin string
+	// Start is when the framework first received the request.
+	Start time.Time
+	// ReplyAt is when the first translated response was sent back to
+	// the initiator — the endpoint of the paper's §VI translation-time
+	// measurement. Zero if the session failed before replying.
+	ReplyAt time.Time
+	// End is when the session finished entirely.
+	End time.Time
+	// Duration is the paper's translation time: ReplyAt-Start when a
+	// reply was sent, End-Start otherwise.
+	Duration time.Duration
+	// Err is non-nil when the session failed.
+	Err error
+}
+
+// Classification describes one entry payload classified by a
+// dispatcher's shared listeners.
+type Classification struct {
+	// Case is the case the payload was dispatched to.
+	Case string
+	// Protocol and Message identify the classified entry message.
+	Protocol string
+	Message  string
+	// Origin is the "ip:port" the payload came from.
+	Origin string
+	// Candidates lists every matching case when the classification was
+	// ambiguous (nil otherwise).
+	Candidates []string
+	// Ambiguous reports whether more than one case matched.
+	Ambiguous bool
+	// FastPath reports whether the signature index classified the
+	// payload without parsing.
+	FastPath bool
+	// Err is non-nil for ambiguous classifications, wrapping
+	// ErrAmbiguousPayload.
+	Err error
+}
+
+// CaseEvent announces a case (un)deployment. For a single-case Bridge
+// the deploy event is emitted as DeployBridge returns, so on a
+// real-socket runtime a fast client's first session events may be
+// observed before it; dispatcher deploy events are emitted from the
+// reconciliation loop, before the case serves traffic.
+type CaseEvent struct {
+	// Case is the merged automaton name.
+	Case string
+	// Generation is the registry generation the case's artifacts were
+	// compiled at (zero for single-case bridges, which deploy outside
+	// the reconciliation loop).
+	Generation uint64
+}
+
+// Drop reports refused work with its structured reason: ErrOverloaded
+// for capacity rejections and queue overflow, ErrDraining for
+// initiator requests arriving mid-shutdown, ErrClosed for payloads
+// reaching an already-closed case.
+type Drop struct {
+	// Case is the case that refused the work (empty when the drop
+	// happened before a case was chosen).
+	Case string
+	// Origin is the "ip:port" the refused payload came from.
+	Origin string
+	// Reason classifies the refusal; assert with errors.Is.
+	Reason error
+}
+
+// Observer receives every signal a deployment emits: session
+// lifecycle, dispatch classification, case deploy/undeploy, and drops.
+// Register observers with WithObserver; multiple observers compose
+// into a chain invoked in registration order. Invocations are
+// serialised per deployment, so implementations need no locking of
+// their own unless shared across deployments.
+//
+// Callbacks run on the deployment's internal goroutines: keep them
+// fast and non-blocking, and never call Close or Shutdown
+// synchronously from inside a callback — those wait for the very
+// goroutines the callback runs on. To tear a deployment down in
+// reaction to an event, do it from a fresh goroutine.
+//
+// Implement the interface directly, or use Hooks to provide only the
+// callbacks you need.
+type Observer interface {
+	OnSessionStart(SessionStart)
+	OnSessionEnd(SessionStats)
+	OnClassify(Classification)
+	OnDeploy(CaseEvent)
+	OnUndeploy(CaseEvent)
+	OnDrop(Drop)
+}
+
+// Hooks adapts a set of optional callbacks into an Observer: nil
+// fields are simply skipped. The zero Hooks observes nothing.
+type Hooks struct {
+	SessionStart func(SessionStart)
+	SessionEnd   func(SessionStats)
+	Classify     func(Classification)
+	Deploy       func(CaseEvent)
+	Undeploy     func(CaseEvent)
+	Drop         func(Drop)
+}
+
+var _ Observer = Hooks{}
+
+// OnSessionStart implements Observer.
+func (h Hooks) OnSessionStart(e SessionStart) {
+	if h.SessionStart != nil {
+		h.SessionStart(e)
+	}
+}
+
+// OnSessionEnd implements Observer.
+func (h Hooks) OnSessionEnd(e SessionStats) {
+	if h.SessionEnd != nil {
+		h.SessionEnd(e)
+	}
+}
+
+// OnClassify implements Observer.
+func (h Hooks) OnClassify(e Classification) {
+	if h.Classify != nil {
+		h.Classify(e)
+	}
+}
+
+// OnDeploy implements Observer.
+func (h Hooks) OnDeploy(e CaseEvent) {
+	if h.Deploy != nil {
+		h.Deploy(e)
+	}
+}
+
+// OnUndeploy implements Observer.
+func (h Hooks) OnUndeploy(e CaseEvent) {
+	if h.Undeploy != nil {
+		h.Undeploy(e)
+	}
+}
+
+// OnDrop implements Observer.
+func (h Hooks) OnDrop(e Drop) {
+	if h.Drop != nil {
+		h.Drop(e)
+	}
+}
+
+// observerChain fans one event out to every registered observer, in
+// registration order. Its mutex is what delivers the Observer
+// contract's "invocations are serialised per deployment": internal
+// layers serialise only per engine, but a dispatcher hosts many
+// engines (and emits classification events of its own), so the chain
+// is the single point where all of a deployment's event sources
+// converge. It also latches the undeploy notification so a bridge
+// closed twice notifies once.
+type observerChain struct {
+	obs  []Observer
+	mu   sync.Mutex
+	once sync.Once
+}
+
+func (c *observerChain) OnSessionStart(e SessionStart) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, o := range c.obs {
+		o.OnSessionStart(e)
+	}
+}
+
+func (c *observerChain) OnSessionEnd(e SessionStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, o := range c.obs {
+		o.OnSessionEnd(e)
+	}
+}
+
+func (c *observerChain) OnClassify(e Classification) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, o := range c.obs {
+		o.OnClassify(e)
+	}
+}
+
+func (c *observerChain) OnDeploy(e CaseEvent) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, o := range c.obs {
+		o.OnDeploy(e)
+	}
+}
+
+func (c *observerChain) OnUndeploy(e CaseEvent) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, o := range c.obs {
+		o.OnUndeploy(e)
+	}
+}
+
+func (c *observerChain) OnDrop(e Drop) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, o := range c.obs {
+		o.OnDrop(e)
+	}
+}
+
+func (c *observerChain) undeployOnce(e CaseEvent) {
+	c.once.Do(func() { c.OnUndeploy(e) })
+}
+
+// statsOf converts engine session stats into the public form.
+func statsOf(caseName string, s engine.SessionStats) SessionStats {
+	return SessionStats{
+		Case:     caseName,
+		Origin:   s.Origin.String(),
+		Start:    s.Start,
+		ReplyAt:  s.ReplyAt,
+		End:      s.End,
+		Duration: s.Duration,
+		Err:      s.Err,
+	}
+}
+
+// bridgeHooks wires the observer chain into a single-case engine.
+func bridgeHooks(caseName string, chain *observerChain) engine.Hooks {
+	return engine.Hooks{
+		SessionStart: func(origin netapi.Addr, at time.Time) {
+			chain.OnSessionStart(SessionStart{Case: caseName, Origin: origin.String(), At: at})
+		},
+		SessionEnd: func(s engine.SessionStats) {
+			chain.OnSessionEnd(statsOf(caseName, s))
+		},
+		Drop: func(origin netapi.Addr, reason error) {
+			chain.OnDrop(Drop{Case: caseName, Origin: origin.String(), Reason: reason})
+		},
+	}
+}
+
+// dispatcherHooks wires the observer chain into a provisioning
+// dispatcher.
+func dispatcherHooks(chain *observerChain) provision.Hooks {
+	return provision.Hooks{
+		Deployed: func(caseName string, generation uint64) {
+			chain.OnDeploy(CaseEvent{Case: caseName, Generation: generation})
+		},
+		Undeployed: func(caseName string) {
+			chain.OnUndeploy(CaseEvent{Case: caseName})
+		},
+		SessionStart: func(caseName string, origin netapi.Addr, at time.Time) {
+			chain.OnSessionStart(SessionStart{Case: caseName, Origin: origin.String(), At: at})
+		},
+		SessionEnd: func(caseName string, s engine.SessionStats) {
+			chain.OnSessionEnd(statsOf(caseName, s))
+		},
+		Classified: func(ev provision.ClassifyEvent) {
+			chain.OnClassify(Classification{
+				Case:       ev.Case,
+				Protocol:   ev.Protocol,
+				Message:    ev.Message,
+				Origin:     ev.Origin.String(),
+				Candidates: ev.Candidates,
+				Ambiguous:  ev.Ambiguous,
+				FastPath:   ev.FastPath,
+				Err:        ev.Err,
+			})
+		},
+		Dropped: func(caseName string, origin netapi.Addr, reason error) {
+			chain.OnDrop(Drop{Case: caseName, Origin: origin.String(), Reason: reason})
+		},
+	}
+}

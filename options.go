@@ -1,0 +1,177 @@
+package starlink
+
+import (
+	"fmt"
+	"time"
+
+	"starlink/internal/engine"
+	"starlink/internal/provision"
+)
+
+// Option configures a deployment. One option set serves both
+// DeployBridge and DeployDispatcher; the few options that only make
+// sense for one kind of deployment are scoped to it and rejected —
+// with a descriptive error — when passed to the other, so a
+// misconfiguration fails at deploy time instead of being silently
+// ignored.
+type Option struct {
+	name  string
+	scope deployTarget
+	apply func(*deployConfig)
+}
+
+// deployTarget scopes an option to the deployments it applies to.
+type deployTarget int
+
+const (
+	targetAny deployTarget = iota
+	targetBridge
+	targetDispatcher
+)
+
+func (t deployTarget) String() string {
+	switch t {
+	case targetBridge:
+		return "bridge"
+	case targetDispatcher:
+		return "dispatcher"
+	default:
+		return "any"
+	}
+}
+
+// deployConfig is the compiled form of an option list.
+type deployConfig struct {
+	engOpts        []engine.Option
+	observers      []Observer
+	trialParseOnly bool
+
+	chainOnce *observerChain
+}
+
+// compileOptions applies opts for the given target, rejecting options
+// scoped to the other deployment kind.
+func compileOptions(target deployTarget, opts []Option) (*deployConfig, error) {
+	cfg := &deployConfig{}
+	for _, o := range opts {
+		if o.apply == nil {
+			continue
+		}
+		if o.scope != targetAny && o.scope != target {
+			return nil, fmt.Errorf("starlink: option %s applies only to %s deployments, not to a %s",
+				o.name, o.scope, target)
+		}
+		o.apply(cfg)
+	}
+	return cfg, nil
+}
+
+// chain returns the deployment's observer chain, nil when no observer
+// was registered.
+func (c *deployConfig) chain() *observerChain {
+	if len(c.observers) == 0 {
+		return nil
+	}
+	if c.chainOnce == nil {
+		c.chainOnce = &observerChain{obs: c.observers}
+	}
+	return c.chainOnce
+}
+
+// engineOptions renders the per-engine option list.
+func (c *deployConfig) engineOptions() []engine.Option {
+	return append([]engine.Option(nil), c.engOpts...)
+}
+
+// provisionOptions renders the dispatcher option list (engine options
+// ride along to every hosted case's engine).
+func (c *deployConfig) provisionOptions() []provision.Option {
+	var out []provision.Option
+	if len(c.engOpts) > 0 {
+		out = append(out, provision.WithEngineOptions(c.engineOptions()...))
+	}
+	if c.trialParseOnly {
+		out = append(out, provision.WithTrialParseOnly())
+	}
+	if chain := c.chain(); chain != nil {
+		out = append(out, provision.WithHooks(dispatcherHooks(chain)))
+	}
+	return out
+}
+
+// WithVars injects deployment environment variables referenced by
+// translation constants (e.g. ${bridge.host}).
+func WithVars(vars map[string]string) Option {
+	return Option{name: "WithVars", apply: func(c *deployConfig) {
+		c.engOpts = append(c.engOpts, engine.WithVars(vars))
+	}}
+}
+
+// WithMaxSessions bounds the number of concurrently live sessions (per
+// case, for a dispatcher). Initiator requests beyond the bound are
+// rejected instead of queued — observable as drops tagged
+// ErrOverloaded — so a flood degrades into dropped requests rather
+// than unbounded memory growth. Values < 1 keep the default (4096).
+func WithMaxSessions(n int) Option {
+	return Option{name: "WithMaxSessions", apply: func(c *deployConfig) {
+		c.engOpts = append(c.engOpts, engine.WithMaxSessions(n))
+	}}
+}
+
+// WithReceiveTimeout bounds how long a session waits at a receive
+// state with no convergence window before failing.
+func WithReceiveTimeout(d time.Duration) Option {
+	return Option{name: "WithReceiveTimeout", apply: func(c *deployConfig) {
+		c.engOpts = append(c.engOpts, engine.WithReceiveTimeout(d))
+	}}
+}
+
+// WithWindowJitter perturbs every convergence window by a uniform
+// value in [-d/2, +d/2], modelling scheduler and retransmission
+// variance (the paper's Fig. 12(b) min/max columns). Each session
+// derives its own RNG from seed and its creation sequence number, so
+// concurrent sessions never share a random stream and simulated runs
+// stay reproducible.
+func WithWindowJitter(d time.Duration, seed int64) Option {
+	return Option{name: "WithWindowJitter", apply: func(c *deployConfig) {
+		c.engOpts = append(c.engOpts, engine.WithWindowJitter(d, seed))
+	}}
+}
+
+// WithIngestWorkers sets the size of the worker pool that parses and
+// routes inbound entry payloads (per case, for a dispatcher).
+func WithIngestWorkers(n int) Option {
+	return Option{name: "WithIngestWorkers", apply: func(c *deployConfig) {
+		c.engOpts = append(c.engOpts, engine.WithIngestWorkers(n))
+	}}
+}
+
+// WithShardCount sets the number of session-table shards (per case,
+// for a dispatcher).
+func WithShardCount(n int) Option {
+	return Option{name: "WithShardCount", apply: func(c *deployConfig) {
+		c.engOpts = append(c.engOpts, engine.WithShardCount(n))
+	}}
+}
+
+// WithObserver registers an observer on the deployment. Observers
+// compose: every registered observer receives every event, in
+// registration order. Use Hooks to implement only the callbacks you
+// need.
+func WithObserver(o Observer) Option {
+	return Option{name: "WithObserver", apply: func(c *deployConfig) {
+		if o != nil {
+			c.observers = append(c.observers, o)
+		}
+	}}
+}
+
+// WithTrialParseOnly disables the dispatcher's signature-index fast
+// path: every payload is classified by trial-parsing against the
+// candidate entry parsers. For diagnostics and for benchmarking the
+// two classification paths against each other. Dispatcher-only.
+func WithTrialParseOnly() Option {
+	return Option{name: "WithTrialParseOnly", scope: targetDispatcher, apply: func(c *deployConfig) {
+		c.trialParseOnly = true
+	}}
+}

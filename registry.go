@@ -1,0 +1,92 @@
+package starlink
+
+import "starlink/internal/registry"
+
+// Registry is the mutable model store backing one or more frameworks:
+// MDL specifications, k-colored automata and merged automata, all
+// loadable, replaceable and unloadable at runtime (the paper's §IV-A
+// runtime extensibility). Every method is safe for concurrent use.
+//
+// A registry is runtime-independent — models and codecs hold no
+// sockets — so one registry, with its compiled-case cache warm, can
+// back any number of frameworks (NewWithRegistry).
+type Registry struct {
+	r *registry.Registry
+}
+
+// NewRegistry returns an empty model registry.
+func NewRegistry() *Registry { return &Registry{r: registry.New()} }
+
+// BuiltinRegistry returns a registry preloaded with every model of the
+// paper's case study: four protocol MDLs, eight role-specific colored
+// automata and six merged automata.
+func BuiltinRegistry() (*Registry, error) {
+	r, err := registry.Builtin()
+	if err != nil {
+		return nil, err
+	}
+	return &Registry{r: r}, nil
+}
+
+// LoadMDL parses, validates and indexes an MDL document; documents
+// that fail either step are refused with ErrModelInvalid. Loading a
+// protocol that already has an MDL is an error; use ReplaceMDL for
+// replace semantics.
+func (r *Registry) LoadMDL(doc string) error { return r.r.LoadMDL(doc) }
+
+// LoadAutomaton parses, validates and indexes a colored automaton
+// under a model name (e.g. "slp-server"). Loading a name twice is an
+// error; use ReplaceAutomaton for replace semantics.
+func (r *Registry) LoadAutomaton(name, doc string) error { return r.r.LoadAutomaton(name, doc) }
+
+// LoadMerged parses, validates and indexes a merged automaton,
+// resolving its automaton references against the registry. Loading a
+// case name twice is an error; use ReplaceMerged for replace
+// semantics.
+func (r *Registry) LoadMerged(doc string) error { return r.r.LoadMerged(doc) }
+
+// ReplaceMDL loads an MDL document, replacing any MDL already loaded
+// for the protocol; every loaded merged automaton is re-resolved so no
+// case keeps referencing the old spec. Replacing with an identical
+// document is a no-op; changed reports whether anything was mutated.
+func (r *Registry) ReplaceMDL(doc string) (changed bool, err error) { return r.r.ReplaceMDL(doc) }
+
+// ReplaceAutomaton loads a colored automaton under a model name,
+// replacing any automaton already loaded under it, with the same
+// re-resolution and no-op semantics as ReplaceMDL.
+func (r *Registry) ReplaceAutomaton(name, doc string) (changed bool, err error) {
+	return r.r.ReplaceAutomaton(name, doc)
+}
+
+// ReplaceMerged loads a merged automaton document, replacing any case
+// already loaded under its name and invalidating its compiled-case
+// cache entry. Replacing with an identical document is a no-op.
+func (r *Registry) ReplaceMerged(doc string) (changed bool, err error) {
+	return r.r.ReplaceMerged(doc)
+}
+
+// Unload removes a merged automaton from the registry; unknown names
+// fail with ErrUnknownCase. Deployments already running the case keep
+// running; unloading only prevents new deployments (a dispatcher Sync
+// undeploys it).
+func (r *Registry) Unload(caseName string) error { return r.r.Unload(caseName) }
+
+// Generation returns the registry's mutation generation: it starts at
+// zero and increases on every effective mutation, so deployers can
+// detect change cheaply.
+func (r *Registry) Generation() uint64 { return r.r.Generation() }
+
+// MergedNames lists the loaded case names, sorted.
+func (r *Registry) MergedNames() []string { return r.r.MergedNames() }
+
+// AutomatonNames lists the loaded automaton model names, sorted.
+func (r *Registry) AutomatonNames() []string { return r.r.AutomatonNames() }
+
+// Protocols lists the protocols with loaded MDLs, sorted.
+func (r *Registry) Protocols() []string { return r.r.Protocols() }
+
+// Backend exposes the underlying model store — a *registry.Registry
+// from this module's internal packages. In-module tooling (the model
+// directory watcher, mdlc, benchmarks) uses it to reach codec-level
+// machinery; external users normally never need it.
+func (r *Registry) Backend() any { return r.r }

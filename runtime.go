@@ -1,0 +1,46 @@
+package starlink
+
+import (
+	"time"
+
+	"starlink/internal/netapi"
+	"starlink/internal/realnet"
+	"starlink/internal/simnet"
+)
+
+// Runtime is the network substrate a framework deploys onto. Two
+// implementations ship with the framework: the deterministic
+// discrete-event simulator (Simulated) used by tests and the paper's
+// Fig. 12 evaluation, and real loopback sockets (Loopback) used by the
+// bridge daemon and the realnet examples.
+type Runtime struct {
+	rt netapi.Runtime
+}
+
+// Simulated returns a runtime backed by the deterministic network
+// simulator: virtual clock, reproducible delivery order, and RunUntil
+// conditions that observe fully quiesced engine state.
+func Simulated() *Runtime { return &Runtime{rt: simnet.New()} }
+
+// Loopback returns a runtime backed by real loopback UDP/TCP sockets
+// with an in-process multicast registry. Time is the wall clock.
+func Loopback() *Runtime { return &Runtime{rt: realnet.New()} }
+
+// RunUntil drives the runtime until cond holds or the timeout (in
+// runtime time — virtual under the simulator) elapses; it returns an
+// error on timeout. Under the simulator, cond is evaluated only when
+// the network and every engine are quiescent, so reading deployment
+// metrics from cond is race-free.
+func (r *Runtime) RunUntil(cond func() bool, timeout time.Duration) error {
+	return r.rt.RunUntil(cond, timeout)
+}
+
+// Run drives the runtime for d (virtual or wall-clock time).
+func (r *Runtime) Run(d time.Duration) { r.rt.Run(d) }
+
+// Backend exposes the underlying runtime implementation — a
+// *simnet.Net or *realnet.Runtime from this module's internal
+// packages. In-module tools (examples, tests, the daemon) use it to
+// create peer nodes for legacy protocol stacks; external users
+// normally never need it.
+func (r *Runtime) Backend() any { return r.rt }

@@ -16,12 +16,45 @@
 // Quickstart (bridging an SLP client to a Bonjour service on the
 // deterministic network simulator):
 //
-//	sim := simnet.New()
-//	fw, _ := starlink.New(sim)
-//	bridge, _ := fw.DeployBridge("10.0.0.5", "slp-to-bonjour")
+//	rt := starlink.Simulated()
+//	fw, _ := starlink.New(rt)
+//	bridge, _ := fw.DeployBridge(ctx, "10.0.0.5", "slp-to-bonjour")
 //	defer bridge.Close()
 //	// ... start a dnssd.Responder and an slp.UserAgent; the lookup
 //	// completes across protocols, through the bridge.
+//
+// # Lifecycle
+//
+// Every deployment — a single-case Bridge or a multi-case Dispatcher —
+// moves strictly forward through four states: Starting → Running →
+// Draining → Closed. The context passed to DeployBridge and
+// DeployDispatcher governs both the deploy and the deployment's
+// lifetime (like exec.CommandContext): cancelling it closes the
+// deployment, tearing down in-flight sessions through their
+// per-session contexts. Shutdown(ctx) drains gracefully instead — no
+// new sessions are admitted (late initiator requests are refused and
+// observable as drops tagged ErrDraining), live sessions run to
+// completion, and ctx bounds how long the drain may take. Close tears
+// everything down immediately.
+//
+// # Errors
+//
+// Failures are classified under exported sentinels asserted with
+// errors.Is: ErrUnknownCase (case not loaded), ErrModelInvalid (model
+// failed to parse or validate), ErrOverloaded (capacity bound hit),
+// ErrDraining (work refused mid-shutdown), ErrAmbiguousPayload
+// (payload classified under several cases) and ErrClosed. The detailed
+// message — case name, origin, bound — always travels with the
+// sentinel.
+//
+// # Observability
+//
+// One Observer interface carries every signal: session start/end,
+// dispatch classification, case deploy/undeploy, and drops with their
+// structured reasons. Register any number with WithObserver (they
+// compose into a chain), implement only what you need via Hooks, and
+// read consistent counter snapshots at any time with
+// Deployment.Metrics().
 //
 // # Concurrency model
 //
@@ -36,92 +69,286 @@
 // unbounded memory growth. Timers and requester payloads post events
 // into the session inbox instead of touching session state, so session
 // state needs no locks. On the virtual-clock simulator the engine
-// reports in-flight work through netapi.WorkTracker, which keeps
-// simulated runs deterministic; see README.md for the full lifecycle.
+// reports in-flight work through a work tracker, which keeps simulated
+// runs deterministic; see README.md for the full lifecycle.
 //
 // See examples/ for complete programs and DESIGN.md for the mapping
 // from the paper's formal model to this implementation.
 package starlink
 
 import (
+	"context"
+	"fmt"
+
 	"starlink/internal/core"
 	"starlink/internal/engine"
-	"starlink/internal/netapi"
 	"starlink/internal/provision"
-	"starlink/internal/registry"
+)
+
+// State is a deployment's position in its lifecycle. Deployments move
+// strictly forward: Starting → Running → (Draining →) Closed.
+type State int
+
+const (
+	// StateStarting is the window before the deployment accepts
+	// traffic.
+	StateStarting State = iota
+	// StateRunning accepts entry payloads and admits new sessions.
+	StateRunning
+	// StateDraining admits no new sessions but keeps delivering
+	// payloads to the live ones so they can finish.
+	StateDraining
+	// StateClosed has released every listener, worker and session.
+	StateClosed
+)
+
+// String names the state for logs and metrics.
+func (s State) String() string {
+	switch s {
+	case StateStarting:
+		return "starting"
+	case StateRunning:
+		return "running"
+	case StateDraining:
+		return "draining"
+	case StateClosed:
+		return "closed"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// stateOf converts an engine lifecycle state to the public one.
+func stateOf(s engine.State) State {
+	switch s {
+	case engine.StateStarting:
+		return StateStarting
+	case engine.StateRunning:
+		return StateRunning
+	case engine.StateDraining:
+		return StateDraining
+	default:
+		return StateClosed
+	}
+}
+
+// Deployment is the management surface shared by every deployed
+// connector — single-case bridges and multi-case dispatchers alike:
+// lifecycle state, a consistent metrics snapshot, graceful drain and
+// immediate teardown.
+type Deployment interface {
+	// State returns the deployment's lifecycle state.
+	State() State
+	// Metrics returns a consistent snapshot of the deployment's
+	// counters.
+	Metrics() Metrics
+	// Shutdown drains gracefully: no new sessions, live ones run to
+	// completion or until ctx expires, then everything is released.
+	Shutdown(ctx context.Context) error
+	// Close tears the deployment down immediately.
+	Close() error
+}
+
+var (
+	_ Deployment = (*Bridge)(nil)
+	_ Deployment = (*Dispatcher)(nil)
 )
 
 // Framework is a Starlink deployment context: a model registry plus a
 // network runtime (simulated or real).
-type Framework = core.Framework
-
-// Bridge is a deployed interoperability connector executing one merged
-// automaton.
-type Bridge = core.Bridge
-
-// Registry is the mutable model store backing one or more frameworks.
-type Registry = registry.Registry
-
-// SessionStats summarises one bridged interaction (the paper's §VI
-// translation-time measurement is the Duration field).
-type SessionStats = engine.SessionStats
-
-// BridgeOption configures a deployed bridge (observers, environment
-// variables, timing).
-type BridgeOption = engine.Option
+type Framework struct {
+	fw  *core.Framework
+	reg *Registry
+}
 
 // New creates a framework on the given runtime with the paper's
 // case-study models preloaded (four protocol MDLs, eight colored
 // automata, six merged automata).
-func New(rt netapi.Runtime) (*Framework, error) { return core.New(rt) }
+func New(rt *Runtime) (*Framework, error) {
+	fw, err := core.New(rt.rt)
+	if err != nil {
+		return nil, err
+	}
+	return &Framework{fw: fw, reg: &Registry{r: fw.Registry()}}, nil
+}
 
 // NewEmpty creates a framework with no models loaded; use
 // Framework.Registry to load your own MDL / automaton / merged
 // automaton XML at runtime.
-func NewEmpty(rt netapi.Runtime) *Framework { return core.NewEmpty(rt) }
+func NewEmpty(rt *Runtime) *Framework {
+	fw := core.NewEmpty(rt.rt)
+	return &Framework{fw: fw, reg: &Registry{r: fw.Registry()}}
+}
 
 // NewWithRegistry creates a framework sharing an existing model
 // registry (and its warm compiled-case cache) — registries are
 // runtime-independent, so one model corpus can back many deployments.
-func NewWithRegistry(rt netapi.Runtime, reg *Registry) *Framework {
-	return core.NewWithRegistry(rt, reg)
+func NewWithRegistry(rt *Runtime, reg *Registry) *Framework {
+	fw := core.NewWithRegistry(rt.rt, reg.r)
+	return &Framework{fw: fw, reg: reg}
 }
 
-// WithObserver registers a per-session callback on a deployed bridge.
-func WithObserver(fn func(SessionStats)) BridgeOption { return engine.WithObserver(fn) }
+// Registry exposes the framework's model registry for loading,
+// replacing and unloading models at runtime.
+func (f *Framework) Registry() *Registry { return f.reg }
 
-// WithVars injects bridge environment variables referenced by
-// translation constants (e.g. ${bridge.host}).
-func WithVars(vars map[string]string) BridgeOption { return engine.WithVars(vars) }
+// DeployBridge creates a bridge host with the given IP, instantiates
+// the named merged automaton on it and starts listening. The bridge is
+// transparent: neither legacy side needs to know it exists.
+//
+// ctx governs both the deploy and the bridge's lifetime: a cancelled
+// ctx aborts the deploy (releasing everything already created), and
+// cancelling it later closes the bridge, tearing down in-flight
+// sessions. Unknown case names fail with ErrUnknownCase.
+func (f *Framework) DeployBridge(ctx context.Context, hostIP, caseName string, opts ...Option) (*Bridge, error) {
+	cfg, err := compileOptions(targetBridge, opts)
+	if err != nil {
+		return nil, err
+	}
+	engOpts := cfg.engineOptions()
+	if chain := cfg.chain(); chain != nil {
+		engOpts = append(engOpts, engine.WithHooks(bridgeHooks(caseName, chain)))
+	}
+	b, err := f.fw.DeployBridge(ctx, hostIP, caseName, engOpts...)
+	if err != nil {
+		return nil, err
+	}
+	bridge := &Bridge{b: b, observers: cfg.chain()}
+	bridge.notifyDeploy()
+	if bridge.observers != nil {
+		// Whatever path tears the bridge down — Close, Shutdown, or
+		// cancellation of ctx — the observers hear about it exactly
+		// once.
+		go func() {
+			<-b.Done()
+			bridge.notifyUndeploy()
+		}()
+	}
+	return bridge, nil
+}
 
-// WithMaxSessions bounds the number of concurrently live bridge
-// sessions; initiator requests beyond the bound are rejected instead
-// of queued.
-func WithMaxSessions(n int) BridgeOption { return engine.WithMaxSessions(n) }
+// DeployDispatcher creates a bridge host with the given IP and hosts
+// the named cases on it — every loaded case when cases is empty —
+// behind shared entry listeners, with inbound payloads classified to
+// the right case (trial-parse or signature-index; see DESIGN.md).
+//
+// ctx follows the DeployBridge contract. Unknown case names fail with
+// ErrUnknownCase. Call Sync after mutating the registry to pick up
+// model changes with zero restart.
+func (f *Framework) DeployDispatcher(ctx context.Context, hostIP string, cases []string, opts ...Option) (*Dispatcher, error) {
+	cfg, err := compileOptions(targetDispatcher, opts)
+	if err != nil {
+		return nil, err
+	}
+	provOpts := cfg.provisionOptions()
+	d, err := f.fw.DeployDispatcher(ctx, hostIP, cases, provOpts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Dispatcher{d: d}, nil
+}
+
+// Bridge is a deployed interoperability connector executing one merged
+// automaton.
+type Bridge struct {
+	b         *core.Bridge
+	observers *observerChain
+}
+
+// Case returns the name of the merged automaton the bridge executes.
+func (b *Bridge) Case() string { return b.b.Case }
+
+// State returns the bridge's lifecycle state.
+func (b *Bridge) State() State { return stateOf(b.b.Engine.State()) }
+
+// Metrics returns a consistent snapshot of the bridge's session
+// counters. The Dispatch section is zero for a single-case bridge.
+func (b *Bridge) Metrics() Metrics {
+	s := sessionMetricsOf(b.b.Engine.Stats())
+	return Metrics{
+		State:    b.State(),
+		Sessions: s,
+		Cases:    map[string]SessionMetrics{b.b.Case: s},
+	}
+}
+
+// Shutdown drains the bridge gracefully: no new sessions are admitted
+// (late initiator requests surface as ErrDraining drops), live
+// sessions run to completion, and ctx bounds the drain — on expiry the
+// remaining sessions are torn down and the returned error wraps
+// ctx.Err(). The bridge host is released either way.
+func (b *Bridge) Shutdown(ctx context.Context) error {
+	err := b.b.Shutdown(ctx)
+	b.notifyUndeploy()
+	return err
+}
+
+// Close undeploys the bridge immediately, tearing down in-flight
+// sessions and releasing the bridge host.
+func (b *Bridge) Close() error {
+	err := b.b.Close()
+	b.notifyUndeploy()
+	return err
+}
+
+func (b *Bridge) notifyDeploy() {
+	if b.observers != nil {
+		b.observers.OnDeploy(CaseEvent{Case: b.b.Case})
+	}
+}
+
+func (b *Bridge) notifyUndeploy() {
+	if b.observers != nil {
+		b.observers.undeployOnce(CaseEvent{Case: b.b.Case})
+	}
+}
 
 // Dispatcher is a multi-case bridge deployment: one daemon hosting
-// every loaded case at once behind shared entry listeners, with
-// inbound payloads classified to the right case by trial-parsing
-// (see Framework.DeployDispatcher and internal/provision).
-type Dispatcher = provision.Dispatcher
-
-// DispatcherOption configures a deployed dispatcher.
-type DispatcherOption = provision.Option
-
-// WithEngineOptions passes bridge options to every engine a
-// dispatcher deploys.
-func WithEngineOptions(opts ...BridgeOption) DispatcherOption {
-	return provision.WithEngineOptions(opts...)
+// every selected case at once behind shared entry listeners, with
+// inbound payloads classified to the right case.
+type Dispatcher struct {
+	d *provision.Dispatcher
 }
 
-// WithSessionObserver registers a per-session callback tagged with the
-// case name that bridged the session.
-func WithSessionObserver(fn func(caseName string, s SessionStats)) DispatcherOption {
-	return provision.WithSessionObserver(fn)
+// Cases lists the currently deployed case names, sorted.
+func (d *Dispatcher) Cases() []string { return d.d.Cases() }
+
+// Sync reconciles the hosted cases with the registry's current state:
+// new cases are deployed, changed ones redeployed, unloaded ones
+// undeployed. A Sync with nothing changed is a cheap no-op. Syncing a
+// draining or closed dispatcher fails with ErrDraining / ErrClosed.
+func (d *Dispatcher) Sync() error { return d.d.Sync() }
+
+// State returns the dispatcher's lifecycle state.
+func (d *Dispatcher) State() State { return stateOf(d.d.State()) }
+
+// Metrics returns a consistent snapshot of the dispatcher's counters:
+// per-case session metrics, their aggregate, and the classification
+// counters of the shared entry listeners.
+func (d *Dispatcher) Metrics() Metrics {
+	m := Metrics{
+		State:    d.State(),
+		Dispatch: dispatchMetricsOf(d.d.DispatchStats()),
+		Cases:    map[string]SessionMetrics{},
+	}
+	for name, st := range d.d.Stats() {
+		s := sessionMetricsOf(st)
+		m.Cases[name] = s
+		m.Sessions = m.Sessions.add(s)
+	}
+	return m
 }
 
-// WithDispatchLogf routes dispatcher log lines (deploys, undeploys,
-// ambiguous payload classifications) to fn.
-func WithDispatchLogf(fn func(format string, args ...any)) DispatcherOption {
-	return provision.WithLogf(fn)
-}
+// Shutdown drains the dispatcher gracefully: every hosted case stops
+// admitting new sessions immediately (late initiator requests surface
+// as ErrDraining drops), live sessions keep receiving their
+// mid-program entry payloads and run to completion, and once every
+// case has drained — or ctx has expired — the dispatcher closes fully,
+// releasing its listeners and host. The returned error wraps ctx.Err()
+// if any case was torn down with sessions still live.
+func (d *Dispatcher) Shutdown(ctx context.Context) error { return d.d.Shutdown(ctx) }
+
+// Close undeploys everything immediately: listeners first (stopping
+// inflow), then every case, tearing down their sessions and releasing
+// the host.
+func (d *Dispatcher) Close() error { return d.d.Close() }

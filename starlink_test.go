@@ -1,6 +1,7 @@
 package starlink_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -15,19 +16,25 @@ import (
 // TestPublicAPIQuickstart exercises the exact flow the package
 // documentation promises.
 func TestPublicAPIQuickstart(t *testing.T) {
-	sim := simnet.New()
-	fw, err := starlink.New(sim)
+	rt := starlink.Simulated()
+	sim := rt.Backend().(*simnet.Net)
+	fw, err := starlink.New(rt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var sessions []starlink.SessionStats
-	bridge, err := fw.DeployBridge("10.0.0.5", "slp-to-bonjour",
-		starlink.WithObserver(func(s starlink.SessionStats) { sessions = append(sessions, s) }),
+	bridge, err := fw.DeployBridge(context.Background(), "10.0.0.5", "slp-to-bonjour",
+		starlink.WithObserver(starlink.Hooks{
+			SessionEnd: func(s starlink.SessionStats) { sessions = append(sessions, s) },
+		}),
 		starlink.WithVars(map[string]string{"example.var": "x"}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer bridge.Close()
+	if got := bridge.State(); got != starlink.StateRunning {
+		t.Fatalf("state = %v, want running", got)
+	}
 
 	svcNode, _ := sim.NewNode("10.0.0.9")
 	if _, err := dnssd.NewResponder(svcNode, "printer.local", "service:printer://10.0.0.9:515"); err != nil {
@@ -57,8 +64,9 @@ func TestPublicAPIQuickstart(t *testing.T) {
 // protocol bridged to a trivial binary "ECHO" protocol, defined
 // entirely here, with zero framework changes.
 func TestPublicAPICustomModels(t *testing.T) {
-	sim := simnet.New()
-	fw := starlink.NewEmpty(sim)
+	rt := starlink.Simulated()
+	sim := rt.Backend().(*simnet.Net)
+	fw := starlink.NewEmpty(rt)
 	reg := fw.Registry()
 
 	const pingMDL = `
@@ -141,7 +149,7 @@ func TestPublicAPICustomModels(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	bridge, err := fw.DeployBridge("10.0.0.5", "ping-to-echo")
+	bridge, err := fw.DeployBridge(context.Background(), "10.0.0.5", "ping-to-echo")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +200,7 @@ func TestPublicAPICustomModels(t *testing.T) {
 	if resp != "HELLO" {
 		t.Fatalf("resp = %q (bridged PING→ECHO→PING roundtrip broken)", resp)
 	}
-	if bridge.Engine.Completed != 1 {
-		t.Fatalf("completed = %d", bridge.Engine.Completed)
+	if m := bridge.Metrics(); m.Sessions.Completed != 1 {
+		t.Fatalf("completed = %d (metrics %+v)", m.Sessions.Completed, m)
 	}
 }
