@@ -1,13 +1,18 @@
 // Command benchdiff compares two `go test -bench` output files the way
 // benchstat does — median deltas with Mann-Whitney significance — and
 // converts bench output into the JSON baseline format CI archives
-// (BENCH_PR3.json). No external dependencies, so it runs anywhere the
+// (BENCH_PR5.json). No external dependencies, so it runs anywhere the
 // repo builds.
 //
 // Usage:
 //
 //	benchdiff old.txt new.txt     # benchstat-style comparison table
 //	benchdiff -json run.txt       # JSON summary baseline to stdout
+//	benchdiff -baseline BENCH_PR5.json [-max-regress 50] run.txt
+//	                              # gate a fresh run against a committed
+//	                              # JSON baseline: exit 1 if any common
+//	                              # benchmark's ns/op median regressed
+//	                              # by more than -max-regress percent
 package main
 
 import (
@@ -21,6 +26,8 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "summarise one bench output file as JSON instead of comparing two")
+	baseline := flag.String("baseline", "", "committed JSON baseline to gate one fresh bench output file against")
+	maxRegress := flag.Float64("max-regress", 50, "with -baseline: fail when a ns/op median regresses by more than this percent")
 	alpha := flag.Float64("alpha", 0.05, "significance threshold for the Mann-Whitney test")
 	flag.Parse()
 
@@ -58,8 +65,33 @@ func main() {
 		return
 	}
 
+	if *baseline != "" {
+		if flag.NArg() != 1 {
+			fail(fmt.Errorf("-baseline wants exactly one fresh bench output file"))
+		}
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fail(err)
+		}
+		var summaries []bench.BenchSummary
+		if err := json.Unmarshal(raw, &summaries); err != nil {
+			fail(fmt.Errorf("%s: %w", *baseline, err))
+		}
+		series := parseFile(flag.Arg(0))
+		rows, regressed := bench.GateAgainstBaseline(summaries, series, *maxRegress)
+		if len(rows) == 0 {
+			fail(fmt.Errorf("no common benchmarks between %s and %s", *baseline, flag.Arg(0)))
+		}
+		fmt.Print(bench.FormatGate(rows, *maxRegress))
+		if regressed {
+			fmt.Fprintf(os.Stderr, "benchdiff: ns/op regression beyond %.0f%% against %s\n", *maxRegress, *baseline)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff old.txt new.txt | benchdiff -json run.txt")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff old.txt new.txt | benchdiff -json run.txt | benchdiff -baseline base.json run.txt")
 		os.Exit(2)
 	}
 	rows := bench.CompareBenches(parseFile(flag.Arg(0)), parseFile(flag.Arg(1)))

@@ -6,12 +6,19 @@
 //
 // It also measures the concurrent Automata Engine's parallel-session
 // throughput (-table p): the same multi-client bridge workload driven
-// sequentially and across GOMAXPROCS workers, with the speedup.
+// sequentially and across GOMAXPROCS workers, with the speedup — and
+// the realnet ingest saturation scenario (-table i): N UDP endpoints ×
+// M senders over real loopback sockets with a classification-sized CPU
+// cost per datagram, the workload that demonstrates per-endpoint
+// parallel dispatch (PR 5) scaling with cores instead of with one
+// dispatcher mutex.
 //
 // Usage:
 //
-//	starlink-bench [-table a|b|both|p] [-iters 100] [-seed 1]
+//	starlink-bench [-table a|b|both|p|i] [-iters 100] [-seed 1]
 //	               [-parallel-units 64] [-parallel-clients 16]
+//	               [-ingest-endpoints 8] [-ingest-senders 32]
+//	               [-ingest-packets 50000]
 //	               [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The profile flags capture the run with runtime/pprof, so the Fig. 12
@@ -36,11 +43,14 @@ func main() {
 }
 
 func run() int {
-	table := flag.String("table", "both", "which table to run: a, b, both or p (parallel throughput)")
+	table := flag.String("table", "both", "which table to run: a, b, both, p (parallel throughput) or i (ingest saturation)")
 	iters := flag.Int("iters", 100, "iterations per row (the paper used 100)")
 	seed := flag.Int64("seed", 1, "base RNG seed (results are deterministic per seed)")
 	punits := flag.Int("parallel-units", 64, "simulations driven by -table p")
 	pclients := flag.Int("parallel-clients", 16, "concurrent bridge sessions per simulation in -table p")
+	iendpoints := flag.Int("ingest-endpoints", 8, "receiver UDP endpoints in -table i")
+	isenders := flag.Int("ingest-senders", 32, "concurrent senders in -table i")
+	ipackets := flag.Int("ingest-packets", 50000, "datagrams pushed through the ingress in -table i")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile of the run to this file")
 	flag.Parse()
@@ -76,6 +86,9 @@ func run() int {
 	if *table == "p" {
 		return runParallel(*punits, *pclients, *seed)
 	}
+	if *table == "i" {
+		return runIngest(*iendpoints, *isenders, *ipackets)
+	}
 
 	if *table == "a" || *table == "both" {
 		natives, err := bench.RunTable12a(*iters, *seed)
@@ -98,9 +111,25 @@ func run() int {
 			bench.CaseOrder, bridges, bench.Fig12b))
 	}
 	if *table != "a" && *table != "b" && *table != "both" {
-		fmt.Fprintf(os.Stderr, "starlink-bench: unknown table %q (want a, b, both or p)\n", *table)
+		fmt.Fprintf(os.Stderr, "starlink-bench: unknown table %q (want a, b, both, p or i)\n", *table)
 		return 2
 	}
+	return 0
+}
+
+// runIngest drives the realnet ingest-saturation scenario once and
+// reports aggregate packet throughput.
+func runIngest(endpoints, senders, packets int) int {
+	fmt.Printf("Ingest saturation — %d endpoints × %d senders, %d datagrams (GOMAXPROCS=%d)\n",
+		endpoints, senders, packets, runtime.GOMAXPROCS(0))
+	res, err := bench.RunParallelIngest(endpoints, senders, packets)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "starlink-bench:", err)
+		return 1
+	}
+	fmt.Printf("  %d packets in %s  (%8.0f pkts/s, %.1f µs/packet)\n",
+		res.Packets, res.Elapsed.Round(0), res.PacketsPerSec,
+		float64(res.Elapsed.Microseconds())/float64(res.Packets))
 	return 0
 }
 

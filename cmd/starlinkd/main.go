@@ -14,7 +14,7 @@
 //	starlinkd [-case all | name,name,...] [-host 127.0.0.1] [-v]
 //	          [-models dir] [-models-poll 2s]
 //	          [-max-sessions 4096] [-stats-interval 30s]
-//	          [-drain-timeout 10s]
+//	          [-drain-timeout 10s] [-pprof addr]
 //
 // -case selects the cases to host: "all" (the default) hosts every
 // loaded case, a comma-separated list hosts exactly those. -models
@@ -31,12 +31,19 @@
 // their ErrDraining reason), live sessions run to completion, and the
 // daemon exits once everything has drained or -drain-timeout has
 // elapsed, whichever comes first.
+//
+// -pprof serves net/http/pprof on the given address (e.g.
+// 127.0.0.1:6060) so a saturated ingress can be profiled live:
+//
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"sort"
@@ -61,7 +68,18 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 4096, "bound on concurrently live sessions per case")
 	statsInterval := flag.Duration("stats-interval", 30*time.Second, "how often to log per-case statistics (0 disables)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long a graceful shutdown waits for live sessions (0 closes immediately)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060) for live saturation debugging")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			// DefaultServeMux carries the net/http/pprof handlers.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "starlinkd: pprof:", err)
+			}
+		}()
+		fmt.Printf("starlinkd: pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	if *maxSessions < 1 {
 		fatal(fmt.Errorf("-max-sessions must be >= 1, got %d", *maxSessions))

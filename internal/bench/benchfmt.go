@@ -261,3 +261,70 @@ func FormatDiff(rows []DiffRow, alpha float64) string {
 	}
 	return sb.String()
 }
+
+// GateRow is one benchmark's fresh-run-vs-committed-baseline check.
+type GateRow struct {
+	Name       string
+	BaseNs     float64 // committed baseline ns/op median
+	NewNs      float64 // fresh run ns/op median
+	NsDelta    float64 // percent; negative is faster
+	Regressed  bool    // NsDelta beyond the allowed regression
+	BaseAllocs float64
+	NewAllocs  float64
+	HasAllocs  bool
+}
+
+// GateAgainstBaseline aligns a fresh result set with a committed JSON
+// baseline and flags ns/op medians that regressed beyond maxRegress
+// percent. A single -benchtime=1x CI sample is noisy, so the gate is a
+// coarse guard against catastrophic regressions (a reintroduced global
+// lock, a lost fast path), not a statistical comparison — benchdiff's
+// two-file mode with -count=10 runs remains the precise tool.
+func GateAgainstBaseline(baseline []BenchSummary, fresh []*BenchSeries, maxRegress float64) (rows []GateRow, regressed bool) {
+	base := map[string]BenchSummary{}
+	for _, s := range baseline {
+		base[s.Name] = s
+	}
+	for _, n := range fresh {
+		b, ok := base[n.Name]
+		if !ok {
+			continue
+		}
+		row := GateRow{
+			Name:   n.Name,
+			BaseNs: b.NsMedian,
+			NewNs:  median(n.NsPerOp),
+		}
+		if row.BaseNs > 0 {
+			row.NsDelta = (row.NewNs - row.BaseNs) / row.BaseNs * 100
+		}
+		row.Regressed = row.NsDelta > maxRegress
+		if b.AllocsMedian > 0 || len(n.AllocsPerOp) > 0 {
+			row.HasAllocs = true
+			row.BaseAllocs = b.AllocsMedian
+			row.NewAllocs = median(n.AllocsPerOp)
+		}
+		if row.Regressed {
+			regressed = true
+		}
+		rows = append(rows, row)
+	}
+	return rows, regressed
+}
+
+// FormatGate renders the baseline gate as a table.
+func FormatGate(rows []GateRow, maxRegress float64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-44s %14s %14s %8s  gate(+%.0f%%)\n", "name", "baseline", "fresh", "delta", maxRegress)
+	for _, r := range rows {
+		verdict := "ok"
+		if r.Regressed {
+			verdict = "REGRESSED"
+		}
+		fmt.Fprintf(&sb, "%-44s %12.0fns %12.0fns %+7.1f%%  %s\n", r.Name, r.BaseNs, r.NewNs, r.NsDelta, verdict)
+		if r.HasAllocs {
+			fmt.Fprintf(&sb, "%-44s %14.1f %14.1f\n", r.Name+" (allocs/op)", r.BaseAllocs, r.NewAllocs)
+		}
+	}
+	return sb.String()
+}

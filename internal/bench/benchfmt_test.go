@@ -82,3 +82,34 @@ func TestCompareAndFormat(t *testing.T) {
 		t.Errorf("formatted output:\n%s", out)
 	}
 }
+
+func TestGateAgainstBaseline(t *testing.T) {
+	baseline := []BenchSummary{
+		{Name: "BenchmarkParallelIngest", NsMedian: 1000, AllocsMedian: 2},
+		{Name: "BenchmarkOther", NsMedian: 500},
+	}
+	fresh := []*BenchSeries{
+		{Name: "BenchmarkParallelIngest", NsPerOp: []float64{1400}, AllocsPerOp: []float64{0}},
+		{Name: "BenchmarkNew", NsPerOp: []float64{1}},
+	}
+	rows, regressed := GateAgainstBaseline(baseline, fresh, 50)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1 (only common benchmarks)", len(rows))
+	}
+	if regressed {
+		t.Fatal("+40% must pass a 50% gate")
+	}
+	if rows[0].NsDelta < 39 || rows[0].NsDelta > 41 {
+		t.Fatalf("delta = %.1f", rows[0].NsDelta)
+	}
+	rows, regressed = GateAgainstBaseline(baseline, []*BenchSeries{
+		{Name: "BenchmarkParallelIngest", NsPerOp: []float64{1600}},
+	}, 50)
+	if !regressed || !rows[0].Regressed {
+		t.Fatal("+60% must fail a 50% gate")
+	}
+	out := FormatGate(rows, 50)
+	if !contains(out, "REGRESSED") {
+		t.Fatalf("gate table missing verdict:\n%s", out)
+	}
+}

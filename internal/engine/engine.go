@@ -283,13 +283,25 @@ func WithEgressTable(t *netengine.EgressTable) Option {
 }
 
 // ingestJob is one inbound entry payload awaiting parse + route. It
-// carries one work-tracker token. key is the payload's routing key,
-// computed once on the listener hot path.
+// carries one work-tracker token, and — when the runtime delivered the
+// payload in a leased buffer — the lease, which the ingest worker
+// releases right after the parse (the parser never aliases its input)
+// or on any drop path. key is the payload's routing key, computed once
+// on the listener hot path.
 type ingestJob struct {
 	proto string
 	key   string
 	data  []byte
 	src   netengine.Source
+	lease *netapi.Buffer
+}
+
+// releaseJobLease returns the job's leased receive buffer, if any.
+func releaseJobLease(job *ingestJob) {
+	if job.lease != nil {
+		job.lease.Release()
+		job.lease = nil
+	}
 }
 
 // noTracker is the WorkTracker used on runtimes that do not implement
@@ -484,8 +496,8 @@ func (e *Engine) Start() error {
 		opened[step.Protocol] = true
 		proto := step.Protocol
 		codec := e.codecs[proto]
-		closer, err := e.net.Listen(color, codec.Framer, func(data []byte, src netengine.Source) {
-			e.onEntry(proto, data, src)
+		closer, err := e.net.Listen(color, codec.Framer, func(data []byte, src netengine.Source, lease *netapi.Buffer) {
+			e.onEntry(proto, data, src, lease)
 		})
 		if err != nil {
 			e.closeEntries()
@@ -533,21 +545,30 @@ func (e *Engine) startWorkers() {
 // Inject feeds an entry payload to the engine as if it had arrived on
 // an entry listener for the protocol: it is parsed and routed by the
 // ingest pool exactly like a listener payload. Safe to call from any
-// goroutine. Payloads for an unknown protocol are counted Ignored and
-// reported; payloads injected after Close are refused with an error
-// wrapping serrors.ErrClosed. A draining engine still accepts
-// injection — live sessions need their mid-program entries to finish —
-// but refuses the ones that would open a new session at admission,
-// reporting them through the Drop hook with serrors.ErrDraining.
-func (e *Engine) Inject(proto string, data []byte, src netengine.Source) error {
+// goroutine. lease is the pooled buffer backing data when the caller
+// received it leased (nil otherwise); the engine takes ownership on
+// every path, including refusals. Payloads for an unknown protocol
+// are counted Ignored and reported; payloads injected after Close are
+// refused with an error wrapping serrors.ErrClosed. A draining engine
+// still accepts injection — live sessions need their mid-program
+// entries to finish — but refuses the ones that would open a new
+// session at admission, reporting them through the Drop hook with
+// serrors.ErrDraining.
+func (e *Engine) Inject(proto string, data []byte, src netengine.Source, lease *netapi.Buffer) error {
 	if _, ok := e.codecs[proto]; !ok {
+		if lease != nil {
+			lease.Release()
+		}
 		e.bump(&e.Ignored)
 		return fmt.Errorf("engine: %s: no codec for protocol %q", e.merged.Name, proto)
 	}
 	if e.State() == StateClosed {
+		if lease != nil {
+			lease.Release()
+		}
 		return serrors.Mark(fmt.Errorf("engine: %s is closed", e.merged.Name), serrors.ErrClosed)
 	}
-	e.onEntry(proto, data, src)
+	e.onEntry(proto, data, src, lease)
 	return nil
 }
 
@@ -578,13 +599,15 @@ func (e *Engine) Close() error {
 	e.closeEntries()
 	close(e.quit)
 	e.workerWG.Wait()
-	// Release the tokens of jobs the workers never picked up. onEntry
-	// holds closeMu.RLock around its token+enqueue, and closed was
-	// flipped under the write lock, so no job can slip in after this.
+	// Release the tokens (and buffer leases) of jobs the workers never
+	// picked up. onEntry holds closeMu.RLock around its token+enqueue,
+	// and closed was flipped under the write lock, so no job can slip
+	// in after this.
 	for _, q := range e.ingestQs {
 		for {
 			select {
-			case <-q:
+			case job := <-q:
+				releaseJobLease(&job)
 				e.tracker.WorkDone()
 				continue
 			default:
@@ -705,10 +728,13 @@ func (e *Engine) releaseSlot() { <-e.sem }
 // arrival order. Safe to call from any listener goroutine; the read
 // lock makes the closed-check + token + enqueue atomic with respect
 // to Close, so no token or job can leak past shutdown.
-func (e *Engine) onEntry(proto string, data []byte, src netengine.Source) {
+func (e *Engine) onEntry(proto string, data []byte, src netengine.Source, lease *netapi.Buffer) {
 	e.closeMu.RLock()
 	if e.State() == StateClosed {
 		e.closeMu.RUnlock()
+		if lease != nil {
+			lease.Release()
+		}
 		return
 	}
 	e.tracker.WorkAdd()
@@ -716,7 +742,7 @@ func (e *Engine) onEntry(proto string, data []byte, src netengine.Source) {
 	q := e.ingestQs[fnv32a(key)%uint32(len(e.ingestQs))]
 	dropped := false
 	select {
-	case q <- ingestJob{proto: proto, key: key, data: data, src: src}:
+	case q <- ingestJob{proto: proto, key: key, data: data, src: src, lease: lease}:
 	default:
 		dropped = true
 	}
@@ -727,6 +753,9 @@ func (e *Engine) onEntry(proto string, data []byte, src netengine.Source) {
 	// quiescence implies the observers have already seen the drop.
 	e.closeMu.RUnlock()
 	if dropped {
+		if lease != nil {
+			lease.Release()
+		}
 		e.bump(&e.Dropped)
 		e.hookDrop(src.Addr, serrors.Mark(
 			fmt.Errorf("engine: %s: ingest queue full, payload from %s dropped", e.merged.Name, src.Addr),
@@ -749,10 +778,13 @@ func (e *Engine) ingestLoop(q chan ingestJob) {
 
 // ingest parses one entry payload and routes it: initiator requests
 // open (or rendezvous with) a keyed session; anything else goes to a
-// session awaiting that message.
+// session awaiting that message. The job's buffer lease ends here —
+// the parse copies everything it keeps into pooled messages, so the
+// receive buffer goes back to its pool before any routing happens.
 func (e *Engine) ingest(job ingestJob) {
 	codec := e.codecs[job.proto]
 	msg, err := codec.Parser.Parse(job.data)
+	releaseJobLease(&job)
 	if err != nil {
 		e.bump(&e.ParseErrors)
 		e.tracker.WorkDone()
@@ -902,13 +934,17 @@ func (e *Engine) enqueue(s *session, ev sessEvent) bool {
 	}
 }
 
-// releaseEventMsg recycles the parsed message of an event that was
-// never delivered. The enqueuer is the message's only holder on these
-// paths, so the pooled fast path keeps recycling under overload —
-// dropped payloads must not degrade into per-packet garbage.
+// releaseEventMsg recycles the parsed message — and the receive-buffer
+// lease — of an event that was never delivered. The enqueuer is the
+// sole holder on these paths, so the pooled fast path keeps recycling
+// under overload — dropped payloads must not degrade into per-packet
+// garbage.
 func releaseEventMsg(ev sessEvent) {
 	if ev.msg != nil {
 		ev.msg.Release()
+	}
+	if ev.lease != nil {
+		ev.lease.Release()
 	}
 }
 

@@ -53,6 +53,10 @@ type sessEvent struct {
 	proto string
 	msg   *message.Message
 	data  []byte
+	// lease is the pooled receive buffer backing data on evData events
+	// whose payload the runtime delivered leased; the session releases
+	// it right after parsing (or on any drop path).
+	lease *netapi.Buffer
 	src   netengine.Source
 	gen   uint64
 	// rerouted marks an entry event already forwarded once by a
@@ -202,6 +206,12 @@ func (s *session) drainAll() {
 				// reference.
 				ev.msg.Release()
 			}
+			if ev.lease != nil {
+				// Undelivered leased payloads return their receive
+				// buffer at session cleanup — the backstop of the
+				// lease contract.
+				ev.lease.Release()
+			}
 		case <-s.timerCh:
 			s.e.tracker.WorkDone()
 		default:
@@ -226,6 +236,12 @@ func (s *session) handle(ev sessEvent) {
 	case evData:
 		codec := s.e.codecs[ev.proto]
 		msg, err := codec.Parser.Parse(ev.data)
+		if ev.lease != nil {
+			// The parse copied everything it kept: the receive buffer
+			// goes straight back to its pool.
+			ev.lease.Release()
+			ev.lease = nil
+		}
 		if err != nil {
 			s.e.bump(&s.e.ParseErrors)
 			return
@@ -351,9 +367,9 @@ func (s *session) runSend(step merge.Step) error {
 		dest := s.override
 		s.override = netapi.Addr{}
 		proto := step.Protocol
-		r, err = s.e.net.NewRequester(step.Color, dest, codec.Framer, func(data []byte, src netengine.Source) {
+		r, err = s.e.net.NewRequester(step.Color, dest, codec.Framer, func(data []byte, src netengine.Source, lease *netapi.Buffer) {
 			s.e.tracker.WorkAdd()
-			s.e.enqueue(s, sessEvent{kind: evData, proto: proto, data: data})
+			s.e.enqueue(s, sessEvent{kind: evData, proto: proto, data: data, lease: lease})
 		})
 		if err != nil {
 			return err

@@ -1,0 +1,90 @@
+package netapi
+
+import "sync"
+
+// BufferSize is the capacity of every leased receive buffer: 64 KiB,
+// the largest datagram either runtime delivers.
+const BufferSize = 64 * 1024
+
+var bufferPool = sync.Pool{
+	New: func() any { return &Buffer{data: make([]byte, BufferSize)} },
+}
+
+// Buffer is a leased receive buffer from a shared fixed-size pool.
+//
+// Runtimes read inbound datagrams directly into a Buffer and hand it
+// to the packet handler through Packet.Buf, so the hot receive path
+// allocates nothing per datagram. Ownership is single-holder and
+// explicit:
+//
+//   - While the handler callback runs, the packet's Data (a view into
+//     the buffer) is valid and the runtime still owns the buffer; a
+//     handler that finishes with the bytes synchronously does nothing,
+//     and the runtime reuses the buffer for the next datagram.
+//   - A handler that needs the bytes beyond the callback — e.g. the
+//     Automata Engine queueing the payload for an ingest worker —
+//     takes the lease with Packet.TakeLease and MUST Release it
+//     exactly once when done (for the engine: right after the payload
+//     is parsed into pooled messages, or on the drop path, or at
+//     session cleanup for events still queued at teardown). The
+//     parser never aliases its input, so post-parse release is safe.
+//
+// Release returns the buffer to the pool; releasing twice panics,
+// because a double release would hand one buffer to two owners.
+type Buffer struct {
+	data     []byte
+	n        int
+	retained bool
+	released bool
+}
+
+// NewBuffer leases a buffer from the pool.
+func NewBuffer() *Buffer {
+	b := bufferPool.Get().(*Buffer)
+	b.n = 0
+	b.released = false
+	return b
+}
+
+// Backing exposes the buffer's full capacity for the runtime's read
+// call; the runtime then records the filled length with SetFilled.
+func (b *Buffer) Backing() []byte { return b.data }
+
+// SetFilled records how many bytes of the backing array hold data.
+func (b *Buffer) SetFilled(n int) {
+	if n < 0 || n > len(b.data) {
+		panic("netapi: Buffer.SetFilled out of range")
+	}
+	b.n = n
+}
+
+// Bytes returns the filled portion of the buffer.
+func (b *Buffer) Bytes() []byte { return b.data[:b.n] }
+
+// retain marks the lease as taken by the handler. Called (via
+// Packet.TakeLease) synchronously inside the handler callback, on the
+// dispatching goroutine, so the runtime's post-callback Retained read
+// never races it.
+func (b *Buffer) retain() { b.retained = true }
+
+// Retained reports whether a handler took the lease. Runtimes call it
+// after the handler returns to decide whether the buffer can be reused
+// for the next read; the flag is reset by the runtime (ResetLease)
+// before each dispatch, never by Release, so the answer stays valid
+// even if the new owner has already released the buffer back to the
+// pool by the time the runtime looks.
+func (b *Buffer) Retained() bool { return b.retained }
+
+// ResetLease clears the retained flag; runtimes call it while they own
+// the buffer, before dispatching a packet that references it.
+func (b *Buffer) ResetLease() { b.retained = false }
+
+// Release returns the buffer to the pool. The caller must be the
+// buffer's single owner; releasing twice panics.
+func (b *Buffer) Release() {
+	if b.released {
+		panic("netapi: Buffer released twice")
+	}
+	b.released = true
+	bufferPool.Put(b)
+}

@@ -5,11 +5,39 @@
 // benchmark harness), and internal/realnet, real loopback sockets (used
 // by the examples and the bridge daemon).
 //
+// # Concurrency contract: per-endpoint serial execution
+//
 // The model is event-driven: every inbound packet, stream chunk,
-// accepted connection and timer fires a callback on the runtime's
-// single dispatcher, so protocol code needs no locking and behaves
-// identically under virtual and real time. This mirrors the paper's
-// architecture where a single Network Engine mediates all I/O (Fig. 6).
+// accepted connection and timer fires a callback. The ordering
+// guarantee is per endpoint, not global:
+//
+//   - Callbacks for one endpoint (a UDP socket, a stream connection, a
+//     listener's accepts) never overlap and arrive in order, so
+//     handler state keyed to one endpoint needs no locking.
+//   - Callbacks for distinct endpoints MAY run in parallel. The
+//     runtime does not impose a global serialisation policy on hosted
+//     components (the infrastructure stays policy-free; the paper's
+//     single Network Engine of Fig. 6 is realised per endpoint).
+//
+// Endpoints are grouped into serial dispatch domains. By default every
+// endpoint a node opens — and every timer it schedules — shares the
+// node's root domain, so a protocol component that owns its node (the
+// legacy stacks under internal/protocols) keeps the exact
+// single-threaded execution model it was written against, with zero
+// locking. Thread-safe components that want cross-endpoint parallelism
+// on one host (the Automata Engine, the provisioning dispatcher) opt
+// in through Detach: endpoints opened through a detached node view
+// each get a private domain and dispatch concurrently.
+//
+// # Buffer ownership
+//
+// Inbound datagram bytes are delivered in leased pooled buffers where
+// the runtime supports it (realnet): Packet.Data is valid for the
+// duration of the callback, and a handler that needs the bytes longer
+// takes the lease with Packet.TakeLease and releases it exactly once
+// (see Buffer). When Packet.TakeLease returns nil the data is
+// heap-owned and immutable (simnet deliveries, framed stream
+// payloads); consumers may retain the slice without copying.
 package netapi
 
 import (
@@ -26,8 +54,19 @@ type Addr struct {
 	Port int
 }
 
-// String renders "ip:port".
-func (a Addr) String() string { return fmt.Sprintf("%s:%d", a.IP, a.Port) }
+// String renders "ip:port". One allocation (the returned string): the
+// scratch buffer is stack-sized for every dotted-quad address.
+func (a Addr) String() string {
+	var buf [64]byte
+	b := buf[:0]
+	if len(a.IP) > len(buf)-21 {
+		b = make([]byte, 0, len(a.IP)+21)
+	}
+	b = append(b, a.IP...)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, int64(a.Port), 10)
+	return string(b)
+}
 
 // ParseAddr parses an "ip:port" endpoint as rendered by Addr.String.
 func ParseAddr(s string) (Addr, error) {
@@ -46,10 +85,20 @@ func ParseAddr(s string) (Addr, error) {
 func (a Addr) IsZero() bool { return a.IP == "" && a.Port == 0 }
 
 // IsMulticast reports whether the IP is in the IPv4 multicast range
-// (224.0.0.0/4).
+// (224.0.0.0/4). Allocation-free: it runs on every datagram send.
 func (a Addr) IsMulticast() bool {
-	var first int
-	if _, err := fmt.Sscanf(a.IP, "%d.", &first); err != nil {
+	// Parse the leading decimal octet by hand; reject anything that is
+	// not 1-3 digits followed by a dot.
+	first := 0
+	i := 0
+	for ; i < len(a.IP) && i < 3; i++ {
+		c := a.IP[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		first = first*10 + int(c-'0')
+	}
+	if i == 0 || i >= len(a.IP) || a.IP[i] != '.' {
 		return false
 	}
 	return first >= 224 && first <= 239
@@ -60,10 +109,27 @@ type Packet struct {
 	From Addr
 	To   Addr
 	Data []byte
+	// Buf is the leased buffer backing Data on runtimes with pooled
+	// receive buffers; nil when the data is heap-owned and immutable.
+	// Handlers take ownership through TakeLease, never directly.
+	Buf *Buffer
 }
 
-// PacketHandler consumes inbound datagrams. Handlers run on the
-// runtime dispatcher; they must not block.
+// TakeLease transfers ownership of the packet's backing buffer to the
+// caller, who must Release it exactly once when done with Data. It
+// must be called synchronously inside the handler callback. A nil
+// result means the data is heap-owned and immutable: the caller may
+// keep the slice without copying, and there is nothing to release.
+func (p Packet) TakeLease() *Buffer {
+	if p.Buf == nil {
+		return nil
+	}
+	p.Buf.retain()
+	return p.Buf
+}
+
+// PacketHandler consumes inbound datagrams. Handlers for one socket
+// run serially; they must not block.
 type PacketHandler func(pkt Packet)
 
 // UDPSocket is a bound datagram socket.
@@ -72,7 +138,7 @@ type UDPSocket interface {
 	LocalAddr() Addr
 	// Send transmits a datagram. A multicast destination fans out to
 	// all group members; a unicast destination delivers to the bound
-	// socket at that address.
+	// socket at that address. Safe to call from any goroutine.
 	Send(to Addr, data []byte) error
 	// Close releases the socket. Closing twice is a no-op.
 	Close() error
@@ -85,6 +151,8 @@ type UDPSocket interface {
 type Conn interface {
 	LocalAddr() Addr
 	RemoteAddr() Addr
+	// Send transmits bytes in order. Safe to call from any goroutine;
+	// concurrent sends are coalesced, never interleaved mid-call.
 	Send(data []byte) error
 	Close() error
 }
@@ -93,7 +161,8 @@ type Conn interface {
 type ConnHandler func(conn Conn)
 
 // StreamHandler consumes inbound stream bytes for a connection. A nil
-// data slice signals the peer closed the connection.
+// data slice signals the peer closed the connection. Chunks for one
+// connection are delivered serially and in order.
 type StreamHandler func(conn Conn, data []byte)
 
 // TimerID identifies a scheduled callback for cancellation.
@@ -115,7 +184,9 @@ type Node interface {
 
 	// Now returns the runtime's current time (virtual under simnet).
 	Now() time.Time
-	// After schedules fn on the dispatcher after d.
+	// After schedules fn after d. The callback runs on the node's root
+	// dispatch domain: serialised with the node's undetached endpoint
+	// callbacks and its other timers.
 	After(d time.Duration, fn func()) TimerID
 	// Cancel revokes a scheduled callback; unknown IDs are ignored.
 	Cancel(id TimerID)
@@ -125,7 +196,11 @@ type Node interface {
 	// address for reuse. Closing twice is a no-op. Deployment owners
 	// (core.Bridge, the provisioning dispatcher) close their node on
 	// teardown and on every failed-deploy path, so an aborted deploy
-	// never leaks endpoints.
+	// never leaks endpoints. Endpoints opened through a detached view
+	// of the node are owned — and closed — the same way. The one
+	// exception is a dialed connection handed to the runtime's reuse
+	// pool via ConnParker: parking transfers ownership to the runtime
+	// (bounded per destination), so it no longer closes with the node.
 	Close() error
 }
 
@@ -134,19 +209,55 @@ type Closer interface {
 	Close() error
 }
 
+// EndpointDetacher is implemented by nodes whose runtime can dispatch
+// distinct endpoints concurrently. DetachEndpoints returns a view of
+// the node on which every subsequently opened endpoint gets a private
+// serial dispatch domain: callbacks for that endpoint stay ordered,
+// but nothing serialises them against the node's other endpoints or
+// timers. Only components that are themselves thread-safe (the
+// Automata Engine, the provisioning dispatcher) should detach;
+// single-threaded protocol stacks must keep the default node-scoped
+// domain. The view shares the node's identity and resources: Close on
+// either closes everything.
+type EndpointDetacher interface {
+	DetachEndpoints() Node
+}
+
+// Detach returns a detached view of the node when the runtime supports
+// per-endpoint parallel dispatch, and the node itself otherwise.
+func Detach(n Node) Node {
+	if d, ok := n.(EndpointDetacher); ok {
+		return d.DetachEndpoints()
+	}
+	return n
+}
+
+// ConnParker is implemented by nodes whose runtime keeps a dial-side
+// connection pool. ParkConn returns a healthy dialed connection to the
+// runtime for reuse by a later DialStream to the same address instead
+// of closing it; it reports false when the connection cannot be pooled
+// (not dialed here, already closed, or the pool is full), in which
+// case the caller should Close it normally. Only park a connection
+// whose inbound stream is at a clean frame boundary: bytes that arrive
+// while parked evict the connection, but a partial frame already
+// consumed would silently desynchronise the next user.
+type ConnParker interface {
+	ParkConn(c Conn) bool
+}
+
 // WorkTracker is optionally implemented by nodes of runtimes whose
 // event loop must know about work handed off to other goroutines.
 //
 // The concurrent Automata Engine processes inbound payloads on
-// per-session goroutines instead of inside the dispatcher callback.
+// per-session goroutines instead of inside the dispatch callback.
 // A runtime with a virtual clock (simnet) must therefore not advance
 // time — nor let RunUntil conclude "no pending events" — while such
 // work is still in flight, because the work will schedule new events
 // when it completes. The contract:
 //
 //   - WorkAdd is called before a payload/timer is handed off the
-//     dispatcher; WorkDone when the resulting processing finished
-//     (including every follow-up Send/After it performs).
+//     dispatching callback; WorkDone when the resulting processing
+//     finished (including every follow-up Send/After it performs).
 //   - The runtime's event loop waits for the in-flight count to reach
 //     zero before popping the next event and before evaluating a
 //     RunUntil condition, which also establishes the happens-before
@@ -165,7 +276,11 @@ type Runtime interface {
 	// NewNode creates a host with the given IP.
 	NewNode(ip string) (Node, error)
 	// RunUntil drives the runtime until cond() holds or the timeout
-	// (in runtime time) elapses; it returns an error on timeout.
+	// (in runtime time) elapses; it returns an error on timeout. cond
+	// is evaluated while every node's root dispatch domain is quiet,
+	// so state written by undetached callbacks is safe to read; state
+	// owned by detached endpoints must be read through the owning
+	// component's own synchronisation (e.g. Engine.Stats).
 	RunUntil(cond func() bool, timeout time.Duration) error
 	// Run drives the runtime for d (virtual or wall-clock time).
 	Run(d time.Duration)

@@ -186,3 +186,77 @@ func TestWorkTrackerHoldsVirtualClock(t *testing.T) {
 		t.Fatalf("RunUntil gave up while work was in flight: %v", err)
 	}
 }
+
+// Addr.String and Addr.IsMulticast run on every datagram send: they
+// must not regress into fmt-based parsing (PR 5 hot-path fix).
+func TestAddrStringAllocs(t *testing.T) {
+	a := netapi.Addr{IP: "239.255.255.253", Port: 42700}
+	var s string
+	if avg := testing.AllocsPerRun(200, func() { s = a.String() }); avg > 1 {
+		t.Fatalf("Addr.String allocates %.1f/op, want <= 1", avg)
+	}
+	if s != "239.255.255.253:42700" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestAddrIsMulticastAllocs(t *testing.T) {
+	addrs := []netapi.Addr{
+		{IP: "224.0.0.1"}, {IP: "239.255.255.253"}, {IP: "10.0.0.1"},
+		{IP: "garbage"}, {IP: ""}, {IP: "2240.0.0.1"},
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		for _, a := range addrs {
+			_ = a.IsMulticast()
+		}
+	}); avg != 0 {
+		t.Fatalf("IsMulticast allocates %.1f/op, want 0", avg)
+	}
+}
+
+func TestIsMulticastEdgeCases(t *testing.T) {
+	for ip, want := range map[string]bool{
+		"224.0.0.1":       true,
+		"239.255.255.253": true,
+		"223.9.9.9":       false,
+		"240.0.0.1":       false,
+		"22.4.0.1":        false,
+		"2249.0.0.1":      false, // only 1-3 digits then a dot
+		"224":             false,
+		".224.0.0.1":      false,
+		"abc.0.0.1":       false,
+	} {
+		if got := (netapi.Addr{IP: ip}).IsMulticast(); got != want {
+			t.Errorf("IsMulticast(%q) = %v, want %v", ip, got, want)
+		}
+	}
+}
+
+// A leased buffer must round-trip through retain/release, and a double
+// release must panic (it would hand one buffer to two owners).
+func TestBufferLeaseLifecycle(t *testing.T) {
+	b := netapi.NewBuffer()
+	copy(b.Backing(), "hello")
+	b.SetFilled(5)
+	if string(b.Bytes()) != "hello" {
+		t.Fatalf("Bytes = %q", b.Bytes())
+	}
+	pkt := netapi.Packet{Data: b.Bytes(), Buf: b}
+	lease := pkt.TakeLease()
+	if lease != b || !b.Retained() {
+		t.Fatal("TakeLease must hand over the packet's buffer")
+	}
+	lease.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release must panic")
+		}
+	}()
+	lease.Release()
+}
+
+func TestTakeLeaseNilBuf(t *testing.T) {
+	if (netapi.Packet{Data: []byte("x")}).TakeLease() != nil {
+		t.Fatal("TakeLease on heap-owned data must be nil")
+	}
+}

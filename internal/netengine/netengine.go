@@ -17,16 +17,25 @@
 // the endpoint's color with the peer address, which the concurrent
 // Automata Engine uses to shard sessions.
 //
-// Concurrency: handlers for one endpoint are invoked by the runtime
-// dispatcher, but different endpoints may deliver from different
-// goroutines, and Reply/Send may be called from any goroutine (the
-// engine replies from per-session goroutines). All mutable framing
-// state is therefore lock-guarded.
+// Concurrency: the engine opens its endpoints on a detached node view
+// (netapi.Detach), so distinct endpoints dispatch in parallel while
+// callbacks for one endpoint stay serial — framing state is owned per
+// endpoint and needs no locking on the delivery path. Reply/Send may
+// be called from any goroutine (the engine replies from per-session
+// goroutines).
+//
+// Buffer ownership: datagram payloads are handed to the Handler with
+// the leased receive buffer backing them (nil for framed stream
+// payloads and simulated deliveries, which are heap-owned and
+// immutable). A handler that keeps the bytes past the callback keeps
+// the lease and must Release it exactly once.
 package netengine
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"starlink/internal/automata"
@@ -67,8 +76,13 @@ func (s Source) Reply(data []byte) error {
 }
 
 // Handler consumes inbound payloads (whole datagrams, or framed
-// messages on streams).
-type Handler func(data []byte, src Source)
+// messages on streams). lease is the pooled buffer backing data when
+// the runtime delivered it leased: the handler owns it and must
+// Release it exactly once when done with data. A nil lease means data
+// is heap-owned and immutable — safe to keep, nothing to release.
+// Handlers for one endpoint run serially; distinct endpoints may
+// invoke their handlers in parallel.
+type Handler func(data []byte, src Source, lease *netapi.Buffer)
 
 // splitFrames appends a stream chunk to *buf and extracts every
 // complete frame. On an unframeable remainder it resets *buf — so
@@ -94,16 +108,22 @@ func splitFrames(framer *parser.Framer, buf *[]byte, data []byte) (frames [][]by
 
 // Engine opens colored endpoints on one node (the bridge host).
 type Engine struct {
-	node netapi.Node
+	base netapi.Node // the node as handed in (identity, ownership)
+	node netapi.Node // detached view used to open endpoints
 }
 
-// New creates an engine on the node.
+// New creates an engine on the node. The engine's endpoints are opened
+// through a detached view of the node when the runtime supports
+// per-endpoint parallel dispatch: the Automata Engine and the
+// provisioning dispatcher are thread-safe, so serialising their
+// entry listeners against each other would only re-impose the global
+// dispatcher bottleneck this layer retired.
 func New(node netapi.Node) *Engine {
-	return &Engine{node: node}
+	return &Engine{base: node, node: netapi.Detach(node)}
 }
 
 // Node returns the bridge host node.
-func (e *Engine) Node() netapi.Node { return e.node }
+func (e *Engine) Node() netapi.Node { return e.base }
 
 // ColorScheme extracts the transport decisions from a color.
 type ColorScheme struct {
@@ -153,46 +173,58 @@ func (e *Engine) Listen(c automata.Color, framer *parser.Framer, h Handler) (net
 	switch {
 	case scheme.Transport == "udp" && scheme.Multicast:
 		group := netapi.Addr{IP: scheme.Group, Port: scheme.Port}
-		var sock netapi.UDPSocket
+		// The handler needs the socket it is registered on (to reply),
+		// but the socket only exists once JoinGroup returns — and under
+		// per-endpoint dispatch a datagram may race the assignment. An
+		// atomic cell closes the data race; loadSock waits out the
+		// nanoseconds-wide bind window so even the very first datagram
+		// gets a Source that can Reply.
+		cell := new(atomic.Value)
 		sock, err := e.node.JoinGroup(group, func(pkt netapi.Packet) {
-			h(pkt.Data, Source{Addr: pkt.From, colorKey: colorKey, sock: sock})
+			h(pkt.Data, Source{Addr: pkt.From, colorKey: colorKey, sock: loadSock(cell)}, pkt.TakeLease())
 		})
 		if err != nil {
 			return nil, fmt.Errorf("netengine: listen %s: %w", c, err)
 		}
+		cell.Store(sock)
 		return sock, nil
 	case scheme.Transport == "udp":
-		var sock netapi.UDPSocket
+		cell := new(atomic.Value)
 		sock, err := e.node.OpenUDP(scheme.Port, func(pkt netapi.Packet) {
-			h(pkt.Data, Source{Addr: pkt.From, colorKey: colorKey, sock: sock})
+			h(pkt.Data, Source{Addr: pkt.From, colorKey: colorKey, sock: loadSock(cell)}, pkt.TakeLease())
 		})
 		if err != nil {
 			return nil, fmt.Errorf("netengine: listen %s: %w", c, err)
 		}
+		cell.Store(sock)
 		return sock, nil
 	default: // tcp
 		if framer == nil {
 			return nil, fmt.Errorf("netengine: tcp listen %s needs a framer", c)
 		}
-		var bufMu sync.Mutex
-		buffers := map[netapi.Conn][]byte{}
+		// Framing state is owned per connection: chunks for one
+		// connection arrive serially, so the accumulation buffer needs
+		// no lock of its own; the sync.Map only mediates the
+		// conn→state lookup across parallel connections.
+		var buffers sync.Map // netapi.Conn -> *connFraming
 		l, err := e.node.ListenStream(scheme.Port, nil, func(conn netapi.Conn, data []byte) {
-			bufMu.Lock()
 			if data == nil {
-				delete(buffers, conn)
-				bufMu.Unlock()
+				buffers.Delete(conn)
 				return
 			}
-			buf := buffers[conn]
-			frames, ok := splitFrames(framer, &buf, data)
-			if ok {
-				buffers[conn] = buf
-			} else {
-				delete(buffers, conn)
+			v, ok := buffers.Load(conn)
+			if !ok {
+				// Only a connection's first chunk allocates its state;
+				// LoadOrStore unconditionally would allocate per chunk.
+				v, _ = buffers.LoadOrStore(conn, &connFraming{})
 			}
-			bufMu.Unlock()
+			st := v.(*connFraming)
+			frames, ok := splitFrames(framer, &st.buf, data)
+			if !ok {
+				buffers.Delete(conn)
+			}
 			for _, frame := range frames {
-				h(frame, Source{Addr: conn.RemoteAddr(), colorKey: colorKey, conn: conn})
+				h(frame, Source{Addr: conn.RemoteAddr(), colorKey: colorKey, conn: conn}, nil)
 			}
 		})
 		if err != nil {
@@ -202,13 +234,42 @@ func (e *Engine) Listen(c automata.Color, framer *parser.Framer, h Handler) (net
 	}
 }
 
+// connFraming is one stream connection's frame-accumulation state,
+// touched only by that connection's serial delivery callbacks.
+type connFraming struct {
+	buf []byte
+}
+
+// loadSock resolves the socket a handler is running on. The cell is
+// stored immediately after the successful open returns; a datagram
+// dispatched inside that window (possible under per-endpoint parallel
+// dispatch) briefly yields until the store lands, so Reply always has
+// its socket. An open that fails never runs the handler, so the wait
+// cannot be unbounded.
+func loadSock(cell *atomic.Value) netapi.UDPSocket {
+	for {
+		if s, ok := cell.Load().(netapi.UDPSocket); ok {
+			return s
+		}
+		runtime.Gosched()
+	}
+}
+
 // Requester is a client-role channel: the bridge's own outgoing
 // request path for one protocol within one session.
 type Requester struct {
 	scheme ColorScheme
 	dest   netapi.Addr
+	node   netapi.Node
 	sock   netapi.UDPSocket
 	conn   netapi.Conn
+
+	// frMu guards the stream framing state: delivery mutates it from
+	// the connection's serial domain, while Close inspects it from the
+	// session goroutine to decide whether the connection is at a clean
+	// frame boundary and can be parked for reuse.
+	frMu  sync.Mutex
+	frBuf []byte
 }
 
 // NewRequester opens a requester channel for the color. dest overrides
@@ -220,7 +281,7 @@ func (e *Engine) NewRequester(c automata.Color, dest netapi.Addr, framer *parser
 	if err != nil {
 		return nil, err
 	}
-	r := &Requester{scheme: scheme}
+	r := &Requester{scheme: scheme, node: e.node}
 	colorKey := c.Key()
 	switch scheme.Transport {
 	case "udp":
@@ -232,13 +293,14 @@ func (e *Engine) NewRequester(c automata.Color, dest netapi.Addr, framer *parser
 		default:
 			return nil, fmt.Errorf("netengine: requester %s needs a destination", c)
 		}
-		var sock netapi.UDPSocket
+		cell := new(atomic.Value)
 		sock, err := e.node.OpenUDP(0, func(pkt netapi.Packet) {
-			h(pkt.Data, Source{Addr: pkt.From, colorKey: colorKey, sock: sock})
+			h(pkt.Data, Source{Addr: pkt.From, colorKey: colorKey, sock: loadSock(cell)}, pkt.TakeLease())
 		})
 		if err != nil {
 			return nil, fmt.Errorf("netengine: requester %s: %w", c, err)
 		}
+		cell.Store(sock)
 		r.sock = sock
 		return r, nil
 	default: // tcp
@@ -249,17 +311,15 @@ func (e *Engine) NewRequester(c automata.Color, dest netapi.Addr, framer *parser
 			return nil, fmt.Errorf("netengine: tcp requester %s needs a framer", c)
 		}
 		r.dest = dest
-		var bufMu sync.Mutex
-		var buf []byte
 		conn, err := e.node.DialStream(dest, func(conn netapi.Conn, data []byte) {
 			if data == nil {
 				return
 			}
-			bufMu.Lock()
-			frames, _ := splitFrames(framer, &buf, data)
-			bufMu.Unlock()
+			r.frMu.Lock()
+			frames, _ := splitFrames(framer, &r.frBuf, data)
+			r.frMu.Unlock()
 			for _, frame := range frames {
-				h(frame, Source{Addr: conn.RemoteAddr(), colorKey: colorKey, conn: conn})
+				h(frame, Source{Addr: conn.RemoteAddr(), colorKey: colorKey, conn: conn}, nil)
 			}
 		})
 		if err != nil {
@@ -341,10 +401,24 @@ func (t *EgressTable) Contains(a netapi.Addr) bool {
 	return ok
 }
 
-// Close releases the channel.
+// Close releases the channel. A stream channel whose inbound side sits
+// at a clean frame boundary is parked in the runtime's dial-reuse pool
+// (netapi.ConnParker) instead of torn down, so the next session's
+// requester to the same destination skips the TCP handshake — the
+// client-side connection reuse of the NewRequester path.
 func (r *Requester) Close() error {
 	if r.conn != nil {
-		return r.conn.Close()
+		conn := r.conn
+		r.conn = nil
+		r.frMu.Lock()
+		clean := len(r.frBuf) == 0
+		r.frMu.Unlock()
+		if clean {
+			if parker, ok := r.node.(netapi.ConnParker); ok && parker.ParkConn(conn) {
+				return nil
+			}
+		}
+		return conn.Close()
 	}
 	if r.sock != nil {
 		return r.sock.Close()

@@ -69,7 +69,7 @@ func TestListenMulticastAndReply(t *testing.T) {
 	}
 
 	var got string
-	closer, err := e.Listen(udpMulticastColor("239.9.9.9", "500"), nil, func(data []byte, src Source) {
+	closer, err := e.Listen(udpMulticastColor("239.9.9.9", "500"), nil, func(data []byte, src Source, lease *netapi.Buffer) {
 		got = string(data)
 		if err := src.Reply([]byte("pong")); err != nil {
 			t.Error(err)
@@ -102,7 +102,7 @@ func TestListenPlainUDP(t *testing.T) {
 		automata.Attr{Key: automata.AttrMulticast, Value: "no"},
 	)
 	var got string
-	if _, err := e.Listen(c, nil, func(data []byte, src Source) { got = string(data) }); err != nil {
+	if _, err := e.Listen(c, nil, func(data []byte, src Source, lease *netapi.Buffer) { got = string(data) }); err != nil {
 		t.Fatal(err)
 	}
 	sock, _ := cliNode.OpenUDP(0, func(netapi.Packet) {})
@@ -147,7 +147,7 @@ func TestTCPListenAndRequesterFraming(t *testing.T) {
 	// Bridge-side TCP listener answering framed GETs.
 	srv := New(bridgeNode)
 	served := 0
-	if _, err := srv.Listen(tcpColor("8080"), framer, func(data []byte, src Source) {
+	if _, err := srv.Listen(tcpColor("8080"), framer, func(data []byte, src Source, lease *netapi.Buffer) {
 		served++
 		if err := src.Reply([]byte("HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhi")); err != nil {
 			t.Error(err)
@@ -160,7 +160,7 @@ func TestTCPListenAndRequesterFraming(t *testing.T) {
 	cli := New(cliNode)
 	var response string
 	req, err := cli.NewRequester(tcpColor("8080"), netapi.Addr{IP: "10.0.0.5", Port: 8080}, framer,
-		func(data []byte, src Source) { response = string(data) })
+		func(data []byte, src Source, lease *netapi.Buffer) { response = string(data) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,10 +181,10 @@ func TestTCPListenerNeedsFramer(t *testing.T) {
 	sim := simnet.New()
 	n, _ := sim.NewNode("10.0.0.5")
 	e := New(n)
-	if _, err := e.Listen(tcpColor("8081"), nil, func([]byte, Source) {}); err == nil {
+	if _, err := e.Listen(tcpColor("8081"), nil, func([]byte, Source, *netapi.Buffer) {}); err == nil {
 		t.Fatal("tcp listen without framer should fail")
 	}
-	if _, err := e.NewRequester(tcpColor("8081"), netapi.Addr{IP: "10.0.0.5", Port: 8081}, nil, func([]byte, Source) {}); err == nil {
+	if _, err := e.NewRequester(tcpColor("8081"), netapi.Addr{IP: "10.0.0.5", Port: 8081}, nil, func([]byte, Source, *netapi.Buffer) {}); err == nil {
 		t.Fatal("tcp requester without framer should fail")
 	}
 }
@@ -205,7 +205,7 @@ func TestRequesterUDPMulticastDefaultDest(t *testing.T) {
 	e := New(bridgeNode)
 	var resp string
 	r, err := e.NewRequester(udpMulticastColor("239.5.5.5", "700"), netapi.Addr{}, nil,
-		func(data []byte, src Source) { resp = string(data) })
+		func(data []byte, src Source, lease *netapi.Buffer) { resp = string(data) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +227,7 @@ func TestRequesterUDPUnicastNeedsDest(t *testing.T) {
 		automata.Attr{Key: automata.AttrTransport, Value: "udp"},
 		automata.Attr{Key: automata.AttrMulticast, Value: "no"},
 	)
-	if _, err := e.NewRequester(c, netapi.Addr{}, nil, func([]byte, Source) {}); err == nil {
+	if _, err := e.NewRequester(c, netapi.Addr{}, nil, func([]byte, Source, *netapi.Buffer) {}); err == nil {
 		t.Fatal("unicast requester without dest should fail")
 	}
 }
@@ -238,7 +238,7 @@ func TestTCPRequesterConnectionRefused(t *testing.T) {
 	spec, _ := mdl.ParseXMLString(httpSpec)
 	framer, _ := parser.NewFramer(spec)
 	e := New(n)
-	if _, err := e.NewRequester(tcpColor("1"), netapi.Addr{IP: "10.0.0.99", Port: 1}, framer, func([]byte, Source) {}); err == nil {
+	if _, err := e.NewRequester(tcpColor("1"), netapi.Addr{IP: "10.0.0.99", Port: 1}, framer, func([]byte, Source, *netapi.Buffer) {}); err == nil {
 		t.Fatal("dial to nowhere should fail")
 	}
 }

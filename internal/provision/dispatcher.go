@@ -537,8 +537,8 @@ func (d *Dispatcher) rebindLocked() ([]netapi.Closer, error) {
 		// candidate shares the framer; take it from the first.
 		framer := s.points[0].dep.compiled.Codecs[s.points[0].proto].Framer
 		key := key
-		closer, err := d.net.Listen(s.color, framer, func(data []byte, src netengine.Source) {
-			d.dispatch(key, data, src)
+		closer, err := d.net.Listen(s.color, framer, func(data []byte, src netengine.Source, lease *netapi.Buffer) {
+			d.dispatch(key, data, src, lease)
 		})
 		if err != nil {
 			return stale, fmt.Errorf("provision: binding %s: %w", s.color, err)
@@ -602,10 +602,18 @@ func (d *Dispatcher) closeAll(deps []*deployment, listeners []netapi.Closer) {
 // Both paths implement the same decision procedure, so a payload
 // classifies identically on either; the only difference is that the
 // fast path defers body validation to the chosen engine's parser.
-func (d *Dispatcher) dispatch(colorKey string, data []byte, src netengine.Source) {
+func (d *Dispatcher) dispatch(colorKey string, data []byte, src netengine.Source, lease *netapi.Buffer) {
+	// The dispatcher owns the payload's buffer lease until it hands the
+	// payload to an engine (Inject takes ownership on every path).
+	release := func() {
+		if lease != nil {
+			lease.Release()
+		}
+	}
 	if d.egress.Contains(src.Addr) {
 		// Our own multicast request echoed back by the group: an
 		// opposite-direction case must not bridge it.
+		release()
 		d.statsMu.Lock()
 		d.counters.Suppressed++
 		d.statsMu.Unlock()
@@ -615,6 +623,7 @@ func (d *Dispatcher) dispatch(colorKey string, data []byte, src netengine.Source
 	l := d.listeners[colorKey]
 	if l == nil || d.closed {
 		d.mu.RUnlock()
+		release()
 		return
 	}
 	// rebind replaces these, never mutates them in place.
@@ -643,6 +652,7 @@ func (d *Dispatcher) dispatch(colorKey string, data []byte, src netengine.Source
 			d.counters.ParseErrors++
 		}
 		d.statsMu.Unlock()
+		release()
 		return
 	}
 	chosen := matches[0]
@@ -673,7 +683,7 @@ func (d *Dispatcher) dispatch(colorKey string, data []byte, src netengine.Source
 			src.Addr, chosen.pt.proto, strings.Join(names, ", "), chosen.pt.dep.name)
 	}
 	d.hookClassified(ev)
-	if err := chosen.pt.dep.eng.Inject(chosen.pt.proto, data, src); err != nil {
+	if err := chosen.pt.dep.eng.Inject(chosen.pt.proto, data, src, lease); err != nil {
 		// The chosen engine refused outright — it closed between
 		// classification and delivery (e.g. it finished draining ahead
 		// of its siblings during Shutdown). While the dispatcher as a

@@ -11,27 +11,65 @@
 // the rendezvous semantics are preserved exactly while staying
 // deployable anywhere.
 //
-// All handler callbacks are serialised through a single dispatcher
-// mutex, giving protocol code the same single-threaded execution model
-// as the simulator.
+// Concurrency (netapi's per-endpoint contract): there is no global
+// dispatcher lock. Every endpoint dispatches its callbacks under a
+// serial dispatch domain; by default all endpoints and timers of one
+// node share the node's root domain (protocol components keep their
+// single-threaded model), while endpoints opened through a detached
+// node view (netapi.Detach) each get a private domain and run in
+// parallel — the mode the Automata Engine and the provisioning
+// dispatcher use, which lets a multi-case deployment ingest on every
+// core at once.
+//
+// Buffer ownership: inbound datagrams are read straight into leased
+// pooled buffers (netapi.Buffer) and handed to the handler without
+// copying; a handler that keeps the bytes past the callback takes the
+// lease (Packet.TakeLease) and releases it, otherwise the buffer is
+// reused for the next read. Stream chunks are likewise delivered as
+// views into the connection's read buffer, valid only for the duration
+// of the callback.
 package realnet
 
 import (
 	"fmt"
 	"net"
+	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"starlink/internal/netapi"
 )
 
+// loopback is the address every real socket binds to.
+var loopback = netip.AddrFrom4([4]byte{127, 0, 0, 1})
+
+// maxParkedPerDest bounds the dial-reuse pool per destination address.
+const maxParkedPerDest = 4
+
+// domain is one serial dispatch context: callbacks scheduled on a
+// domain never overlap. Handlers run holding mu; RunUntil locks every
+// node's root domain to evaluate its condition against quiesced state.
+type domain struct {
+	rt *Runtime
+	mu sync.Mutex
+}
+
+// run executes one callback on the domain and wakes RunUntil waiters.
+func (d *domain) run(fn func()) {
+	d.mu.Lock()
+	fn()
+	d.mu.Unlock()
+	d.rt.wake()
+}
+
 // Runtime is a real-socket netapi runtime.
 //
-// Locking: dispatchMu serialises handler callbacks (the single
-// dispatcher contract of netapi); stateMu guards the runtime's own
-// tables and every socket/connection closed flag. Handlers run holding
-// only dispatchMu, so they may freely call Send / After / Cancel /
-// Close, which take only stateMu.
+// Locking: stateMu guards the runtime's own tables (timers, groups,
+// the dial-reuse pool, closed flags); per-domain mutexes serialise
+// handler callbacks. Handlers run holding only their domain, so they
+// may freely call Send / After / Cancel / Close, which take stateMu
+// (or a connection's write mutex) but never another domain.
 //
 // Components such as the concurrent Automata Engine hand payloads off
 // to worker goroutines; they report that work through the node's
@@ -39,12 +77,15 @@ import (
 // handed-off work is in flight (which also publishes the workers'
 // writes to the condition).
 type Runtime struct {
-	dispatchMu sync.Mutex // held during every callback
-	stateMu    sync.Mutex // guards timers, groups and closed flags
-	waitCh     chan struct{}
-	timers     map[netapi.TimerID]*time.Timer
-	timerSeq   uint64
-	groups     map[string][]*udpSocket // group "ip:port" -> members
+	stateMu  sync.Mutex // guards timers, groups, pool and closed flags
+	waitCh   chan struct{}
+	timers   map[netapi.TimerID]*time.Timer
+	timerSeq uint64
+	groups   map[string][]*udpSocket // group "ip:port" -> members
+	parked   map[int][]*streamConn   // dial-reuse pool, by remote port
+
+	rootsMu sync.Mutex
+	roots   []*domain // root domain of every live node, creation order
 
 	workMu   sync.Mutex
 	inflight int
@@ -58,10 +99,11 @@ func New() *Runtime {
 		waitCh: make(chan struct{}, 1),
 		timers: map[netapi.TimerID]*time.Timer{},
 		groups: map[string][]*udpSocket{},
+		parked: map[int][]*streamConn{},
 	}
 }
 
-// WorkAdd registers one unit of in-flight off-dispatcher work
+// WorkAdd registers one unit of in-flight off-dispatch work
 // (netapi.WorkTracker).
 func (rt *Runtime) WorkAdd() {
 	rt.workMu.Lock()
@@ -75,10 +117,7 @@ func (rt *Runtime) WorkDone() {
 	rt.workMu.Lock()
 	rt.inflight--
 	rt.workMu.Unlock()
-	select {
-	case rt.waitCh <- struct{}{}:
-	default:
-	}
+	rt.wake()
 }
 
 // idle reports whether no handed-off work is in flight; acquiring
@@ -89,11 +128,8 @@ func (rt *Runtime) idle() bool {
 	return rt.inflight == 0
 }
 
-// dispatch runs fn under the dispatcher lock and wakes RunUntil waiters.
-func (rt *Runtime) dispatch(fn func()) {
-	rt.dispatchMu.Lock()
-	fn()
-	rt.dispatchMu.Unlock()
+// wake nudges RunUntil waiters.
+func (rt *Runtime) wake() {
 	select {
 	case rt.waitCh <- struct{}{}:
 	default:
@@ -106,18 +142,33 @@ func (rt *Runtime) NewNode(ip string) (netapi.Node, error) {
 	if ip == "" {
 		ip = "127.0.0.1"
 	}
-	return &node{rt: rt, label: ip, owned: map[netapi.Closer]struct{}{}}, nil
+	n := &node{rt: rt, label: ip, owned: map[netapi.Closer]struct{}{}}
+	n.root = &domain{rt: rt}
+	rt.rootsMu.Lock()
+	rt.roots = append(rt.roots, n.root)
+	rt.rootsMu.Unlock()
+	return n, nil
 }
 
 // RunUntil waits (wall-clock) until cond holds or timeout elapses.
-// cond is evaluated under the dispatcher lock.
+// cond is evaluated with every node's root domain locked, so state
+// written by undetached handler callbacks is safe to read; state owned
+// by detached endpoints must be read through the owning component's
+// own synchronisation.
 func (rt *Runtime) RunUntil(cond func() bool, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
 		if rt.idle() {
-			rt.dispatchMu.Lock()
+			rt.rootsMu.Lock()
+			roots := append([]*domain(nil), rt.roots...)
+			rt.rootsMu.Unlock()
+			for _, d := range roots {
+				d.mu.Lock()
+			}
 			ok := cond()
-			rt.dispatchMu.Unlock()
+			for i := len(roots) - 1; i >= 0; i-- {
+				roots[i].mu.Unlock()
+			}
 			if ok {
 				return nil
 			}
@@ -143,6 +194,10 @@ func (rt *Runtime) Run(d time.Duration) { time.Sleep(d) }
 type node struct {
 	rt    *Runtime
 	label string
+	// root is the node's default dispatch domain: every endpoint the
+	// node opens directly, and every timer it schedules, dispatches
+	// there.
+	root *domain
 
 	// owned tracks the live sockets, listeners and dialed connections
 	// this node opened, so Close can release them all. Entries remove
@@ -174,7 +229,7 @@ func (n *node) forget(c netapi.Closer) {
 }
 
 // Close releases every socket, listener and dialed connection the node
-// opened. Closing twice is a no-op.
+// opened (including through detached views). Closing twice is a no-op.
 func (n *node) Close() error {
 	n.ownedMu.Lock()
 	if n.closed {
@@ -191,12 +246,22 @@ func (n *node) Close() error {
 	for _, c := range owned {
 		_ = c.Close()
 	}
+	n.rt.rootsMu.Lock()
+	for i, d := range n.rt.roots {
+		if d == n.root {
+			n.rt.roots = append(n.rt.roots[:i], n.rt.roots[i+1:]...)
+			break
+		}
+	}
+	n.rt.rootsMu.Unlock()
 	return nil
 }
 
 var (
-	_ netapi.Node        = (*node)(nil)
-	_ netapi.WorkTracker = (*node)(nil)
+	_ netapi.Node             = (*node)(nil)
+	_ netapi.WorkTracker      = (*node)(nil)
+	_ netapi.EndpointDetacher = (*node)(nil)
+	_ netapi.ConnParker       = (*node)(nil)
 )
 
 func (n *node) IP() string { return "127.0.0.1" }
@@ -207,6 +272,40 @@ func (n *node) WorkAdd()  { n.rt.WorkAdd() }
 func (n *node) WorkDone() { n.rt.WorkDone() }
 
 func (n *node) Now() time.Time { return time.Now() }
+
+// DetachEndpoints returns a view of the node whose endpoints each get
+// a private dispatch domain (netapi.EndpointDetacher). Timers and
+// node-level resources are shared with the underlying node.
+func (n *node) DetachEndpoints() netapi.Node { return &detachedNode{node: n} }
+
+// detachedNode is a node view for thread-safe components: endpoints
+// opened through it dispatch on private per-endpoint domains.
+type detachedNode struct{ *node }
+
+var (
+	_ netapi.Node             = (*detachedNode)(nil)
+	_ netapi.WorkTracker      = (*detachedNode)(nil)
+	_ netapi.EndpointDetacher = (*detachedNode)(nil)
+)
+
+// DetachEndpoints on an already detached view is the identity.
+func (d *detachedNode) DetachEndpoints() netapi.Node { return d }
+
+func (d *detachedNode) OpenUDP(port int, h netapi.PacketHandler) (netapi.UDPSocket, error) {
+	return d.node.openUDP(&domain{rt: d.rt}, port, h)
+}
+
+func (d *detachedNode) JoinGroup(group netapi.Addr, h netapi.PacketHandler) (netapi.UDPSocket, error) {
+	return d.node.joinGroup(&domain{rt: d.rt}, group, h)
+}
+
+func (d *detachedNode) ListenStream(port int, accept netapi.ConnHandler, recv netapi.StreamHandler) (netapi.Closer, error) {
+	return d.node.listenStream(true, port, accept, recv)
+}
+
+func (d *detachedNode) DialStream(to netapi.Addr, recv netapi.StreamHandler) (netapi.Conn, error) {
+	return d.node.dialStream(&domain{rt: d.rt}, to, recv)
+}
 
 func (n *node) After(d time.Duration, fn func()) netapi.TimerID {
 	n.rt.stateMu.Lock()
@@ -221,7 +320,7 @@ func (n *node) After(d time.Duration, fn func()) netapi.TimerID {
 		if !live {
 			return // cancelled between fire and dispatch
 		}
-		n.rt.dispatch(fn)
+		n.root.run(fn)
 	})
 	n.rt.stateMu.Lock()
 	n.rt.timers[id] = t
@@ -245,16 +344,21 @@ func (n *node) Cancel(id netapi.TimerID) {
 type udpSocket struct {
 	rt      *Runtime
 	owner   *node
+	dom     *domain
 	conn    *net.UDPConn
 	addr    netapi.Addr
 	handler netapi.PacketHandler
 	groups  []string
-	closed  bool
+	closed  atomic.Bool
 }
 
 var _ netapi.UDPSocket = (*udpSocket)(nil)
 
 func (n *node) OpenUDP(port int, h netapi.PacketHandler) (netapi.UDPSocket, error) {
+	return n.openUDP(n.root, port, h)
+}
+
+func (n *node) openUDP(dom *domain, port int, h netapi.PacketHandler) (*udpSocket, error) {
 	if h == nil {
 		return nil, fmt.Errorf("realnet: OpenUDP needs a handler")
 	}
@@ -266,6 +370,7 @@ func (n *node) OpenUDP(port int, h netapi.PacketHandler) (netapi.UDPSocket, erro
 	s := &udpSocket{
 		rt:      n.rt,
 		owner:   n,
+		dom:     dom,
 		conn:    conn,
 		addr:    netapi.Addr{IP: "127.0.0.1", Port: local.Port},
 		handler: h,
@@ -276,14 +381,17 @@ func (n *node) OpenUDP(port int, h netapi.PacketHandler) (netapi.UDPSocket, erro
 }
 
 func (n *node) JoinGroup(group netapi.Addr, h netapi.PacketHandler) (netapi.UDPSocket, error) {
+	return n.joinGroup(n.root, group, h)
+}
+
+func (n *node) joinGroup(dom *domain, group netapi.Addr, h netapi.PacketHandler) (netapi.UDPSocket, error) {
 	if !group.IsMulticast() {
 		return nil, fmt.Errorf("realnet: %s is not a multicast group", group)
 	}
-	sock, err := n.OpenUDP(0, h)
+	s, err := n.openUDP(dom, 0, h)
 	if err != nil {
 		return nil, err
 	}
-	s := sock.(*udpSocket)
 	key := group.String()
 	n.rt.stateMu.Lock()
 	n.rt.groups[key] = append(n.rt.groups[key], s)
@@ -292,25 +400,41 @@ func (n *node) JoinGroup(group netapi.Addr, h netapi.PacketHandler) (netapi.UDPS
 	return s, nil
 }
 
+// readLoop reads datagrams straight into leased pooled buffers and
+// invokes the handler inline under the socket's dispatch domain: no
+// per-datagram copy, closure or allocation. If the handler takes the
+// buffer's lease the loop leases a fresh one; otherwise the same
+// buffer is reused for the next read.
 func (s *udpSocket) readLoop() {
-	buf := make([]byte, 64*1024)
+	buf := netapi.NewBuffer()
 	for {
-		n, from, err := s.conn.ReadFromUDP(buf)
+		nr, from, err := s.conn.ReadFromUDPAddrPort(buf.Backing())
 		if err != nil {
+			buf.Release()
 			return // socket closed
 		}
-		data := make([]byte, n)
-		copy(data, buf[:n])
-		src := netapi.Addr{IP: "127.0.0.1", Port: from.Port}
-		s.rt.dispatch(func() {
-			s.rt.stateMu.Lock()
-			closed := s.closed
-			s.rt.stateMu.Unlock()
-			if closed {
-				return
-			}
-			s.handler(netapi.Packet{From: src, To: s.addr, Data: data})
-		})
+		if s.closed.Load() {
+			continue
+		}
+		buf.SetFilled(nr)
+		buf.ResetLease()
+		pkt := netapi.Packet{
+			From: netapi.Addr{IP: "127.0.0.1", Port: int(from.Port())},
+			To:   s.addr,
+			Data: buf.Bytes(),
+			Buf:  buf,
+		}
+		s.dom.mu.Lock()
+		if !s.closed.Load() {
+			s.handler(pkt)
+		}
+		s.dom.mu.Unlock()
+		s.rt.wake()
+		if buf.Retained() {
+			// The handler owns the old buffer now (it will release it
+			// when done); lease a fresh one for the next datagram.
+			buf = netapi.NewBuffer()
+		}
 	}
 }
 
@@ -321,33 +445,31 @@ func (s *udpSocket) Send(to netapi.Addr, data []byte) error {
 		s.rt.stateMu.Lock()
 		members := make([]*udpSocket, 0, len(s.rt.groups[to.String()]))
 		for _, m := range s.rt.groups[to.String()] {
-			if !m.closed {
+			if !m.closed.Load() {
 				members = append(members, m)
 			}
 		}
 		s.rt.stateMu.Unlock()
 		for _, m := range members {
-			dst := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: m.addr.Port}
-			if _, err := s.conn.WriteToUDP(data, dst); err != nil {
+			dst := netip.AddrPortFrom(loopback, uint16(m.addr.Port))
+			if _, err := s.conn.WriteToUDPAddrPort(data, dst); err != nil {
 				return fmt.Errorf("realnet: multicast to %s: %w", m.addr, err)
 			}
 		}
 		return nil
 	}
-	dst := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: to.Port}
-	if _, err := s.conn.WriteToUDP(data, dst); err != nil {
+	dst := netip.AddrPortFrom(loopback, uint16(to.Port))
+	if _, err := s.conn.WriteToUDPAddrPort(data, dst); err != nil {
 		return fmt.Errorf("realnet: send to %s: %w", to, err)
 	}
 	return nil
 }
 
 func (s *udpSocket) Close() error {
-	s.rt.stateMu.Lock()
-	if s.closed {
-		s.rt.stateMu.Unlock()
+	if s.closed.Swap(true) {
 		return nil
 	}
-	s.closed = true
+	s.rt.stateMu.Lock()
 	for _, key := range s.groups {
 		members := s.rt.groups[key]
 		for i, m := range members {
@@ -370,10 +492,21 @@ type listener struct {
 	rt     *Runtime
 	owner  *node
 	ln     net.Listener
-	closed bool
+	closed atomic.Bool
+}
+
+// Addr returns the listener's bound address (ephemeral listens learn
+// their port here).
+func (l *listener) Addr() netapi.Addr {
+	ta := l.ln.Addr().(*net.TCPAddr)
+	return netapi.Addr{IP: "127.0.0.1", Port: ta.Port}
 }
 
 func (n *node) ListenStream(port int, accept netapi.ConnHandler, recv netapi.StreamHandler) (netapi.Closer, error) {
+	return n.listenStream(false, port, accept, recv)
+}
+
+func (n *node) listenStream(detached bool, port int, accept netapi.ConnHandler, recv netapi.StreamHandler) (netapi.Closer, error) {
 	if recv == nil {
 		return nil, fmt.Errorf("realnet: ListenStream needs a recv handler")
 	}
@@ -389,10 +522,16 @@ func (n *node) ListenStream(port int, accept netapi.ConnHandler, recv netapi.Str
 			if err != nil {
 				return
 			}
-			sc := newStreamConn(n.rt, c, recv)
+			dom := n.root
+			if detached {
+				// Each accepted connection is its own endpoint: give it
+				// a private domain so connections ingest in parallel.
+				dom = &domain{rt: n.rt}
+			}
+			sc := newStreamConn(n.rt, c, recv, dom)
 			sc.owner = n
 			n.adopt(sc)
-			n.rt.dispatch(func() {
+			dom.run(func() {
 				if accept != nil {
 					accept(sc)
 				}
@@ -404,76 +543,239 @@ func (n *node) ListenStream(port int, accept netapi.ConnHandler, recv netapi.Str
 }
 
 func (l *listener) Close() error {
-	l.rt.stateMu.Lock()
-	already := l.closed
-	l.closed = true
-	l.rt.stateMu.Unlock()
-	if already {
+	if l.closed.Swap(true) {
 		return nil
 	}
 	l.owner.forget(l)
 	return l.ln.Close()
 }
 
+// connState is a stream connection's pool lifecycle, guarded by the
+// runtime's stateMu.
+type connState int
+
+const (
+	connActive connState = iota
+	connParked           // in the dial-reuse pool, no user
+	connClosed
+)
+
 type streamConn struct {
 	rt     *Runtime
-	owner  *node // nil until adopted; accepted and dialed conns both register
+	dom    *domain
 	c      net.Conn
-	recv   netapi.StreamHandler
 	local  netapi.Addr
 	remote netapi.Addr
-	closed bool
+	dialed bool
+
+	// recv is the inbound handler, guarded by dom.mu. Invariant: recv
+	// and the pool state change together under BOTH dom.mu and stateMu
+	// (lock order: dom.mu → stateMu), so under dom.mu alone a nil recv
+	// means the connection has no user (parked or closed) — a claim in
+	// progress can never be observed half-done.
+	recv netapi.StreamHandler
+
+	// state and owner are guarded by rt.stateMu. owner is nil while the
+	// connection sits in the dial-reuse pool (no node owns it).
+	state connState
+	owner *node
+
+	// Write coalescing: the first sender becomes the writer and drains
+	// wbuf batches queued by concurrent senders, so N concurrent sends
+	// become few syscalls while per-sender order is preserved. werr
+	// latches the first write error for subsequent senders.
+	wmu    sync.Mutex
+	wbusy  bool
+	wbuf   []byte
+	wspare []byte
+	werr   error
 }
 
 var _ netapi.Conn = (*streamConn)(nil)
 
-func newStreamConn(rt *Runtime, c net.Conn, recv netapi.StreamHandler) *streamConn {
+func newStreamConn(rt *Runtime, c net.Conn, recv netapi.StreamHandler, dom *domain) *streamConn {
 	la := c.LocalAddr().(*net.TCPAddr)
 	ra := c.RemoteAddr().(*net.TCPAddr)
 	return &streamConn{
-		rt: rt, c: c, recv: recv,
+		rt: rt, c: c, recv: recv, dom: dom,
 		local:  netapi.Addr{IP: "127.0.0.1", Port: la.Port},
 		remote: netapi.Addr{IP: "127.0.0.1", Port: ra.Port},
 	}
 }
 
 func (n *node) DialStream(to netapi.Addr, recv netapi.StreamHandler) (netapi.Conn, error) {
+	return n.dialStream(n.root, to, recv)
+}
+
+func (n *node) dialStream(dom *domain, to netapi.Addr, recv netapi.StreamHandler) (netapi.Conn, error) {
 	if recv == nil {
 		return nil, fmt.Errorf("realnet: DialStream needs a recv handler")
+	}
+	if sc := n.rt.claimParked(to, recv, n); sc != nil {
+		n.adopt(sc)
+		return sc, nil
 	}
 	c, err := net.DialTimeout("tcp4", fmt.Sprintf("127.0.0.1:%d", to.Port), 5*time.Second)
 	if err != nil {
 		return nil, fmt.Errorf("realnet: dial %s: %w", to, err)
 	}
-	sc := newStreamConn(n.rt, c, recv)
+	sc := newStreamConn(n.rt, c, recv, dom)
+	sc.dialed = true
 	sc.owner = n
 	n.adopt(sc)
 	go sc.readLoop()
 	return sc, nil
 }
 
+// removeParkedLocked drops a connection from the dial-reuse pool.
+// Caller holds rt.stateMu.
+func (rt *Runtime) removeParkedLocked(sc *streamConn) {
+	pool := rt.parked[sc.remote.Port]
+	for i, p := range pool {
+		if p == sc {
+			pool = append(pool[:i], pool[i+1:]...)
+			break
+		}
+	}
+	if len(pool) == 0 {
+		delete(rt.parked, sc.remote.Port)
+	} else {
+		rt.parked[sc.remote.Port] = pool
+	}
+}
+
+// claimParked pops a live parked connection to the destination from
+// the dial-reuse pool, rebinding its receive handler and owner in one
+// atomic step (under the connection's domain plus stateMu), or returns
+// nil. The pool is keyed by remote port: every realnet socket lives on
+// loopback, and node IPs are labels only.
+func (rt *Runtime) claimParked(to netapi.Addr, recv netapi.StreamHandler, owner *node) *streamConn {
+	for {
+		rt.stateMu.Lock()
+		var cand *streamConn
+		pool := rt.parked[to.Port]
+		for i := len(pool) - 1; i >= 0; i-- {
+			if pool[i].state == connParked {
+				cand = pool[i]
+				break
+			}
+		}
+		rt.stateMu.Unlock()
+		if cand == nil {
+			return nil
+		}
+		// Re-check under both locks: the candidate may have been
+		// claimed by a racing dial or evicted by stray bytes meanwhile.
+		cand.dom.mu.Lock()
+		rt.stateMu.Lock()
+		if cand.state == connParked {
+			cand.state = connActive
+			rt.removeParkedLocked(cand)
+			cand.recv = recv
+			cand.owner = owner
+			rt.stateMu.Unlock()
+			cand.dom.mu.Unlock()
+			return cand
+		}
+		rt.stateMu.Unlock()
+		cand.dom.mu.Unlock()
+	}
+}
+
+// ParkConn returns a healthy dialed connection to the runtime's
+// dial-reuse pool (netapi.ConnParker): a later DialStream to the same
+// address reuses the established connection instead of a fresh TCP
+// handshake — the client-side reuse behind netengine.NewRequester.
+// Parking transfers ownership from the node to the runtime: the
+// connection no longer closes with the node, it lives in the pool
+// (bounded per destination) until claimed or evicted. Bytes arriving
+// while parked evict the connection (they would desynchronise the
+// next user).
+func (n *node) ParkConn(c netapi.Conn) bool {
+	sc, ok := c.(*streamConn)
+	if !ok || !sc.dialed {
+		return false
+	}
+	sc.wmu.Lock()
+	clean := sc.werr == nil && !sc.wbusy && len(sc.wbuf) == 0
+	sc.wmu.Unlock()
+	if !clean {
+		return false
+	}
+	// The user-to-parked transition is atomic under both locks (see the
+	// recv invariant on streamConn), so a concurrent claim can never
+	// observe the connection pooled but still carrying the old handler.
+	sc.dom.mu.Lock()
+	n.rt.stateMu.Lock()
+	if sc.state != connActive || len(n.rt.parked[sc.remote.Port]) >= maxParkedPerDest {
+		n.rt.stateMu.Unlock()
+		sc.dom.mu.Unlock()
+		return false
+	}
+	sc.state = connParked
+	n.rt.parked[sc.remote.Port] = append(n.rt.parked[sc.remote.Port], sc)
+	sc.recv = nil
+	owner := sc.owner
+	sc.owner = nil
+	n.rt.stateMu.Unlock()
+	sc.dom.mu.Unlock()
+	if owner != nil {
+		owner.forget(sc)
+	}
+	return true
+}
+
+// readLoop delivers inbound chunks as views into the connection's read
+// buffer, serially under the connection's domain. The slice is valid
+// only for the duration of the callback; consumers copy or consume
+// (the netengine framer appends into its own per-connection buffer).
 func (sc *streamConn) readLoop() {
 	buf := make([]byte, 64*1024)
 	for {
-		n, err := sc.c.Read(buf)
-		if n > 0 {
-			data := make([]byte, n)
-			copy(data, buf[:n])
-			sc.rt.dispatch(func() { sc.recv(sc, data) })
+		nr, err := sc.c.Read(buf)
+		if nr > 0 {
+			sc.dom.mu.Lock()
+			recv := sc.recv
+			if recv == nil {
+				// No user: stray bytes on a parked (or already closed)
+				// connection would desynchronise the next user — evict.
+				sc.rt.stateMu.Lock()
+				if sc.state == connParked {
+					sc.rt.removeParkedLocked(sc)
+				}
+				sc.state = connClosed
+				sc.rt.stateMu.Unlock()
+				sc.dom.mu.Unlock()
+				_ = sc.c.Close()
+				return
+			}
+			recv(sc, buf[:nr])
+			sc.dom.mu.Unlock()
+			sc.rt.wake()
 		}
 		if err != nil {
-			sc.rt.dispatch(func() {
-				sc.rt.stateMu.Lock()
-				already := sc.closed
-				sc.closed = true
-				sc.rt.stateMu.Unlock()
-				if !already {
-					if sc.owner != nil {
-						sc.owner.forget(sc)
-					}
-					sc.recv(sc, nil)
+			sc.dom.mu.Lock()
+			recv := sc.recv
+			sc.rt.stateMu.Lock()
+			st := sc.state
+			if st == connParked {
+				sc.rt.removeParkedLocked(sc)
+			}
+			sc.state = connClosed
+			owner := sc.owner
+			sc.owner = nil
+			sc.rt.stateMu.Unlock()
+			if st == connActive && recv != nil {
+				if owner != nil {
+					owner.forget(sc)
 				}
-			})
+				recv(sc, nil)
+				sc.dom.mu.Unlock()
+				sc.rt.wake()
+			} else {
+				sc.dom.mu.Unlock()
+			}
+			_ = sc.c.Close()
 			return
 		}
 	}
@@ -482,23 +784,62 @@ func (sc *streamConn) readLoop() {
 func (sc *streamConn) LocalAddr() netapi.Addr  { return sc.local }
 func (sc *streamConn) RemoteAddr() netapi.Addr { return sc.remote }
 
+// Send transmits data in order. Concurrent senders coalesce: the first
+// one becomes the writer and drains everything queued meanwhile into
+// single writes. A write error is returned to the writer that hit it
+// and latched for every later sender.
 func (sc *streamConn) Send(data []byte) error {
-	if _, err := sc.c.Write(data); err != nil {
+	sc.wmu.Lock()
+	if sc.werr != nil {
+		err := sc.werr
+		sc.wmu.Unlock()
 		return fmt.Errorf("realnet: %w", err)
 	}
-	return nil
+	if sc.wbusy {
+		sc.wbuf = append(sc.wbuf, data...)
+		sc.wmu.Unlock()
+		return nil
+	}
+	sc.wbusy = true
+	sc.wmu.Unlock()
+	_, err := sc.c.Write(data)
+	for {
+		sc.wmu.Lock()
+		if err != nil {
+			sc.werr = err
+			sc.wbusy = false
+			sc.wbuf = nil
+			sc.wmu.Unlock()
+			return fmt.Errorf("realnet: %w", err)
+		}
+		if len(sc.wbuf) == 0 {
+			sc.wbusy = false
+			sc.wmu.Unlock()
+			return nil
+		}
+		batch := sc.wbuf
+		sc.wbuf = sc.wspare[:0]
+		sc.wmu.Unlock()
+		_, err = sc.c.Write(batch)
+		sc.wspare = batch
+	}
 }
 
 func (sc *streamConn) Close() error {
 	sc.rt.stateMu.Lock()
-	already := sc.closed
-	sc.closed = true
+	st := sc.state
+	sc.state = connClosed
+	owner := sc.owner
+	sc.owner = nil
+	if st == connParked {
+		sc.rt.removeParkedLocked(sc)
+	}
 	sc.rt.stateMu.Unlock()
-	if already {
+	if st == connClosed {
 		return nil
 	}
-	if sc.owner != nil {
-		sc.owner.forget(sc)
+	if owner != nil {
+		owner.forget(sc)
 	}
 	return sc.c.Close()
 }

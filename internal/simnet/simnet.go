@@ -10,12 +10,25 @@
 // 100-iteration Fig. 12 runs take milliseconds of wall-clock time while
 // remaining fully deterministic for a given seed (see DESIGN.md §5).
 //
-// Execution model: one dispatcher, many callers. Run/RunUntil pop
+// Execution model: one event loop, many callers. Run/RunUntil pop
 // events from a time-ordered heap on the calling goroutine, and
 // protocol logic runs inside those event callbacks; but every node
 // operation (Send, After, Cancel, OpenUDP, DialStream, ...) is safe to
 // call from any goroutine, so components like the concurrent Automata
 // Engine may hand payloads to worker goroutines that later transmit.
+//
+// Per-endpoint ordering (netapi's concurrency contract) is modelled
+// deterministically: every event carries the dispatch-domain key of
+// the endpoint it delivers to, and events that fall on the same
+// virtual instant are ordered by a seeded per-domain tiebreak instead
+// of global creation order. Within one domain FIFO order is always
+// preserved; across domains the interleaving is a deterministic
+// function of the seed — the simulator models "distinct endpoints
+// dispatch in parallel" while a given seed still yields a single
+// execution. Endpoints opened through a detached node view
+// (netapi.Detach) get private domain keys; by default all endpoints
+// and timers of a node share the node's root domain, exactly like
+// realnet.
 //
 // Determinism is preserved through the netapi.WorkTracker contract:
 // nodes implement WorkAdd/WorkDone, and the event loop refuses to pop
@@ -38,9 +51,13 @@ import (
 // Option configures the simulator.
 type Option func(*Net)
 
-// WithSeed sets the RNG seed for latency jitter and loss decisions.
+// WithSeed sets the RNG seed for latency jitter, loss decisions and
+// the cross-domain event interleaving.
 func WithSeed(seed int64) Option {
-	return func(n *Net) { n.rng = rand.New(rand.NewSource(seed)) }
+	return func(n *Net) {
+		n.rng = rand.New(rand.NewSource(seed))
+		n.seed = seed
+	}
 }
 
 // WithLatency sets the base one-way latency and the maximum additional
@@ -61,7 +78,13 @@ func WithStart(t time.Time) Option {
 }
 
 type event struct {
-	at  time.Time
+	at time.Time
+	// tie is the seeded per-domain tiebreak: events for the same
+	// dispatch domain share a tie value (so same-domain events at one
+	// instant keep FIFO order via seq), while events for distinct
+	// domains at the same instant interleave in seeded order —
+	// modelling parallel per-endpoint dispatch deterministically.
+	tie uint64
 	seq uint64
 	fn  func()
 }
@@ -72,6 +95,9 @@ func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if !h[i].at.Equal(h[j].at) {
 		return h[i].at.Before(h[j].at)
+	}
+	if h[i].tie != h[j].tie {
+		return h[i].tie < h[j].tie
 	}
 	return h[i].seq < h[j].seq
 }
@@ -102,6 +128,8 @@ type Net struct {
 	now       time.Time
 	events    eventHeap
 	seq       uint64
+	seed      int64
+	domainSeq uint64
 	rng       *rand.Rand
 	latBase   time.Duration
 	latJitter time.Duration
@@ -132,6 +160,7 @@ func New(opts ...Option) *Net {
 	n := &Net{
 		now:       time.Date(2011, 1, 1, 0, 0, 0, 0, time.UTC),
 		rng:       rand.New(rand.NewSource(1)),
+		seed:      1,
 		latBase:   200 * time.Microsecond,
 		latJitter: 300 * time.Microsecond,
 		nodes:     map[string]*node{},
@@ -154,15 +183,46 @@ func (n *Net) Now() time.Time {
 	return n.now
 }
 
-// scheduleLocked enqueues fn at now+d. Caller holds n.mu.
-func (n *Net) scheduleLocked(d time.Duration, fn func()) *event {
+// newDomainLocked allocates a fresh dispatch-domain key. Caller holds
+// n.mu. Allocation order is deterministic for a given seed because the
+// WorkTracker contract serialises the goroutines that create
+// endpoints against the event loop.
+func (n *Net) newDomainLocked() uint64 {
+	n.domainSeq++
+	return n.domainSeq
+}
+
+// tieFor derives the seeded per-domain tiebreak from a domain key
+// (splitmix64 of seed ^ key): stable for a given seed, with no draw
+// from the shared jitter RNG, so adding domains never perturbs
+// latency sampling.
+func (n *Net) tieFor(key uint64) uint64 {
+	z := uint64(n.seed) ^ (key * 0x9E3779B97F4A7C15)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// scheduleDomLocked enqueues fn at now+d on a dispatch domain. Caller
+// holds n.mu.
+func (n *Net) scheduleDomLocked(d time.Duration, dom uint64, fn func()) *event {
 	if d < 0 {
 		d = 0
 	}
 	n.seq++
-	e := &event{at: n.now.Add(d), seq: n.seq, fn: fn}
+	e := &event{at: n.now.Add(d), tie: n.tieFor(dom), seq: n.seq, fn: fn}
 	heap.Push(&n.events, e)
 	return e
+}
+
+// scheduleLocked enqueues fn at now+d on the runtime's own domain
+// (key 0) — internal bookkeeping events with no endpoint affinity.
+// Caller holds n.mu.
+func (n *Net) scheduleLocked(d time.Duration, fn func()) *event {
+	return n.scheduleDomLocked(d, 0, fn)
 }
 
 // latencyLocked draws a per-packet one-way delay. Caller holds n.mu.
@@ -315,7 +375,7 @@ func (n *Net) NewNode(ip string) (netapi.Node, error) {
 	if _, exists := n.nodes[ip]; exists {
 		return nil, fmt.Errorf("simnet: node %s already exists", ip)
 	}
-	nd := &node{net: n, ip: ip, nextEphemeral: 32768}
+	nd := &node{net: n, ip: ip, nextEphemeral: 32768, domKey: n.newDomainLocked()}
 	n.nodes[ip] = nd
 	return nd, nil
 }
@@ -325,12 +385,51 @@ type node struct {
 	ip            string
 	nextEphemeral int
 	closed        bool
+	// domKey is the node's root dispatch domain: endpoints opened
+	// directly on the node, and its timers, deliver there.
+	domKey uint64
 }
 
 var (
-	_ netapi.Node        = (*node)(nil)
-	_ netapi.WorkTracker = (*node)(nil)
+	_ netapi.Node             = (*node)(nil)
+	_ netapi.WorkTracker      = (*node)(nil)
+	_ netapi.EndpointDetacher = (*node)(nil)
 )
+
+// DetachEndpoints returns a view of the node whose endpoints each get
+// a private dispatch-domain key (netapi.EndpointDetacher): their
+// deliveries interleave independently in the seeded event order,
+// modelling parallel per-endpoint dispatch.
+func (nd *node) DetachEndpoints() netapi.Node { return &detachedNode{node: nd} }
+
+// detachedNode is a node view for thread-safe components.
+type detachedNode struct{ *node }
+
+var (
+	_ netapi.Node             = (*detachedNode)(nil)
+	_ netapi.WorkTracker      = (*detachedNode)(nil)
+	_ netapi.EndpointDetacher = (*detachedNode)(nil)
+)
+
+func (d *detachedNode) DetachEndpoints() netapi.Node { return d }
+
+func (d *detachedNode) OpenUDP(port int, h netapi.PacketHandler) (netapi.UDPSocket, error) {
+	d.net.mu.Lock()
+	defer d.net.mu.Unlock()
+	return d.node.openUDPLocked(d.net.newDomainLocked(), port, h)
+}
+
+func (d *detachedNode) JoinGroup(group netapi.Addr, h netapi.PacketHandler) (netapi.UDPSocket, error) {
+	return d.node.joinGroup(true, group, h)
+}
+
+func (d *detachedNode) ListenStream(port int, accept netapi.ConnHandler, recv netapi.StreamHandler) (netapi.Closer, error) {
+	return d.node.listenStream(true, port, accept, recv)
+}
+
+func (d *detachedNode) DialStream(to netapi.Addr, recv netapi.StreamHandler) (netapi.Conn, error) {
+	return d.node.dialStream(true, to, recv)
+}
 
 func (nd *node) IP() string { return nd.ip }
 
@@ -344,7 +443,7 @@ func (nd *node) WorkDone() { nd.net.WorkDone() }
 func (nd *node) After(d time.Duration, fn func()) netapi.TimerID {
 	nd.net.mu.Lock()
 	defer nd.net.mu.Unlock()
-	e := nd.net.scheduleLocked(d, fn)
+	e := nd.net.scheduleDomLocked(d, nd.domKey, fn)
 	nd.net.timerSeq++
 	id := netapi.TimerID(nd.net.timerSeq)
 	nd.net.timers[id] = e
@@ -418,6 +517,7 @@ func (nd *node) allocPortLocked() int {
 type udpSocket struct {
 	net     *Net
 	node    *node
+	domKey  uint64
 	addr    netapi.Addr
 	handler netapi.PacketHandler
 	closed  bool
@@ -429,10 +529,10 @@ var _ netapi.UDPSocket = (*udpSocket)(nil)
 func (nd *node) OpenUDP(port int, h netapi.PacketHandler) (netapi.UDPSocket, error) {
 	nd.net.mu.Lock()
 	defer nd.net.mu.Unlock()
-	return nd.openUDPLocked(port, h)
+	return nd.openUDPLocked(nd.domKey, port, h)
 }
 
-func (nd *node) openUDPLocked(port int, h netapi.PacketHandler) (*udpSocket, error) {
+func (nd *node) openUDPLocked(dom uint64, port int, h netapi.PacketHandler) (*udpSocket, error) {
 	if h == nil {
 		return nil, fmt.Errorf("simnet: OpenUDP needs a handler")
 	}
@@ -443,18 +543,26 @@ func (nd *node) openUDPLocked(port int, h netapi.PacketHandler) (*udpSocket, err
 	if _, taken := nd.net.udpSocks[key]; taken {
 		return nil, fmt.Errorf("simnet: %s:%d already bound", nd.ip, port)
 	}
-	s := &udpSocket{net: nd.net, node: nd, addr: netapi.Addr{IP: nd.ip, Port: port}, handler: h}
+	s := &udpSocket{net: nd.net, node: nd, domKey: dom, addr: netapi.Addr{IP: nd.ip, Port: port}, handler: h}
 	nd.net.udpSocks[key] = s
 	return s, nil
 }
 
 func (nd *node) JoinGroup(group netapi.Addr, h netapi.PacketHandler) (netapi.UDPSocket, error) {
+	return nd.joinGroup(false, group, h)
+}
+
+func (nd *node) joinGroup(detached bool, group netapi.Addr, h netapi.PacketHandler) (netapi.UDPSocket, error) {
 	if !group.IsMulticast() {
 		return nil, fmt.Errorf("simnet: %s is not a multicast group", group)
 	}
 	nd.net.mu.Lock()
 	defer nd.net.mu.Unlock()
-	s, err := nd.openUDPLocked(0, h)
+	dom := nd.domKey
+	if detached {
+		dom = nd.net.newDomainLocked()
+	}
+	s, err := nd.openUDPLocked(dom, 0, h)
 	if err != nil {
 		return nil, err
 	}
@@ -530,7 +638,7 @@ func (s *udpSocket) deliverLocked(dst *udpSocket, data []byte, to netapi.Addr) {
 		return
 	}
 	from := s.addr
-	s.net.scheduleLocked(s.net.latencyLocked(), func() {
+	s.net.scheduleDomLocked(s.net.latencyLocked(), dst.domKey, func() {
 		s.net.mu.Lock()
 		closed := dst.closed
 		s.net.mu.Unlock()
@@ -566,9 +674,16 @@ type listener struct {
 	accept netapi.ConnHandler
 	recv   netapi.StreamHandler
 	closed bool
+	// detached gives every accepted connection a private dispatch
+	// domain (the listener was opened through a detached node view).
+	detached bool
 }
 
 func (nd *node) ListenStream(port int, accept netapi.ConnHandler, recv netapi.StreamHandler) (netapi.Closer, error) {
+	return nd.listenStream(false, port, accept, recv)
+}
+
+func (nd *node) listenStream(detached bool, port int, accept netapi.ConnHandler, recv netapi.StreamHandler) (netapi.Closer, error) {
 	if recv == nil {
 		return nil, fmt.Errorf("simnet: ListenStream needs a recv handler")
 	}
@@ -581,7 +696,7 @@ func (nd *node) ListenStream(port int, accept netapi.ConnHandler, recv netapi.St
 	if _, taken := nd.net.listeners[key]; taken {
 		return nil, fmt.Errorf("simnet: %s:%d already listening", nd.ip, port)
 	}
-	l := &listener{net: nd.net, node: nd, addr: netapi.Addr{IP: nd.ip, Port: port}, accept: accept, recv: recv}
+	l := &listener{net: nd.net, node: nd, addr: netapi.Addr{IP: nd.ip, Port: port}, accept: accept, recv: recv, detached: detached}
 	nd.net.listeners[key] = l
 	return l, nil
 }
@@ -600,6 +715,7 @@ func (l *listener) Close() error {
 // conn is one direction-aware endpoint of a stream.
 type conn struct {
 	net    *Net
+	domKey uint64
 	local  netapi.Addr
 	remote netapi.Addr
 	peer   *conn
@@ -614,6 +730,10 @@ type conn struct {
 var _ netapi.Conn = (*conn)(nil)
 
 func (nd *node) DialStream(to netapi.Addr, recv netapi.StreamHandler) (netapi.Conn, error) {
+	return nd.dialStream(false, to, recv)
+}
+
+func (nd *node) dialStream(detached bool, to netapi.Addr, recv netapi.StreamHandler) (netapi.Conn, error) {
 	if recv == nil {
 		return nil, fmt.Errorf("simnet: DialStream needs a recv handler")
 	}
@@ -623,11 +743,19 @@ func (nd *node) DialStream(to netapi.Addr, recv netapi.StreamHandler) (netapi.Co
 	if !ok {
 		return nil, fmt.Errorf("simnet: connection refused: %s", to)
 	}
+	clientDom := nd.domKey
+	if detached {
+		clientDom = nd.net.newDomainLocked()
+	}
+	serverDom := l.node.domKey
+	if l.detached {
+		serverDom = nd.net.newDomainLocked()
+	}
 	local := netapi.Addr{IP: nd.ip, Port: nd.allocPortLocked()}
-	client := &conn{net: nd.net, local: local, remote: to, recv: recv}
-	server := &conn{net: nd.net, local: to, remote: local, recv: l.recv}
+	client := &conn{net: nd.net, domKey: clientDom, local: local, remote: to, recv: recv}
+	server := &conn{net: nd.net, domKey: serverDom, local: to, remote: local, recv: l.recv}
 	client.peer, server.peer = server, client
-	nd.net.scheduleLocked(nd.net.latencyLocked(), func() {
+	nd.net.scheduleDomLocked(nd.net.latencyLocked(), serverDom, func() {
 		nd.net.mu.Lock()
 		closed := l.closed
 		accept := l.accept
@@ -659,7 +787,7 @@ func (c *conn) Send(data []byte) error {
 		at = c.lastDelivery
 	}
 	c.lastDelivery = at
-	c.net.scheduleLocked(at.Sub(c.net.now), func() {
+	c.net.scheduleDomLocked(at.Sub(c.net.now), peer.domKey, func() {
 		c.net.mu.Lock()
 		closed := peer.closed
 		c.net.mu.Unlock()
@@ -679,7 +807,7 @@ func (c *conn) Close() error {
 	}
 	c.closed = true
 	peer := c.peer
-	c.net.scheduleLocked(c.net.latencyLocked(), func() {
+	c.net.scheduleDomLocked(c.net.latencyLocked(), peer.domKey, func() {
 		c.net.mu.Lock()
 		if peer.closed {
 			c.net.mu.Unlock()
