@@ -31,10 +31,19 @@ var bufferPool = sync.Pool{
 //
 // Release returns the buffer to the pool; releasing twice panics,
 // because a double release would hand one buffer to two owners.
+//
+// The lease-transfer signal itself ("did the handler take the buffer?")
+// deliberately does NOT live on the Buffer: once TakeLease runs, the
+// new owner may Release at any moment and the pool may re-lease the
+// same Buffer to another read loop, so any per-buffer flag the first
+// read loop checked after its callback could be mutated by the
+// buffer's next life. Instead Packet.BindLeaseFlag points the packet
+// at a bool owned by the dispatching read loop, which TakeLease sets
+// synchronously inside the callback — state no other goroutine can
+// ever touch, no matter how fast the buffer is recycled.
 type Buffer struct {
 	data     []byte
 	n        int
-	retained bool
 	released bool
 }
 
@@ -60,24 +69,6 @@ func (b *Buffer) SetFilled(n int) {
 
 // Bytes returns the filled portion of the buffer.
 func (b *Buffer) Bytes() []byte { return b.data[:b.n] }
-
-// retain marks the lease as taken by the handler. Called (via
-// Packet.TakeLease) synchronously inside the handler callback, on the
-// dispatching goroutine, so the runtime's post-callback Retained read
-// never races it.
-func (b *Buffer) retain() { b.retained = true }
-
-// Retained reports whether a handler took the lease. Runtimes call it
-// after the handler returns to decide whether the buffer can be reused
-// for the next read; the flag is reset by the runtime (ResetLease)
-// before each dispatch, never by Release, so the answer stays valid
-// even if the new owner has already released the buffer back to the
-// pool by the time the runtime looks.
-func (b *Buffer) Retained() bool { return b.retained }
-
-// ResetLease clears the retained flag; runtimes call it while they own
-// the buffer, before dispatching a packet that references it.
-func (b *Buffer) ResetLease() { b.retained = false }
 
 // Release returns the buffer to the pool. The caller must be the
 // buffer's single owner; releasing twice panics.

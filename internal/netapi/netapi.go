@@ -113,18 +113,38 @@ type Packet struct {
 	// receive buffers; nil when the data is heap-owned and immutable.
 	// Handlers take ownership through TakeLease, never directly.
 	Buf *Buffer
+
+	// leased points at lease-transfer state owned by the dispatching
+	// read loop (see BindLeaseFlag); nil when Buf is nil.
+	leased *bool
 }
+
+// BindLeaseFlag points the packet's lease-transfer signal at a flag
+// owned by the dispatching read loop. Runtimes set it before invoking
+// the handler; after the callback returns they read their own flag —
+// not buffer state — to learn whether the lease was taken, so the
+// signal cannot be perturbed by the buffer's next lease if the new
+// owner releases it immediately (see the Buffer doc).
+func (p *Packet) BindLeaseFlag(f *bool) { p.leased = f }
 
 // TakeLease transfers ownership of the packet's backing buffer to the
 // caller, who must Release it exactly once when done with Data. It
-// must be called synchronously inside the handler callback. A nil
-// result means the data is heap-owned and immutable: the caller may
-// keep the slice without copying, and there is nothing to release.
+// must be called synchronously inside the handler callback (it records
+// the transfer in the dispatching read loop's own state, which only
+// the callback's goroutine may touch). A nil result means the data is
+// heap-owned and immutable: the caller may keep the slice without
+// copying, and there is nothing to release.
 func (p Packet) TakeLease() *Buffer {
 	if p.Buf == nil {
 		return nil
 	}
-	p.Buf.retain()
+	if p.leased == nil {
+		// A runtime that sets Buf but never bound a lease flag would
+		// keep reusing a buffer the handler now owns — corruption with
+		// no crash. Fail fast instead.
+		panic("netapi: Packet.Buf set without BindLeaseFlag; the dispatching runtime must bind a lease flag before the callback")
+	}
+	*p.leased = true
 	return p.Buf
 }
 
@@ -236,8 +256,13 @@ func Detach(n Node) Node {
 // connection pool. ParkConn returns a healthy dialed connection to the
 // runtime for reuse by a later DialStream to the same address instead
 // of closing it; it reports false when the connection cannot be pooled
-// (not dialed here, already closed, or the pool is full), in which
-// case the caller should Close it normally. Only park a connection
+// (not dialed here, dialed undetached, already closed, or the pool is
+// full), in which case the caller should Close it normally. The pool
+// only serves detached dials: a reused connection keeps the private
+// dispatch domain it was dialed with, so pooling an undetached
+// connection — or handing one to an undetached caller — would entangle
+// distinct nodes' serial execution; undetached DialStream always opens
+// a fresh connection. Only park a connection
 // whose inbound stream is at a clean frame boundary: bytes that arrive
 // while parked evict the connection, but a partial frame already
 // consumed would silently desynchronise the next user.

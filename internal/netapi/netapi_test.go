@@ -232,8 +232,9 @@ func TestIsMulticastEdgeCases(t *testing.T) {
 	}
 }
 
-// A leased buffer must round-trip through retain/release, and a double
-// release must panic (it would hand one buffer to two owners).
+// A leased buffer must round-trip through take/release, signalling the
+// transfer through the dispatcher's own flag, and a double release
+// must panic (it would hand one buffer to two owners).
 func TestBufferLeaseLifecycle(t *testing.T) {
 	b := netapi.NewBuffer()
 	copy(b.Backing(), "hello")
@@ -241,10 +242,15 @@ func TestBufferLeaseLifecycle(t *testing.T) {
 	if string(b.Bytes()) != "hello" {
 		t.Fatalf("Bytes = %q", b.Bytes())
 	}
+	retained := false
 	pkt := netapi.Packet{Data: b.Bytes(), Buf: b}
+	pkt.BindLeaseFlag(&retained)
 	lease := pkt.TakeLease()
-	if lease != b || !b.Retained() {
+	if lease != b {
 		t.Fatal("TakeLease must hand over the packet's buffer")
+	}
+	if !retained {
+		t.Fatal("TakeLease must set the dispatcher's bound lease flag")
 	}
 	lease.Release()
 	defer func() {

@@ -234,10 +234,12 @@ func listenerPort(t *testing.T, rt *realnet.Runtime, srvNode netapi.Node, l neta
 	return 0
 }
 
-// Closing a clean dialed connection through ParkConn keeps the TCP
-// connection alive in the runtime's dial-reuse pool: the next
-// DialStream to the same destination reuses it (same local port, no
-// new handshake), and the reused connection still delivers both ways.
+// Closing a clean detached-dialed connection through ParkConn keeps
+// the TCP connection alive in the runtime's dial-reuse pool: the next
+// detached DialStream to the same destination reuses it (same local
+// port, no new handshake), and the reused connection still delivers
+// both ways. Dials go through netapi.Detach, as netengine's requesters
+// do — only private-domain connections are poolable.
 func TestDialStreamReuse(t *testing.T) {
 	rt := realnet.New()
 	srvNode, _ := rt.NewNode("10.0.0.5")
@@ -260,8 +262,9 @@ func TestDialStreamReuse(t *testing.T) {
 	dest := netapi.Addr{IP: "10.0.0.5", Port: port}
 
 	cliNode, _ := rt.NewNode("10.0.0.1")
+	cli := netapi.Detach(cliNode)
 	got1 := make(chan string, 1)
-	conn1, err := cliNode.DialStream(dest, func(c netapi.Conn, data []byte) {
+	conn1, err := cli.DialStream(dest, func(c netapi.Conn, data []byte) {
 		if data != nil {
 			got1 <- string(data)
 		}
@@ -290,7 +293,7 @@ func TestDialStreamReuse(t *testing.T) {
 	}
 
 	got2 := make(chan string, 1)
-	conn2, err := cliNode.DialStream(dest, func(c netapi.Conn, data []byte) {
+	conn2, err := cli.DialStream(dest, func(c netapi.Conn, data []byte) {
 		if data != nil {
 			got2 <- string(data)
 		}
@@ -319,6 +322,77 @@ func TestDialStreamReuse(t *testing.T) {
 		t.Fatalf("server accepted %d connections, want 1 (reuse)", accepted)
 	}
 	if err := conn2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The dial-reuse pool must never cross dispatch domains: a connection
+// dialed undetached runs its callbacks on the node's root domain, so
+// it is not parkable; an undetached DialStream never claims a parked
+// connection (it would inherit a foreign private domain instead of the
+// node's root domain); and Send on a parked connection is refused
+// until a claimant takes it over.
+func TestConnPoolRespectsDispatchDomains(t *testing.T) {
+	rt := realnet.New()
+	srvNode, _ := rt.NewNode("10.0.0.5")
+	l, err := srvNode.ListenStream(0, nil, func(netapi.Conn, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	dest := netapi.Addr{IP: "10.0.0.5", Port: listenerPort(t, rt, srvNode, l)}
+
+	cliNode, _ := rt.NewNode("10.0.0.1")
+	parker, ok := cliNode.(netapi.ConnParker)
+	if !ok {
+		t.Fatal("realnet nodes must implement netapi.ConnParker")
+	}
+
+	rootConn, err := cliNode.DialStream(dest, func(netapi.Conn, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parker.ParkConn(rootConn) {
+		t.Fatal("a root-domain (undetached) connection must not be parkable")
+	}
+	if err := rootConn.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cli := netapi.Detach(cliNode)
+	pooled, err := cli.DialStream(dest, func(netapi.Conn, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parker.ParkConn(pooled) {
+		t.Fatal("a clean detached-dialed connection must be parkable")
+	}
+	if err := pooled.Send([]byte("x")); err == nil {
+		t.Fatal("Send on a parked connection must be refused")
+	}
+
+	fresh, err := cliNode.DialStream(dest, func(netapi.Conn, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.LocalAddr() == pooled.LocalAddr() {
+		t.Fatal("an undetached dial must not claim a parked private-domain connection")
+	}
+	if err := fresh.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	claimed, err := cli.DialStream(dest, func(netapi.Conn, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if claimed.LocalAddr() != pooled.LocalAddr() {
+		t.Fatal("a detached dial must reuse the parked connection")
+	}
+	if err := claimed.Send([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := claimed.Close(); err != nil {
 		t.Fatal(err)
 	}
 }

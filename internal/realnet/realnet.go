@@ -50,9 +50,17 @@ const maxParkedPerDest = 4
 // domain is one serial dispatch context: callbacks scheduled on a
 // domain never overlap. Handlers run holding mu; RunUntil locks every
 // node's root domain to evaluate its condition against quiesced state.
+//
+// root marks a node's root domain (shared by the node's undetached
+// endpoints and timers) as opposed to the private domain of a detached
+// endpoint. The dial-reuse pool only handles private-domain
+// connections: a claimed connection keeps the domain it was dialed
+// with, and handing a root domain to an unrelated claimant would break
+// the per-node serial-execution contract.
 type domain struct {
-	rt *Runtime
-	mu sync.Mutex
+	rt   *Runtime
+	mu   sync.Mutex
+	root bool
 }
 
 // run executes one callback on the domain and wakes RunUntil waiters.
@@ -143,7 +151,7 @@ func (rt *Runtime) NewNode(ip string) (netapi.Node, error) {
 		ip = "127.0.0.1"
 	}
 	n := &node{rt: rt, label: ip, owned: map[netapi.Closer]struct{}{}}
-	n.root = &domain{rt: rt}
+	n.root = &domain{rt: rt, root: true}
 	rt.rootsMu.Lock()
 	rt.roots = append(rt.roots, n.root)
 	rt.rootsMu.Unlock()
@@ -417,20 +425,26 @@ func (s *udpSocket) readLoop() {
 			continue
 		}
 		buf.SetFilled(nr)
-		buf.ResetLease()
+		// The lease-transfer signal lives in this loop's own frame, not
+		// on the buffer: once the handler takes the lease the new owner
+		// may Release and the pool may re-lease the buffer to another
+		// read loop before we look, so buffer state checked here could
+		// belong to the buffer's next life (see netapi.Buffer).
+		retained := false
 		pkt := netapi.Packet{
 			From: netapi.Addr{IP: "127.0.0.1", Port: int(from.Port())},
 			To:   s.addr,
 			Data: buf.Bytes(),
 			Buf:  buf,
 		}
+		pkt.BindLeaseFlag(&retained)
 		s.dom.mu.Lock()
 		if !s.closed.Load() {
 			s.handler(pkt)
 		}
 		s.dom.mu.Unlock()
 		s.rt.wake()
-		if buf.Retained() {
+		if retained {
 			// The handler owns the old buffer now (it will release it
 			// when done); lease a fresh one for the next datagram.
 			buf = netapi.NewBuffer()
@@ -583,12 +597,17 @@ type streamConn struct {
 	// Write coalescing: the first sender becomes the writer and drains
 	// wbuf batches queued by concurrent senders, so N concurrent sends
 	// become few syscalls while per-sender order is preserved. werr
-	// latches the first write error for subsequent senders.
-	wmu    sync.Mutex
-	wbusy  bool
-	wbuf   []byte
-	wspare []byte
-	werr   error
+	// latches the first write error for subsequent senders. wparked is
+	// latched by ParkConn in the same wmu critical section that proves
+	// the write path clean, and cleared when a claimant takes over: a
+	// Send racing the park fails instead of interleaving its bytes with
+	// the next claimant's traffic.
+	wmu     sync.Mutex
+	wbusy   bool
+	wparked bool
+	wbuf    []byte
+	wspare  []byte
+	werr    error
 }
 
 var _ netapi.Conn = (*streamConn)(nil)
@@ -611,9 +630,16 @@ func (n *node) dialStream(dom *domain, to netapi.Addr, recv netapi.StreamHandler
 	if recv == nil {
 		return nil, fmt.Errorf("realnet: DialStream needs a recv handler")
 	}
-	if sc := n.rt.claimParked(to, recv, n); sc != nil {
-		n.adopt(sc)
-		return sc, nil
+	// Only detached dials may reuse a parked connection: the claimed
+	// conn keeps the private domain it was dialed with, which for a
+	// detached caller is exactly the per-endpoint domain it would have
+	// been given anyway. An undetached dial needs its callbacks on the
+	// node's root domain, so it always opens a fresh connection.
+	if !dom.root {
+		if sc := n.rt.claimParked(to, recv, n); sc != nil {
+			n.adopt(sc)
+			return sc, nil
+		}
 	}
 	c, err := net.DialTimeout("tcp4", fmt.Sprintf("127.0.0.1:%d", to.Port), 5*time.Second)
 	if err != nil {
@@ -647,7 +673,10 @@ func (rt *Runtime) removeParkedLocked(sc *streamConn) {
 // claimParked pops a live parked connection to the destination from
 // the dial-reuse pool, rebinding its receive handler and owner in one
 // atomic step (under the connection's domain plus stateMu), or returns
-// nil. The pool is keyed by remote port: every realnet socket lives on
+// nil. Only detached dials call it, and ParkConn only admits
+// private-domain connections, so the claimant inherits a dispatch
+// domain used by this connection alone — never a node's root domain.
+// The pool is keyed by remote port: every realnet socket lives on
 // loopback, and node IPs are labels only.
 func (rt *Runtime) claimParked(to netapi.Addr, recv netapi.StreamHandler, owner *node) *streamConn {
 	for {
@@ -673,6 +702,7 @@ func (rt *Runtime) claimParked(to netapi.Addr, recv netapi.StreamHandler, owner 
 			rt.removeParkedLocked(cand)
 			cand.recv = recv
 			cand.owner = owner
+			cand.unparkWrites()
 			rt.stateMu.Unlock()
 			cand.dom.mu.Unlock()
 			return cand
@@ -682,10 +712,11 @@ func (rt *Runtime) claimParked(to netapi.Addr, recv netapi.StreamHandler, owner 
 	}
 }
 
-// ParkConn returns a healthy dialed connection to the runtime's
-// dial-reuse pool (netapi.ConnParker): a later DialStream to the same
-// address reuses the established connection instead of a fresh TCP
-// handshake — the client-side reuse behind netengine.NewRequester.
+// ParkConn returns a healthy detached-dialed connection to the
+// runtime's dial-reuse pool (netapi.ConnParker): a later detached
+// DialStream to the same address reuses the established connection
+// instead of a fresh TCP handshake — the client-side reuse behind
+// netengine.NewRequester (whose engine always dials detached).
 // Parking transfers ownership from the node to the runtime: the
 // connection no longer closes with the node, it lives in the pool
 // (bounded per destination) until claimed or evicted. Bytes arriving
@@ -696,27 +727,41 @@ func (n *node) ParkConn(c netapi.Conn) bool {
 	if !ok || !sc.dialed {
 		return false
 	}
-	sc.wmu.Lock()
-	clean := sc.werr == nil && !sc.wbusy && len(sc.wbuf) == 0
-	sc.wmu.Unlock()
-	if !clean {
+	if sc.dom.root {
+		// A connection dialed undetached dispatches on its node's root
+		// domain; parking it would hand that domain to whichever caller
+		// claims the connection next, entangling two nodes' serial
+		// execution. Only private-domain (detached) dials are poolable.
 		return false
 	}
-	// The user-to-parked transition is atomic under both locks (see the
-	// recv invariant on streamConn), so a concurrent claim can never
-	// observe the connection pooled but still carrying the old handler.
+	// The user-to-parked transition is atomic under all three locks
+	// (see the recv invariant on streamConn): the write-path clean
+	// check happens under wmu inside the same critical section that
+	// latches wparked, so a Send racing the park either lands entirely
+	// before it (wbusy/wbuf then fail the check) or observes wparked
+	// and refuses — no write can start between the check and the state
+	// change. A concurrent claim likewise can never observe the
+	// connection pooled but still carrying the old handler.
 	sc.dom.mu.Lock()
 	n.rt.stateMu.Lock()
-	if sc.state != connActive || len(n.rt.parked[sc.remote.Port]) >= maxParkedPerDest {
+	sc.wmu.Lock()
+	clean := sc.werr == nil && !sc.wbusy && len(sc.wbuf) == 0
+	if !clean || sc.state != connActive || len(n.rt.parked[sc.remote.Port]) >= maxParkedPerDest {
+		sc.wmu.Unlock()
 		n.rt.stateMu.Unlock()
 		sc.dom.mu.Unlock()
 		return false
 	}
+	sc.wparked = true
+	// Drop the coalescing scratch: a burst before the park can have
+	// grown it to many MB, which an idle pooled connection must not pin.
+	sc.wbuf, sc.wspare = nil, nil
 	sc.state = connParked
 	n.rt.parked[sc.remote.Port] = append(n.rt.parked[sc.remote.Port], sc)
 	sc.recv = nil
 	owner := sc.owner
 	sc.owner = nil
+	sc.wmu.Unlock()
 	n.rt.stateMu.Unlock()
 	sc.dom.mu.Unlock()
 	if owner != nil {
@@ -742,6 +787,7 @@ func (sc *streamConn) readLoop() {
 				sc.rt.stateMu.Lock()
 				if sc.state == connParked {
 					sc.rt.removeParkedLocked(sc)
+					sc.unparkWrites()
 				}
 				sc.state = connClosed
 				sc.rt.stateMu.Unlock()
@@ -760,6 +806,7 @@ func (sc *streamConn) readLoop() {
 			st := sc.state
 			if st == connParked {
 				sc.rt.removeParkedLocked(sc)
+				sc.unparkWrites()
 			}
 			sc.state = connClosed
 			owner := sc.owner
@@ -784,12 +831,28 @@ func (sc *streamConn) readLoop() {
 func (sc *streamConn) LocalAddr() netapi.Addr  { return sc.local }
 func (sc *streamConn) RemoteAddr() netapi.Addr { return sc.remote }
 
+// unparkWrites clears the wparked latch on every transition out of the
+// parked state (claimed, evicted by stray bytes, or closed), so a
+// stale holder's Send reports the write path's real error instead of
+// claiming the connection is still pooled. Callers hold stateMu (and
+// possibly dom.mu); taking wmu here follows the dom.mu → stateMu → wmu
+// lock order.
+func (sc *streamConn) unparkWrites() {
+	sc.wmu.Lock()
+	sc.wparked = false
+	sc.wmu.Unlock()
+}
+
 // Send transmits data in order. Concurrent senders coalesce: the first
 // one becomes the writer and drains everything queued meanwhile into
 // single writes. A write error is returned to the writer that hit it
 // and latched for every later sender.
 func (sc *streamConn) Send(data []byte) error {
 	sc.wmu.Lock()
+	if sc.wparked {
+		sc.wmu.Unlock()
+		return fmt.Errorf("realnet: send on a parked connection")
+	}
 	if sc.werr != nil {
 		err := sc.werr
 		sc.wmu.Unlock()
@@ -833,6 +896,7 @@ func (sc *streamConn) Close() error {
 	sc.owner = nil
 	if st == connParked {
 		sc.rt.removeParkedLocked(sc)
+		sc.unparkWrites()
 	}
 	sc.rt.stateMu.Unlock()
 	if st == connClosed {
