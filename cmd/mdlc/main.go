@@ -14,17 +14,28 @@
 //	                               builtins (the starlinkd -models
 //	                               loader) and compile every case;
 //	                               exits non-zero on the first error
+//	mdlc lint <dir>                validate plus the full lint rule
+//	                               set: dead-end states, dangling
+//	                               translation fields, discriminator
+//	                               collisions, shadowed messages,
+//	                               non-round-trippable field layouts;
+//	                               exits non-zero on any error-severity
+//	                               diagnostic
+//
+// validate and lint share one rule registry (internal/mdllint);
+// validate runs the schema tier, lint runs everything.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"strings"
 
 	"starlink/internal/automata"
 	"starlink/internal/mdl"
+	"starlink/internal/mdllint"
 	"starlink/internal/merge"
-	"starlink/internal/provision"
 	"starlink/internal/registry"
 )
 
@@ -96,23 +107,44 @@ func main() {
 		}
 		fmt.Println("OK")
 	case "validate":
+		// The schema tier of the lint registry: every document loads
+		// and every case (builtin and external) compiles end to end —
+		// step program, entry-color index and MDL-specialised codecs,
+		// exactly what a deployment needs.
 		if len(os.Args) != 3 {
 			usage()
 			os.Exit(2)
 		}
-		res, err := provision.LoadDir(reg, os.Args[2])
+		ctx, diags, err := mdllint.Run(os.Args[2], mdllint.TierSchema)
 		if err != nil {
 			fatal(err)
 		}
-		// Compile every case (builtin and external) end to end: step
-		// program, entry-color index and MDL-specialised codecs —
-		// exactly what a deployment needs.
-		for _, name := range reg.MergedNames() {
-			if _, err := reg.Compiled(name); err != nil {
-				fatal(err)
+		for _, d := range diags {
+			if d.Severity >= mdllint.SevError {
+				fatal(errors.New(d.Message))
 			}
 		}
-		fmt.Printf("%s: %s; %d cases compile\n", os.Args[2], res, len(reg.MergedNames()))
+		fmt.Printf("%s: %s; %d cases compile\n", os.Args[2], ctx.Load, len(ctx.Reg.MergedNames()))
+	case "lint":
+		if len(os.Args) != 3 {
+			usage()
+			os.Exit(2)
+		}
+		_, diags, err := mdllint.Run(os.Args[2], mdllint.TierLint)
+		if err != nil {
+			fatal(err)
+		}
+		failed := false
+		for _, d := range diags {
+			fmt.Println(d)
+			if d.Severity >= mdllint.SevError {
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d diagnostics, none above %s\n", os.Args[2], len(diags), maxSevName(diags))
 	default:
 		usage()
 		os.Exit(2)
@@ -141,7 +173,16 @@ func checkDocument(reg *registry.Registry, doc string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mdlc list | dot <automaton> | program <case> | check <file.xml> | validate <dir>")
+	fmt.Fprintln(os.Stderr, "usage: mdlc list | dot <automaton> | program <case> | check <file.xml> | validate <dir> | lint <dir>")
+}
+
+// maxSevName names the highest severity present, for the lint summary.
+func maxSevName(diags []mdllint.Diagnostic) string {
+	max, ok := mdllint.MaxSeverity(diags)
+	if !ok {
+		return mdllint.SevInfo.String()
+	}
+	return max.String()
 }
 
 func fatal(err error) {

@@ -1,0 +1,367 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// The ownership analyzers (leasecheck, poolcheck) are path-sensitive:
+// "released exactly once on all control-flow paths" cannot be checked
+// on the syntax tree alone. This file builds a small intraprocedural
+// control-flow graph good enough for straight-line Go: blocks of
+// statements connected by edges, with condition information preserved
+// on if-edges so the dataflow can refine facts like "v != nil" and
+// "err != nil" per branch.
+//
+// Constructs the builder does not model — goto and labeled
+// break/continue — mark the function unanalyzable; the analyzers then
+// stay silent for it rather than guess. Plain break/continue, loops,
+// switches, type switches and selects are modeled.
+
+// cfgBlock is one basic block.
+type cfgBlock struct {
+	stmts []ast.Stmt
+	succs []*cfgBlock
+
+	// cond is the if-condition evaluated at the end of the block when
+	// the block terminates in a two-way branch; succs[0] is then the
+	// true edge and succs[1] the false edge.
+	cond ast.Expr
+
+	// returnStmt is set when the block ends the function via an
+	// explicit return; end is set for the implicit fall-off-the-end
+	// exit. Either way the block has no successors.
+	returnStmt *ast.ReturnStmt
+	end        token.Pos
+
+	// visited is scratch space for the dataflow driver.
+	index int
+}
+
+// cfg is the control-flow graph of one function body.
+type cfg struct {
+	entry  *cfgBlock
+	blocks []*cfgBlock
+	// unanalyzable is set when the body uses control flow the builder
+	// does not model (goto, labeled branches).
+	unanalyzable bool
+}
+
+type cfgBuilder struct {
+	g   *cfg
+	cur *cfgBlock
+	// loop stack for break/continue targets.
+	loops []loopFrame
+	// switchBreaks is the break-target stack for switch/select.
+	switchBreaks []*cfgBlock
+	endPos       token.Pos
+}
+
+type loopFrame struct {
+	continueTo *cfgBlock
+	breakTo    *cfgBlock
+}
+
+// buildCFG constructs the graph for a function body.
+func buildCFG(body *ast.BlockStmt) *cfg {
+	g := &cfg{}
+	b := &cfgBuilder{g: g, endPos: body.End()}
+	b.cur = b.newBlock()
+	g.entry = b.cur
+	b.stmts(body.List)
+	if b.cur != nil {
+		b.cur.end = body.End()
+	}
+	for i, blk := range g.blocks {
+		blk.index = i
+	}
+	return g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+// link adds an edge cur→next; a nil cur (dead code after return/branch)
+// is ignored.
+func link(from, to *cfgBlock) {
+	if from != nil && to != nil {
+		from.succs = append(from.succs, to)
+	}
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		if b.g.unanalyzable {
+			return
+		}
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) emit(s ast.Stmt) {
+	if b.cur != nil {
+		b.cur.stmts = append(b.cur.stmts, s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		b.emit(s)
+		if b.cur != nil {
+			b.cur.returnStmt = s
+		}
+		b.cur = nil
+
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		condBlk := b.cur
+		if condBlk == nil {
+			return
+		}
+		condBlk.cond = s.Cond
+		thenBlk := b.newBlock()
+		link(condBlk, thenBlk) // succs[0] = true edge
+		b.cur = thenBlk
+		b.stmts(s.Body.List)
+		thenEnd := b.cur
+
+		var elseEnd *cfgBlock
+		elseBlk := b.newBlock()
+		link(condBlk, elseBlk) // succs[1] = false edge
+		b.cur = elseBlk
+		if s.Else != nil {
+			b.stmt(s.Else)
+		}
+		elseEnd = b.cur
+
+		join := b.newBlock()
+		link(thenEnd, join)
+		link(elseEnd, join)
+		b.cur = join
+		if thenEnd == nil && elseEnd == nil {
+			b.cur = nil // both arms exited
+		}
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		link(b.cur, head)
+		body := b.newBlock()
+		after := b.newBlock()
+		if s.Cond != nil {
+			head.cond = s.Cond
+			link(head, body)  // true
+			link(head, after) // false
+		} else {
+			link(head, body)
+		}
+		post := b.newBlock()
+		b.loops = append(b.loops, loopFrame{continueTo: post, breakTo: after})
+		b.cur = body
+		b.stmts(s.Body.List)
+		link(b.cur, post)
+		if s.Post != nil {
+			save := b.cur
+			b.cur = post
+			b.stmt(s.Post)
+			b.cur = save
+		}
+		link(post, head)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = after
+		if s.Cond == nil && !b.hasBreak(s.Body) {
+			// for {} without break never reaches after; keep the block
+			// (it is simply unreachable from entry).
+			b.cur = after
+		}
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		link(b.cur, head)
+		// Record the range expression (and key/value assignment) as a
+		// statement so uses of tracked values in it are observed.
+		head.stmts = append(head.stmts, s)
+		body := b.newBlock()
+		after := b.newBlock()
+		link(head, body)
+		link(head, after)
+		b.loops = append(b.loops, loopFrame{continueTo: head, breakTo: after})
+		b.cur = body
+		b.stmts(s.Body.List)
+		link(b.cur, head)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.emit(&ast.ExprStmt{X: s.Tag})
+		}
+		b.switchCases(s.Body.List, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.emit(s.Assign.(ast.Stmt))
+		b.switchCases(s.Body.List, nil)
+
+	case *ast.SelectStmt:
+		b.switchCases(s.Body.List, nil)
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.GOTO:
+			b.g.unanalyzable = true
+		case token.BREAK:
+			if s.Label != nil {
+				b.g.unanalyzable = true
+				return
+			}
+			if len(b.switchBreaks) > 0 {
+				link(b.cur, b.switchBreaks[len(b.switchBreaks)-1])
+			} else if len(b.loops) > 0 {
+				link(b.cur, b.loops[len(b.loops)-1].breakTo)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			if s.Label != nil {
+				b.g.unanalyzable = true
+				return
+			}
+			if len(b.loops) > 0 {
+				link(b.cur, b.loops[len(b.loops)-1].continueTo)
+			}
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// handled by switchCases via edge to the next case body.
+		}
+
+	case *ast.LabeledStmt:
+		// A label is only a problem when branched to; goto/labeled
+		// branches already bail out, so analyze the labeled statement
+		// itself.
+		b.stmt(s.Stmt)
+
+	case *ast.ExprStmt:
+		b.emit(s)
+		if isPanicExit(s.X) {
+			b.cur = nil // panic / os.Exit: path ends, no leak check
+		}
+
+	default:
+		// Assignments, declarations, defer, go, send, incdec, empty:
+		// straight-line statements.
+		b.emit(s)
+	}
+}
+
+// switchCases builds branches for switch / type-switch / select bodies.
+func (b *cfgBuilder) switchCases(clauses []ast.Stmt, _ *cfgBlock) {
+	head := b.cur
+	after := b.newBlock()
+	b.switchBreaks = append(b.switchBreaks, after)
+	hasDefault := false
+	var bodies []*cfgBlock
+	var ends []*cfgBlock
+	var fallsThrough []bool
+	for _, c := range clauses {
+		var list []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cc.List {
+				if head != nil {
+					head.stmts = append(head.stmts, &ast.ExprStmt{X: e})
+				}
+			}
+			list = cc.Body
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			} else if head != nil {
+				head.stmts = append(head.stmts, cc.Comm)
+			}
+			list = cc.Body
+		}
+		body := b.newBlock()
+		bodies = append(bodies, body)
+		link(head, body)
+		b.cur = body
+		b.stmts(list)
+		ft := false
+		if n := len(list); n > 0 {
+			if br, ok := list[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				ft = true
+			}
+		}
+		fallsThrough = append(fallsThrough, ft)
+		ends = append(ends, b.cur)
+		link(b.cur, after)
+	}
+	for i, ft := range fallsThrough {
+		if ft && i+1 < len(bodies) {
+			link(ends[i], bodies[i+1])
+		}
+	}
+	if !hasDefault {
+		link(head, after) // no case taken
+	}
+	b.switchBreaks = b.switchBreaks[:len(b.switchBreaks)-1]
+	b.cur = after
+}
+
+// hasBreak reports whether the statement list contains a plain break at
+// this loop's level. Only used to decide reachability of for{} exits.
+func (b *cfgBuilder) hasBreak(body *ast.BlockStmt) bool {
+	found := false
+	depth := 0
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			depth++
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK && depth == 0 {
+				found = true
+			}
+		case *ast.FuncLit:
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isPanicExit reports whether the expression unconditionally ends the
+// path: a call to panic or os.Exit (testing.T Fatal* methods would need
+// type info; tests are skipped by the ownership analyzers anyway).
+func isPanicExit(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name == "os" && fun.Sel.Name == "Exit"
+		}
+	}
+	return false
+}

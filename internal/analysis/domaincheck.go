@@ -1,0 +1,292 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DomainCheck enforces the dispatch-domain contract of internal/netapi:
+//
+//  1. Read loops that build a leased netapi.Packet (a composite literal
+//     with Buf set) must call BindLeaseFlag before the packet is handed
+//     to any handler or its lease taken, and the bound flag must be the
+//     address of a variable local to the dispatching function's frame.
+//     Binding a struct field or captured variable reintroduces the
+//     PR 5 TOCTOU: once the handler takes the lease, the new owner may
+//     release and the pool may re-lease the buffer to another read loop
+//     before the dispatcher inspects the flag, so any state not owned
+//     by this frame can belong to the buffer's next life.
+//
+//  2. Endpoint callbacks registered on a node that was demonstrably NOT
+//     detached (a local variable whose value never flowed through
+//     netapi.Detach in the enclosing function) must not spawn
+//     goroutines: undetached callbacks rely on the node's serial
+//     dispatch domain for mutual exclusion, and a goroutine escapes it.
+//     Receivers the analyzer cannot trace (struct fields, parameters)
+//     are trusted — constructors like netengine.New detach once and
+//     store the view.
+//
+// Test files are skipped: tests drive the dispatch machinery from
+// outside and legitimately hold leases across goroutines.
+var DomainCheck = &Analyzer{
+	Name:      "domaincheck",
+	Doc:       "BindLeaseFlag binds a frame-local flag before dispatch; undetached endpoint callbacks spawn no goroutines",
+	SkipTests: true,
+	Run:       runDomainCheck,
+}
+
+func runDomainCheck(pass *Pass) error {
+	inspectBodies(pass, func(body *ast.BlockStmt) {
+		checkLeaseBinding(pass, body)
+	})
+	checkUndetachedCallbacks(pass)
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Rule 1: BindLeaseFlag before dispatch, flag local to the frame
+// ---------------------------------------------------------------------
+
+// leasedPacket tracks one Packet-with-Buf variable in one function.
+type leasedPacket struct {
+	obj      *types.Var
+	made     token.Pos // the composite-literal assignment
+	bound    token.Pos // BindLeaseFlag call position, NoPos if none
+	firstUse token.Pos // first dispatch-like use (call arg / TakeLease)
+}
+
+func checkLeaseBinding(pass *Pass, body *ast.BlockStmt) {
+	pkts := map[*types.Var]*leasedPacket{}
+
+	packetLitWithBuf := func(e ast.Expr) bool {
+		cl, ok := ast.Unparen(e).(*ast.CompositeLit)
+		if !ok {
+			return false
+		}
+		if p, n := namedType(pass.TypesInfo.Types[cl].Type); p != netapiPath || n != "Packet" {
+			return false
+		}
+		for _, el := range cl.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Buf" && !isNilIdent(kv.Value) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	walkShallow(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, r := range n.Rhs {
+				if i < len(n.Lhs) && packetLitWithBuf(r) {
+					if v := lhsVar(pass, n.Lhs[i]); v != nil {
+						pkts[v] = &leasedPacket{obj: v, made: r.Pos()}
+					} else {
+						// Leased literal assigned to a field or index:
+						// nothing frame-local can ever be bound to it.
+						pass.Reportf(r.Pos(), "leased Packet (Buf set) stored outside the dispatching frame before BindLeaseFlag")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			// A leased Packet literal passed directly to a call can never
+			// have been bound.
+			for _, a := range n.Args {
+				if packetLitWithBuf(a) {
+					pass.Reportf(a.Pos(), "leased Packet (Buf set) dispatched without BindLeaseFlag; TakeLease in the handler will panic or race")
+				}
+			}
+			if recv, ok := isMethodCall(pass.TypesInfo, n, netapiPath, "Packet", "BindLeaseFlag"); ok {
+				if lp := trackedPacket(pass, pkts, recv); lp != nil && lp.bound == token.NoPos {
+					lp.bound = n.Pos()
+				}
+				if len(n.Args) == 1 {
+					checkFlagArg(pass, body, n.Args[0])
+				}
+				return
+			}
+			if recv, ok := isMethodCall(pass.TypesInfo, n, netapiPath, "Packet", "TakeLease"); ok {
+				if lp := trackedPacket(pass, pkts, recv); lp != nil && lp.firstUse == token.NoPos {
+					lp.firstUse = n.Pos()
+				}
+				return
+			}
+			// Any other call taking a tracked packet is a dispatch.
+			for _, a := range n.Args {
+				if lp := trackedPacket(pass, pkts, a); lp != nil && lp.firstUse == token.NoPos {
+					lp.firstUse = a.Pos()
+				}
+			}
+		}
+	})
+
+	for _, lp := range pkts {
+		switch {
+		case lp.firstUse == token.NoPos:
+			// Never dispatched in this function (e.g. returned): out of
+			// scope for a frame-local binding rule.
+		case lp.bound == token.NoPos:
+			pass.Reportf(lp.made, "leased Packet dispatched without BindLeaseFlag; bind a frame-local flag before invoking the handler")
+		case lp.bound > lp.firstUse:
+			pass.Reportf(lp.bound, "BindLeaseFlag after the packet was already dispatched; the handler's TakeLease raced the binding")
+		}
+	}
+}
+
+func trackedPacket(pass *Pass, pkts map[*types.Var]*leasedPacket, e ast.Expr) *leasedPacket {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := pass.TypesInfo.Uses[id].(*types.Var)
+	if v == nil {
+		return nil
+	}
+	return pkts[v]
+}
+
+// checkFlagArg verifies the BindLeaseFlag argument is &local where
+// local is declared inside this function body.
+func checkFlagArg(pass *Pass, body *ast.BlockStmt, arg ast.Expr) {
+	ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || ue.Op != token.AND {
+		// Passing a stored *bool: its owner is unknowable here.
+		pass.Reportf(arg.Pos(), "BindLeaseFlag argument must be the address of a frame-local bool (got a non-address expression)")
+		return
+	}
+	id, ok := ast.Unparen(ue.X).(*ast.Ident)
+	if !ok {
+		pass.Reportf(arg.Pos(), "BindLeaseFlag flag must be a frame-local variable, not a field or element; shared state may belong to the buffer's next lease")
+		return
+	}
+	v, _ := pass.TypesInfo.Uses[id].(*types.Var)
+	if v == nil {
+		v, _ = pass.TypesInfo.Defs[id].(*types.Var)
+	}
+	if v == nil || v.Pos() < body.Pos() || v.Pos() > body.End() {
+		pass.Reportf(arg.Pos(), "BindLeaseFlag flag %s is not local to the dispatching function; the TOCTOU the flag exists to close reopens", id.Name)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Rule 2: no goroutines in callbacks of demonstrably-undetached nodes
+// ---------------------------------------------------------------------
+
+// endpointMethods are the Node methods that register callbacks, with
+// the indices of their callback parameters.
+var endpointMethods = map[string][]int{
+	"OpenUDP":      {1},
+	"JoinGroup":    {1},
+	"ListenStream": {1, 2},
+	"DialStream":   {1},
+	"After":        {1},
+}
+
+func checkUndetachedCallbacks(pass *Pass) {
+	inspectBodies(pass, func(body *ast.BlockStmt) {
+		// Locals whose value flowed through netapi.Detach in this body.
+		detached := map[*types.Var]bool{}
+		walkShallow(body, func(n ast.Node) {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				return
+			}
+			call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+			if !ok || !isPkgFunc(pass.TypesInfo, call, netapiPath, "Detach") {
+				return
+			}
+			for _, l := range as.Lhs {
+				if v := lhsVar(pass, l); v != nil {
+					detached[v] = true
+				}
+			}
+		})
+
+		walkShallow(body, func(n ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			argIdxs, isEndpoint := endpointMethods[sel.Sel.Name]
+			if !isEndpoint {
+				return
+			}
+			// Receiver must be netapi.Node-ish (the interface itself or a
+			// concrete node); key on the method's package of origin via
+			// the selection to avoid matching unrelated OpenUDP methods.
+			selInfo, found := pass.TypesInfo.Selections[sel]
+			if !found || selInfo.Kind() != types.MethodVal {
+				return
+			}
+			if !implementsNode(selInfo.Recv()) {
+				return
+			}
+			// Direct Detach(...) receiver is fine.
+			if recvCall, ok := ast.Unparen(sel.X).(*ast.CallExpr); ok &&
+				isPkgFunc(pass.TypesInfo, recvCall, netapiPath, "Detach") {
+				return
+			}
+			// Only locals NOT assigned from Detach are demonstrably
+			// undetached; fields/params/results are trusted.
+			id, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return
+			}
+			v, _ := pass.TypesInfo.Uses[id].(*types.Var)
+			if v == nil || detached[v] {
+				return
+			}
+			if v.Pos() < body.Pos() || v.Pos() > body.End() {
+				// Parameters (declared in the FuncType, before the
+				// body), captured and global variables: cannot tell
+				// where the value came from, trust the caller.
+				return
+			}
+			for _, ai := range argIdxs {
+				if ai >= len(call.Args) {
+					continue
+				}
+				lit, ok := ast.Unparen(call.Args[ai]).(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if g, ok := m.(*ast.GoStmt); ok {
+						pass.Reportf(g.Pos(), "goroutine spawned in an endpoint callback of undetached node %s; detach with netapi.Detach or stay on the serial dispatch domain", id.Name)
+					}
+					return true
+				})
+			}
+		})
+	})
+}
+
+// implementsNode reports whether t (or *t) is netapi.Node or implements
+// its method set far enough to be a node view (has OpenUDP and
+// DialStream).
+func implementsNode(t types.Type) bool {
+	if p, n := namedType(t); p == netapiPath && n == "Node" {
+		return true
+	}
+	ms := types.NewMethodSet(t)
+	if ptr, ok := t.(*types.Pointer); !ok {
+		ms = types.NewMethodSet(types.NewPointer(t))
+		_ = ptr
+	}
+	has := func(name string) bool {
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == name {
+				return true
+			}
+		}
+		return false
+	}
+	return has("OpenUDP") && has("DialStream") && has("ListenStream")
+}

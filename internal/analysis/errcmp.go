@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrCmp enforces the serrors taxonomy discipline: errors that cross a
+// package boundary are classified with serrors.Mark and matched with
+// errors.Is, never by identity or by string. Concretely it flags:
+//
+//   - `err == ErrSentinel` / `err != ErrSentinel` where the sentinel is
+//     a package-level error variable (identity breaks the moment anyone
+//     wraps — which serrors.Mark does by construction);
+//   - `switch err { case ErrSentinel: ... }` for the same reason;
+//   - comparing or searching `err.Error()` text (string matching is
+//     locale- and wording-fragile and defeats the taxonomy).
+//
+// Comparisons against nil are, of course, fine. The identity checks run
+// on test files too: tests that assert on identity are exactly how
+// wrapping regressions slip in. The text-matching checks skip _test.go
+// files — asserting that a validation error's message mentions the
+// offending model element is the sanctioned way to test diagnostics,
+// and no sentinel exists per message.
+var ErrCmp = &Analyzer{
+	Name: "errcmp",
+	Doc:  "errors are matched with errors.Is against taxonomy sentinels, never == or string comparison",
+	Run:  runErrCmp,
+}
+
+func runErrCmp(pass *Pass) error {
+	for _, f := range pass.analyzedFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkErrBinary(pass, n)
+			case *ast.SwitchStmt:
+				checkErrSwitch(pass, n)
+			case *ast.CallExpr:
+				checkErrStringMatch(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkErrBinary(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	if isErrorTextCall(pass, be.X) || isErrorTextCall(pass, be.Y) {
+		if !inTestFile(pass, be.Pos()) {
+			pass.Reportf(be.Pos(), "comparing error text from Error(); classify with serrors.Mark and test with errors.Is")
+		}
+		return
+	}
+	if isNilIdent(be.X) || isNilIdent(be.Y) {
+		return
+	}
+	var sentinel *types.Var
+	if s := sentinelErrorVar(pass, be.X); s != nil {
+		sentinel = s
+	} else if s := sentinelErrorVar(pass, be.Y); s != nil {
+		sentinel = s
+	}
+	if sentinel == nil {
+		return
+	}
+	if !isErrorType(pass.TypesInfo.Types[be.X].Type) || !isErrorType(pass.TypesInfo.Types[be.Y].Type) {
+		return
+	}
+	op := "=="
+	if be.Op == token.NEQ {
+		op = "!="
+	}
+	pass.Reportf(be.Pos(), "error compared with %s against sentinel %s; use errors.Is so wrapped and serrors.Mark-ed errors still match", op, sentinel.Name())
+}
+
+func checkErrSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok || !isErrorType(tv.Type) {
+		return
+	}
+	for _, c := range sw.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if s := sentinelErrorVar(pass, e); s != nil {
+				pass.Reportf(e.Pos(), "switch on error identity against sentinel %s; use errors.Is so wrapped errors still match", s.Name())
+			}
+		}
+	}
+}
+
+// checkErrStringMatch flags err.Error() flowing into a string
+// comparison or substring search.
+func checkErrStringMatch(pass *Pass, call *ast.CallExpr) {
+	// strings.Contains / HasPrefix / HasSuffix / EqualFold with an
+	// Error() result argument.
+	if inTestFile(pass, call.Pos()) {
+		return
+	}
+	for _, fn := range [...]string{"Contains", "HasPrefix", "HasSuffix", "EqualFold"} {
+		if isPkgFunc(pass.TypesInfo, call, "strings", fn) {
+			for _, a := range call.Args {
+				if isErrorTextCall(pass, a) {
+					pass.Reportf(call.Pos(), "matching error text with strings.%s; classify with serrors.Mark and test with errors.Is", fn)
+				}
+			}
+			return
+		}
+	}
+}
+
+// inTestFile reports whether the position falls in a _test.go file.
+func inTestFile(pass *Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+// isErrorTextCall reports whether e is a call to the error method
+// Error().
+func isErrorTextCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	return ok && isErrorType(tv.Type)
+}
+
+// sentinelErrorVar returns the package-level error variable e refers
+// to, or nil. Both bare identifiers (same package) and selector uses
+// (pkg.ErrX) count.
+func sentinelErrorVar(pass *Pass, e ast.Expr) *types.Var {
+	var obj types.Object
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[e.Sel]
+	default:
+		return nil
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return nil // not package-level
+	}
+	if !isErrorType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+		return true
+	}
+	iface, ok := t.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	// The error interface: exactly Error() string.
+	for i := 0; i < iface.NumMethods(); i++ {
+		if iface.Method(i).Name() == "Error" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// Standalone package loading. The build environment does not vendor
+// golang.org/x/tools, so instead of go/packages this loader shells out
+// to the go command itself: `go list -export -deps -json` compiles (or
+// pulls from the build cache) gc export data for every dependency, and
+// the target packages are then type-checked from parsed source with
+// the gc importer resolving imports through those export files. The
+// result is the same *types.Package / types.Info view go/packages
+// would produce, with zero dependencies beyond the toolchain.
+//
+// Standalone mode analyzes non-test files only; `go vet -vettool`
+// (which hands the tool test variants too) covers _test.go files.
+
+// LoadedPackage is one type-checked target package.
+type LoadedPackage struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// listPackages runs `go list -export -deps` in dir and decodes every
+// package (targets and dependencies) it reports.
+func listPackages(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Name,Dir,Export,GoFiles,DepOnly,Standard,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		q := p
+		pkgs = append(pkgs, &q)
+	}
+	return pkgs, nil
+}
+
+// LoadPackages loads and type-checks the packages matching patterns,
+// working in dir (the module root or below).
+func LoadPackages(dir string, patterns []string) ([]*LoadedPackage, error) {
+	pkgs, err := listPackages(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	var targets []*listedPackage
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && p.Name != "" {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var out2 []*LoadedPackage
+	for _, t := range targets {
+		lp, err := typecheckListed(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		out2 = append(out2, lp)
+	}
+	return out2, nil
+}
+
+func typecheckListed(fset *token.FileSet, imp types.Importer, t *listedPackage) (*LoadedPackage, error) {
+	var files []*ast.File
+	for _, name := range t.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(t.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", t.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	pkg, info, err := typecheck(fset, t.ImportPath, files, imp)
+	if err != nil {
+		return nil, err
+	}
+	return &LoadedPackage{ImportPath: t.ImportPath, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// typecheck runs go/types over parsed files with the given importer.
+func typecheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	return pkg, info, nil
+}
+
+// exportImporter resolves imports from gc export data via a lookup
+// function, special-casing unsafe (which has no export file). The
+// underlying gc importer is created once so its package cache keeps
+// type identity consistent across files and target packages.
+type exportImporter struct {
+	under types.Importer
+}
+
+func newExportImporter(fset *token.FileSet, lookup func(path string) (io.ReadCloser, error)) exportImporter {
+	return exportImporter{under: importer.ForCompiler(fset, "gc", lookup)}
+}
+
+func (e exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return e.under.Import(path)
+}

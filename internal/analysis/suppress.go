@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Deliberate exceptions are suppressed — and thereby enumerated — with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// placed on the flagged line or on the line directly above it. The
+// reason is mandatory: an ignore without one does not suppress, so
+// every exception in the tree documents itself. `grep -rn lint:ignore`
+// is the canonical exception inventory.
+
+// suppressions maps file name → line → analyzer names ignored there.
+type suppressions map[string]map[int]map[string]bool
+
+// collectSuppressions scans the files' comments for lint:ignore
+// directives. A directive suppresses matching diagnostics on its own
+// line and on the following line.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+	sup := suppressions{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
+				if !ok {
+					continue
+				}
+				parts := strings.Fields(rest)
+				if len(parts) < 2 {
+					continue // no reason given: does not suppress
+				}
+				pos := fset.Position(c.Pos())
+				byLine := sup[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					sup[pos.Filename] = byLine
+				}
+				for _, line := range [...]int{pos.Line, pos.Line + 1} {
+					names := byLine[line]
+					if names == nil {
+						names = map[string]bool{}
+						byLine[line] = names
+					}
+					names[parts[0]] = true
+				}
+			}
+		}
+	}
+	return sup
+}
+
+func (s suppressions) suppressed(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	byLine, ok := s[pos.Filename]
+	if !ok {
+		return false
+	}
+	names, ok := byLine[pos.Line]
+	return ok && names[d.Analyzer]
+}
+
+// RunAnalyzers runs the given analyzers over one type-checked package,
+// applies lint:ignore suppression, and returns the surviving
+// diagnostics sorted by position.
+func RunAnalyzers(pass *Pass, analyzers []*Analyzer) ([]Diagnostic, error) {
+	sup := collectSuppressions(pass.Fset, pass.Files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		p := &Pass{
+			Analyzer:  a,
+			Fset:      pass.Fset,
+			Files:     pass.Files,
+			Pkg:       pass.Pkg,
+			TypesInfo: pass.TypesInfo,
+		}
+		p.Report = func(d Diagnostic) {
+			if !sup.suppressed(p.Fset, d) {
+				diags = append(diags, d)
+			}
+		}
+		if err := a.Run(p); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

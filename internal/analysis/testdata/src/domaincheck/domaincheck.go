@@ -1,0 +1,108 @@
+// Fixtures for the domaincheck analyzer: lease-flag binding and the
+// serial dispatch domain.
+package domaincheck
+
+import (
+	"starlink/internal/netapi"
+)
+
+type loop struct {
+	retained bool
+	node     netapi.Node
+}
+
+// Historical bug class (the lease-transfer TOCTOU): binding the flag
+// to a struct field that may belong to the buffer's next lease by the
+// time the dispatcher reads it back.
+func dispatchSharedFlag(l *loop, buf *netapi.Buffer, h netapi.PacketHandler) {
+	pkt := netapi.Packet{Data: buf.Bytes(), Buf: buf}
+	pkt.BindLeaseFlag(&l.retained) // want "not a field or element"
+	h(pkt)
+}
+
+func dispatchUnbound(buf *netapi.Buffer, h netapi.PacketHandler) {
+	pkt := netapi.Packet{Data: buf.Bytes(), Buf: buf} // want "without BindLeaseFlag"
+	h(pkt)
+}
+
+func bindAfterDispatch(buf *netapi.Buffer, h netapi.PacketHandler) {
+	var retained bool
+	pkt := netapi.Packet{Buf: buf}
+	h(pkt)
+	pkt.BindLeaseFlag(&retained) // want "after the packet was already dispatched"
+}
+
+// The sanctioned shape: frame-local flag, bound before dispatch.
+func dispatchFrameLocal(buf *netapi.Buffer, h netapi.PacketHandler) {
+	retained := false
+	pkt := netapi.Packet{Data: buf.Bytes(), Buf: buf}
+	pkt.BindLeaseFlag(&retained)
+	h(pkt)
+	if !retained {
+		buf.Release()
+	}
+}
+
+func literalDispatch(buf *netapi.Buffer, h netapi.PacketHandler) {
+	h(netapi.Packet{Buf: buf}) // want "TakeLease in the handler will panic or race"
+}
+
+func bindStoredPointer(buf *netapi.Buffer, h netapi.PacketHandler, flag *bool) {
+	pkt := netapi.Packet{Buf: buf}
+	pkt.BindLeaseFlag(flag) // want "must be the address of a frame-local bool"
+	h(pkt)
+}
+
+var globalFlag bool
+
+func bindGlobalFlag(buf *netapi.Buffer, h netapi.PacketHandler) {
+	pkt := netapi.Packet{Buf: buf}
+	pkt.BindLeaseFlag(&globalFlag) // want "not local to the dispatching function"
+	h(pkt)
+}
+
+// A Packet without Buf is heap-owned; no binding contract applies.
+func heapPacketNeedsNoFlag(h netapi.PacketHandler, data []byte) {
+	pkt := netapi.Packet{Data: data}
+	h(pkt)
+}
+
+func newNode() netapi.Node { return nil }
+
+// Endpoint callbacks on an undetached node run on its serial dispatch
+// domain; a goroutine escapes the mutual exclusion that domain grants.
+func spawnInUndetachedCallback(h func([]byte)) {
+	node := newNode()
+	_, _ = node.OpenUDP(0, func(pkt netapi.Packet) {
+		go h(pkt.Data) // want "undetached node"
+	})
+}
+
+func spawnInDetachedCallback(h func([]byte)) {
+	node := netapi.Detach(newNode())
+	_, _ = node.OpenUDP(0, func(pkt netapi.Packet) {
+		go h(pkt.Data)
+	})
+}
+
+func spawnDirectDetach(h func([]byte)) {
+	_, _ = netapi.Detach(newNode()).OpenUDP(0, func(pkt netapi.Packet) {
+		go h(pkt.Data)
+	})
+}
+
+// Parameters are trusted: the caller may have detached already.
+func paramReceiverTrusted(n netapi.Node, h func([]byte)) {
+	_, _ = n.OpenUDP(0, func(pkt netapi.Packet) {
+		go h(pkt.Data)
+	})
+}
+
+// No goroutine, no complaint — serial work in the callback is the
+// intended model.
+func serialCallback(results *[]int) {
+	node := newNode()
+	_, _ = node.OpenUDP(0, func(pkt netapi.Packet) {
+		*results = append(*results, len(pkt.Data))
+	})
+}

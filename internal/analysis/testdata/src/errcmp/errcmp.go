@@ -1,0 +1,58 @@
+// Fixtures for the errcmp analyzer: sentinel matching discipline.
+package errcmp
+
+import (
+	"errors"
+	"strings"
+
+	"starlink/internal/serrors"
+)
+
+var errLocal = errors.New("local sentinel")
+
+func identityCompare(err error) bool {
+	return err == serrors.ErrClosed // want "use errors.Is"
+}
+
+func identityCompareNeq(err error) bool {
+	return err != serrors.ErrOverloaded // want "error compared with != against sentinel ErrOverloaded"
+}
+
+func localSentinel(err error) bool {
+	return err == errLocal // want "against sentinel errLocal"
+}
+
+func switchOnIdentity(err error) string {
+	switch err { // the tag itself is fine; the cases are not
+	case serrors.ErrDraining: // want "switch on error identity against sentinel ErrDraining"
+		return "draining"
+	case nil:
+		return "ok"
+	}
+	return "other"
+}
+
+func textCompare(err error) bool {
+	return err.Error() == "connection closed" // want "comparing error text"
+}
+
+func textSearch(err error) bool {
+	return strings.Contains(err.Error(), "closed") // want "matching error text with strings.Contains"
+}
+
+func textPrefix(err error) bool {
+	return strings.HasPrefix(err.Error(), "slp:") // want "matching error text with strings.HasPrefix"
+}
+
+// The sanctioned forms.
+func classified(err error) bool {
+	return errors.Is(err, serrors.ErrClosed)
+}
+
+func nilCheck(err error) bool {
+	return err == nil || err != nil
+}
+
+func stringCompareNotError(a, b string) bool {
+	return a == b || strings.Contains(a, b)
+}

@@ -1,0 +1,106 @@
+// Fixtures for the leasecheck analyzer: netapi buffer-lease ownership.
+package leasecheck
+
+import (
+	"starlink/internal/netapi"
+)
+
+// Historical bug class: a read loop that leases a buffer and forgets
+// to release it on the error return.
+func leakOnErrorPath(read func([]byte) (int, error)) {
+	buf := netapi.NewBuffer() // want "never released or transferred"
+	n, err := read(buf.Backing())
+	if err != nil {
+		return // leaked
+	}
+	buf.SetFilled(n)
+	buf.Release()
+}
+
+func releasedOnAllPaths(read func([]byte) (int, error)) {
+	buf := netapi.NewBuffer()
+	if _, err := read(buf.Backing()); err != nil {
+		buf.Release()
+		return
+	}
+	buf.Release()
+}
+
+func transferredToHandler(h func(*netapi.Buffer)) {
+	buf := netapi.NewBuffer()
+	h(buf) // ownership moves to h
+}
+
+func deferredRelease(read func([]byte) (int, error)) {
+	buf := netapi.NewBuffer()
+	defer buf.Release()
+	_, _ = read(buf.Backing())
+}
+
+func useAfterRelease() []byte {
+	buf := netapi.NewBuffer()
+	buf.Release()
+	return buf.Bytes() // want "use of buf after release"
+}
+
+func doubleRelease() {
+	buf := netapi.NewBuffer()
+	buf.Release()
+	buf.Release() // want "released twice"
+}
+
+func discardedLease(pkt netapi.Packet) {
+	pkt.TakeLease() // want "result of TakeLease discarded"
+}
+
+// The netengine transfer idiom: the lease rides the handler call.
+func transferDirect(pkt netapi.Packet, h func([]byte, *netapi.Buffer)) {
+	h(pkt.Data, pkt.TakeLease())
+}
+
+// TakeLease is nil for heap-owned packets; a nil check settles the
+// no-lease path.
+func takeLeaseNilRefined(pkt netapi.Packet) {
+	lease := pkt.TakeLease()
+	if lease != nil {
+		lease.Release()
+	}
+}
+
+func takeLeaseLeaked(pkt netapi.Packet, ok bool) {
+	lease := pkt.TakeLease() // want "never released or transferred"
+	if ok {
+		return // leaked when ok
+	}
+	if lease != nil {
+		lease.Release()
+	}
+}
+
+var sink []byte
+
+// Retaining Packet.Data without the lease: the read loop reuses the
+// backing buffer under the retained slice.
+func retainWithoutLease(pkt netapi.Packet) {
+	sink = pkt.Data // want "without taking the packet's lease"
+}
+
+func retainOnChannel(ch chan []byte, pkt netapi.Packet) {
+	ch <- pkt.Data // want "without taking the packet's lease"
+}
+
+type held struct {
+	data  []byte
+	lease *netapi.Buffer
+}
+
+// Retention WITH the lease is the sanctioned hand-off shape.
+func retainWithLease(ch chan held, pkt netapi.Packet) {
+	ch <- held{data: pkt.Data, lease: pkt.TakeLease()}
+}
+
+// Local copies die with the frame: not retention.
+func localUseOnly(pkt netapi.Packet) int {
+	data := pkt.Data
+	return len(data)
+}

@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// go vet -vettool support. cmd/go drives an external vet tool through a
+// small protocol (the one golang.org/x/tools/go/analysis/unitchecker
+// implements; re-implemented here because x/tools is not vendored):
+//
+//   - `tool -V=full` prints a version line that cmd/go hashes into the
+//     build cache key. The first field must be the tool's base name and
+//     the second "version"; this tool appends a digest of its own
+//     binary so the cache invalidates when the tool is rebuilt.
+//   - `tool -flags` prints a JSON description of the tool's flags;
+//     this suite has none, so it prints an empty array.
+//   - `tool <dir>/vet.cfg` analyzes one compiled package: the JSON cfg
+//     names the source files and maps every import to the gc export
+//     file cmd/go already built. Diagnostics go to stderr in
+//     file:line:col form; exit status 2 means findings. The tool must
+//     write the (here: empty) facts file named by VetxOutput — cmd/go
+//     treats a missing output as a failed action.
+
+// vetConfig mirrors the JSON cmd/go writes to vet.cfg.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+	ImportMap    map[string]string
+	PackageFile  map[string]string
+	Standard     map[string]bool
+	PackageVetx  map[string]string
+	VetxOnly     bool
+	VetxOutput   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for cmd/starlink-vet. It dispatches between
+// the vettool protocol and standalone `starlink-vet [packages]` mode,
+// returning the process exit code.
+func Main(args []string) int {
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			name := "starlink-vet"
+			if exe, err := os.Executable(); err == nil {
+				name = filepath.Base(exe)
+			}
+			fmt.Printf("%s version devel-%s\n", name, selfDigest())
+			return 0
+		case a == "-flags" || a == "--flags":
+			fmt.Println("[]")
+			return 0
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return unitcheck(args[0])
+	}
+	return standalone(args)
+}
+
+// selfDigest hashes the tool's own binary so the -V output — and with
+// it cmd/go's cache key — changes whenever the tool is rebuilt.
+func selfDigest() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:8])
+}
+
+func standalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	pkgs, err := LoadPackages(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "starlink-vet:", err)
+		return 1
+	}
+	found := false
+	for _, p := range pkgs {
+		diags, err := RunAnalyzers(&Pass{Fset: p.Fset, Files: p.Files, Pkg: p.Pkg, TypesInfo: p.Info}, Suite())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "starlink-vet: %s: %v\n", p.ImportPath, err)
+			return 1
+		}
+		for _, d := range diags {
+			printDiag(p.Fset, d)
+			found = true
+		}
+	}
+	if found {
+		return 2
+	}
+	return 0
+}
+
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "starlink-vet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "starlink-vet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The suite exports no facts, so dependency-only invocations have
+	// nothing to compute — but the output file must exist either way.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "starlink-vet:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "starlink-vet:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	imp := newExportImporter(fset, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	pkg, info, err := typecheck(fset, cfg.ImportPath, files, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "starlink-vet:", err)
+		return 1
+	}
+	diags, err := RunAnalyzers(&Pass{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}, Suite())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "starlink-vet: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	for _, d := range diags {
+		printDiag(fset, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func printDiag(fset *token.FileSet, d Diagnostic) {
+	fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+}

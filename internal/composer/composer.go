@@ -91,6 +91,8 @@ func (c *Composer) Spec() *mdl.Spec { return c.spec }
 // Compose serialises msg. The message's Name selects the message
 // definition; the rule field is filled automatically so callers (and
 // translation logic) never set protocol discriminators by hand.
+//
+//starlink:hotpath
 func (c *Composer) Compose(msg *message.Message) ([]byte, error) {
 	def, ok := c.spec.MessageByName(msg.Name)
 	if !ok {
@@ -207,6 +209,7 @@ func releaseBinaryCtx(ctx *binaryCtx) {
 	binCtxPool.Put(ctx)
 }
 
+//starlink:hotpath
 func (c *Composer) composeBinary(msg *message.Message, def *mdl.MessageDef) ([]byte, error) {
 	ctx := acquireBinaryCtx()
 	defer releaseBinaryCtx(ctx)
@@ -257,20 +260,25 @@ func indexOwners(defs []*mdl.FieldDef, sizes, counts map[string]string) {
 	}
 }
 
+// scopedLookup resolves a label against the group-item scope first,
+// then the message's top level.
+func scopedLookup(msg *message.Message, scope *message.Field, label string) (*message.Field, bool) {
+	if scope != nil {
+		if f, ok := scope.Child(label); ok {
+			return f, true
+		}
+	}
+	return msg.Field(label)
+}
+
 // writeFields serialises a field list; group items pass their item
 // field as scope for label lookups.
+//
+//starlink:hotpath
 func (c *Composer) writeFields(ctx *binaryCtx, defs []*mdl.FieldDef, msg *message.Message, scope *message.Field) error {
-	lookup := func(label string) (*message.Field, bool) {
-		if scope != nil {
-			if f, ok := scope.Child(label); ok {
-				return f, true
-			}
-		}
-		return msg.Field(label)
-	}
 	for _, def := range defs {
 		if def.IsGroup() {
-			g, ok := lookup(def.Label)
+			g, ok := scopedLookup(msg, scope, def.Label)
 			if !ok || !g.IsStructured() {
 				// Absent group composes as empty (count field will be 0).
 				continue
@@ -303,7 +311,7 @@ func (c *Composer) writeFields(ctx *binaryCtx, defs []*mdl.FieldDef, msg *messag
 
 		// Derived size/count fields: measured from the owned field.
 		if owned, isSize := ctx.plan.sizeOwners[def.Label]; isSize && scope == nil {
-			f, ok := lookup(owned)
+			f, ok := scopedLookup(msg, scope, owned)
 			var n int
 			if ok {
 				raw, err := ctx.encode(owned, f)
@@ -319,7 +327,7 @@ func (c *Composer) writeFields(ctx *binaryCtx, defs []*mdl.FieldDef, msg *messag
 		}
 		if owned, isCount := ctx.plan.countOwners[def.Label]; isCount && scope == nil {
 			n := 0
-			if g, ok := lookup(owned); ok && g.IsStructured() {
+			if g, ok := scopedLookup(msg, scope, owned); ok && g.IsStructured() {
 				n = len(g.Children)
 			}
 			if err := c.writeIntField(ctx, msg, def, td, int64(n)); err != nil {
@@ -330,7 +338,7 @@ func (c *Composer) writeFields(ctx *binaryCtx, defs []*mdl.FieldDef, msg *messag
 		// Size fields inside groups measure their sibling.
 		if scope != nil {
 			if owned := siblingSizeOwner(defs, def.Label); owned != "" {
-				f, ok := lookup(owned)
+				f, ok := scopedLookup(msg, scope, owned)
 				var n int
 				if ok {
 					raw, err := c.encodeValue(owned, f, 0)
@@ -350,7 +358,7 @@ func (c *Composer) writeFields(ctx *binaryCtx, defs []*mdl.FieldDef, msg *messag
 			}
 		}
 
-		f, ok := lookup(def.Label)
+		f, ok := scopedLookup(msg, scope, def.Label)
 		if !ok {
 			// The message's rule discriminator (e.g. FunctionID=2 for a
 			// SrvReply, Flags=33792 for a DNS response) is implied by
@@ -394,6 +402,7 @@ func setScopedValue(scope *message.Field, label string, v message.Value) {
 	scope.Children = append(scope.Children, &message.Field{Label: label, Value: v})
 }
 
+//starlink:hotpath
 func (c *Composer) writeIntField(ctx *binaryCtx, msg *message.Message, def *mdl.FieldDef, td mdl.TypeDef, n int64) error {
 	if def.SizeBits <= 0 || def.SizeBits > 64 {
 		return fmt.Errorf("field %q: derived integer needs fixed width <=64 bits", def.Label)
@@ -410,6 +419,8 @@ func (c *Composer) writeIntField(ctx *binaryCtx, msg *message.Message, def *mdl.
 // writeField serialises one field. cacheable marks top-level fields
 // whose variable-width encoding may be shared with the measurement
 // passes (group items repeat labels, so they must not hit the cache).
+//
+//starlink:hotpath
 func (c *Composer) writeField(ctx *binaryCtx, def *mdl.FieldDef, td mdl.TypeDef, f *message.Field, cacheable bool) error {
 	m, err := c.types.Lookup(td.TypeName)
 	if err != nil {
@@ -544,6 +555,7 @@ func zeroValue(td mdl.TypeDef, reg *types.Registry) message.Value {
 
 var textBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
+//starlink:hotpath
 func (c *Composer) composeText(msg *message.Message, def *mdl.MessageDef) ([]byte, error) {
 	buf := textBufPool.Get().(*bytes.Buffer)
 	buf.Reset()

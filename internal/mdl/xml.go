@@ -2,6 +2,7 @@ package mdl
 
 import (
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -53,7 +54,7 @@ func ParseXML(r io.Reader) (*Spec, error) {
 	}
 	for {
 		tok, err := dec.Token()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

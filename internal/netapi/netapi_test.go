@@ -187,30 +187,14 @@ func TestWorkTrackerHoldsVirtualClock(t *testing.T) {
 	}
 }
 
-// Addr.String and Addr.IsMulticast run on every datagram send: they
-// must not regress into fmt-based parsing (PR 5 hot-path fix).
-func TestAddrStringAllocs(t *testing.T) {
+// Addr.String and Addr.IsMulticast run on every datagram send; the
+// //starlink:hotpath annotations (enforced by starlink-vet's
+// hotpathalloc analyzer) keep fmt-based parsing from regressing back
+// in, so this only checks rendering correctness.
+func TestAddrString(t *testing.T) {
 	a := netapi.Addr{IP: "239.255.255.253", Port: 42700}
-	var s string
-	if avg := testing.AllocsPerRun(200, func() { s = a.String() }); avg > 1 {
-		t.Fatalf("Addr.String allocates %.1f/op, want <= 1", avg)
-	}
-	if s != "239.255.255.253:42700" {
+	if s := a.String(); s != "239.255.255.253:42700" {
 		t.Fatalf("String = %q", s)
-	}
-}
-
-func TestAddrIsMulticastAllocs(t *testing.T) {
-	addrs := []netapi.Addr{
-		{IP: "224.0.0.1"}, {IP: "239.255.255.253"}, {IP: "10.0.0.1"},
-		{IP: "garbage"}, {IP: ""}, {IP: "2240.0.0.1"},
-	}
-	if avg := testing.AllocsPerRun(200, func() {
-		for _, a := range addrs {
-			_ = a.IsMulticast()
-		}
-	}); avg != 0 {
-		t.Fatalf("IsMulticast allocates %.1f/op, want 0", avg)
 	}
 }
 

@@ -19,6 +19,8 @@ import (
 
 // newField builds a pooled primitive field. The field joins its
 // message's pool lifetime: the message's Release recycles it.
+//
+//starlink:returns-pooled
 func newField(label, typ string, length int, v message.Value) *message.Field {
 	f := message.NewField()
 	f.Label, f.Type, f.Length, f.Value = label, typ, length, v
@@ -140,6 +142,12 @@ func (p *Parser) parseBinaryFields(r *bitio.Reader, data []byte, defs []*mdl.Fie
 				item := message.NewField()
 				item.Label, item.Type, item.Children = strconv.FormatInt(i, 10), "GroupItem", []*message.Field{}
 				if err := p.parseBinaryFields(r, data, def.Group, msg, item); err != nil {
+					// Neither the partial item nor the group (with the
+					// items parsed so far) ever reaches the message;
+					// recycle both or the pool shrinks on malformed
+					// input.
+					item.Release()
+					group.Release()
 					return fmt.Errorf("group %q item %d: %w", def.Label, i, err)
 				}
 				group.Children = append(group.Children, item)
@@ -206,6 +214,8 @@ func (p *Parser) parseBinaryFields(r *bitio.Reader, data []byte, defs []*mdl.Fie
 }
 
 // parseFixed reads a fixed-width field.
+//
+//starlink:returns-pooled
 func (p *Parser) parseFixed(r *bitio.Reader, def *mdl.FieldDef, td mdl.TypeDef, m types.Marshaller) (*message.Field, error) {
 	bits := def.SizeBits
 	if m.Kind() == message.KindInt && bits <= 64 {
@@ -234,6 +244,8 @@ func (p *Parser) parseFixed(r *bitio.Reader, def *mdl.FieldDef, td mdl.TypeDef, 
 
 // buildField unmarshals raw content into a message field, exploding
 // structured types.
+//
+//starlink:returns-pooled
 func (p *Parser) buildField(def *mdl.FieldDef, td mdl.TypeDef, m types.Marshaller, raw []byte, bits int) (*message.Field, error) {
 	v, err := m.Unmarshal(raw, bits)
 	if err != nil {
@@ -243,6 +255,7 @@ func (p *Parser) buildField(def *mdl.FieldDef, td mdl.TypeDef, m types.Marshalle
 	if sm, ok := m.(types.StructuredMarshaller); ok {
 		children, err := sm.Explode(v)
 		if err != nil {
+			f.Release()
 			return nil, fmt.Errorf("field %q: %w", def.Label, err)
 		}
 		f.Children = children
@@ -352,6 +365,8 @@ func (p *Parser) parseWildcard(data []byte, def *mdl.FieldDef, msg *message.Mess
 // spec's type table (unknown labels default to String). token is
 // borrowed — marshallers copy what they keep — so the caller avoids a
 // string conversion per field.
+//
+//starlink:returns-pooled
 func (p *Parser) textField(label string, token []byte) (*message.Field, error) {
 	td := p.spec.TypeOf(label)
 	m, err := p.types.Lookup(td.TypeName)
@@ -378,6 +393,7 @@ func (p *Parser) textField(label string, token []byte) (*message.Field, error) {
 	if sm, ok := m.(types.StructuredMarshaller); ok {
 		children, err := sm.Explode(v)
 		if err != nil {
+			f.Release()
 			return nil, fmt.Errorf("field %q: %w", label, err)
 		}
 		f.Children = children

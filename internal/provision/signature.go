@@ -144,6 +144,8 @@ func deriveSignature(spec *mdl.Spec) *protoSignature {
 // token cannot be delimited, or no message rule matches — all cases in
 // which a trial parse would have failed to select a message as well.
 // Zero allocations.
+//
+//starlink:hotpath
 func (s *protoSignature) Classify(data []byte) (name string, ok bool) {
 	switch s.dialect {
 	case mdl.DialectBinary:
@@ -187,4 +189,54 @@ func (s *protoSignature) Classify(data []byte) (name string, ok bool) {
 		return "", false
 	}
 	return "", false
+}
+
+// SignatureRule is one discriminator-value → message entry of a
+// SignatureInfo, in spec order.
+type SignatureRule struct {
+	IntVal  uint64 // binary dialect
+	TextVal string // text dialect
+	Message string
+}
+
+// SignatureInfo is the exported mirror of the dispatcher's derived
+// protocol signature, for static model tooling (mdlc lint). It
+// describes where a protocol's discriminator lives and which values
+// select which message.
+type SignatureInfo struct {
+	Dialect mdl.Dialect
+
+	// Binary dialect: absolute bit offset and width of the rule field,
+	// and the prefix length needed to read it.
+	BitOff, Bits, MinBytes int
+
+	// Text dialect: delimiters of the header fields preceding the rule
+	// field, and the rule field's own delimiter.
+	LeadDelims [][]byte
+	RuleDelim  []byte
+
+	Rules []SignatureRule
+}
+
+// DeriveSignatureInfo derives the classification signature for a spec
+// exactly as the runtime dispatcher does, or nil when the rule field is
+// not statically addressable (the dispatcher then falls back to trial
+// parsing, and static collision analysis cannot decide overlap).
+func DeriveSignatureInfo(spec *mdl.Spec) *SignatureInfo {
+	s := deriveSignature(spec)
+	if s == nil {
+		return nil
+	}
+	info := &SignatureInfo{
+		Dialect:    s.dialect,
+		BitOff:     s.bitOff,
+		Bits:       s.bits,
+		MinBytes:   s.minBytes,
+		LeadDelims: s.leadDelims,
+		RuleDelim:  s.ruleDelim,
+	}
+	for _, r := range s.rules {
+		info.Rules = append(info.Rules, SignatureRule{IntVal: r.intVal, TextVal: r.textVal, Message: r.name})
+	}
+	return info
 }

@@ -413,6 +413,8 @@ func (n *node) joinGroup(dom *domain, group netapi.Addr, h netapi.PacketHandler)
 // per-datagram copy, closure or allocation. If the handler takes the
 // buffer's lease the loop leases a fresh one; otherwise the same
 // buffer is reused for the next read.
+//
+//starlink:hotpath
 func (s *udpSocket) readLoop() {
 	buf := netapi.NewBuffer()
 	for {

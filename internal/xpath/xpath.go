@@ -40,6 +40,11 @@ type Path = Compiled
 // String returns the original expression.
 func (p *Path) String() string { return p.raw }
 
+// Steps returns a copy of the compiled step sequence. Static model
+// tooling (mdlc lint) uses it to check that a path's field labels
+// exist in the message the path is evaluated against.
+func (p *Path) Steps() []Step { return append([]Step(nil), p.steps...) }
+
 // Compile parses an expression. It fails on any construct outside the
 // supported subset so model errors surface at load time, not mid-bridge.
 func Compile(expr string) (*Compiled, error) {
@@ -122,6 +127,8 @@ func parseStep(s string) (Step, error) {
 
 // SelectField resolves the path down to the field it addresses (the
 // step before any trailing /value).
+//
+//starlink:hotpath
 func (p *Path) SelectField(msg *message.Message) (*message.Field, error) {
 	var cur *message.Field
 	for _, step := range p.steps {
@@ -161,6 +168,8 @@ func (p *Path) SelectField(msg *message.Message) (*message.Field, error) {
 }
 
 // Get reads the value the path addresses.
+//
+//starlink:hotpath
 func (p *Path) Get(msg *message.Message) (message.Value, error) {
 	f, err := p.SelectField(msg)
 	if err != nil {
@@ -171,6 +180,8 @@ func (p *Path) Get(msg *message.Message) (message.Value, error) {
 
 // Eval reads the value the compiled path addresses — the steady-state
 // entry point: zero allocations on the success path.
+//
+//starlink:hotpath
 func (p *Compiled) Eval(msg *message.Message) (message.Value, error) { return p.Get(msg) }
 
 // Set writes a value at the path, creating intermediate fields as
