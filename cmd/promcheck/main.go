@@ -1,0 +1,128 @@
+// Command promcheck validates a Prometheus text exposition and asserts
+// the presence (and optionally positivity) of selected series. It is
+// the assertion half of the CI observability smoke test: starlinkd
+// serves /metrics, curl scrapes it, promcheck proves the exposition
+// parses and the key series exist.
+//
+// Usage:
+//
+//	promcheck [-f exposition.txt] \
+//	    -series 'starlink_drops_total{reason="overloaded"}' \
+//	    -nonzero 'starlink_dispatch_total{result="dispatched"}'
+//
+// Each -series flag requires at least one sample whose name matches
+// and whose labels include every pair given (extra labels on the
+// sample are fine). -nonzero additionally requires the matched
+// samples' sum to be > 0. Both flags repeat. With no -f the exposition
+// is read from stdin. Exit status 0 on success, 1 on any failed
+// assertion or parse error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"starlink/internal/promtext"
+)
+
+// seriesList collects repeated series selector flags.
+type seriesList []string
+
+func (s *seriesList) String() string { return strings.Join(*s, ", ") }
+
+func (s *seriesList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+// parseSelector splits 'name{k="v",k2="v2"}' into name and label map.
+func parseSelector(sel string) (string, map[string]string, error) {
+	brace := strings.IndexByte(sel, '{')
+	if brace < 0 {
+		return sel, nil, nil
+	}
+	if !strings.HasSuffix(sel, "}") {
+		return "", nil, fmt.Errorf("unterminated label set in selector %q", sel)
+	}
+	name := sel[:brace]
+	// Reuse the exposition sample parser by rendering the selector as a
+	// sample line with a dummy value.
+	exp, err := promtext.Parse(strings.NewReader(sel + " 0\n"))
+	if err != nil || len(exp.Samples) != 1 {
+		return "", nil, fmt.Errorf("bad selector %q: %v", sel, err)
+	}
+	return name, exp.Samples[0].Labels, nil
+}
+
+func main() {
+	var (
+		file    = flag.String("f", "", "exposition file (default stdin)")
+		series  seriesList
+		nonzero seriesList
+	)
+	flag.Var(&series, "series", "selector that must match ≥1 sample (repeatable)")
+	flag.Var(&nonzero, "nonzero", "selector that must match ≥1 sample with sum > 0 (repeatable)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	exp, err := promtext.Parse(in)
+	if err != nil {
+		fatal("exposition does not parse: %v", err)
+	}
+	fmt.Printf("promcheck: parsed %d samples across %d series names\n",
+		len(exp.Samples), len(exp.Names()))
+
+	failures := 0
+	check := func(sel string, wantNonzero bool) {
+		name, labels, err := parseSelector(sel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promcheck: %v\n", err)
+			failures++
+			return
+		}
+		matches := exp.Find(name, labels)
+		if len(matches) == 0 {
+			fmt.Fprintf(os.Stderr, "promcheck: no samples match %s\n", sel)
+			failures++
+			return
+		}
+		if wantNonzero {
+			sum := 0.0
+			for _, m := range matches {
+				sum += m.Value
+			}
+			if sum <= 0 {
+				fmt.Fprintf(os.Stderr, "promcheck: %s matched %d sample(s) but sum = %v, want > 0\n",
+					sel, len(matches), sum)
+				failures++
+				return
+			}
+		}
+		fmt.Printf("promcheck: ok %s (%d sample(s))\n", sel, len(matches))
+	}
+	for _, sel := range series {
+		check(sel, false)
+	}
+	for _, sel := range nonzero {
+		check(sel, true)
+	}
+	if failures > 0 {
+		fatal("%d assertion(s) failed", failures)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "promcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

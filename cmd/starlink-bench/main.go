@@ -16,10 +16,17 @@
 // Usage:
 //
 //	starlink-bench [-table a|b|both|p|i] [-iters 100] [-seed 1]
+//	               [-latency-hist]
 //	               [-parallel-units 64] [-parallel-clients 16]
 //	               [-ingest-endpoints 8] [-ingest-senders 32]
 //	               [-ingest-packets 50000]
 //	               [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -latency-hist renders each measured row of tables 12(a)/12(b) as a
+// log-linear latency distribution — the same internal/hist package the
+// runtime pipeline uses for its staged histograms — with p50/p90/p99
+// and the cumulative bucket ladder, so the offline Fig. 12 numbers and
+// the live /metrics exposition read on one scale.
 //
 // The profile flags capture the run with runtime/pprof, so the Fig. 12
 // reproduction can be inspected directly with `go tool pprof`.
@@ -31,8 +38,10 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"starlink/internal/bench"
+	"starlink/internal/hist"
 )
 
 func main() {
@@ -45,6 +54,7 @@ func main() {
 func run() int {
 	table := flag.String("table", "both", "which table to run: a, b, both, p (parallel throughput) or i (ingest saturation)")
 	iters := flag.Int("iters", 100, "iterations per row (the paper used 100)")
+	latencyHist := flag.Bool("latency-hist", false, "render each table row as a latency histogram (p50/p90/p99 + bucket ladder)")
 	seed := flag.Int64("seed", 1, "base RNG seed (results are deterministic per seed)")
 	punits := flag.Int("parallel-units", 64, "simulations driven by -table p")
 	pclients := flag.Int("parallel-clients", 16, "concurrent bridge sessions per simulation in -table p")
@@ -99,6 +109,9 @@ func run() int {
 		fmt.Println(bench.Table(
 			fmt.Sprintf("Fig. 12(a) — Response time measures for legacy discovery protocols (ms, %d runs)", *iters),
 			bench.NativeOrder, natives, bench.Fig12a))
+		if *latencyHist {
+			printLatencyHists("12(a)", bench.NativeOrder, natives)
+		}
 	}
 	if *table == "b" || *table == "both" {
 		bridges, err := bench.RunTable12b(*iters, *seed)
@@ -109,12 +122,53 @@ func run() int {
 		fmt.Println(bench.Table(
 			fmt.Sprintf("Fig. 12(b) — Translation times of Starlink connectors (ms, %d runs)", *iters),
 			bench.CaseOrder, bridges, bench.Fig12b))
+		if *latencyHist {
+			printLatencyHists("12(b)", bench.CaseOrder, bridges)
+		}
 	}
 	if *table != "a" && *table != "b" && *table != "both" {
 		fmt.Fprintf(os.Stderr, "starlink-bench: unknown table %q (want a, b, both, p or i)\n", *table)
 		return 2
 	}
 	return 0
+}
+
+// printLatencyHists renders the measured samples of each table row
+// through the runtime's own log-linear histogram (internal/hist):
+// quantiles first, then the cumulative count at every ladder bound
+// that the distribution actually reaches. Bucketed quantiles carry the
+// histogram's resolution error (≤6.25%), which is the point — these
+// are the same numbers a Prometheus scrape of the live pipeline would
+// yield for the identical workload.
+func printLatencyHists(table string, order []string, measured map[string]*bench.Stats) {
+	ladder := hist.Ladder()
+	fmt.Printf("Fig. %s latency distributions (log-linear histogram, bucketed quantiles)\n", table)
+	for _, name := range order {
+		st, ok := measured[name]
+		if !ok || st.N() == 0 {
+			continue
+		}
+		var h hist.Histogram
+		for _, d := range st.Samples {
+			h.Record(d)
+		}
+		s := h.Snapshot()
+		fmt.Printf("  %-18s n=%-4d p50=%-10s p90=%-10s p99=%s\n",
+			name, s.Count, s.Quantile(0.50).Round(time.Microsecond),
+			s.Quantile(0.90).Round(time.Microsecond),
+			s.Quantile(0.99).Round(time.Microsecond))
+		cum := s.Cumulative(ladder)
+		for i, bound := range ladder {
+			if cum[i] == 0 {
+				continue // below the distribution: nothing to say yet
+			}
+			fmt.Printf("    le %-10s %6d\n", bound.Round(time.Microsecond), cum[i])
+			if cum[i] == s.Count {
+				break // the rest of the ladder repeats the total
+			}
+		}
+	}
+	fmt.Println()
 }
 
 // runIngest drives the realnet ingest-saturation scenario once and

@@ -7,7 +7,10 @@
 // The daemon is a multi-case runtime: one process hosts any number of
 // merged automata at once behind shared entry listeners, and inbound
 // payloads are classified to the right case by trial-parsing them
-// against the candidate entry parsers (internal/provision).
+// against the candidate entry parsers (internal/provision). It is
+// built entirely on the public starlink API — the same Framework,
+// Deployment, Observer and Collector surface any embedding program
+// uses.
 //
 // Usage:
 //
@@ -15,6 +18,7 @@
 //	          [-models dir] [-models-poll 2s]
 //	          [-max-sessions 4096] [-stats-interval 30s]
 //	          [-drain-timeout 10s] [-pprof addr]
+//	          [-metrics-addr addr] [-demo-traffic n]
 //
 // -case selects the cases to host: "all" (the default) hosts every
 // loaded case, a comma-separated list hosts exactly those. -models
@@ -25,6 +29,20 @@
 // with zero restart. The daemon logs one line per bridged session
 // (with its case name), periodically logs per-case session stats plus
 // the dispatcher's classification counters, and runs until signalled.
+//
+// -metrics-addr serves the observability surface on the given address:
+// Prometheus text exposition on /metrics (per-case session and
+// classification counters, per-stage latency histograms) and plain
+// text debug pages under /debug/starlink/ (live sessions with their
+// flight-recorder traces, recent failures).
+//
+// -demo-traffic runs n rounds of example traffic through the hosted
+// cases over the in-process loopback network — legacy clients and
+// services for every builtin case, a raw unicast SLP request for the
+// hot-deployable slp-to-upnp-alt case when its models are loaded, and
+// one deliberately malformed datagram (so the parse-error counters
+// move). It exists for smoke tests: every scrapeable series has
+// nonzero traffic behind it after one round.
 //
 // On SIGTERM or SIGINT the daemon drains gracefully: no new sessions
 // are admitted (late initiator requests are refused and logged with
@@ -40,22 +58,20 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
-	"sort"
 	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
 
-	"starlink/internal/engine"
-	"starlink/internal/netapi"
+	"starlink"
 	"starlink/internal/provision"
-	"starlink/internal/realnet"
 	"starlink/internal/registry"
 )
 
@@ -69,6 +85,8 @@ func main() {
 	statsInterval := flag.Duration("stats-interval", 30*time.Second, "how often to log per-case statistics (0 disables)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long a graceful shutdown waits for live sessions (0 closes immediately)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060) for live saturation debugging")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/starlink/ on this address (e.g. 127.0.0.1:9464)")
+	demoTraffic := flag.Int("demo-traffic", 0, "run this many rounds of example traffic through the hosted cases (0 disables)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -96,62 +114,84 @@ func main() {
 		}
 	}
 
-	reg, err := registry.Builtin()
+	reg, err := starlink.BuiltinRegistry()
 	if err != nil {
 		fatal(err)
 	}
+	// The model directory loader and hot-reload watcher live below the
+	// public surface; Backend is the sanctioned escape hatch.
+	ireg := reg.Backend().(*registry.Registry)
 	if *modelsDir != "" {
-		if res, err := provision.LoadDir(reg, *modelsDir); err != nil {
+		if res, err := provision.LoadDir(ireg, *modelsDir); err != nil {
 			fatal(err)
 		} else if res.Changed() {
 			fmt.Printf("starlinkd: models %s: %s\n", *modelsDir, res)
 		}
 	}
 
-	rt := realnet.New()
-	node, err := rt.NewNode(*host)
-	if err != nil {
-		fatal(err)
-	}
-	// Cumulative session outcomes, counted by the observer so the
-	// final tally survives the dispatcher's teardown.
+	rt := starlink.Loopback()
+	fw := starlink.NewWithRegistry(rt, reg)
+
+	// Cumulative session outcomes, counted by an observer so the final
+	// tally survives the dispatcher's teardown; the Collector rides the
+	// same chain and backs the /metrics and /debug/starlink/ surface.
 	var total, failed atomic.Int64
-	opts := []provision.Option{
-		provision.WithEngineOptions(engine.WithMaxSessions(*maxSessions)),
-		provision.WithLogf(func(format string, args ...any) {
-			fmt.Printf("starlinkd: "+format+"\n", args...)
-		}),
-		provision.WithHooks(provision.Hooks{
-			SessionEnd: func(caseName string, s engine.SessionStats) {
+	col := starlink.NewCollector()
+	opts := []starlink.Option{
+		starlink.WithMaxSessions(*maxSessions),
+		starlink.WithObserver(col),
+		starlink.WithObserver(starlink.Hooks{
+			SessionEnd: func(s starlink.SessionStats) {
 				if s.Err != nil {
 					failed.Add(1)
-					fmt.Printf("starlinkd: [%s] session from %s FAILED after %s: %v\n", caseName, s.Origin, s.Duration, s.Err)
+					fmt.Printf("starlinkd: [%s] session from %s FAILED after %s: %v\n", s.Case, s.Origin, s.Duration, s.Err)
+					if len(s.Trace) > 0 {
+						fmt.Printf("starlinkd: [%s] trace: %s\n", s.Case, starlink.FormatTrace(s.Trace))
+					}
 					return
 				}
 				total.Add(1)
 				if *verbose {
-					fmt.Printf("starlinkd: [%s] session from %s bridged in %s\n", caseName, s.Origin, s.Duration)
+					fmt.Printf("starlinkd: [%s] session from %s bridged in %s\n", s.Case, s.Origin, s.Duration)
 				}
 			},
-			Dropped: func(caseName string, origin netapi.Addr, reason error) {
+			Deploy: func(e starlink.CaseEvent) {
+				fmt.Printf("starlinkd: deployed %s (generation %d)\n", e.Case, e.Generation)
+			},
+			Undeploy: func(e starlink.CaseEvent) {
 				if *verbose {
-					fmt.Printf("starlinkd: [%s] dropped payload from %s: %v\n", caseName, origin, reason)
+					fmt.Printf("starlinkd: undeployed %s\n", e.Case)
+				}
+			},
+			Drop: func(d starlink.Drop) {
+				if *verbose {
+					fmt.Printf("starlinkd: [%s] dropped payload from %s: %v\n", d.Case, d.Origin, d.Reason)
 				}
 			},
 		}),
 	}
-	if len(cases) > 0 {
-		opts = append(opts, provision.WithCases(cases...))
-	}
-	disp := provision.NewDispatcher(reg, node, append(opts, provision.WithOwnedNode())...)
-	if err := disp.Sync(); err != nil {
+	disp, err := fw.DeployDispatcher(context.Background(), *host, cases, opts...)
+	if err != nil {
 		fatal(err)
 	}
 	defer disp.Close()
+	col.Register("starlinkd", disp)
+
+	if *metricsAddr != "" {
+		srv := &http.Server{Addr: *metricsAddr, Handler: col.Handler()}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "starlinkd: metrics:", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("starlinkd: metrics on http://%s/metrics, debug on http://%s/debug/starlink/\n",
+			*metricsAddr, *metricsAddr)
+	}
 
 	var watcher *provision.Watcher
 	if *modelsDir != "" {
-		watcher = provision.NewWatcher(reg, *modelsDir, *modelsPoll, func(provision.LoadResult) {
+		watcher = provision.NewWatcher(ireg, *modelsDir, *modelsPoll, func(provision.LoadResult) {
 			if err := disp.Sync(); err != nil {
 				fmt.Fprintln(os.Stderr, "starlinkd: sync:", err)
 			}
@@ -164,6 +204,16 @@ func main() {
 
 	fmt.Printf("starlinkd: hosting %s on %s (max %d sessions/case); ctrl-c to stop\n",
 		strings.Join(disp.Cases(), ", "), *host, *maxSessions)
+
+	if *demoTraffic > 0 {
+		go func() {
+			if err := runDemo(rt, ireg, *host, *demoTraffic, disp.Cases()); err != nil {
+				fmt.Fprintln(os.Stderr, "starlinkd: demo:", err)
+			}
+			// The marker line smoke tests wait for before scraping.
+			fmt.Println("starlinkd: demo traffic complete")
+		}()
+	}
 
 	stop := make(chan struct{})
 	if *statsInterval > 0 {
@@ -201,11 +251,7 @@ func main() {
 
 	// Graceful drain: stop admitting new sessions, let the live ones
 	// finish (bounded by -drain-timeout), then release everything.
-	live := 0
-	for _, st := range disp.Stats() {
-		live += st.Live
-	}
-	if *drainTimeout > 0 && live > 0 {
+	if live := disp.Metrics().Sessions.Live; *drainTimeout > 0 && live > 0 {
 		fmt.Printf("starlinkd: draining %d live session(s) (up to %s)\n", live, *drainTimeout)
 	}
 	logStats(disp)
@@ -218,23 +264,29 @@ func main() {
 	fmt.Printf("starlinkd: %d sessions bridged, %d failed\n", total.Load(), failed.Load())
 }
 
-// logStats prints per-case engine counters and the dispatcher's
-// payload-classification counters.
-func logStats(disp *provision.Dispatcher) {
-	stats := disp.Stats()
-	names := make([]string, 0, len(stats))
-	for n := range stats {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		st := stats[n]
+// logStats prints per-case session counters, staged latency quantiles
+// and the dispatcher's payload-classification counters — all read from
+// the public Metrics snapshot.
+func logStats(disp *starlink.Dispatcher) {
+	m := disp.Metrics()
+	for _, n := range disp.Cases() {
+		st, ok := m.Cases[n]
+		if !ok {
+			continue
+		}
 		fmt.Printf("starlinkd: [%s] live=%d completed=%d failed=%d rejected=%d dropped=%d parseErrs=%d ignored=%d\n",
 			n, st.Live, st.Completed, st.Failed, st.Rejected, st.Dropped, st.ParseErrors, st.Ignored)
 	}
-	dc := disp.DispatchStats()
+	for _, row := range m.Latency {
+		if row.Count == 0 {
+			continue
+		}
+		fmt.Printf("starlinkd: latency %-10s n=%-6d p50=%-12s p90=%-12s p99=%s\n",
+			row.Stage, row.Count, row.P50, row.P90, row.P99)
+	}
+	d := m.Dispatch
 	fmt.Printf("starlinkd: dispatch: dispatched=%d ambiguous=%d suppressed=%d unroutable=%d parseErrs=%d fastpath=%d slowpath=%d\n",
-		dc.Dispatched, dc.Ambiguous, dc.Suppressed, dc.Unroutable, dc.ParseErrors, dc.FastPath, dc.SlowPath)
+		d.Dispatched, d.Ambiguous, d.Suppressed, d.Unroutable, d.ParseErrors, d.FastPath, d.SlowPath)
 }
 
 func fatal(err error) {

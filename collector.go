@@ -1,0 +1,409 @@
+package starlink
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"starlink/internal/promtext"
+)
+
+// collectorFailureRing bounds the recent-failure trace buffer.
+const collectorFailureRing = 32
+
+// dropReasons are the structured drop classes the collector exposes;
+// every class is always emitted (zero-valued when never seen) so the
+// starlink_drops_total series exists from the first scrape.
+var dropReasons = []string{"overloaded", "draining", "closed", "ambiguous", "other"}
+
+// Collector turns deployments into an HTTP observability surface. It
+// plays two composable roles:
+//
+//   - an Observer (register with WithObserver) accumulating event-level
+//     counters — sessions started/completed/failed, classifications,
+//     drops by structured reason — and a ring of recent failed-session
+//     flight-recorder traces;
+//   - a registry of named Deployments (Register) whose Metrics and
+//     Sessions snapshots back the exposition.
+//
+// Handler serves the Prometheus text exposition on /metrics and plain
+// text debug pages under /debug/starlink/ (index, live sessions,
+// recent failures). One Collector may serve many deployments and is
+// safe for concurrent use.
+type Collector struct {
+	mu    sync.Mutex
+	names []string
+	deps  map[string]Deployment
+
+	started    uint64
+	completed  uint64
+	failed     uint64
+	classified uint64
+	drops      map[string]uint64
+
+	failures []SessionStats
+	failPos  int
+}
+
+// NewCollector creates an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		deps:  map[string]Deployment{},
+		drops: map[string]uint64{},
+	}
+}
+
+// Register adds (or replaces) a named deployment in the exposition.
+func (c *Collector) Register(name string, d Deployment) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.deps[name]; !ok {
+		c.names = append(c.names, name)
+		sort.Strings(c.names)
+	}
+	c.deps[name] = d
+}
+
+// Unregister removes a named deployment from the exposition.
+func (c *Collector) Unregister(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.deps[name]; !ok {
+		return
+	}
+	delete(c.deps, name)
+	for i, n := range c.names {
+		if n == name {
+			c.names = append(c.names[:i], c.names[i+1:]...)
+			break
+		}
+	}
+}
+
+var _ Observer = (*Collector)(nil)
+
+// OnSessionStart implements Observer.
+func (c *Collector) OnSessionStart(SessionStart) {
+	c.mu.Lock()
+	c.started++
+	c.mu.Unlock()
+}
+
+// OnSessionEnd implements Observer. Failed sessions (with their
+// flight-recorder traces) are retained in a fixed ring readable on the
+// /debug/starlink/failures page.
+func (c *Collector) OnSessionEnd(s SessionStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s.Err == nil {
+		c.completed++
+		return
+	}
+	c.failed++
+	if len(c.failures) < collectorFailureRing {
+		c.failures = append(c.failures, s)
+		return
+	}
+	c.failures[c.failPos] = s
+	c.failPos = (c.failPos + 1) % collectorFailureRing
+}
+
+// OnClassify implements Observer.
+func (c *Collector) OnClassify(Classification) {
+	c.mu.Lock()
+	c.classified++
+	c.mu.Unlock()
+}
+
+// OnDeploy implements Observer.
+func (c *Collector) OnDeploy(CaseEvent) {}
+
+// OnUndeploy implements Observer.
+func (c *Collector) OnUndeploy(CaseEvent) {}
+
+// OnDrop implements Observer, classifying the drop's structured reason
+// with errors.Is.
+func (c *Collector) OnDrop(d Drop) {
+	reason := "other"
+	switch {
+	case errors.Is(d.Reason, ErrOverloaded):
+		reason = "overloaded"
+	case errors.Is(d.Reason, ErrDraining):
+		reason = "draining"
+	case errors.Is(d.Reason, ErrClosed):
+		reason = "closed"
+	case errors.Is(d.Reason, ErrAmbiguousPayload):
+		reason = "ambiguous"
+	}
+	c.mu.Lock()
+	c.drops[reason]++
+	c.mu.Unlock()
+}
+
+// snapshot copies the registry and observer state under the lock.
+func (c *Collector) snapshot() (names []string, deps map[string]Deployment,
+	started, completed, failed, classified uint64, drops map[string]uint64, failures []SessionStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names = append([]string(nil), c.names...)
+	deps = make(map[string]Deployment, len(c.deps))
+	for n, d := range c.deps {
+		deps[n] = d
+	}
+	drops = make(map[string]uint64, len(c.drops))
+	for r, n := range c.drops {
+		drops[r] = n
+	}
+	// Oldest-first view of the failure ring.
+	failures = append(append([]SessionStats(nil), c.failures[c.failPos:]...), c.failures[:c.failPos]...)
+	return names, deps, c.started, c.completed, c.failed, c.classified, drops, failures
+}
+
+// Handler returns the collector's HTTP surface: the Prometheus text
+// exposition on /metrics and plain text debug pages on
+// /debug/starlink/ (index), /debug/starlink/sessions (live sessions
+// with their traces) and /debug/starlink/failures (recent failed
+// sessions from the observer ring).
+func (c *Collector) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", c.serveMetrics)
+	mux.HandleFunc("/debug/starlink/", c.serveIndex)
+	mux.HandleFunc("/debug/starlink/sessions", c.serveSessions)
+	mux.HandleFunc("/debug/starlink/failures", c.serveFailures)
+	return mux
+}
+
+func (c *Collector) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	names, deps, started, completed, failed, classified, drops, _ := c.snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	pw := promtext.NewWriter(w)
+
+	pw.Family("starlink_observed_sessions_total",
+		"Sessions seen by the observer chain, by result.", "counter")
+	pw.Sample("starlink_observed_sessions_total",
+		[]promtext.Label{{Name: "result", Value: "started"}}, float64(started))
+	pw.Sample("starlink_observed_sessions_total",
+		[]promtext.Label{{Name: "result", Value: "completed"}}, float64(completed))
+	pw.Sample("starlink_observed_sessions_total",
+		[]promtext.Label{{Name: "result", Value: "failed"}}, float64(failed))
+
+	pw.Family("starlink_classifications_total",
+		"Entry payload classifications seen by the observer chain.", "counter")
+	pw.Sample("starlink_classifications_total", nil, float64(classified))
+
+	pw.Family("starlink_drops_total",
+		"Refused work by structured reason (errors.Is classes).", "counter")
+	for _, reason := range dropReasons {
+		pw.Sample("starlink_drops_total",
+			[]promtext.Label{{Name: "reason", Value: reason}}, float64(drops[reason]))
+	}
+
+	type depMetrics struct {
+		name string
+		m    Metrics
+	}
+	snaps := make([]depMetrics, 0, len(names))
+	for _, name := range names {
+		snaps = append(snaps, depMetrics{name: name, m: deps[name].Metrics()})
+	}
+
+	pw.Family("starlink_deployment_state",
+		"Deployment lifecycle state (1 = current state).", "gauge")
+	for _, s := range snaps {
+		pw.Sample("starlink_deployment_state", []promtext.Label{
+			{Name: "deployment", Value: s.name},
+			{Name: "state", Value: s.m.State.String()},
+		}, 1)
+	}
+
+	pw.Family("starlink_sessions_live", "Currently executing sessions.", "gauge")
+	for _, s := range snaps {
+		for _, cs := range sortedCases(s.m.Cases) {
+			pw.Sample("starlink_sessions_live", []promtext.Label{
+				{Name: "deployment", Value: s.name},
+				{Name: "case", Value: cs},
+			}, float64(s.m.Cases[cs].Live))
+		}
+	}
+
+	pw.Family("starlink_sessions_total", "Finished session admissions by result.", "counter")
+	pw.Family("starlink_payloads_total", "Discarded payloads by result.", "counter")
+	for _, s := range snaps {
+		for _, cs := range sortedCases(s.m.Cases) {
+			sm := s.m.Cases[cs]
+			base := []promtext.Label{
+				{Name: "deployment", Value: s.name},
+				{Name: "case", Value: cs},
+			}
+			for _, rv := range []struct {
+				result string
+				v      int
+			}{
+				{"completed", sm.Completed},
+				{"failed", sm.Failed},
+				{"rejected", sm.Rejected},
+				{"drain_rejected", sm.DrainRejected},
+			} {
+				pw.Sample("starlink_sessions_total",
+					append(append([]promtext.Label(nil), base...),
+						promtext.Label{Name: "result", Value: rv.result}), float64(rv.v))
+			}
+			for _, rv := range []struct {
+				result string
+				v      int
+			}{
+				{"dropped", sm.Dropped},
+				{"parse_errors", sm.ParseErrors},
+				{"ignored", sm.Ignored},
+			} {
+				pw.Sample("starlink_payloads_total",
+					append(append([]promtext.Label(nil), base...),
+						promtext.Label{Name: "result", Value: rv.result}), float64(rv.v))
+			}
+		}
+	}
+
+	pw.Family("starlink_dispatch_total",
+		"Shared-listener classification outcomes (dispatchers only).", "counter")
+	for _, s := range snaps {
+		d := s.m.Dispatch
+		for _, rv := range []struct {
+			result string
+			v      int
+		}{
+			{"dispatched", d.Dispatched},
+			{"ambiguous", d.Ambiguous},
+			{"unroutable", d.Unroutable},
+			{"parse_errors", d.ParseErrors},
+			{"suppressed", d.Suppressed},
+			{"rejected", d.Rejected},
+			{"fast_path", d.FastPath},
+			{"slow_path", d.SlowPath},
+		} {
+			pw.Sample("starlink_dispatch_total", []promtext.Label{
+				{Name: "deployment", Value: s.name},
+				{Name: "result", Value: rv.result},
+			}, float64(rv.v))
+		}
+	}
+
+	pw.Family("starlink_stage_latency_seconds",
+		"Per-stage pipeline latency (the 'session' stage is the whole-session duration).",
+		"histogram")
+	for _, s := range snaps {
+		for _, cs := range sortedCaseLatency(s.m.CaseLatency) {
+			for _, row := range s.m.CaseLatency[cs] {
+				pw.HistogramSample("starlink_stage_latency_seconds", []promtext.Label{
+					{Name: "deployment", Value: s.name},
+					{Name: "case", Value: cs},
+					{Name: "stage", Value: row.Stage},
+				}, promBuckets(row.Buckets), row.Sum.Seconds(), row.Count)
+			}
+		}
+	}
+
+	pw.Family("starlink_classify_latency_seconds",
+		"Classification decision latency by path (dispatchers only).", "histogram")
+	for _, s := range snaps {
+		for _, pv := range []struct {
+			path string
+			row  StageLatency
+		}{
+			{"fast", s.m.Dispatch.FastPathLatency},
+			{"slow", s.m.Dispatch.SlowPathLatency},
+		} {
+			pw.HistogramSample("starlink_classify_latency_seconds", []promtext.Label{
+				{Name: "deployment", Value: s.name},
+				{Name: "path", Value: pv.path},
+			}, promBuckets(pv.row.Buckets), pv.row.Sum.Seconds(), pv.row.Count)
+		}
+	}
+}
+
+func promBuckets(bs []LatencyBucket) []promtext.Bucket {
+	out := make([]promtext.Bucket, len(bs))
+	for i, b := range bs {
+		out[i] = promtext.Bucket{Le: b.UpperBound.Seconds(), Count: b.Count}
+	}
+	return out
+}
+
+func sortedCases(m map[string]SessionMetrics) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedCaseLatency(m map[string][]StageLatency) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (c *Collector) serveIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/debug/starlink/" && r.URL.Path != "/debug/starlink" {
+		http.NotFound(w, r)
+		return
+	}
+	names, deps, started, completed, failed, classified, drops, failures := c.snapshot()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "starlink debug surface\n\n")
+	fmt.Fprintf(w, "observer: started=%d completed=%d failed=%d classified=%d drops=%v\n",
+		started, completed, failed, classified, drops)
+	fmt.Fprintf(w, "recent failures retained: %d (see /debug/starlink/failures)\n", len(failures))
+	fmt.Fprintf(w, "live sessions: see /debug/starlink/sessions\n\n")
+	for _, name := range names {
+		m := deps[name].Metrics()
+		fmt.Fprintf(w, "deployment %q: state=%s live=%d completed=%d failed=%d rejected=%d\n",
+			name, m.State, m.Sessions.Live, m.Sessions.Completed, m.Sessions.Failed, m.Sessions.Rejected)
+		for _, cs := range sortedCases(m.Cases) {
+			sm := m.Cases[cs]
+			fmt.Fprintf(w, "  case %-20s live=%d completed=%d failed=%d dropped=%d parse_errors=%d\n",
+				cs, sm.Live, sm.Completed, sm.Failed, sm.Dropped, sm.ParseErrors)
+		}
+		for _, row := range m.Latency {
+			fmt.Fprintf(w, "  stage %-12s n=%-6d p50=%-12s p90=%-12s p99=%s\n",
+				row.Stage, row.Count, row.P50, row.P90, row.P99)
+		}
+	}
+}
+
+func (c *Collector) serveSessions(w http.ResponseWriter, _ *http.Request) {
+	names, deps, _, _, _, _, _, _ := c.snapshot()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	now := time.Now()
+	total := 0
+	for _, name := range names {
+		for _, s := range deps[name].Sessions() {
+			total++
+			fmt.Fprintf(w, "deployment=%s case=%s key=%s origin=%s age=%s\n",
+				name, s.Case, s.Key, s.Origin, now.Sub(s.Start).Round(time.Microsecond))
+			if len(s.Trace) > 0 {
+				fmt.Fprintf(w, "  trace: %s\n", FormatTrace(s.Trace))
+			}
+		}
+	}
+	fmt.Fprintf(w, "\n%d live session(s)\n", total)
+}
+
+func (c *Collector) serveFailures(w http.ResponseWriter, _ *http.Request) {
+	_, _, _, _, _, _, _, failures := c.snapshot()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, s := range failures {
+		fmt.Fprintf(w, "case=%s origin=%s start=%s duration=%s err=%v\n",
+			s.Case, s.Origin, s.Start.Format(time.RFC3339Nano), s.Duration, s.Err)
+		if len(s.Trace) > 0 {
+			fmt.Fprintf(w, "  trace: %s\n", FormatTrace(s.Trace))
+		}
+	}
+	fmt.Fprintf(w, "\n%d recent failure(s)\n", len(failures))
+}

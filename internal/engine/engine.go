@@ -45,6 +45,7 @@ import (
 
 	"starlink/internal/automata"
 	"starlink/internal/composer"
+	"starlink/internal/hist"
 	"starlink/internal/mdl"
 	"starlink/internal/merge"
 	"starlink/internal/message"
@@ -52,6 +53,7 @@ import (
 	"starlink/internal/netengine"
 	"starlink/internal/parser"
 	"starlink/internal/serrors"
+	"starlink/internal/trace"
 	"starlink/internal/translation"
 	"starlink/internal/types"
 )
@@ -94,6 +96,9 @@ const (
 	defaultShardCount  = 16
 	defaultMaxSessions = 4096
 	ingestQueueCap     = 1024
+	// defaultTraceRing is the per-session flight-recorder capacity in
+	// events; WithTraceRing overrides, 0 disables recording.
+	defaultTraceRing = 64
 )
 
 // Codec bundles the MDL-driven marshalling machinery for one protocol.
@@ -143,6 +148,10 @@ type SessionStats struct {
 	// reply was sent, End-Start otherwise.
 	Duration time.Duration
 	Err      error
+	// Trace is the session's flight-recorder dump — its pipeline stage
+	// events, oldest first — populated only when the session failed
+	// (Err != nil) and the recorder is enabled.
+	Trace []trace.Event
 }
 
 // Counters is a consistent snapshot of the engine's counters.
@@ -273,6 +282,20 @@ func WithHooks(h Hooks) Option {
 	return func(e *Engine) { e.hooks = append(e.hooks, h) }
 }
 
+// WithTraceRing sizes the per-session flight recorder: the number of
+// trace events each session retains in its fixed ring (rounded up to a
+// power of two). 0 disables recording entirely — sessions carry a nil
+// recorder, and every stage-boundary record costs one nil check.
+// Values < 0 keep the default (64). Stage latency histograms are
+// unaffected: they are always on.
+func WithTraceRing(events int) Option {
+	return func(e *Engine) {
+		if events >= 0 {
+			e.traceRing = events
+		}
+	}
+}
+
 // WithEgressTable registers the local address of every requester
 // channel the engine's sessions open in t for the requesters'
 // lifetime. A multi-case dispatcher shares one table across its
@@ -294,6 +317,19 @@ type ingestJob struct {
 	data  []byte
 	src   netengine.Source
 	lease *netapi.Buffer
+	// arrived is the wall-clock listener arrival time, the origin of
+	// the payload's recv-stage latency sample and — for an initiator
+	// request — the epoch of the session's flight recorder.
+	arrived time.Time
+}
+
+// ingestTiming carries the wall-clock stage boundaries measured by an
+// ingest worker into the session it opens or rendezvouses with.
+type ingestTiming struct {
+	arrived time.Time
+	picked  time.Time
+	parsed  time.Time
+	bytes   int
 }
 
 // releaseJobLease returns the job's leased receive buffer, if any.
@@ -330,6 +366,12 @@ type Engine struct {
 	maxSessions   int
 	ingestWorkers int
 	shardCount    int
+	traceRing     int
+
+	// Stage latency histograms, always on: one per pipeline stage plus
+	// the whole-session distribution. Lock-free; see internal/hist.
+	stageHists [trace.NumStages]*hist.Histogram
+	sessHist   *hist.Histogram
 
 	// Lifecycle. state moves strictly forward; baseCtx is the caller's
 	// lifetime context (WithContext), ctx/cancel the engine's own
@@ -417,9 +459,14 @@ func New(node netapi.Node, merged *merge.Merged, codecs map[string]*Codec, opts 
 		maxSessions:   defaultMaxSessions,
 		ingestWorkers: workers,
 		shardCount:    defaultShardCount,
+		traceRing:     defaultTraceRing,
 		baseCtx:       context.Background(),
 		drained:       make(chan struct{}),
 	}
+	for i := range e.stageHists {
+		e.stageHists[i] = &hist.Histogram{}
+	}
+	e.sessHist = &hist.Histogram{}
 	for _, o := range opts {
 		o(e)
 	}
@@ -742,7 +789,7 @@ func (e *Engine) onEntry(proto string, data []byte, src netengine.Source, lease 
 	q := e.ingestQs[fnv32a(key)%uint32(len(e.ingestQs))]
 	dropped := false
 	select {
-	case q <- ingestJob{proto: proto, key: key, data: data, src: src, lease: lease}:
+	case q <- ingestJob{proto: proto, key: key, data: data, src: src, lease: lease, arrived: time.Now()}:
 	default:
 		dropped = true
 	}
@@ -783,21 +830,30 @@ func (e *Engine) ingestLoop(q chan ingestJob) {
 // receive buffer goes back to its pool before any routing happens.
 func (e *Engine) ingest(job ingestJob) {
 	codec := e.codecs[job.proto]
+	picked := time.Now()
+	nbytes := len(job.data)
 	msg, err := codec.Parser.Parse(job.data)
+	parsed := time.Now()
 	releaseJobLease(&job)
+	if !job.arrived.IsZero() {
+		e.stageHists[trace.StageRecv].Record(picked.Sub(job.arrived))
+	}
+	e.stageHists[trace.StageParse].Record(parsed.Sub(picked))
 	if err != nil {
 		e.bump(&e.ParseErrors)
 		e.tracker.WorkDone()
 		return
 	}
+	tm := ingestTiming{arrived: job.arrived, picked: picked, parsed: parsed, bytes: nbytes}
 	first := e.program[0]
 	if job.proto == first.Protocol && msg.Name == first.Message {
-		e.openSession(job, msg)
+		e.openSession(job, msg, tm)
 		return
 	}
 	// Route to a session awaiting this message on this protocol,
 	// preferring one opened by the same peer host.
 	if s := e.table.findAwaiting(job.proto, msg.Name, job.src.Addr.IP); s != nil {
+		s.recordIngest(tm)
 		e.enqueue(s, sessEvent{kind: evEntry, proto: job.proto, msg: msg, src: job.src})
 		return
 	}
@@ -815,13 +871,14 @@ func (e *Engine) ingest(job ingestJob) {
 // and started on its own goroutine, under a uniquified key when the
 // base key is taken. One session per initiator request, as in the
 // paper.
-func (e *Engine) openSession(job ingestJob, msg *message.Message) {
+func (e *Engine) openSession(job ingestJob, msg *message.Message, tm ingestTiming) {
 	key := job.key
 	sh := e.table.shardFor(key)
 	sh.mu.Lock()
 	if s, ok := sh.sessions[key]; ok {
 		if ak := s.await.Load(); ak != nil && ak.proto == job.proto && ak.msg == msg.Name {
 			if len(s.inbox) < inboxCap {
+				s.recordIngest(tm)
 				s.inbox <- sessEvent{kind: evEntry, proto: job.proto, msg: msg, src: job.src}
 				sh.mu.Unlock()
 			} else {
@@ -841,16 +898,16 @@ func (e *Engine) openSession(job ingestJob, msg *message.Message) {
 		key = fmt.Sprintf("%s#%d", key, seq)
 		sh = e.table.shardFor(key)
 		sh.mu.Lock()
-		e.admitLocked(sh, key, seq, msg, job.src)
+		e.admitLocked(sh, key, seq, msg, job.src, tm)
 		return
 	}
-	e.admitLocked(sh, key, e.sessionSeq.Add(1), msg, job.src)
+	e.admitLocked(sh, key, e.sessionSeq.Add(1), msg, job.src, tm)
 }
 
 // admitLocked creates and starts a session under key. The caller holds
 // sh.mu (the shard owning key) and a work token; both are released or
 // transferred on every path.
-func (e *Engine) admitLocked(sh *tableShard, key string, seq uint64, msg *message.Message, src netengine.Source) {
+func (e *Engine) admitLocked(sh *tableShard, key string, seq uint64, msg *message.Message, src netengine.Source, tm ingestTiming) {
 	switch State(e.state.Load()) {
 	case StateClosed:
 		sh.mu.Unlock()
@@ -883,7 +940,7 @@ func (e *Engine) admitLocked(sh *tableShard, key string, seq uint64, msg *messag
 		e.tracker.WorkDone()
 		return
 	}
-	s := newSession(e, key, seq, msg, src)
+	s := newSession(e, key, seq, msg, src, tm)
 	sh.sessions[key] = s
 	e.sessionWG.Add(1)
 	go s.run()
@@ -1019,6 +1076,12 @@ func (e *Engine) sessionDone(s *session, err error) {
 		stats.Duration = s.replyAt.Sub(s.start)
 	} else {
 		stats.Duration = end.Sub(s.start)
+	}
+	e.sessHist.Record(stats.Duration)
+	if err != nil {
+		// A failed session surfaces its flight-recorder dump so the
+		// failure can be diagnosed (and replayed) stage by stage.
+		stats.Trace = s.rec.Events()
 	}
 	// Removal and counter update happen under one lock so Stats never
 	// sees the session in neither Live nor Completed/Failed. Lock

@@ -12,6 +12,7 @@ import (
 	"starlink/internal/netapi"
 	"starlink/internal/netengine"
 	"starlink/internal/serrors"
+	"starlink/internal/trace"
 	"starlink/internal/translation"
 )
 
@@ -59,6 +60,9 @@ type sessEvent struct {
 	lease *netapi.Buffer
 	src   netengine.Source
 	gen   uint64
+	// arrived is the wall-clock arrival time of an evData payload at
+	// its requester callback — the origin of its recv-stage sample.
+	arrived time.Time
 	// rerouted marks an entry event already forwarded once by a
 	// session that had moved past the awaited state (no second hop).
 	rerouted bool
@@ -119,12 +123,19 @@ type session struct {
 	// seeded per session so concurrent sessions never share a stream.
 	rng *rand.Rand
 
+	// rec is the session's flight recorder — nil when disabled
+	// (WithTraceRing(0)). Set once before the session is published in
+	// the table and never reassigned, so cross-goroutine writers (the
+	// ingest worker recording recv/parse of a rendezvous delivery) see
+	// it without locking; the recorder itself is wait-free.
+	rec *trace.Recorder
+
 	start    time.Time
 	replyAt  time.Time
 	finished bool
 }
 
-func newSession(e *Engine, key string, seq uint64, first *message.Message, src netengine.Source) *session {
+func newSession(e *Engine, key string, seq uint64, first *message.Message, src netengine.Source, tm ingestTiming) *session {
 	s := &session{
 		e:            e,
 		key:          key,
@@ -143,9 +154,34 @@ func newSession(e *Engine, key string, seq uint64, first *message.Message, src n
 	if e.windowJitter > 0 {
 		s.rng = rand.New(rand.NewSource(e.jitterSeed + int64(s.seq)*0x9E3779B9))
 	}
+	if e.traceRing > 0 {
+		// Epoch is the initiating payload's listener arrival, so every
+		// event offset reads as time-into-session.
+		epoch := tm.arrived
+		if epoch.IsZero() {
+			epoch = time.Now()
+		}
+		s.rec = trace.New(e.traceRing, epoch)
+		s.recordIngest(tm)
+	}
 	s.entrySources[e.program[0].Protocol] = src
 	s.store(first)
 	return s
+}
+
+// recordIngest notes the recv and parse boundaries an ingest worker
+// measured for a payload delivered to this session. Safe from any
+// goroutine: the recorder is wait-free and nil-safe.
+func (s *session) recordIngest(tm ingestTiming) {
+	if s.rec == nil {
+		return
+	}
+	if !tm.picked.IsZero() {
+		s.rec.RecordAt(trace.StageRecv, trace.OutcomeOK, tm.picked, tm.bytes)
+	}
+	if !tm.parsed.IsZero() {
+		s.rec.RecordAt(trace.StageParse, trace.OutcomeOK, tm.parsed, tm.bytes)
+	}
 }
 
 // run is the session goroutine: it consumes inbox and timer events
@@ -235,17 +271,27 @@ func (s *session) handle(ev sessEvent) {
 		s.deliver(ev.proto, ev.msg)
 	case evData:
 		codec := s.e.codecs[ev.proto]
+		picked := time.Now()
+		nbytes := len(ev.data)
 		msg, err := codec.Parser.Parse(ev.data)
+		parsed := time.Now()
 		if ev.lease != nil {
 			// The parse copied everything it kept: the receive buffer
 			// goes straight back to its pool.
 			ev.lease.Release()
 			ev.lease = nil
 		}
+		if !ev.arrived.IsZero() {
+			s.e.stageHists[trace.StageRecv].Record(picked.Sub(ev.arrived))
+			s.rec.RecordAt(trace.StageRecv, trace.OutcomeOK, picked, nbytes)
+		}
+		s.e.stageHists[trace.StageParse].Record(parsed.Sub(picked))
 		if err != nil {
+			s.rec.RecordAt(trace.StageParse, trace.OutcomeErr, parsed, nbytes)
 			s.e.bump(&s.e.ParseErrors)
 			return
 		}
+		s.rec.RecordAt(trace.StageParse, trace.OutcomeOK, parsed, nbytes)
 		s.deliver(ev.proto, msg)
 	case evTimer:
 		if !s.timerSet || ev.gen != s.timerGen {
@@ -287,10 +333,15 @@ func (s *session) advance() {
 		step := s.e.program[s.pc]
 		switch step.Kind {
 		case merge.StepDelta:
-			if err := s.runDelta(step); err != nil {
+			t0 := time.Now()
+			err := s.runDelta(step)
+			s.e.stageHists[trace.StageTransition].Record(time.Since(t0))
+			if err != nil {
+				s.rec.Record(trace.StageTransition, trace.OutcomeErr, 0)
 				s.e.sessionDone(s, err)
 				return
 			}
+			s.rec.Record(trace.StageTransition, trace.OutcomeOK, 0)
 			s.pc++
 		case merge.StepSend:
 			if err := s.runSend(step); err != nil {
@@ -331,22 +382,34 @@ func (s *session) runDelta(step merge.Step) error {
 	return nil
 }
 
-// runSend builds, translates, composes and transmits a message.
+// runSend builds, translates, composes and transmits a message, timing
+// each of the three stages into the engine's histograms and the
+// session's flight recorder.
 func (s *session) runSend(step merge.Step) error {
 	codec := s.e.codecs[step.Protocol]
 	// Pooled: the composed message joins the session history and is
 	// recycled with it at cleanup.
 	out := message.NewPooled(step.Protocol, step.Message)
 	env := translation.Env{Lookup: s.lookup, Vars: s.e.vars}
-	if err := s.e.merged.Logic.Apply(out, env, s.e.tfuncs); err != nil {
+	t0 := time.Now()
+	err := s.e.merged.Logic.Apply(out, env, s.e.tfuncs)
+	t1 := time.Now()
+	s.e.stageHists[trace.StageTranslate].Record(t1.Sub(t0))
+	if err != nil {
 		out.Release() // never joined the history
+		s.rec.RecordAt(trace.StageTranslate, trace.OutcomeErr, t1, 0)
 		return err
 	}
+	s.rec.RecordAt(trace.StageTranslate, trace.OutcomeOK, t1, 0)
 	wire, err := codec.Composer.Compose(out)
+	t2 := time.Now()
+	s.e.stageHists[trace.StageCompose].Record(t2.Sub(t1))
 	if err != nil {
 		out.Release()
+		s.rec.RecordAt(trace.StageCompose, trace.OutcomeErr, t2, 0)
 		return err
 	}
+	s.rec.RecordAt(trace.StageCompose, trace.OutcomeOK, t2, len(wire))
 	s.store(out) // sent instances join the history (⇒ over sends)
 
 	if step.ReplyToOrigin {
@@ -354,9 +417,13 @@ func (s *session) runSend(step merge.Step) error {
 		if !ok {
 			src = s.origin
 		}
-		if err := src.Reply(wire); err != nil {
+		err := src.Reply(wire)
+		s.e.stageHists[trace.StageSend].Record(time.Since(t2))
+		if err != nil {
+			s.rec.Record(trace.StageSend, trace.OutcomeErr, len(wire))
 			return fmt.Errorf("engine: reply: %w", err)
 		}
+		s.rec.Record(trace.StageSend, trace.OutcomeOK, len(wire))
 		if s.replyAt.IsZero() && step.Protocol == s.e.merged.Initiator {
 			s.replyAt = s.e.node.Now()
 		}
@@ -369,7 +436,7 @@ func (s *session) runSend(step merge.Step) error {
 		proto := step.Protocol
 		r, err = s.e.net.NewRequester(step.Color, dest, codec.Framer, func(data []byte, src netengine.Source, lease *netapi.Buffer) {
 			s.e.tracker.WorkAdd()
-			s.e.enqueue(s, sessEvent{kind: evData, proto: proto, data: data, lease: lease})
+			s.e.enqueue(s, sessEvent{kind: evData, proto: proto, data: data, lease: lease, arrived: time.Now()})
 		})
 		if err != nil {
 			return err
@@ -379,9 +446,13 @@ func (s *session) runSend(step merge.Step) error {
 			s.e.egress.Add(r.LocalAddr())
 		}
 	}
-	if err := r.Send(wire); err != nil {
-		return fmt.Errorf("engine: send: %w", err)
+	sendErr := r.Send(wire)
+	s.e.stageHists[trace.StageSend].Record(time.Since(t2))
+	if sendErr != nil {
+		s.rec.Record(trace.StageSend, trace.OutcomeErr, len(wire))
+		return fmt.Errorf("engine: send: %w", sendErr)
 	}
+	s.rec.Record(trace.StageSend, trace.OutcomeOK, len(wire))
 	return nil
 }
 
@@ -442,6 +513,7 @@ func (s *session) clearWait() {
 
 func (s *session) deliver(proto string, msg *message.Message) {
 	if s.waitProto != proto || s.waitMsg != msg.Name {
+		s.rec.Record(trace.StageRecv, trace.OutcomeDrop, 0)
 		s.e.bump(&s.e.Ignored)
 		// Freshly parsed on this goroutine and never stored: recycle.
 		msg.Release()

@@ -104,6 +104,21 @@ func (t *sessionTable) findAwaiting(proto, msg, ip string) *session {
 	return fallback
 }
 
+// each visits every registered session under its shard's read lock.
+// fn must be fast and must only touch the session's published state
+// (immutable fields and the wait-free recorder), never its
+// goroutine-confined fields.
+func (t *sessionTable) each(fn func(*session)) {
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.sessions {
+			fn(s)
+		}
+		sh.mu.RUnlock()
+	}
+}
+
 // live counts registered sessions.
 func (t *sessionTable) live() int {
 	n := 0

@@ -215,11 +215,19 @@ func NewResponder(node netapi.Node, name, url string, opts ...ResponderOption) (
 	for _, o := range opts {
 		o(r)
 	}
-	sock, err := node.JoinGroup(netapi.Addr{IP: Group, Port: Port}, r.onPacket)
+	// The read loop may dispatch a packet before this constructor
+	// finishes; the barrier orders the r.sock publication (and every
+	// earlier field write) before the first onPacket runs.
+	ready := make(chan struct{})
+	sock, err := node.JoinGroup(netapi.Addr{IP: Group, Port: Port}, func(pkt netapi.Packet) {
+		<-ready
+		r.onPacket(pkt)
+	})
 	if err != nil {
 		return nil, fmt.Errorf("dnssd: responder: %w", err)
 	}
 	r.sock = sock
+	close(ready)
 	return r, nil
 }
 

@@ -45,11 +45,19 @@ func NewServiceAgent(node netapi.Node, serviceType, url string, opts ...ServiceA
 		o(sa)
 	}
 	group := netapi.Addr{IP: Group, Port: Port}
-	sock, err := node.JoinGroup(group, sa.onPacket)
+	// The read loop may dispatch a packet before this constructor
+	// finishes; the barrier orders the sa.sock publication (and every
+	// earlier field write) before the first onPacket runs.
+	ready := make(chan struct{})
+	sock, err := node.JoinGroup(group, func(pkt netapi.Packet) {
+		<-ready
+		sa.onPacket(pkt)
+	})
 	if err != nil {
 		return nil, fmt.Errorf("slp: service agent: %w", err)
 	}
 	sa.sock = sock
+	close(ready)
 	return sa, nil
 }
 

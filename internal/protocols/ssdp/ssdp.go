@@ -138,11 +138,19 @@ func NewDevice(node netapi.Node, st, location, usn string, opts ...DeviceOption)
 	for _, o := range opts {
 		o(d)
 	}
-	sock, err := node.JoinGroup(netapi.Addr{IP: Group, Port: Port}, d.onPacket)
+	// The read loop may dispatch a packet before this constructor
+	// finishes; the barrier orders the d.sock publication (and every
+	// earlier field write) before the first onPacket runs.
+	ready := make(chan struct{})
+	sock, err := node.JoinGroup(netapi.Addr{IP: Group, Port: Port}, func(pkt netapi.Packet) {
+		<-ready
+		d.onPacket(pkt)
+	})
 	if err != nil {
 		return nil, fmt.Errorf("ssdp: device: %w", err)
 	}
 	d.sock = sock
+	close(ready)
 	return d, nil
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"starlink/internal/automata"
 	"starlink/internal/engine"
+	"starlink/internal/hist"
 	"starlink/internal/message"
 	"starlink/internal/netapi"
 	"starlink/internal/netengine"
@@ -235,8 +236,14 @@ type Dispatcher struct {
 	listeners map[string]*listener // by color key
 	closed    bool
 	// final snapshots each case's engine counters at Close so Stats
-	// (and the public Metrics) stay truthful on a closed dispatcher.
-	final map[string]engine.Counters
+	// (and the public Metrics) stay truthful on a closed dispatcher;
+	// finalLatency does the same for the staged latency histograms.
+	final        map[string]engine.Counters
+	finalLatency map[string]engine.LatencyDump
+
+	// classifyHists time the classification decision itself, split by
+	// path: [0] the signature-index fast path, [1] trial parsing.
+	classifyHists [2]*hist.Histogram
 
 	// obsMu serialises hook invocations made by the dispatcher itself
 	// (classification, dispatcher-level drops); per-engine callbacks
@@ -259,6 +266,9 @@ func NewDispatcher(reg *registry.Registry, node netapi.Node, opts ...Option) *Di
 		listeners: map[string]*listener{},
 		ctx:       context.Background(),
 		quit:      make(chan struct{}),
+	}
+	for i := range d.classifyHists {
+		d.classifyHists[i] = &hist.Histogram{}
 	}
 	for _, o := range opts {
 		o(d)
@@ -633,10 +643,17 @@ func (d *Dispatcher) dispatch(colorKey string, data []byte, src netengine.Source
 	var matches []match
 	var anyClassified bool
 	fast := sigOK && !d.trialParseOnly
+	t0 := time.Now()
 	if fast {
 		matches, anyClassified = d.classifyFast(points, sigs, data, src.Addr.IP)
 	} else {
 		matches, anyClassified = d.classifySlow(points, data, src.Addr.IP)
+	}
+	classifyDur := time.Since(t0)
+	if fast {
+		d.classifyHists[0].Record(classifyDur)
+	} else {
+		d.classifyHists[1].Record(classifyDur)
 	}
 
 	d.statsMu.Lock()
@@ -661,6 +678,9 @@ func (d *Dispatcher) dispatch(colorKey string, data []byte, src netengine.Source
 		d.counters.Ambiguous++
 	}
 	d.statsMu.Unlock()
+	// The chosen case owns the per-case classify histogram: the
+	// dispatcher measured the decision, the engine files it.
+	chosen.pt.dep.eng.RecordClassify(classifyDur)
 	ev := ClassifyEvent{
 		Case:     chosen.pt.dep.name,
 		Protocol: chosen.pt.proto,
@@ -854,6 +874,51 @@ func (d *Dispatcher) DispatchStats() DispatchCounters {
 	return d.counters
 }
 
+// Latency snapshots the per-case staged latency histograms. After
+// Close it keeps returning the final dumps captured at teardown,
+// mirroring Stats.
+func (d *Dispatcher) Latency() map[string]engine.LatencyDump {
+	d.mu.RLock()
+	deps := make([]*deployment, 0, len(d.deployed))
+	for _, dep := range d.deployed {
+		deps = append(deps, dep)
+	}
+	final := d.finalLatency
+	d.mu.RUnlock()
+	out := make(map[string]engine.LatencyDump, len(deps)+len(final))
+	for name, l := range final {
+		out[name] = l
+	}
+	for _, dep := range deps {
+		out[dep.name] = dep.eng.Latency()
+	}
+	return out
+}
+
+// ClassifyLatency snapshots the classification-decision histograms for
+// the signature fast path and the trial-parse slow path.
+func (d *Dispatcher) ClassifyLatency() (fast, slow hist.Snapshot) {
+	return d.classifyHists[0].Snapshot(), d.classifyHists[1].Snapshot()
+}
+
+// LiveSessions lists each deployed case's currently registered
+// sessions. Closed cases contribute nothing (their sessions are gone).
+func (d *Dispatcher) LiveSessions() map[string][]engine.LiveSession {
+	d.mu.RLock()
+	deps := make([]*deployment, 0, len(d.deployed))
+	for _, dep := range d.deployed {
+		deps = append(deps, dep)
+	}
+	d.mu.RUnlock()
+	out := make(map[string][]engine.LiveSession, len(deps))
+	for _, dep := range deps {
+		if ls := dep.eng.LiveSessions(); len(ls) > 0 {
+			out[dep.name] = ls
+		}
+	}
+	return out
+}
+
 // Node returns the bridge host node.
 func (d *Dispatcher) Node() netapi.Node { return d.node }
 
@@ -885,18 +950,24 @@ func (d *Dispatcher) Close() error {
 	// true final counters (teardown failures included) once closeAll
 	// returns.
 	provisional := make(map[string]engine.Counters, len(deps))
+	provisionalLat := make(map[string]engine.LatencyDump, len(deps))
 	for _, dep := range deps {
 		provisional[dep.name] = dep.eng.Stats()
+		provisionalLat[dep.name] = dep.eng.Latency()
 	}
 	d.final = provisional
+	d.finalLatency = provisionalLat
 	d.mu.Unlock()
 	d.closeAll(deps, closers)
 	final := make(map[string]engine.Counters, len(deps))
+	finalLat := make(map[string]engine.LatencyDump, len(deps))
 	for _, dep := range deps {
 		final[dep.name] = dep.eng.Stats()
+		finalLat[dep.name] = dep.eng.Latency()
 	}
 	d.mu.Lock()
 	d.final = final
+	d.finalLatency = finalLat
 	d.mu.Unlock()
 	if d.ownsNode {
 		return d.node.Close()

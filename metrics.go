@@ -1,9 +1,40 @@
 package starlink
 
 import (
+	"time"
+
 	"starlink/internal/engine"
+	"starlink/internal/hist"
 	"starlink/internal/provision"
+	"starlink/internal/trace"
 )
+
+// LatencyBucket is one cumulative histogram bucket: Count samples were
+// ≤ UpperBound. Buckets nest Prometheus-style — each Count includes
+// every smaller bucket's samples.
+type LatencyBucket struct {
+	UpperBound time.Duration
+	Count      uint64
+}
+
+// StageLatency summarises the latency distribution of one pipeline
+// stage (or of whole sessions, for the "session" row). Quantiles are
+// log-linear histogram estimates with ≤6.25% relative error; Buckets
+// is the fixed cumulative ladder the Prometheus exposition uses,
+// exact at every bound.
+type StageLatency struct {
+	// Stage names the pipeline stage: "classify", "recv", "parse",
+	// "transition", "translate", "compose", "send", or "session" for
+	// the whole-session distribution (the paper's §VI translation time).
+	Stage string
+	// Count and Sum accumulate over all recorded samples.
+	Count uint64
+	Sum   time.Duration
+	// P50, P90 and P99 are quantile estimates (upper bucket bounds).
+	P50, P90, P99 time.Duration
+	// Buckets is the cumulative distribution over the fixed ladder.
+	Buckets []LatencyBucket
+}
 
 // SessionMetrics is a consistent snapshot of one deployment's (or one
 // case's) session counters.
@@ -66,6 +97,10 @@ type DispatchMetrics struct {
 	// (no parsing); SlowPath counts trial-parse classifications.
 	FastPath int
 	SlowPath int
+	// FastPathLatency and SlowPathLatency are the latency distributions
+	// of the classification decision itself, split by path.
+	FastPathLatency StageLatency
+	SlowPathLatency StageLatency
 }
 
 // Metrics is one deployment's full observability snapshot: lifecycle
@@ -83,6 +118,13 @@ type Metrics struct {
 	Dispatch DispatchMetrics
 	// Cases breaks the session counters down per hosted case.
 	Cases map[string]SessionMetrics
+	// Latency aggregates the staged latency distributions across every
+	// case: one row per pipeline stage in pipeline order, then the
+	// "session" row (whole-session durations).
+	Latency []StageLatency
+	// CaseLatency breaks the staged latency distributions down per
+	// hosted case, same row layout as Latency.
+	CaseLatency map[string][]StageLatency
 }
 
 // sessionMetricsOf converts engine counters to the public form.
@@ -97,6 +139,36 @@ func sessionMetricsOf(c engine.Counters) SessionMetrics {
 		ParseErrors:   c.ParseErrors,
 		Ignored:       c.Ignored,
 	}
+}
+
+// stageLatencyOf converts one histogram snapshot to the public form.
+func stageLatencyOf(stage string, s hist.Snapshot) StageLatency {
+	ladder := hist.Ladder()
+	cum := s.Cumulative(ladder)
+	buckets := make([]LatencyBucket, len(ladder))
+	for i, b := range ladder {
+		buckets[i] = LatencyBucket{UpperBound: b, Count: cum[i]}
+	}
+	return StageLatency{
+		Stage:   stage,
+		Count:   s.Count,
+		Sum:     s.Sum,
+		P50:     s.Quantile(0.50),
+		P90:     s.Quantile(0.90),
+		P99:     s.Quantile(0.99),
+		Buckets: buckets,
+	}
+}
+
+// latencyRowsOf converts an engine latency dump to the public rows:
+// the pipeline stages in order, then the "session" row.
+func latencyRowsOf(d engine.LatencyDump) []StageLatency {
+	rows := make([]StageLatency, 0, trace.NumStages+1)
+	for i := range d.Stages {
+		rows = append(rows, stageLatencyOf(trace.Stage(i).String(), d.Stages[i]))
+	}
+	rows = append(rows, stageLatencyOf("session", d.Session))
+	return rows
 }
 
 // dispatchMetricsOf converts dispatcher counters to the public form.

@@ -7,7 +7,83 @@ import (
 	"starlink/internal/engine"
 	"starlink/internal/netapi"
 	"starlink/internal/provision"
+	"starlink/internal/trace"
 )
+
+// TraceEvent is one flight-recorder entry: a pipeline stage boundary
+// the session crossed. Stage is one of "classify", "recv", "parse",
+// "transition", "translate", "compose", "send"; Outcome is "ok", "err"
+// or "drop"; At is the offset from the arrival of the session's
+// initiating payload; Bytes is the payload size where meaningful
+// (ingress and egress stages), zero otherwise.
+type TraceEvent struct {
+	Stage   string
+	At      time.Duration
+	Bytes   int
+	Outcome string
+}
+
+// FormatTrace renders a flight-recorder trace in its compact one-line
+// text form, one "stage@offsetns+bytes=outcome" token per event,
+// ';'-separated. The form round-trips exactly through ParseTrace.
+func FormatTrace(evs []TraceEvent) string {
+	return trace.FormatEvents(traceInternal(evs))
+}
+
+// ParseTrace parses the compact text form produced by FormatTrace.
+// An empty string parses to no events.
+func ParseTrace(s string) ([]TraceEvent, error) {
+	evs, err := trace.ParseEvents(s)
+	if err != nil {
+		return nil, err
+	}
+	return traceEventsOf(evs), nil
+}
+
+// traceEventsOf converts internal recorder events to the public form.
+func traceEventsOf(evs []trace.Event) []TraceEvent {
+	if len(evs) == 0 {
+		return nil
+	}
+	out := make([]TraceEvent, len(evs))
+	for i, ev := range evs {
+		out[i] = TraceEvent{
+			Stage:   ev.Stage.String(),
+			At:      ev.At,
+			Bytes:   ev.Bytes,
+			Outcome: ev.Outcome.String(),
+		}
+	}
+	return out
+}
+
+// traceInternal converts public trace events back to the internal
+// form; unknown stage or outcome names are preserved as the recorder's
+// "unknown" values so FormatTrace stays total.
+func traceInternal(evs []TraceEvent) []trace.Event {
+	if len(evs) == 0 {
+		return nil
+	}
+	out := make([]trace.Event, len(evs))
+	for i, ev := range evs {
+		st := trace.Stage(trace.NumStages)
+		for s := trace.Stage(0); int(s) < trace.NumStages; s++ {
+			if s.String() == ev.Stage {
+				st = s
+				break
+			}
+		}
+		o := trace.Outcome(3)
+		for c := trace.Outcome(0); c < 3; c++ {
+			if c.String() == ev.Outcome {
+				o = c
+				break
+			}
+		}
+		out[i] = trace.Event{Stage: st, Outcome: o, At: ev.At, Bytes: ev.Bytes}
+	}
+	return out
+}
 
 // SessionStart announces an admitted session.
 type SessionStart struct {
@@ -40,6 +116,11 @@ type SessionStats struct {
 	Duration time.Duration
 	// Err is non-nil when the session failed.
 	Err error
+	// Trace is the session's flight-recorder dump: the stage boundaries
+	// it crossed, oldest first. Populated only when the session failed
+	// (Err != nil) and the deployment's flight recorder is enabled (it
+	// is by default; see WithFlightRecorder). Render with FormatTrace.
+	Trace []TraceEvent
 }
 
 // Classification describes one entry payload classified by a
@@ -180,6 +261,11 @@ func (h Hooks) OnDrop(e Drop) {
 // is the single point where all of a deployment's event sources
 // converge. It also latches the undeploy notification so a bridge
 // closed twice notifies once.
+//
+// obs is immutable after the chain is built (deployConfig collects
+// observers before deployment), so the empty-chain fast path reads the
+// length without taking the mutex: an empty chain costs a single
+// branch on the hot path, no lock traffic.
 type observerChain struct {
 	obs  []Observer
 	mu   sync.Mutex
@@ -187,6 +273,9 @@ type observerChain struct {
 }
 
 func (c *observerChain) OnSessionStart(e SessionStart) {
+	if len(c.obs) == 0 {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, o := range c.obs {
@@ -195,6 +284,9 @@ func (c *observerChain) OnSessionStart(e SessionStart) {
 }
 
 func (c *observerChain) OnSessionEnd(e SessionStats) {
+	if len(c.obs) == 0 {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, o := range c.obs {
@@ -203,6 +295,9 @@ func (c *observerChain) OnSessionEnd(e SessionStats) {
 }
 
 func (c *observerChain) OnClassify(e Classification) {
+	if len(c.obs) == 0 {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, o := range c.obs {
@@ -211,6 +306,9 @@ func (c *observerChain) OnClassify(e Classification) {
 }
 
 func (c *observerChain) OnDeploy(e CaseEvent) {
+	if len(c.obs) == 0 {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, o := range c.obs {
@@ -219,6 +317,9 @@ func (c *observerChain) OnDeploy(e CaseEvent) {
 }
 
 func (c *observerChain) OnUndeploy(e CaseEvent) {
+	if len(c.obs) == 0 {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, o := range c.obs {
@@ -227,6 +328,9 @@ func (c *observerChain) OnUndeploy(e CaseEvent) {
 }
 
 func (c *observerChain) OnDrop(e Drop) {
+	if len(c.obs) == 0 {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, o := range c.obs {
@@ -248,19 +352,31 @@ func statsOf(caseName string, s engine.SessionStats) SessionStats {
 		End:      s.End,
 		Duration: s.Duration,
 		Err:      s.Err,
+		Trace:    traceEventsOf(s.Trace),
 	}
 }
 
-// bridgeHooks wires the observer chain into a single-case engine.
+// bridgeHooks wires the observer chain into a single-case engine. Each
+// callback checks for an empty chain before building its event so the
+// Addr→string conversions are never paid without an observer attached.
 func bridgeHooks(caseName string, chain *observerChain) engine.Hooks {
 	return engine.Hooks{
 		SessionStart: func(origin netapi.Addr, at time.Time) {
+			if len(chain.obs) == 0 {
+				return
+			}
 			chain.OnSessionStart(SessionStart{Case: caseName, Origin: origin.String(), At: at})
 		},
 		SessionEnd: func(s engine.SessionStats) {
+			if len(chain.obs) == 0 {
+				return
+			}
 			chain.OnSessionEnd(statsOf(caseName, s))
 		},
 		Drop: func(origin netapi.Addr, reason error) {
+			if len(chain.obs) == 0 {
+				return
+			}
 			chain.OnDrop(Drop{Case: caseName, Origin: origin.String(), Reason: reason})
 		},
 	}
@@ -277,12 +393,21 @@ func dispatcherHooks(chain *observerChain) provision.Hooks {
 			chain.OnUndeploy(CaseEvent{Case: caseName})
 		},
 		SessionStart: func(caseName string, origin netapi.Addr, at time.Time) {
+			if len(chain.obs) == 0 {
+				return
+			}
 			chain.OnSessionStart(SessionStart{Case: caseName, Origin: origin.String(), At: at})
 		},
 		SessionEnd: func(caseName string, s engine.SessionStats) {
+			if len(chain.obs) == 0 {
+				return
+			}
 			chain.OnSessionEnd(statsOf(caseName, s))
 		},
 		Classified: func(ev provision.ClassifyEvent) {
+			if len(chain.obs) == 0 {
+				return
+			}
 			chain.OnClassify(Classification{
 				Case:       ev.Case,
 				Protocol:   ev.Protocol,
@@ -295,6 +420,9 @@ func dispatcherHooks(chain *observerChain) provision.Hooks {
 			})
 		},
 		Dropped: func(caseName string, origin netapi.Addr, reason error) {
+			if len(chain.obs) == 0 {
+				return
+			}
 			chain.OnDrop(Drop{Case: caseName, Origin: origin.String(), Reason: reason})
 		},
 	}

@@ -166,6 +166,18 @@ func WithObserver(o Observer) Option {
 	}}
 }
 
+// WithFlightRecorder sizes each session's flight-recorder ring in
+// events (rounded up to a power of two, clamped to [4, 4096]). The
+// default is 64 events per session; 0 disables recording entirely,
+// leaving roughly one atomic load per stage boundary. Negative values
+// keep the default. Latency histograms are unaffected — they are
+// always on.
+func WithFlightRecorder(events int) Option {
+	return Option{name: "WithFlightRecorder", apply: func(c *deployConfig) {
+		c.engOpts = append(c.engOpts, engine.WithTraceRing(events))
+	}}
+}
+
 // WithTrialParseOnly disables the dispatcher's signature-index fast
 // path: every payload is classified by trial-parsing against the
 // candidate entry parsers. For diagnostics and for benchmarking the

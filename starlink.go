@@ -56,6 +56,20 @@
 // read consistent counter snapshots at any time with
 // Deployment.Metrics().
 //
+// Three deeper surfaces sit underneath the counters. Every session
+// carries a flight recorder — a fixed-size, allocation-free ring of
+// pipeline stage events (stage, offset from arrival, bytes, outcome)
+// recorded at each stage boundary; a failed session's trace is dumped
+// into SessionStats.Trace, live traces are visible through
+// Deployment.Sessions, and WithFlightRecorder sizes or disables the
+// ring. Every stage also feeds lock-free staged latency histograms,
+// surfaced as quantile-and-bucket rows in Metrics.Latency (aggregate)
+// and Metrics.CaseLatency (per case). And a Collector turns any set of
+// deployments into an HTTP surface: Prometheus text exposition on
+// /metrics and live debug pages (sessions, per-case breakdowns, trace
+// dumps) under /debug/starlink/ — see cmd/starlinkd for the wired-up
+// daemon.
+//
 // # Concurrency model
 //
 // The Automata Engine is a concurrent session runtime. Each initiator
@@ -79,6 +93,8 @@ package starlink
 import (
 	"context"
 	"fmt"
+	"sort"
+	"time"
 
 	"starlink/internal/core"
 	"starlink/internal/engine"
@@ -132,16 +148,32 @@ func stateOf(s engine.State) State {
 	}
 }
 
+// SessionInfo describes one currently live session: the case bridging
+// it, its session-table key, the initiating client's address, when it
+// started, and — when the flight recorder is enabled — the trace
+// recorded so far.
+type SessionInfo struct {
+	Case   string
+	Key    string
+	Origin string
+	Start  time.Time
+	Trace  []TraceEvent
+}
+
 // Deployment is the management surface shared by every deployed
 // connector — single-case bridges and multi-case dispatchers alike:
-// lifecycle state, a consistent metrics snapshot, graceful drain and
-// immediate teardown.
+// lifecycle state, a consistent metrics snapshot, live session
+// inspection, graceful drain and immediate teardown.
 type Deployment interface {
 	// State returns the deployment's lifecycle state.
 	State() State
 	// Metrics returns a consistent snapshot of the deployment's
-	// counters.
+	// counters and staged latency distributions.
 	Metrics() Metrics
+	// Sessions lists the currently live sessions, oldest first within
+	// each case. Safe from any goroutine while sessions run; a live
+	// trace may show an event mid-overwrite.
+	Sessions() []SessionInfo
 	// Shutdown drains gracefully: no new sessions, live ones run to
 	// completion or until ctx expires, then everything is released.
 	Shutdown(ctx context.Context) error
@@ -262,14 +294,34 @@ func (b *Bridge) Case() string { return b.b.Case }
 func (b *Bridge) State() State { return stateOf(b.b.Engine.State()) }
 
 // Metrics returns a consistent snapshot of the bridge's session
-// counters. The Dispatch section is zero for a single-case bridge.
+// counters and staged latency distributions. The Dispatch section is
+// zero for a single-case bridge.
 func (b *Bridge) Metrics() Metrics {
 	s := sessionMetricsOf(b.b.Engine.Stats())
+	lat := latencyRowsOf(b.b.Engine.Latency())
 	return Metrics{
-		State:    b.State(),
-		Sessions: s,
-		Cases:    map[string]SessionMetrics{b.b.Case: s},
+		State:       b.State(),
+		Sessions:    s,
+		Cases:       map[string]SessionMetrics{b.b.Case: s},
+		Latency:     lat,
+		CaseLatency: map[string][]StageLatency{b.b.Case: lat},
 	}
+}
+
+// Sessions lists the bridge's currently live sessions, oldest first.
+func (b *Bridge) Sessions() []SessionInfo {
+	ls := b.b.Engine.LiveSessions()
+	out := make([]SessionInfo, len(ls))
+	for i, s := range ls {
+		out[i] = SessionInfo{
+			Case:   b.b.Case,
+			Key:    s.Key,
+			Origin: s.Origin.String(),
+			Start:  s.Start,
+			Trace:  traceEventsOf(s.Trace),
+		}
+	}
+	return out
 }
 
 // Shutdown drains the bridge gracefully: no new sessions are admitted
@@ -323,20 +375,55 @@ func (d *Dispatcher) Sync() error { return d.d.Sync() }
 func (d *Dispatcher) State() State { return stateOf(d.d.State()) }
 
 // Metrics returns a consistent snapshot of the dispatcher's counters:
-// per-case session metrics, their aggregate, and the classification
-// counters of the shared entry listeners.
+// per-case session metrics and staged latency distributions, their
+// aggregates, and the classification counters and latencies of the
+// shared entry listeners.
 func (d *Dispatcher) Metrics() Metrics {
 	m := Metrics{
-		State:    d.State(),
-		Dispatch: dispatchMetricsOf(d.d.DispatchStats()),
-		Cases:    map[string]SessionMetrics{},
+		State:       d.State(),
+		Dispatch:    dispatchMetricsOf(d.d.DispatchStats()),
+		Cases:       map[string]SessionMetrics{},
+		CaseLatency: map[string][]StageLatency{},
 	}
 	for name, st := range d.d.Stats() {
 		s := sessionMetricsOf(st)
 		m.Cases[name] = s
 		m.Sessions = m.Sessions.add(s)
 	}
+	var agg engine.LatencyDump
+	for name, ld := range d.d.Latency() {
+		m.CaseLatency[name] = latencyRowsOf(ld)
+		agg.Merge(ld)
+	}
+	m.Latency = latencyRowsOf(agg)
+	fast, slow := d.d.ClassifyLatency()
+	m.Dispatch.FastPathLatency = stageLatencyOf("classify", fast)
+	m.Dispatch.SlowPathLatency = stageLatencyOf("classify", slow)
 	return m
+}
+
+// Sessions lists the dispatcher's currently live sessions across every
+// hosted case, grouped by case name (sorted), oldest first within each.
+func (d *Dispatcher) Sessions() []SessionInfo {
+	byCase := d.d.LiveSessions()
+	names := make([]string, 0, len(byCase))
+	for name := range byCase {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []SessionInfo
+	for _, name := range names {
+		for _, s := range byCase[name] {
+			out = append(out, SessionInfo{
+				Case:   name,
+				Key:    s.Key,
+				Origin: s.Origin.String(),
+				Start:  s.Start,
+				Trace:  traceEventsOf(s.Trace),
+			})
+		}
+	}
+	return out
 }
 
 // Shutdown drains the dispatcher gracefully: every hosted case stops
