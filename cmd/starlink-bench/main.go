@@ -13,13 +13,22 @@
 // parallel dispatch (PR 5) scaling with cores instead of with one
 // dispatcher mutex.
 //
+// -table o runs the overload-protection scenario (PR 8): a mixed
+// control/data/telemetry flood paced at -overload-factor times the
+// consumer's calibrated service rate against the lane-prioritized
+// bounded queue, reporting per-lane admission/shed counters, the
+// watermark pause count, and control-lane latency against an
+// uncontended baseline run.
+//
 // Usage:
 //
-//	starlink-bench [-table a|b|both|p|i] [-iters 100] [-seed 1]
+//	starlink-bench [-table a|b|both|p|i|o] [-iters 100] [-seed 1]
 //	               [-latency-hist]
 //	               [-parallel-units 64] [-parallel-clients 16]
 //	               [-ingest-endpoints 8] [-ingest-senders 32]
 //	               [-ingest-packets 50000]
+//	               [-overload-packets 4000] [-overload-senders 8]
+//	               [-overload-factor 4]
 //	               [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -latency-hist renders each measured row of tables 12(a)/12(b) as a
@@ -42,6 +51,7 @@ import (
 
 	"starlink/internal/bench"
 	"starlink/internal/hist"
+	"starlink/internal/lanes"
 )
 
 func main() {
@@ -52,7 +62,7 @@ func main() {
 }
 
 func run() int {
-	table := flag.String("table", "both", "which table to run: a, b, both, p (parallel throughput) or i (ingest saturation)")
+	table := flag.String("table", "both", "which table to run: a, b, both, p (parallel throughput), i (ingest saturation) or o (overload protection)")
 	iters := flag.Int("iters", 100, "iterations per row (the paper used 100)")
 	latencyHist := flag.Bool("latency-hist", false, "render each table row as a latency histogram (p50/p90/p99 + bucket ladder)")
 	seed := flag.Int64("seed", 1, "base RNG seed (results are deterministic per seed)")
@@ -61,6 +71,9 @@ func run() int {
 	iendpoints := flag.Int("ingest-endpoints", 8, "receiver UDP endpoints in -table i")
 	isenders := flag.Int("ingest-senders", 32, "concurrent senders in -table i")
 	ipackets := flag.Int("ingest-packets", 50000, "datagrams pushed through the ingress in -table i")
+	opackets := flag.Int("overload-packets", 4000, "datagrams in the -table o flood")
+	osenders := flag.Int("overload-senders", 8, "sender nodes in -table o")
+	ofactor := flag.Float64("overload-factor", 4, "arrival rate in -table o as a multiple of the consumer's service rate")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile of the run to this file")
 	flag.Parse()
@@ -99,6 +112,9 @@ func run() int {
 	if *table == "i" {
 		return runIngest(*iendpoints, *isenders, *ipackets)
 	}
+	if *table == "o" {
+		return runOverload(*opackets, *osenders, *ofactor)
+	}
 
 	if *table == "a" || *table == "both" {
 		natives, err := bench.RunTable12a(*iters, *seed)
@@ -127,7 +143,7 @@ func run() int {
 		}
 	}
 	if *table != "a" && *table != "b" && *table != "both" {
-		fmt.Fprintf(os.Stderr, "starlink-bench: unknown table %q (want a, b, both, p or i)\n", *table)
+		fmt.Fprintf(os.Stderr, "starlink-bench: unknown table %q (want a, b, both, p, i or o)\n", *table)
 		return 2
 	}
 	return 0
@@ -184,6 +200,48 @@ func runIngest(endpoints, senders, packets int) int {
 	fmt.Printf("  %d packets in %s  (%8.0f pkts/s, %.1f µs/packet)\n",
 		res.Packets, res.Elapsed.Round(0), res.PacketsPerSec,
 		float64(res.Elapsed.Microseconds())/float64(res.Packets))
+	return 0
+}
+
+// runOverload floods the lane-prioritized bounded ingest at `factor`
+// times its calibrated service rate and prints the overload-protection
+// evidence: per-lane admission/shed accounting, the bounded queue
+// depth, watermark pauses, and control-lane latency against an
+// uncontended (0.5x) baseline run of the same scenario.
+func runOverload(packets, senders int, factor float64) int {
+	fmt.Printf("Overload protection — %d datagrams × %d senders at %gx the service rate (GOMAXPROCS=%d)\n",
+		packets, senders, factor, runtime.GOMAXPROCS(0))
+	basePackets := packets / 4
+	if basePackets < 1024 {
+		basePackets = 1024
+	}
+	base, err := bench.RunOverload(basePackets, senders, 0.5)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "starlink-bench:", err)
+		return 1
+	}
+	res, err := bench.RunOverload(packets, senders, factor)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "starlink-bench:", err)
+		return 1
+	}
+	fmt.Printf("  service time %s/payload; offered %d, delivered %d, processed %d in %s\n",
+		res.ServiceTime.Round(time.Microsecond), res.Packets, res.Received,
+		res.Processed, res.Elapsed.Round(time.Millisecond))
+	for lane, c := range res.Lanes {
+		fmt.Printf("  lane %-9s admitted=%-6d deferred=%-5d shed=%-5d capacity=%d\n",
+			lanes.Lane(lane).String(), c.Admitted, c.Deferred, c.Shed, c.Capacity)
+	}
+	fmt.Printf("  queue depth peak %d of %d (bounded); %d watermark pause(s)\n",
+		res.MaxDepth, res.TotalCapacity, res.Pauses)
+	fmt.Printf("  control latency p50 %s  p99 %s  (telemetry p99 %s)\n",
+		res.ControlP50.Round(time.Microsecond), res.ControlP99.Round(time.Microsecond),
+		res.TelemetryP99.Round(time.Microsecond))
+	if base.ControlP99 > 0 {
+		fmt.Printf("  uncontended control p99 %s — %.2fx under %gx overload\n",
+			base.ControlP99.Round(time.Microsecond),
+			float64(res.ControlP99)/float64(base.ControlP99), factor)
+	}
 	return 0
 }
 

@@ -305,6 +305,39 @@ func (c *Collector) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 
+	pw.Family("starlink_lane_depth",
+		"Payloads queued in each ingest lane (capacity via WithLanePolicy).", "gauge")
+	for _, s := range snaps {
+		for _, row := range s.m.Lanes {
+			pw.Sample("starlink_lane_depth", []promtext.Label{
+				{Name: "deployment", Value: s.name},
+				{Name: "lane", Value: row.Lane},
+			}, float64(row.Depth))
+		}
+	}
+
+	pw.Family("starlink_lane_shed_total",
+		"Payloads shed by the lane watermark policy (each an ErrOverloaded drop).", "counter")
+	for _, s := range snaps {
+		for _, row := range s.m.Lanes {
+			pw.Sample("starlink_lane_shed_total", []promtext.Label{
+				{Name: "deployment", Value: s.name},
+				{Name: "lane", Value: row.Lane},
+			}, float64(row.Shed))
+		}
+	}
+
+	pw.Family("starlink_lane_wait_seconds",
+		"Ingest lane queue wait: listener arrival to ingest-worker pickup.", "histogram")
+	for _, s := range snaps {
+		for _, row := range s.m.Lanes {
+			pw.HistogramSample("starlink_lane_wait_seconds", []promtext.Label{
+				{Name: "deployment", Value: s.name},
+				{Name: "lane", Value: row.Lane},
+			}, promBuckets(row.Wait.Buckets), row.Wait.Sum.Seconds(), row.Wait.Count)
+		}
+	}
+
 	pw.Family("starlink_classify_latency_seconds",
 		"Classification decision latency by path (dispatchers only).", "histogram")
 	for _, s := range snaps {

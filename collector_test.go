@@ -87,6 +87,29 @@ func TestCollectorExposition(t *testing.T) {
 			t.Errorf("drops_total{reason=%q}: %d series, want 1", reason, len(ds))
 		}
 	}
+	// Lane series always exist for every lane, even when nothing queued
+	// or shed; the control lane's wait histogram saw this scenario's
+	// entry payloads.
+	if typ := exp.Types["starlink_lane_wait_seconds"]; typ != "histogram" {
+		t.Errorf("lane wait TYPE = %q, want histogram", typ)
+	}
+	for _, lane := range []string{"control", "data", "telemetry"} {
+		labels := map[string]string{"deployment": "bridge", "lane": lane}
+		if ds := exp.Find("starlink_lane_depth", labels); len(ds) != 1 {
+			t.Errorf("lane_depth{lane=%q}: %d series, want 1", lane, len(ds))
+		}
+		if ds := exp.Find("starlink_lane_shed_total", labels); len(ds) != 1 || ds[0].Value != 0 {
+			t.Errorf("lane_shed_total{lane=%q} = %+v, want one zero series", lane, ds)
+		}
+		if ds := exp.Find("starlink_lane_wait_seconds_count", labels); len(ds) != 1 {
+			t.Errorf("lane_wait_seconds_count{lane=%q}: %d series, want 1", lane, len(ds))
+		}
+	}
+	waits := exp.Find("starlink_lane_wait_seconds_count",
+		map[string]string{"deployment": "bridge", "lane": "control"})
+	if len(waits) != 1 || waits[0].Value == 0 {
+		t.Errorf("control lane wait histogram empty after a session: %+v", waits)
+	}
 	comp := exp.Find("starlink_sessions_total",
 		map[string]string{"deployment": "bridge", "case": "slp-to-bonjour", "result": "completed"})
 	if len(comp) != 1 || comp[0].Value != 1 {

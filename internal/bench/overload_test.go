@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"testing"
+
+	"starlink/internal/lanes"
+)
+
+func TestRunOverloadShedsBounded(t *testing.T) {
+	res, err := RunOverload(4000, 8, 4.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel, ctl := res.Lanes[lanes.Telemetry], res.Lanes[lanes.Control]
+	if tel.Shed == 0 {
+		t.Errorf("no telemetry shed at %gx overload: %+v", res.Factor, res)
+	}
+	if ctl.Shed != 0 {
+		t.Errorf("control shed %d payloads; control must degrade last", ctl.Shed)
+	}
+	if res.MaxDepth > res.TotalCapacity {
+		t.Errorf("max depth %d exceeded the ring bound %d", res.MaxDepth, res.TotalCapacity)
+	}
+	if res.Pauses == 0 {
+		t.Error("the high watermark never paused the transports")
+	}
+	if res.Processed == 0 || res.ControlP99 == 0 {
+		t.Errorf("degenerate run: %+v", res)
+	}
+}
+
+func TestRunOverloadRejectsBadShape(t *testing.T) {
+	for _, tc := range []struct{ packets, senders int }{{0, 1}, {1, 0}, {1, 65}} {
+		if _, err := RunOverload(tc.packets, tc.senders, 4.0); err == nil {
+			t.Errorf("RunOverload(%d, %d) should fail", tc.packets, tc.senders)
+		}
+	}
+	if _, err := RunOverload(1, 1, 0); err == nil {
+		t.Error("factor 0 should fail")
+	}
+}
+
+// BenchmarkOverloadControlP99 reports the control lane's
+// arrival-to-processed p99 under a 4x over-capacity flood as its ns/op
+// — the number the CI benchdiff gate holds against the committed
+// BENCH_PR8.json baseline — alongside the uncontended (0.5x) p99 and
+// the shed/pause evidence. b.N is the flood's packet count (clamped up
+// so quantiles have samples behind them at -benchtime=1x); the
+// baseline run is smaller because its paced arrival rate is an order
+// of magnitude lower.
+func BenchmarkOverloadControlP99(b *testing.B) {
+	packets := b.N
+	if packets < 2048 {
+		packets = 2048
+	}
+	basePackets := packets / 4
+	if basePackets < 1024 {
+		basePackets = 1024
+	}
+	base, err := RunOverload(basePackets, 8, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	res, err := RunOverload(packets, 8, 4.0)
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Lanes[lanes.Telemetry].Shed == 0 {
+		b.Fatal("flood shed no telemetry; the scenario is not overloaded")
+	}
+	b.ReportMetric(float64(res.ControlP99.Nanoseconds()), "ns/op")
+	b.ReportMetric(float64(base.ControlP99.Nanoseconds()), "base-p99-ns")
+	b.ReportMetric(float64(res.ControlP99)/float64(base.ControlP99), "p99-ratio")
+	b.ReportMetric(float64(res.Lanes[lanes.Telemetry].Shed), "shed")
+	b.ReportMetric(float64(res.MaxDepth), "maxdepth")
+	b.ReportMetric(float64(res.Pauses), "pauses")
+}

@@ -46,6 +46,7 @@ import (
 	"starlink/internal/automata"
 	"starlink/internal/composer"
 	"starlink/internal/hist"
+	"starlink/internal/lanes"
 	"starlink/internal/mdl"
 	"starlink/internal/merge"
 	"starlink/internal/message"
@@ -95,7 +96,6 @@ func (s State) String() string {
 const (
 	defaultShardCount  = 16
 	defaultMaxSessions = 4096
-	ingestQueueCap     = 1024
 	// defaultTraceRing is the per-session flight-recorder capacity in
 	// events; WithTraceRing overrides, 0 disables recording.
 	defaultTraceRing = 64
@@ -296,6 +296,29 @@ func WithTraceRing(events int) Option {
 	}
 }
 
+// WithLanePolicy bounds and parameterizes the lane-prioritized ingest
+// queues: per-lane ring capacity, the high/low pressure watermarks on
+// total depth, and the shed mode applied while pressured. Zero fields
+// are filled from lanes.DefaultPolicy; the filled policy must validate
+// (New rejects inverted or out-of-range watermarks). The configured
+// totals are divided across the ingest workers' queues.
+func WithLanePolicy(p lanes.Policy) Option {
+	return func(e *Engine) { e.lanePolicy = p }
+}
+
+// WithFlowGate supplies the transport flow gate the ingest queues
+// pause while pressured: the engine's entry listeners (and, under a
+// dispatcher, the dispatcher's shared listeners) park their read loops
+// while it is blocked. A dispatcher shares one gate across its engines;
+// absent this option the engine creates its own.
+func WithFlowGate(g *netapi.FlowGate) Option {
+	return func(e *Engine) {
+		if g != nil {
+			e.gate = g
+		}
+	}
+}
+
 // WithEgressTable registers the local address of every requester
 // channel the engine's sessions open in t for the requesters'
 // lifetime. A multi-case dispatcher shares one table across its
@@ -367,11 +390,15 @@ type Engine struct {
 	ingestWorkers int
 	shardCount    int
 	traceRing     int
+	lanePolicy    lanes.Policy
 
 	// Stage latency histograms, always on: one per pipeline stage plus
 	// the whole-session distribution. Lock-free; see internal/hist.
 	stageHists [trace.NumStages]*hist.Histogram
 	sessHist   *hist.Histogram
+	// laneHists measures per-lane queue wait: listener arrival to
+	// ingest-worker pickup.
+	laneHists [lanes.NumLanes]*hist.Histogram
 
 	// Lifecycle. state moves strictly forward; baseCtx is the caller's
 	// lifetime context (WithContext), ctx/cancel the engine's own
@@ -388,10 +415,13 @@ type Engine struct {
 	tracker netapi.WorkTracker
 	table   *sessionTable
 	sem     chan struct{} // max-sessions semaphore
-	// ingestQs holds one bounded queue per ingest worker; payloads are
-	// assigned by routing key, so payloads from one origin are always
-	// parsed and routed in arrival order.
-	ingestQs   []chan ingestJob
+	// laneQs holds one bounded lane-prioritized queue per ingest
+	// worker; payloads are assigned by routing key, so payloads from
+	// one origin are always parsed and routed in arrival order. gate is
+	// the flow gate the queues pause at their high watermark — the
+	// entry listeners' read loops park on it.
+	laneQs     []*lanes.Queue[ingestJob]
+	gate       *netapi.FlowGate
 	quit       chan struct{}
 	workerWG   sync.WaitGroup
 	sessionWG  sync.WaitGroup
@@ -449,7 +479,6 @@ func New(node netapi.Node, merged *merge.Merged, codecs map[string]*Codec, opts 
 	}
 	e := &Engine{
 		node:          node,
-		net:           netengine.New(node),
 		merged:        merged,
 		program:       program,
 		codecs:        codecs,
@@ -467,18 +496,33 @@ func New(node netapi.Node, merged *merge.Merged, codecs map[string]*Codec, opts 
 		e.stageHists[i] = &hist.Histogram{}
 	}
 	e.sessHist = &hist.Histogram{}
+	for i := range e.laneHists {
+		e.laneHists[i] = &hist.Histogram{}
+	}
 	for _, o := range opts {
 		o(e)
 	}
 	if err := merged.Logic.Validate(e.tfuncs); err != nil {
 		return nil, serrors.Mark(err, serrors.ErrModelInvalid)
 	}
+	e.lanePolicy = e.lanePolicy.WithDefaults()
+	if err := e.lanePolicy.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: %s: %w", merged.Name, err)
+	}
+	if e.gate == nil {
+		e.gate = netapi.NewFlowGate()
+	}
+	// The network engine gates the entry listeners it opens for Start;
+	// a dispatcher gates its shared listeners with the same gate it
+	// passed via WithFlowGate.
+	e.net = netengine.New(node, netengine.WithGate(e.gate))
 	e.ctx, e.cancel = context.WithCancel(e.baseCtx)
 	e.table = newSessionTable(e.shardCount)
 	e.sem = make(chan struct{}, e.maxSessions)
-	e.ingestQs = make([]chan ingestJob, e.ingestWorkers)
-	for i := range e.ingestQs {
-		e.ingestQs[i] = make(chan ingestJob, ingestQueueCap/e.ingestWorkers+1)
+	perWorker := e.lanePolicy.Scale(e.ingestWorkers)
+	e.laneQs = make([]*lanes.Queue[ingestJob], e.ingestWorkers)
+	for i := range e.laneQs {
+		e.laneQs[i] = lanes.NewQueue[ingestJob](perWorker, e.gate)
 	}
 	e.quit = make(chan struct{})
 	if wt, ok := node.(netapi.WorkTracker); ok {
@@ -583,9 +627,9 @@ func (e *Engine) StartManaged() error {
 }
 
 func (e *Engine) startWorkers() {
-	for i := range e.ingestQs {
+	for i := range e.laneQs {
 		e.workerWG.Add(1)
-		go e.ingestLoop(e.ingestQs[i])
+		go e.ingestLoop(e.laneQs[i])
 	}
 }
 
@@ -645,23 +689,20 @@ func (e *Engine) Close() error {
 	}
 	e.closeEntries()
 	close(e.quit)
-	e.workerWG.Wait()
-	// Release the tokens (and buffer leases) of jobs the workers never
-	// picked up. onEntry holds closeMu.RLock around its token+enqueue,
-	// and closed was flipped under the write lock, so no job can slip
-	// in after this.
-	for _, q := range e.ingestQs {
-		for {
-			select {
-			case job := <-q:
-				releaseJobLease(&job)
-				e.tracker.WorkDone()
-				continue
-			default:
-			}
-			break
-		}
+	// Closing the queues wakes the ingest workers (Dequeue returns
+	// false), releases any gate hold a pressured queue has taken — so
+	// paused transport read loops wake for teardown — and hands back
+	// the tokens and buffer leases of jobs the workers never picked up.
+	// onEntry holds closeMu.RLock around its token+enqueue, and closed
+	// was flipped under the write lock, so no job can slip in after
+	// this.
+	for _, q := range e.laneQs {
+		q.Close(func(_ lanes.Lane, job ingestJob) {
+			releaseJobLease(&job)
+			e.tracker.WorkDone()
+		})
 	}
+	e.workerWG.Wait()
 	for _, s := range e.table.removeAll() {
 		s.cancel()
 	}
@@ -769,8 +810,29 @@ func (e *Engine) closeEntries() {
 // releaseSlot returns a max-sessions semaphore slot.
 func (e *Engine) releaseSlot() { <-e.sem }
 
+// classifyLane assigns an entry payload its priority lane. A payload
+// whose routing key has a live session is mid-session data; the
+// initiator protocol's payloads are control (session entry and
+// classification); a stream payload comes from a connected peer that
+// already committed to a session-oriented exchange; anything else —
+// multicast chatter, advert/demo traffic no session asked for — is
+// telemetry, shed first under pressure.
+func (e *Engine) classifyLane(proto, key string, src netengine.Source) lanes.Lane {
+	if e.table.contains(key) {
+		return lanes.Data
+	}
+	if proto == e.program[0].Protocol {
+		return lanes.Control
+	}
+	if src.IsStream() {
+		return lanes.Data
+	}
+	return lanes.Telemetry
+}
+
 // onEntry accepts a payload arriving on an entry listener: it takes a
-// work token and hands the payload to the ingest worker owning the
+// work token, classifies the payload into its priority lane, and
+// offers it to the lane queue of the ingest worker owning the
 // payload's routing key, so payloads from one origin keep their
 // arrival order. Safe to call from any listener goroutine; the read
 // lock makes the closed-check + token + enqueue atomic with respect
@@ -786,40 +848,48 @@ func (e *Engine) onEntry(proto string, data []byte, src netengine.Source, lease 
 	}
 	e.tracker.WorkAdd()
 	key := src.RoutingKey()
-	q := e.ingestQs[fnv32a(key)%uint32(len(e.ingestQs))]
-	dropped := false
-	select {
-	case q <- ingestJob{proto: proto, key: key, data: data, src: src, lease: lease, arrived: time.Now()}:
-	default:
-		dropped = true
-	}
+	lane := e.classifyLane(proto, key, src)
+	q := e.laneQs[fnv32a(key)%uint32(len(e.laneQs))]
+	verdict, victim := q.Enqueue(lane, ingestJob{proto: proto, key: key, data: data, src: src, lease: lease, arrived: time.Now()})
 	// User hooks run outside closeMu: a callback reacting to the drop
 	// (even one that tears the deployment down from a fresh goroutine)
 	// must not deadlock against Close's write lock. The work token is
 	// still held through the hook so that on a virtual-clock runtime,
 	// quiescence implies the observers have already seen the drop.
 	e.closeMu.RUnlock()
-	if dropped {
-		if lease != nil {
-			lease.Release()
-		}
-		e.bump(&e.Dropped)
-		e.hookDrop(src.Addr, serrors.Mark(
-			fmt.Errorf("engine: %s: ingest queue full, payload from %s dropped", e.merged.Name, src.Addr),
-			serrors.ErrOverloaded))
-		e.tracker.WorkDone()
+	switch verdict {
+	case lanes.Evicted:
+		// The new payload was admitted by displacing the oldest queued
+		// item of its lane; that victim is the drop.
+		e.shedJob(victim, lane)
+	case lanes.Rejected:
+		e.shedJob(ingestJob{src: src, lease: lease}, lane)
 	}
 }
 
-func (e *Engine) ingestLoop(q chan ingestJob) {
+// shedJob accounts one payload shed by a lane queue: its buffer lease
+// is released, the drop is counted and reported as ErrOverloaded, and
+// its work token is returned.
+func (e *Engine) shedJob(job ingestJob, lane lanes.Lane) {
+	releaseJobLease(&job)
+	e.bump(&e.Dropped)
+	e.hookDrop(job.src.Addr, serrors.Mark(
+		fmt.Errorf("engine: %s: %s lane shed payload from %s", e.merged.Name, lane, job.src.Addr),
+		serrors.ErrOverloaded))
+	e.tracker.WorkDone()
+}
+
+func (e *Engine) ingestLoop(q *lanes.Queue[ingestJob]) {
 	defer e.workerWG.Done()
 	for {
-		select {
-		case job := <-q:
-			e.ingest(job)
-		case <-e.quit:
-			return
+		job, lane, ok := q.Dequeue()
+		if !ok {
+			return // queue closed
 		}
+		if !job.arrived.IsZero() {
+			e.laneHists[lane].Record(time.Since(job.arrived))
+		}
+		e.ingest(job)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"starlink/internal/hist"
+	"starlink/internal/lanes"
 	"starlink/internal/netapi"
 	"starlink/internal/trace"
 )
@@ -33,6 +34,38 @@ func (e *Engine) Latency() LatencyDump {
 		d.Stages[i] = e.stageHists[i].Snapshot()
 	}
 	d.Session = e.sessHist.Snapshot()
+	return d
+}
+
+// LaneDump is a snapshot of the engine's ingest-lane accounting: the
+// per-lane admit/defer/shed counters and depths rolled up across the
+// per-worker queues, plus the per-lane queue-wait distributions
+// (listener arrival to ingest-worker pickup).
+type LaneDump struct {
+	Counters [lanes.NumLanes]lanes.Counters
+	Wait     [lanes.NumLanes]hist.Snapshot
+}
+
+// Merge folds another dump into d (per-case → aggregate rollups).
+func (d *LaneDump) Merge(o LaneDump) {
+	d.Counters = lanes.Sum(d.Counters, o.Counters)
+	for i := range d.Wait {
+		d.Wait[i].Merge(o.Wait[i])
+	}
+}
+
+// Lanes snapshots the engine's ingest-lane accounting; safe from any
+// goroutine at any time, including after Close.
+func (e *Engine) Lanes() LaneDump {
+	var d LaneDump
+	snaps := make([][lanes.NumLanes]lanes.Counters, 0, len(e.laneQs))
+	for _, q := range e.laneQs {
+		snaps = append(snaps, q.Counters())
+	}
+	d.Counters = lanes.Sum(snaps...)
+	for i := range d.Wait {
+		d.Wait[i] = e.laneHists[i].Snapshot()
+	}
 	return d
 }
 

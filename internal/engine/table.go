@@ -42,6 +42,18 @@ func (t *sessionTable) shardFor(key string) *tableShard {
 	return &t.shards[fnv32a(key)%uint32(len(t.shards))]
 }
 
+// contains reports whether a live session is registered under key —
+// the ingest lane classifier's "is this mid-session data" probe. A
+// stale answer only misgrades a payload's priority, never its
+// delivery.
+func (t *sessionTable) contains(key string) bool {
+	sh := t.shardFor(key)
+	sh.mu.RLock()
+	_, ok := sh.sessions[key]
+	sh.mu.RUnlock()
+	return ok
+}
+
 // remove unregisters s if it is still the session bound to key.
 // Returning from remove guarantees no further enqueue can target s:
 // enqueues hold the shard read lock while checking membership.

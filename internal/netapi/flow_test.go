@@ -1,0 +1,121 @@
+package netapi
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlowGateCounting(t *testing.T) {
+	g := NewFlowGate()
+	if g.Blocked() {
+		t.Fatal("new gate blocked")
+	}
+	g.Pause()
+	g.Pause()
+	if !g.Blocked() {
+		t.Fatal("gate open with two holds")
+	}
+	g.Resume()
+	if !g.Blocked() {
+		t.Fatal("gate open with one hold outstanding")
+	}
+	g.Resume()
+	if g.Blocked() {
+		t.Fatal("gate blocked with no holds")
+	}
+	if g.Pauses() != 1 {
+		t.Fatalf("pause cycles = %d, want 1 (nested holds are one cycle)", g.Pauses())
+	}
+}
+
+func TestFlowGateResumeWithoutPausePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unbalanced Resume did not panic")
+		}
+	}()
+	NewFlowGate().Resume()
+}
+
+func TestFlowGateWaitBlocksUntilOpen(t *testing.T) {
+	g := NewFlowGate()
+	g.Wait() // open gate: returns immediately
+	g.Pause()
+	released := make(chan struct{})
+	go func() {
+		g.Wait()
+		close(released)
+	}()
+	select {
+	case <-released:
+		t.Fatal("Wait returned while gate blocked")
+	case <-time.After(20 * time.Millisecond):
+	}
+	g.Resume()
+	select {
+	case <-released:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait did not return after Resume")
+	}
+}
+
+func TestFlowGateNotifyOnReopen(t *testing.T) {
+	g := NewFlowGate()
+	var mu sync.Mutex
+	calls := 0
+	g.Notify(func() { mu.Lock(); calls++; mu.Unlock() })
+	g.Pause()
+	g.Pause()
+	g.Resume() // still blocked: no notification
+	mu.Lock()
+	if calls != 0 {
+		mu.Unlock()
+		t.Fatalf("notified %d times while still blocked", calls)
+	}
+	mu.Unlock()
+	g.Resume()
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 1 {
+		t.Fatalf("notified %d times on reopen, want 1", calls)
+	}
+}
+
+func TestGatedFallback(t *testing.T) {
+	// A node whose runtime offers no flow control passes through
+	// unchanged, as does a nil gate.
+	n := stubNode{}
+	if got := Gated(n, NewFlowGate()); got != Node(n) {
+		t.Fatal("Gated wrapped a node without FlowLimiter support")
+	}
+	if got := Gated(n, nil); got != Node(n) {
+		t.Fatal("Gated with nil gate did not pass through")
+	}
+	ln := &limiterNode{}
+	if got := Gated(ln, NewFlowGate()); got != Node(gatedStub{}) {
+		t.Fatalf("Gated did not delegate to GateEndpoints: %v", got)
+	}
+}
+
+type stubNode struct{}
+
+func (stubNode) IP() string                                    { return "" }
+func (stubNode) OpenUDP(int, PacketHandler) (UDPSocket, error) { return nil, nil }
+func (stubNode) JoinGroup(Addr, PacketHandler) (UDPSocket, error) {
+	return nil, nil
+}
+func (stubNode) ListenStream(int, ConnHandler, StreamHandler) (Closer, error) {
+	return nil, nil
+}
+func (stubNode) DialStream(Addr, StreamHandler) (Conn, error) { return nil, nil }
+func (stubNode) Now() time.Time                               { return time.Time{} }
+func (stubNode) After(time.Duration, func()) TimerID          { return 0 }
+func (stubNode) Cancel(TimerID)                               {}
+func (stubNode) Close() error                                 { return nil }
+
+type gatedStub struct{ stubNode }
+
+type limiterNode struct{ stubNode }
+
+func (*limiterNode) GateEndpoints(*FlowGate) Node { return gatedStub{} }

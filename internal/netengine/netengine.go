@@ -62,6 +62,12 @@ type Source struct {
 // the same key.
 func (s Source) RoutingKey() string { return s.colorKey + "|" + s.Addr.String() }
 
+// IsStream reports whether the payload arrived on a stream connection.
+// A connected peer has already committed to a session-oriented
+// exchange, which the ingest lane classifier weighs above datagram
+// chatter of unknown intent.
+func (s Source) IsStream() bool { return s.conn != nil }
+
 // Reply sends data back to the source peer: unicast for datagrams, on
 // the same connection for streams.
 func (s Source) Reply(data []byte) error {
@@ -108,8 +114,23 @@ func splitFrames(framer *parser.Framer, buf *[]byte, data []byte) (frames [][]by
 
 // Engine opens colored endpoints on one node (the bridge host).
 type Engine struct {
-	base netapi.Node // the node as handed in (identity, ownership)
-	node netapi.Node // detached view used to open endpoints
+	base    netapi.Node // the node as handed in (identity, ownership)
+	node    netapi.Node // detached view used to open requester endpoints
+	ingress netapi.Node // detached (and optionally gated) view for entry listeners
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithGate puts every entry listener the engine opens behind the flow
+// gate (netapi.FlowLimiter): while the gate is blocked — the ingest
+// queue downstream crossed its high watermark — the listeners' read
+// loops pause instead of piling payloads onto the queue. Requester
+// endpoints are never gated: responses to the bridge's own in-flight
+// requests must keep flowing for sessions to finish and drain the
+// backlog that caused the pause.
+func WithGate(g *netapi.FlowGate) Option {
+	return func(e *Engine) { e.ingress = netapi.Gated(e.node, g) }
 }
 
 // New creates an engine on the node. The engine's endpoints are opened
@@ -118,8 +139,13 @@ type Engine struct {
 // provisioning dispatcher are thread-safe, so serialising their
 // entry listeners against each other would only re-impose the global
 // dispatcher bottleneck this layer retired.
-func New(node netapi.Node) *Engine {
-	return &Engine{base: node, node: netapi.Detach(node)}
+func New(node netapi.Node, opts ...Option) *Engine {
+	e := &Engine{base: node, node: netapi.Detach(node)}
+	e.ingress = e.node
+	for _, o := range opts {
+		o(e)
+	}
+	return e
 }
 
 // Node returns the bridge host node.
@@ -180,7 +206,7 @@ func (e *Engine) Listen(c automata.Color, framer *parser.Framer, h Handler) (net
 		// nanoseconds-wide bind window so even the very first datagram
 		// gets a Source that can Reply.
 		cell := new(atomic.Value)
-		sock, err := e.node.JoinGroup(group, func(pkt netapi.Packet) {
+		sock, err := e.ingress.JoinGroup(group, func(pkt netapi.Packet) {
 			h(pkt.Data, Source{Addr: pkt.From, colorKey: colorKey, sock: loadSock(cell)}, pkt.TakeLease())
 		})
 		if err != nil {
@@ -190,7 +216,7 @@ func (e *Engine) Listen(c automata.Color, framer *parser.Framer, h Handler) (net
 		return sock, nil
 	case scheme.Transport == "udp":
 		cell := new(atomic.Value)
-		sock, err := e.node.OpenUDP(scheme.Port, func(pkt netapi.Packet) {
+		sock, err := e.ingress.OpenUDP(scheme.Port, func(pkt netapi.Packet) {
 			h(pkt.Data, Source{Addr: pkt.From, colorKey: colorKey, sock: loadSock(cell)}, pkt.TakeLease())
 		})
 		if err != nil {
@@ -207,7 +233,7 @@ func (e *Engine) Listen(c automata.Color, framer *parser.Framer, h Handler) (net
 		// no lock of its own; the sync.Map only mediates the
 		// conn→state lookup across parallel connections.
 		var buffers sync.Map // netapi.Conn -> *connFraming
-		l, err := e.node.ListenStream(scheme.Port, nil, func(conn netapi.Conn, data []byte) {
+		l, err := e.ingress.ListenStream(scheme.Port, nil, func(conn netapi.Conn, data []byte) {
 			if data == nil {
 				buffers.Delete(conn)
 				return

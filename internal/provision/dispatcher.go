@@ -214,6 +214,11 @@ type Dispatcher struct {
 	reg  *registry.Registry
 	node netapi.Node
 	net  *netengine.Engine
+	// gate is the flow gate shared by every hosted engine's ingest
+	// queues and the dispatcher's entry listeners: when any engine's
+	// queue crosses its high watermark the listeners' read loops pause,
+	// and they resume once it drains to its low watermark.
+	gate *netapi.FlowGate
 	// egress tracks the requester sockets of every hosted engine so
 	// dispatch can suppress the deployment's own outbound requests.
 	egress *netengine.EgressTable
@@ -237,9 +242,11 @@ type Dispatcher struct {
 	closed    bool
 	// final snapshots each case's engine counters at Close so Stats
 	// (and the public Metrics) stay truthful on a closed dispatcher;
-	// finalLatency does the same for the staged latency histograms.
+	// finalLatency and finalLanes do the same for the staged latency
+	// histograms and the ingest-lane accounting.
 	final        map[string]engine.Counters
 	finalLatency map[string]engine.LatencyDump
+	finalLanes   map[string]engine.LaneDump
 
 	// classifyHists time the classification decision itself, split by
 	// path: [0] the signature-index fast path, [1] trial parsing.
@@ -257,10 +264,12 @@ type Dispatcher struct {
 // NewDispatcher builds a dispatcher for the registry on the node. Call
 // Sync to deploy; the zero deployment set serves nothing.
 func NewDispatcher(reg *registry.Registry, node netapi.Node, opts ...Option) *Dispatcher {
+	gate := netapi.NewFlowGate()
 	d := &Dispatcher{
 		reg:       reg,
 		node:      node,
-		net:       netengine.New(node),
+		net:       netengine.New(node, netengine.WithGate(gate)),
+		gate:      gate,
 		egress:    netengine.NewEgressTable(),
 		deployed:  map[string]*deployment{},
 		listeners: map[string]*listener{},
@@ -452,7 +461,8 @@ func (d *Dispatcher) Sync() error {
 // d.mu.
 func (d *Dispatcher) deploy(name string, c *registry.CompiledCase) (*deployment, error) {
 	opts := append([]engine.Option(nil), d.engOpts...)
-	opts = append(opts, engine.WithEgressTable(d.egress), engine.WithContext(d.ctx))
+	opts = append(opts, engine.WithEgressTable(d.egress), engine.WithContext(d.ctx),
+		engine.WithFlowGate(d.gate))
 	if len(d.hooks) > 0 {
 		caseName := name
 		opts = append(opts, engine.WithHooks(engine.Hooks{
@@ -895,6 +905,27 @@ func (d *Dispatcher) Latency() map[string]engine.LatencyDump {
 	return out
 }
 
+// Lanes snapshots the per-case ingest-lane accounting. After Close it
+// keeps returning the final dumps captured at teardown, mirroring
+// Stats and Latency.
+func (d *Dispatcher) Lanes() map[string]engine.LaneDump {
+	d.mu.RLock()
+	deps := make([]*deployment, 0, len(d.deployed))
+	for _, dep := range d.deployed {
+		deps = append(deps, dep)
+	}
+	final := d.finalLanes
+	d.mu.RUnlock()
+	out := make(map[string]engine.LaneDump, len(deps)+len(final))
+	for name, l := range final {
+		out[name] = l
+	}
+	for _, dep := range deps {
+		out[dep.name] = dep.eng.Lanes()
+	}
+	return out
+}
+
 // ClassifyLatency snapshots the classification-decision histograms for
 // the signature fast path and the trial-parse slow path.
 func (d *Dispatcher) ClassifyLatency() (fast, slow hist.Snapshot) {
@@ -951,23 +982,29 @@ func (d *Dispatcher) Close() error {
 	// returns.
 	provisional := make(map[string]engine.Counters, len(deps))
 	provisionalLat := make(map[string]engine.LatencyDump, len(deps))
+	provisionalLanes := make(map[string]engine.LaneDump, len(deps))
 	for _, dep := range deps {
 		provisional[dep.name] = dep.eng.Stats()
 		provisionalLat[dep.name] = dep.eng.Latency()
+		provisionalLanes[dep.name] = dep.eng.Lanes()
 	}
 	d.final = provisional
 	d.finalLatency = provisionalLat
+	d.finalLanes = provisionalLanes
 	d.mu.Unlock()
 	d.closeAll(deps, closers)
 	final := make(map[string]engine.Counters, len(deps))
 	finalLat := make(map[string]engine.LatencyDump, len(deps))
+	finalLanes := make(map[string]engine.LaneDump, len(deps))
 	for _, dep := range deps {
 		final[dep.name] = dep.eng.Stats()
 		finalLat[dep.name] = dep.eng.Latency()
+		finalLanes[dep.name] = dep.eng.Lanes()
 	}
 	d.mu.Lock()
 	d.final = final
 	d.finalLatency = finalLat
+	d.finalLanes = finalLanes
 	d.mu.Unlock()
 	if d.ownsNode {
 		return d.node.Close()

@@ -270,6 +270,7 @@ var (
 	_ netapi.WorkTracker      = (*node)(nil)
 	_ netapi.EndpointDetacher = (*node)(nil)
 	_ netapi.ConnParker       = (*node)(nil)
+	_ netapi.FlowLimiter      = (*node)(nil)
 )
 
 func (n *node) IP() string { return "127.0.0.1" }
@@ -286,6 +287,15 @@ func (n *node) Now() time.Time { return time.Now() }
 // node-level resources are shared with the underlying node.
 func (n *node) DetachEndpoints() netapi.Node { return &detachedNode{node: n} }
 
+// GateEndpoints returns a view of the node whose subsequently opened
+// ingress endpoints honor the flow gate (netapi.FlowLimiter): while
+// the gate is blocked their read loops park — releasing their leased
+// buffers first — and resume when it reopens. Egress (DialStream) is
+// never gated.
+func (n *node) GateEndpoints(g *netapi.FlowGate) netapi.Node {
+	return &gatedNode{node: n, gate: g}
+}
+
 // detachedNode is a node view for thread-safe components: endpoints
 // opened through it dispatch on private per-endpoint domains.
 type detachedNode struct{ *node }
@@ -294,25 +304,86 @@ var (
 	_ netapi.Node             = (*detachedNode)(nil)
 	_ netapi.WorkTracker      = (*detachedNode)(nil)
 	_ netapi.EndpointDetacher = (*detachedNode)(nil)
+	_ netapi.FlowLimiter      = (*detachedNode)(nil)
 )
 
 // DetachEndpoints on an already detached view is the identity.
 func (d *detachedNode) DetachEndpoints() netapi.Node { return d }
 
+// GateEndpoints on a detached view keeps the detachment: endpoints are
+// gated AND get private dispatch domains.
+func (d *detachedNode) GateEndpoints(g *netapi.FlowGate) netapi.Node {
+	return &gatedNode{node: d.node, detached: true, gate: g}
+}
+
 func (d *detachedNode) OpenUDP(port int, h netapi.PacketHandler) (netapi.UDPSocket, error) {
-	return d.node.openUDP(&domain{rt: d.rt}, port, h)
+	return d.node.openUDP(&domain{rt: d.rt}, nil, port, h)
 }
 
 func (d *detachedNode) JoinGroup(group netapi.Addr, h netapi.PacketHandler) (netapi.UDPSocket, error) {
-	return d.node.joinGroup(&domain{rt: d.rt}, group, h)
+	return d.node.joinGroup(&domain{rt: d.rt}, nil, group, h)
 }
 
 func (d *detachedNode) ListenStream(port int, accept netapi.ConnHandler, recv netapi.StreamHandler) (netapi.Closer, error) {
-	return d.node.listenStream(true, port, accept, recv)
+	return d.node.listenStream(true, nil, port, accept, recv)
 }
 
 func (d *detachedNode) DialStream(to netapi.Addr, recv netapi.StreamHandler) (netapi.Conn, error) {
 	return d.node.dialStream(&domain{rt: d.rt}, to, recv)
+}
+
+// gatedNode is a node view whose ingress endpoints honor a flow gate;
+// with detached set they also get private per-endpoint dispatch
+// domains (the combination the Automata Engine uses).
+type gatedNode struct {
+	*node
+	detached bool
+	gate     *netapi.FlowGate
+}
+
+var (
+	_ netapi.Node             = (*gatedNode)(nil)
+	_ netapi.WorkTracker      = (*gatedNode)(nil)
+	_ netapi.EndpointDetacher = (*gatedNode)(nil)
+	_ netapi.FlowLimiter      = (*gatedNode)(nil)
+	_ netapi.ConnParker       = (*gatedNode)(nil)
+)
+
+// domainFor picks the dispatch domain for a newly opened endpoint.
+func (g *gatedNode) domainFor() *domain {
+	if g.detached {
+		return &domain{rt: g.rt}
+	}
+	return g.root
+}
+
+// DetachEndpoints keeps the gate and adds per-endpoint domains.
+func (g *gatedNode) DetachEndpoints() netapi.Node {
+	return &gatedNode{node: g.node, detached: true, gate: g.gate}
+}
+
+// GateEndpoints rebinds the view to another gate.
+func (g *gatedNode) GateEndpoints(fg *netapi.FlowGate) netapi.Node {
+	return &gatedNode{node: g.node, detached: g.detached, gate: fg}
+}
+
+func (g *gatedNode) OpenUDP(port int, h netapi.PacketHandler) (netapi.UDPSocket, error) {
+	return g.node.openUDP(g.domainFor(), g.gate, port, h)
+}
+
+func (g *gatedNode) JoinGroup(group netapi.Addr, h netapi.PacketHandler) (netapi.UDPSocket, error) {
+	return g.node.joinGroup(g.domainFor(), g.gate, group, h)
+}
+
+func (g *gatedNode) ListenStream(port int, accept netapi.ConnHandler, recv netapi.StreamHandler) (netapi.Closer, error) {
+	return g.node.listenStream(g.detached, g.gate, port, accept, recv)
+}
+
+func (g *gatedNode) DialStream(to netapi.Addr, recv netapi.StreamHandler) (netapi.Conn, error) {
+	if g.detached {
+		return g.node.dialStream(&domain{rt: g.rt}, to, recv)
+	}
+	return g.node.dialStream(g.root, to, recv)
 }
 
 func (n *node) After(d time.Duration, fn func()) netapi.TimerID {
@@ -356,17 +427,20 @@ type udpSocket struct {
 	conn    *net.UDPConn
 	addr    netapi.Addr
 	handler netapi.PacketHandler
-	groups  []string
-	closed  atomic.Bool
+	// gate, when non-nil, pauses the read loop while blocked
+	// (backpressure from a pressured ingest queue downstream).
+	gate   *netapi.FlowGate
+	groups []string
+	closed atomic.Bool
 }
 
 var _ netapi.UDPSocket = (*udpSocket)(nil)
 
 func (n *node) OpenUDP(port int, h netapi.PacketHandler) (netapi.UDPSocket, error) {
-	return n.openUDP(n.root, port, h)
+	return n.openUDP(n.root, nil, port, h)
 }
 
-func (n *node) openUDP(dom *domain, port int, h netapi.PacketHandler) (*udpSocket, error) {
+func (n *node) openUDP(dom *domain, gate *netapi.FlowGate, port int, h netapi.PacketHandler) (*udpSocket, error) {
 	if h == nil {
 		return nil, fmt.Errorf("realnet: OpenUDP needs a handler")
 	}
@@ -382,6 +456,7 @@ func (n *node) openUDP(dom *domain, port int, h netapi.PacketHandler) (*udpSocke
 		conn:    conn,
 		addr:    netapi.Addr{IP: "127.0.0.1", Port: local.Port},
 		handler: h,
+		gate:    gate,
 	}
 	n.adopt(s)
 	go s.readLoop()
@@ -389,14 +464,14 @@ func (n *node) openUDP(dom *domain, port int, h netapi.PacketHandler) (*udpSocke
 }
 
 func (n *node) JoinGroup(group netapi.Addr, h netapi.PacketHandler) (netapi.UDPSocket, error) {
-	return n.joinGroup(n.root, group, h)
+	return n.joinGroup(n.root, nil, group, h)
 }
 
-func (n *node) joinGroup(dom *domain, group netapi.Addr, h netapi.PacketHandler) (netapi.UDPSocket, error) {
+func (n *node) joinGroup(dom *domain, gate *netapi.FlowGate, group netapi.Addr, h netapi.PacketHandler) (netapi.UDPSocket, error) {
 	if !group.IsMulticast() {
 		return nil, fmt.Errorf("realnet: %s is not a multicast group", group)
 	}
-	s, err := n.openUDP(dom, 0, h)
+	s, err := n.openUDP(dom, gate, 0, h)
 	if err != nil {
 		return nil, err
 	}
@@ -418,10 +493,28 @@ func (n *node) joinGroup(dom *domain, group netapi.Addr, h netapi.PacketHandler)
 func (s *udpSocket) readLoop() {
 	buf := netapi.NewBuffer()
 	for {
+		if g := s.gate; g != nil && g.Blocked() {
+			// Backpressure: the downstream ingest queue crossed its high
+			// watermark. Release the leased buffer before parking — a
+			// paused read loop must not pin pool memory — and re-lease
+			// once the gate reopens at the low watermark.
+			buf.Release()
+			g.Wait()
+			if s.closed.Load() {
+				return
+			}
+			buf = netapi.NewBuffer()
+		}
 		nr, from, err := s.conn.ReadFromUDPAddrPort(buf.Backing())
 		if err != nil {
 			buf.Release()
 			return // socket closed
+		}
+		if g := s.gate; g != nil && g.Blocked() {
+			// A read was already in flight when the gate closed: hold
+			// this one datagram (a single bounded buffer) and deliver it
+			// in order once the gate reopens.
+			g.Wait()
 		}
 		if s.closed.Load() {
 			continue
@@ -519,10 +612,10 @@ func (l *listener) Addr() netapi.Addr {
 }
 
 func (n *node) ListenStream(port int, accept netapi.ConnHandler, recv netapi.StreamHandler) (netapi.Closer, error) {
-	return n.listenStream(false, port, accept, recv)
+	return n.listenStream(false, nil, port, accept, recv)
 }
 
-func (n *node) listenStream(detached bool, port int, accept netapi.ConnHandler, recv netapi.StreamHandler) (netapi.Closer, error) {
+func (n *node) listenStream(detached bool, gate *netapi.FlowGate, port int, accept netapi.ConnHandler, recv netapi.StreamHandler) (netapi.Closer, error) {
 	if recv == nil {
 		return nil, fmt.Errorf("realnet: ListenStream needs a recv handler")
 	}
@@ -546,6 +639,7 @@ func (n *node) listenStream(detached bool, port int, accept netapi.ConnHandler, 
 			}
 			sc := newStreamConn(n.rt, c, recv, dom)
 			sc.owner = n
+			sc.gate = gate
 			n.adopt(sc)
 			dom.run(func() {
 				if accept != nil {
@@ -595,6 +689,10 @@ type streamConn struct {
 	// connection sits in the dial-reuse pool (no node owns it).
 	state connState
 	owner *node
+
+	// gate, when non-nil (accepted conns on a gated listener), pauses
+	// the read loop while blocked. Immutable after the read loop starts.
+	gate *netapi.FlowGate
 
 	// Write coalescing: the first sender becomes the writer and drains
 	// wbuf batches queued by concurrent senders, so N concurrent sends
@@ -779,8 +877,19 @@ func (n *node) ParkConn(c netapi.Conn) bool {
 func (sc *streamConn) readLoop() {
 	buf := make([]byte, 64*1024)
 	for {
+		if g := sc.gate; g != nil {
+			// Backpressure: stop pulling bytes off the wire while the
+			// downstream ingest queue is pressured; unread data queues in
+			// the kernel socket buffer and then in the peer's send path.
+			g.Wait()
+		}
 		nr, err := sc.c.Read(buf)
 		if nr > 0 {
+			if g := sc.gate; g != nil {
+				// A read already in flight when the gate closed: hold the
+				// chunk until reopen so recv never runs while paused.
+				g.Wait()
+			}
 			sc.dom.mu.Lock()
 			recv := sc.recv
 			if recv == nil {

@@ -142,6 +142,13 @@ type Net struct {
 	timers    map[netapi.TimerID]*event
 	timerSeq  uint64
 
+	// deferred parks deliveries whose destination endpoint sits behind
+	// a blocked flow gate, in arrival order per gate — the simulated
+	// analogue of bytes waiting in a paused read loop's kernel buffer.
+	// gateSubs records which gates already have a reopen subscription.
+	deferred map[*netapi.FlowGate][]deferredDelivery
+	gateSubs map[*netapi.FlowGate]bool
+
 	workMu   sync.Mutex
 	workCond *sync.Cond
 	inflight int
@@ -150,6 +157,16 @@ type Net struct {
 	// the simulation is not being driven.
 	PacketsSent    int
 	PacketsDropped int
+	// PacketsDeferred counts deliveries parked at least once behind a
+	// blocked flow gate (they still deliver after the gate reopens).
+	PacketsDeferred int
+}
+
+// deferredDelivery is one parked delivery: the dispatch domain it
+// belongs to and the continuation that retries it.
+type deferredDelivery struct {
+	dom uint64
+	fn  func()
 }
 
 var _ netapi.Runtime = (*Net)(nil)
@@ -168,6 +185,8 @@ func New(opts ...Option) *Net {
 		groups:    map[sockKey]map[sockKey]*udpSocket{},
 		listeners: map[sockKey]*listener{},
 		timers:    map[netapi.TimerID]*event{},
+		deferred:  map[*netapi.FlowGate][]deferredDelivery{},
+		gateSubs:  map[*netapi.FlowGate]bool{},
 	}
 	n.workCond = sync.NewCond(&n.workMu)
 	for _, o := range opts {
@@ -223,6 +242,34 @@ func (n *Net) scheduleDomLocked(d time.Duration, dom uint64, fn func()) *event {
 // Caller holds n.mu.
 func (n *Net) scheduleLocked(d time.Duration, fn func()) *event {
 	return n.scheduleDomLocked(d, 0, fn)
+}
+
+// deferLocked parks a delivery behind a blocked gate, installing a
+// reopen subscription on first use. Caller holds n.mu. Parked
+// continuations keep FIFO order per gate; each re-checks the gate when
+// it finally runs, so a gate that re-blocks re-parks them.
+func (n *Net) deferLocked(g *netapi.FlowGate, dom uint64, fn func()) {
+	n.PacketsDeferred++
+	n.deferred[g] = append(n.deferred[g], deferredDelivery{dom: dom, fn: fn})
+	if !n.gateSubs[g] {
+		n.gateSubs[g] = true
+		g.Notify(func() { n.flushGate(g) })
+	}
+}
+
+// flushGate reschedules every delivery parked behind g at the current
+// virtual instant, preserving arrival order. It runs from the gate's
+// reopen notification — in practice from the ingest worker that drained
+// the queue below its low watermark, whose WorkTracker hold keeps
+// virtual time parked, so the flush lands deterministically.
+func (n *Net) flushGate(g *netapi.FlowGate) {
+	n.mu.Lock()
+	pend := n.deferred[g]
+	delete(n.deferred, g)
+	for _, d := range pend {
+		n.scheduleDomLocked(0, d.dom, d.fn)
+	}
+	n.mu.Unlock()
 }
 
 // latencyLocked draws a per-packet one-way delay. Caller holds n.mu.
@@ -394,6 +441,7 @@ var (
 	_ netapi.Node             = (*node)(nil)
 	_ netapi.WorkTracker      = (*node)(nil)
 	_ netapi.EndpointDetacher = (*node)(nil)
+	_ netapi.FlowLimiter      = (*node)(nil)
 )
 
 // DetachEndpoints returns a view of the node whose endpoints each get
@@ -402,6 +450,15 @@ var (
 // modelling parallel per-endpoint dispatch.
 func (nd *node) DetachEndpoints() netapi.Node { return &detachedNode{node: nd} }
 
+// GateEndpoints returns a view of the node whose subsequently opened
+// ingress endpoints honor the flow gate (netapi.FlowLimiter): while
+// the gate is blocked their deliveries are parked — modelling a paused
+// read loop — and replayed in order when it reopens. Egress
+// (DialStream) is never gated.
+func (nd *node) GateEndpoints(g *netapi.FlowGate) netapi.Node {
+	return &gatedNode{node: nd, gate: g}
+}
+
 // detachedNode is a node view for thread-safe components.
 type detachedNode struct{ *node }
 
@@ -409,26 +466,86 @@ var (
 	_ netapi.Node             = (*detachedNode)(nil)
 	_ netapi.WorkTracker      = (*detachedNode)(nil)
 	_ netapi.EndpointDetacher = (*detachedNode)(nil)
+	_ netapi.FlowLimiter      = (*detachedNode)(nil)
 )
 
 func (d *detachedNode) DetachEndpoints() netapi.Node { return d }
 
+// GateEndpoints on a detached view keeps the detachment: endpoints are
+// gated AND get private dispatch domains.
+func (d *detachedNode) GateEndpoints(g *netapi.FlowGate) netapi.Node {
+	return &gatedNode{node: d.node, detached: true, gate: g}
+}
+
 func (d *detachedNode) OpenUDP(port int, h netapi.PacketHandler) (netapi.UDPSocket, error) {
 	d.net.mu.Lock()
 	defer d.net.mu.Unlock()
-	return d.node.openUDPLocked(d.net.newDomainLocked(), port, h)
+	return d.node.openUDPLocked(d.net.newDomainLocked(), nil, port, h)
 }
 
 func (d *detachedNode) JoinGroup(group netapi.Addr, h netapi.PacketHandler) (netapi.UDPSocket, error) {
-	return d.node.joinGroup(true, group, h)
+	return d.node.joinGroup(true, nil, group, h)
 }
 
 func (d *detachedNode) ListenStream(port int, accept netapi.ConnHandler, recv netapi.StreamHandler) (netapi.Closer, error) {
-	return d.node.listenStream(true, port, accept, recv)
+	return d.node.listenStream(true, nil, port, accept, recv)
 }
 
 func (d *detachedNode) DialStream(to netapi.Addr, recv netapi.StreamHandler) (netapi.Conn, error) {
 	return d.node.dialStream(true, to, recv)
+}
+
+// gatedNode is a node view whose ingress endpoints honor a flow gate;
+// with detached set they also get private dispatch-domain keys (the
+// combination the Automata Engine uses).
+type gatedNode struct {
+	*node
+	detached bool
+	gate     *netapi.FlowGate
+}
+
+var (
+	_ netapi.Node             = (*gatedNode)(nil)
+	_ netapi.WorkTracker      = (*gatedNode)(nil)
+	_ netapi.EndpointDetacher = (*gatedNode)(nil)
+	_ netapi.FlowLimiter      = (*gatedNode)(nil)
+)
+
+// DetachEndpoints keeps the gate and adds per-endpoint domains.
+func (g *gatedNode) DetachEndpoints() netapi.Node {
+	return &gatedNode{node: g.node, detached: true, gate: g.gate}
+}
+
+// GateEndpoints rebinds the view to another gate.
+func (g *gatedNode) GateEndpoints(fg *netapi.FlowGate) netapi.Node {
+	return &gatedNode{node: g.node, detached: g.detached, gate: fg}
+}
+
+// domKeyLocked picks the dispatch-domain key for a newly opened
+// endpoint. Caller holds net.mu.
+func (g *gatedNode) domKeyLocked() uint64 {
+	if g.detached {
+		return g.net.newDomainLocked()
+	}
+	return g.node.domKey
+}
+
+func (g *gatedNode) OpenUDP(port int, h netapi.PacketHandler) (netapi.UDPSocket, error) {
+	g.net.mu.Lock()
+	defer g.net.mu.Unlock()
+	return g.node.openUDPLocked(g.domKeyLocked(), g.gate, port, h)
+}
+
+func (g *gatedNode) JoinGroup(group netapi.Addr, h netapi.PacketHandler) (netapi.UDPSocket, error) {
+	return g.node.joinGroup(g.detached, g.gate, group, h)
+}
+
+func (g *gatedNode) ListenStream(port int, accept netapi.ConnHandler, recv netapi.StreamHandler) (netapi.Closer, error) {
+	return g.node.listenStream(g.detached, g.gate, port, accept, recv)
+}
+
+func (g *gatedNode) DialStream(to netapi.Addr, recv netapi.StreamHandler) (netapi.Conn, error) {
+	return g.node.dialStream(g.detached, to, recv)
 }
 
 func (nd *node) IP() string { return nd.ip }
@@ -520,8 +637,11 @@ type udpSocket struct {
 	domKey  uint64
 	addr    netapi.Addr
 	handler netapi.PacketHandler
-	closed  bool
-	groups  []sockKey
+	// gate, when non-nil, parks deliveries while blocked (the
+	// simulated analogue of a paused transport read loop).
+	gate   *netapi.FlowGate
+	closed bool
+	groups []sockKey
 }
 
 var _ netapi.UDPSocket = (*udpSocket)(nil)
@@ -529,10 +649,10 @@ var _ netapi.UDPSocket = (*udpSocket)(nil)
 func (nd *node) OpenUDP(port int, h netapi.PacketHandler) (netapi.UDPSocket, error) {
 	nd.net.mu.Lock()
 	defer nd.net.mu.Unlock()
-	return nd.openUDPLocked(nd.domKey, port, h)
+	return nd.openUDPLocked(nd.domKey, nil, port, h)
 }
 
-func (nd *node) openUDPLocked(dom uint64, port int, h netapi.PacketHandler) (*udpSocket, error) {
+func (nd *node) openUDPLocked(dom uint64, gate *netapi.FlowGate, port int, h netapi.PacketHandler) (*udpSocket, error) {
 	if h == nil {
 		return nil, fmt.Errorf("simnet: OpenUDP needs a handler")
 	}
@@ -543,16 +663,16 @@ func (nd *node) openUDPLocked(dom uint64, port int, h netapi.PacketHandler) (*ud
 	if _, taken := nd.net.udpSocks[key]; taken {
 		return nil, fmt.Errorf("simnet: %s:%d already bound", nd.ip, port)
 	}
-	s := &udpSocket{net: nd.net, node: nd, domKey: dom, addr: netapi.Addr{IP: nd.ip, Port: port}, handler: h}
+	s := &udpSocket{net: nd.net, node: nd, domKey: dom, addr: netapi.Addr{IP: nd.ip, Port: port}, handler: h, gate: gate}
 	nd.net.udpSocks[key] = s
 	return s, nil
 }
 
 func (nd *node) JoinGroup(group netapi.Addr, h netapi.PacketHandler) (netapi.UDPSocket, error) {
-	return nd.joinGroup(false, group, h)
+	return nd.joinGroup(false, nil, group, h)
 }
 
-func (nd *node) joinGroup(detached bool, group netapi.Addr, h netapi.PacketHandler) (netapi.UDPSocket, error) {
+func (nd *node) joinGroup(detached bool, gate *netapi.FlowGate, group netapi.Addr, h netapi.PacketHandler) (netapi.UDPSocket, error) {
 	if !group.IsMulticast() {
 		return nil, fmt.Errorf("simnet: %s is not a multicast group", group)
 	}
@@ -562,7 +682,7 @@ func (nd *node) joinGroup(detached bool, group netapi.Addr, h netapi.PacketHandl
 	if detached {
 		dom = nd.net.newDomainLocked()
 	}
-	s, err := nd.openUDPLocked(dom, 0, h)
+	s, err := nd.openUDPLocked(dom, gate, 0, h)
 	if err != nil {
 		return nil, err
 	}
@@ -638,15 +758,24 @@ func (s *udpSocket) deliverLocked(dst *udpSocket, data []byte, to netapi.Addr) {
 		return
 	}
 	from := s.addr
-	s.net.scheduleDomLocked(s.net.latencyLocked(), dst.domKey, func() {
+	var deliver func()
+	deliver = func() {
 		s.net.mu.Lock()
-		closed := dst.closed
-		s.net.mu.Unlock()
-		if closed {
+		if dst.closed {
+			s.net.mu.Unlock()
 			return
 		}
+		if g := dst.gate; g != nil && g.Blocked() {
+			// The destination's transport is paused: park the delivery
+			// until the gate reopens (it re-checks on replay).
+			s.net.deferLocked(g, dst.domKey, deliver)
+			s.net.mu.Unlock()
+			return
+		}
+		s.net.mu.Unlock()
 		dst.handler(netapi.Packet{From: from, To: to, Data: data})
-	})
+	}
+	s.net.scheduleDomLocked(s.net.latencyLocked(), dst.domKey, deliver)
 }
 
 func (s *udpSocket) Close() error {
@@ -677,13 +806,16 @@ type listener struct {
 	// detached gives every accepted connection a private dispatch
 	// domain (the listener was opened through a detached node view).
 	detached bool
+	// gate, when non-nil, is inherited by every accepted connection:
+	// their deliveries park while it is blocked.
+	gate *netapi.FlowGate
 }
 
 func (nd *node) ListenStream(port int, accept netapi.ConnHandler, recv netapi.StreamHandler) (netapi.Closer, error) {
-	return nd.listenStream(false, port, accept, recv)
+	return nd.listenStream(false, nil, port, accept, recv)
 }
 
-func (nd *node) listenStream(detached bool, port int, accept netapi.ConnHandler, recv netapi.StreamHandler) (netapi.Closer, error) {
+func (nd *node) listenStream(detached bool, gate *netapi.FlowGate, port int, accept netapi.ConnHandler, recv netapi.StreamHandler) (netapi.Closer, error) {
 	if recv == nil {
 		return nil, fmt.Errorf("simnet: ListenStream needs a recv handler")
 	}
@@ -696,7 +828,7 @@ func (nd *node) listenStream(detached bool, port int, accept netapi.ConnHandler,
 	if _, taken := nd.net.listeners[key]; taken {
 		return nil, fmt.Errorf("simnet: %s:%d already listening", nd.ip, port)
 	}
-	l := &listener{net: nd.net, node: nd, addr: netapi.Addr{IP: nd.ip, Port: port}, accept: accept, recv: recv, detached: detached}
+	l := &listener{net: nd.net, node: nd, addr: netapi.Addr{IP: nd.ip, Port: port}, accept: accept, recv: recv, detached: detached, gate: gate}
 	nd.net.listeners[key] = l
 	return l, nil
 }
@@ -721,6 +853,12 @@ type conn struct {
 	peer   *conn
 	recv   netapi.StreamHandler
 	closed bool
+	// gate, when non-nil (accepted side of a gated listener), parks
+	// inbound deliveries while blocked. pending counts this conn's
+	// parked chunks so later arrivals queue behind them even after the
+	// gate reopens — preserving TCP's in-order delivery.
+	gate    *netapi.FlowGate
+	pending int
 	// lastDelivery enforces TCP's in-order delivery: a chunk never
 	// arrives before one sent earlier on the same connection, even
 	// though each draws an independent latency sample.
@@ -753,7 +891,7 @@ func (nd *node) dialStream(detached bool, to netapi.Addr, recv netapi.StreamHand
 	}
 	local := netapi.Addr{IP: nd.ip, Port: nd.allocPortLocked()}
 	client := &conn{net: nd.net, domKey: clientDom, local: local, remote: to, recv: recv}
-	server := &conn{net: nd.net, domKey: serverDom, local: to, remote: local, recv: l.recv}
+	server := &conn{net: nd.net, domKey: serverDom, local: to, remote: local, recv: l.recv, gate: l.gate}
 	client.peer, server.peer = server, client
 	nd.net.scheduleDomLocked(nd.net.latencyLocked(), serverDom, func() {
 		nd.net.mu.Lock()
@@ -787,15 +925,46 @@ func (c *conn) Send(data []byte) error {
 		at = c.lastDelivery
 	}
 	c.lastDelivery = at
-	c.net.scheduleDomLocked(at.Sub(c.net.now), peer.domKey, func() {
+	parked := false
+	var deliver func()
+	deliver = func() {
 		c.net.mu.Lock()
-		closed := peer.closed
-		c.net.mu.Unlock()
-		if closed {
+		if peer.closed {
+			if parked {
+				peer.pending--
+			}
+			c.net.mu.Unlock()
 			return
 		}
+		if g := peer.gate; g != nil {
+			if g.Blocked() {
+				// Park behind the gate. The first park counts into
+				// pending so later chunks queue behind this one.
+				if !parked {
+					parked = true
+					peer.pending++
+				}
+				c.net.deferLocked(g, peer.domKey, deliver)
+				c.net.mu.Unlock()
+				return
+			}
+			if !parked && peer.pending > 0 {
+				// The gate reopened but earlier chunks are still
+				// replaying ahead of us: requeue at the same instant
+				// (later seq) to keep TCP's in-order delivery.
+				c.net.scheduleDomLocked(0, peer.domKey, deliver)
+				c.net.mu.Unlock()
+				return
+			}
+			if parked {
+				parked = false
+				peer.pending--
+			}
+		}
+		c.net.mu.Unlock()
 		peer.recv(peer, cp)
-	})
+	}
+	c.net.scheduleDomLocked(at.Sub(c.net.now), peer.domKey, deliver)
 	return nil
 }
 

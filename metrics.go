@@ -5,6 +5,7 @@ import (
 
 	"starlink/internal/engine"
 	"starlink/internal/hist"
+	"starlink/internal/lanes"
 	"starlink/internal/provision"
 	"starlink/internal/trace"
 )
@@ -103,6 +104,29 @@ type DispatchMetrics struct {
 	SlowPathLatency StageLatency
 }
 
+// LaneMetrics is a consistent snapshot of one ingest lane's admission
+// accounting (see WithLanePolicy). One row per lane, priority order:
+// "control", "data", "telemetry".
+type LaneMetrics struct {
+	// Lane names the lane: "control", "data" or "telemetry".
+	Lane string
+	// Depth is the number of payloads queued at snapshot time; Capacity
+	// is the lane's ring bound (summed across ingest workers).
+	Depth    int
+	Capacity int
+	// Admitted counts payloads accepted into the lane; Deferred counts
+	// admissions that happened while the lane was pressured (the
+	// transport gate was holding read loops paused); Shed counts
+	// payloads dropped by the watermark policy, each surfaced as a drop
+	// tagged ErrOverloaded.
+	Admitted int
+	Deferred int
+	Shed     int
+	// Wait is the queue-wait distribution: listener arrival to
+	// ingest-worker pickup. Its Stage field repeats the lane name.
+	Wait StageLatency
+}
+
 // Metrics is one deployment's full observability snapshot: lifecycle
 // state, aggregate and per-case session counters, and — for
 // dispatchers — the classification counters of the shared entry
@@ -125,6 +149,10 @@ type Metrics struct {
 	// CaseLatency breaks the staged latency distributions down per
 	// hosted case, same row layout as Latency.
 	CaseLatency map[string][]StageLatency
+	// Lanes aggregates the ingest-lane admission counters across every
+	// case, one row per lane in priority order (control, data,
+	// telemetry).
+	Lanes []LaneMetrics
 }
 
 // sessionMetricsOf converts engine counters to the public form.
@@ -168,6 +196,25 @@ func latencyRowsOf(d engine.LatencyDump) []StageLatency {
 		rows = append(rows, stageLatencyOf(trace.Stage(i).String(), d.Stages[i]))
 	}
 	rows = append(rows, stageLatencyOf("session", d.Session))
+	return rows
+}
+
+// laneRowsOf converts an engine lane dump to the public rows, one per
+// lane in priority order.
+func laneRowsOf(d engine.LaneDump) []LaneMetrics {
+	rows := make([]LaneMetrics, 0, lanes.NumLanes)
+	for i := range d.Counters {
+		c := d.Counters[i]
+		rows = append(rows, LaneMetrics{
+			Lane:     lanes.Lane(i).String(),
+			Depth:    c.Depth,
+			Capacity: c.Capacity,
+			Admitted: int(c.Admitted),
+			Deferred: int(c.Deferred),
+			Shed:     int(c.Shed),
+			Wait:     stageLatencyOf(lanes.Lane(i).String(), d.Wait[i]),
+		})
+	}
 	return rows
 }
 

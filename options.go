@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"starlink/internal/engine"
+	"starlink/internal/lanes"
 	"starlink/internal/provision"
 )
 
@@ -46,6 +47,12 @@ type deployConfig struct {
 	observers      []Observer
 	trialParseOnly bool
 
+	// lanePolicy accumulates WithLanePolicy and WithWatermarks so the
+	// two options compose into one engine-level policy; laneSet records
+	// that at least one of them appeared.
+	lanePolicy lanes.Policy
+	laneSet    bool
+
 	chainOnce *observerChain
 }
 
@@ -80,15 +87,19 @@ func (c *deployConfig) chain() *observerChain {
 
 // engineOptions renders the per-engine option list.
 func (c *deployConfig) engineOptions() []engine.Option {
-	return append([]engine.Option(nil), c.engOpts...)
+	out := append([]engine.Option(nil), c.engOpts...)
+	if c.laneSet {
+		out = append(out, engine.WithLanePolicy(c.lanePolicy))
+	}
+	return out
 }
 
 // provisionOptions renders the dispatcher option list (engine options
 // ride along to every hosted case's engine).
 func (c *deployConfig) provisionOptions() []provision.Option {
 	var out []provision.Option
-	if len(c.engOpts) > 0 {
-		out = append(out, provision.WithEngineOptions(c.engineOptions()...))
+	if eo := c.engineOptions(); len(eo) > 0 {
+		out = append(out, provision.WithEngineOptions(eo...))
 	}
 	if c.trialParseOnly {
 		out = append(out, provision.WithTrialParseOnly())
@@ -175,6 +186,91 @@ func WithObserver(o Observer) Option {
 func WithFlightRecorder(events int) Option {
 	return Option{name: "WithFlightRecorder", apply: func(c *deployConfig) {
 		c.engOpts = append(c.engOpts, engine.WithTraceRing(events))
+	}}
+}
+
+// ShedPolicy selects what a pressured ingest queue does with telemetry
+// payloads once the high watermark trips (see WithLanePolicy).
+type ShedPolicy int
+
+const (
+	// ShedOldest evicts the oldest queued telemetry payload to admit a
+	// newer one — fresh chatter beats stale chatter. The default.
+	ShedOldest ShedPolicy = iota
+	// ShedRejectNew refuses incoming telemetry while pressured, keeping
+	// what is already queued.
+	ShedRejectNew
+	// ShedDeferOnly never sheds: all admission control is left to the
+	// transport backpressure gate (paused read loops) and to ring
+	// capacity itself.
+	ShedDeferOnly
+)
+
+// String returns the flag spelling ("shed-oldest", "reject-new",
+// "defer").
+func (p ShedPolicy) String() string { return p.mode().String() }
+
+func (p ShedPolicy) mode() lanes.ShedMode {
+	switch p {
+	case ShedRejectNew:
+		return lanes.RejectNew
+	case ShedDeferOnly:
+		return lanes.DeferOnly
+	default:
+		return lanes.ShedOldest
+	}
+}
+
+// ParseShedPolicy parses the flag spelling accepted by String.
+func ParseShedPolicy(s string) (ShedPolicy, error) {
+	m, err := lanes.ParseShedMode(s)
+	if err != nil {
+		return ShedOldest, err
+	}
+	switch m {
+	case lanes.RejectNew:
+		return ShedRejectNew, nil
+	case lanes.DeferOnly:
+		return ShedDeferOnly, nil
+	default:
+		return ShedOldest, nil
+	}
+}
+
+// WithLanePolicy bounds the prioritized ingest lanes that sit between
+// the transport read loops and each case's session router. Inbound
+// payloads classify into three lanes — control (session entry),
+// data (mid-session payloads of live sessions), telemetry (multicast
+// chatter) — each a ring of capacity payloads; under pressure the
+// telemetry lane degrades first per shed, and the control lane last.
+// Shed payloads surface as drops tagged ErrOverloaded. capacity < 1
+// keeps the default (1024 per lane). Composes with WithWatermarks.
+func WithLanePolicy(capacity int, shed ShedPolicy) Option {
+	return Option{name: "WithLanePolicy", apply: func(c *deployConfig) {
+		c.laneSet = true
+		if capacity >= 1 {
+			c.lanePolicy.Capacity = capacity
+		}
+		c.lanePolicy.Mode = shed.mode()
+	}}
+}
+
+// WithWatermarks sets the total-depth hysteresis thresholds of the
+// ingest lanes (per case, for a dispatcher): at high queued payloads
+// the transport read loops pause — releasing their buffers rather than
+// queueing — and telemetry shedding begins; draining back to low
+// resumes them. Deploy fails if high ≤ low or either is out of range
+// for the lane capacity. Values ≤ 0 keep the defaults (75% and 37.5%
+// of total capacity). Composes with WithLanePolicy.
+func WithWatermarks(high, low int) Option {
+	return Option{name: "WithWatermarks", apply: func(c *deployConfig) {
+		c.laneSet = true
+		if high > 0 {
+			c.lanePolicy.High = high
+		}
+		if low > 0 {
+			c.lanePolicy.Low = low
+		}
 	}}
 }
 

@@ -76,11 +76,17 @@
 // request opens a session keyed by (entry color, origin address) in a
 // sharded session table; each session executes its
 // receive→translate→compose loop on its own goroutine, fed by a
-// bounded inbox channel. Inbound entry payloads are parsed and routed
-// by a bounded ingest worker pool, and a max-sessions semaphore
-// (WithMaxSessions) rejects initiator requests beyond the configured
-// ceiling so overload degrades into dropped requests rather than
-// unbounded memory growth. Timers and requester payloads post events
+// bounded inbox channel. Inbound entry payloads flow through bounded,
+// prioritized ingest lanes — control (session entry) over data
+// (mid-session payloads) over telemetry (multicast chatter) — before a
+// worker pool parses and routes them. Past the lanes' high watermark
+// the transport read loops pause (releasing their buffers) and
+// telemetry sheds first, control last (WithLanePolicy,
+// WithWatermarks); a max-sessions semaphore (WithMaxSessions) bounds
+// the live-session population on top. Both bounds surface as drops
+// tagged ErrOverloaded, so overload degrades into dropped requests
+// rather than unbounded memory growth. Timers and requester payloads
+// post events
 // into the session inbox instead of touching session state, so session
 // state needs no locks. On the virtual-clock simulator the engine
 // reports in-flight work through a work tracker, which keeps simulated
@@ -305,6 +311,7 @@ func (b *Bridge) Metrics() Metrics {
 		Cases:       map[string]SessionMetrics{b.b.Case: s},
 		Latency:     lat,
 		CaseLatency: map[string][]StageLatency{b.b.Case: lat},
+		Lanes:       laneRowsOf(b.b.Engine.Lanes()),
 	}
 }
 
@@ -396,6 +403,11 @@ func (d *Dispatcher) Metrics() Metrics {
 		agg.Merge(ld)
 	}
 	m.Latency = latencyRowsOf(agg)
+	var laneAgg engine.LaneDump
+	for _, ld := range d.d.Lanes() {
+		laneAgg.Merge(ld)
+	}
+	m.Lanes = laneRowsOf(laneAgg)
 	fast, slow := d.d.ClassifyLatency()
 	m.Dispatch.FastPathLatency = stageLatencyOf("classify", fast)
 	m.Dispatch.SlowPathLatency = stageLatencyOf("classify", slow)
