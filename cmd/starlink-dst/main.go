@@ -1,0 +1,403 @@
+// Command starlink-dst drives the deterministic simulation testing
+// rig: single runs, parallel seed sweeps, and artifact replay.
+//
+//	starlink-dst list
+//	starlink-dst run -scenario loss -seed 7 [-artifact-dir DIR]
+//	starlink-dst sweep -scenarios loss,delay -seeds 200 [-workers N]
+//	starlink-dst replay DIR/dst-loss-seed7.txt
+//
+// sweep partitions each scenario's seed range across worker
+// subprocesses (one starlink-dst process per chunk, runs executed
+// sequentially inside each — the lease-balance invariant reads a
+// process-global counter, so runs never share a process concurrently).
+// Every failing run is written as a self-contained artifact; replay
+// re-executes an artifact and verifies the recorded interleaving and
+// violations come back exactly.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"starlink/internal/dst"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	var failed bool
+	switch os.Args[1] {
+	case "list":
+		err = cmdList()
+	case "run":
+		failed, err = cmdRun(os.Args[2:])
+	case "sweep":
+		failed, err = cmdSweep(os.Args[2:])
+	case "replay":
+		failed, err = cmdReplay(os.Args[2:])
+	case "worker":
+		err = cmdWorker(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "starlink-dst: %v\n", err)
+		os.Exit(2)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: starlink-dst <command> [flags]
+
+commands:
+  list                      print the scenario catalog
+  run     -scenario NAME -seed N      execute one run
+  sweep   -scenarios A,B -seeds N     sweep seeds across worker processes
+  replay  ARTIFACT                    re-execute a failure artifact`)
+}
+
+func cmdList() error {
+	names := dst.Names()
+	scenarios := dst.Builtin()
+	for _, n := range names {
+		fmt.Printf("%-18s %s\n", n, scenarios[n].Info)
+	}
+	fmt.Printf("\nsweep default: %s\n", strings.Join(dst.SweepSet, ","))
+	return nil
+}
+
+// runResult is the worker→parent line protocol (also printed by run).
+type runResult struct {
+	Scenario   string   `json:"scenario"`
+	Seed       int64    `json:"seed"`
+	TraceHash  string   `json:"trace_hash"`
+	Pass       bool     `json:"pass"`
+	Violations []string `json:"violations,omitempty"`
+	Artifact   string   `json:"artifact,omitempty"`
+	Error      string   `json:"error,omitempty"`
+}
+
+// executeRun performs one run and, on failure, writes the artifact.
+func executeRun(name string, seed int64, cfg dst.Config, artifactDir string) runResult {
+	out := runResult{Scenario: name, Seed: seed}
+	sc, err := dst.Lookup(name)
+	if err != nil {
+		out.Error = err.Error()
+		return out
+	}
+	res, err := dst.Run(sc, seed, cfg)
+	if err != nil {
+		out.Error = err.Error()
+		return out
+	}
+	out.TraceHash = fmt.Sprintf("%016x", res.TraceHash)
+	out.Pass = !res.Failed()
+	for _, v := range res.Violations {
+		out.Violations = append(out.Violations, v.String())
+	}
+	if res.Failed() && artifactDir != "" {
+		if err := os.MkdirAll(artifactDir, 0o755); err != nil {
+			out.Error = err.Error()
+			return out
+		}
+		path := filepath.Join(artifactDir, dst.ArtifactName(sc, seed))
+		if err := os.WriteFile(path, []byte(dst.FormatArtifact(res)), 0o644); err != nil {
+			out.Error = err.Error()
+			return out
+		}
+		out.Artifact = path
+	}
+	return out
+}
+
+func cmdRun(args []string) (failed bool, err error) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	scenario := fs.String("scenario", "", "scenario name (see list)")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	models := fs.String("models", "examples/models", "models dir for reload scenarios")
+	artifactDir := fs.String("artifact-dir", "", "write failure artifacts here")
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+	if *scenario == "" {
+		return false, fmt.Errorf("run: -scenario is required")
+	}
+	r := executeRun(*scenario, *seed, dst.Config{ModelsDir: *models}, *artifactDir)
+	if r.Error != "" {
+		return false, fmt.Errorf("%s seed %d: %s", r.Scenario, r.Seed, r.Error)
+	}
+	report(r)
+	return !r.Pass, nil
+}
+
+func report(r runResult) {
+	if r.Pass {
+		fmt.Printf("PASS %s seed=%d trace=%s\n", r.Scenario, r.Seed, r.TraceHash)
+		return
+	}
+	fmt.Printf("FAIL %s seed=%d trace=%s\n", r.Scenario, r.Seed, r.TraceHash)
+	for _, v := range r.Violations {
+		fmt.Printf("  %s\n", v)
+	}
+	if r.Artifact != "" {
+		fmt.Printf("  artifact: %s\n", r.Artifact)
+	}
+}
+
+// cmdWorker is the sweep's child process: run a contiguous seed chunk
+// sequentially, one JSON result line per run on stdout.
+func cmdWorker(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	scenario := fs.String("scenario", "", "scenario name")
+	seeds := fs.String("seeds", "", "chunk as start:count")
+	models := fs.String("models", "examples/models", "models dir")
+	artifactDir := fs.String("artifact-dir", "", "artifact dir")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	start, count, err := parseChunk(*seeds)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	cfg := dst.Config{ModelsDir: *models}
+	for seed := start; seed < start+count; seed++ {
+		if err := enc.Encode(executeRun(*scenario, seed, cfg, *artifactDir)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseChunk(s string) (start, count int64, err error) {
+	a, b, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("worker: -seeds wants start:count, got %q", s)
+	}
+	if start, err = strconv.ParseInt(a, 10, 64); err != nil {
+		return 0, 0, err
+	}
+	if count, err = strconv.ParseInt(b, 10, 64); err != nil {
+		return 0, 0, err
+	}
+	return start, count, nil
+}
+
+func cmdSweep(args []string) (failed bool, err error) {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	scenarios := fs.String("scenarios", strings.Join(dst.SweepSet, ","),
+		`comma-separated scenario names, or "all"`)
+	seeds := fs.Int64("seeds", 100, "seeds per scenario")
+	base := fs.Int64("seed-base", 1, "first seed")
+	workers := fs.Int("workers", runtime.NumCPU(), "concurrent worker processes")
+	models := fs.String("models", "examples/models", "models dir for reload scenarios")
+	artifactDir := fs.String("artifact-dir", "dst-artifacts", "write failure artifacts here")
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+	names, err := resolveScenarios(*scenarios)
+	if err != nil {
+		return false, err
+	}
+	if *workers < 1 {
+		*workers = 1
+	}
+	self, err := os.Executable()
+	if err != nil {
+		return false, err
+	}
+
+	// One job per (scenario, seed chunk): chunks sized so every
+	// scenario spreads across the worker pool.
+	type job struct {
+		scenario     string
+		start, count int64
+	}
+	var jobs []job
+	chunk := *seeds / int64(*workers)
+	if chunk < 1 {
+		chunk = 1
+	}
+	for _, name := range names {
+		for off := int64(0); off < *seeds; off += chunk {
+			n := chunk
+			if off+n > *seeds {
+				n = *seeds - off
+			}
+			jobs = append(jobs, job{scenario: name, start: *base + off, count: n})
+		}
+	}
+
+	var (
+		mu       sync.Mutex
+		results  []runResult
+		firstErr error
+	)
+	jobCh := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				cmd := exec.Command(self, "worker",
+					"-scenario", j.scenario,
+					"-seeds", fmt.Sprintf("%d:%d", j.start, j.count),
+					"-models", *models,
+					"-artifact-dir", *artifactDir)
+				cmd.Stderr = os.Stderr
+				out, err := cmd.StdoutPipe()
+				if err == nil {
+					err = cmd.Start()
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				sc := bufio.NewScanner(out)
+				sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+				for sc.Scan() {
+					var r runResult
+					if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+						continue
+					}
+					mu.Lock()
+					results = append(results, r)
+					if !r.Pass || r.Error != "" {
+						report(r)
+					}
+					mu.Unlock()
+				}
+				if err := cmd.Wait(); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("worker %s %d:%d: %w", j.scenario, j.start, j.count, err)
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
+	wg.Wait()
+	if firstErr != nil {
+		return false, firstErr
+	}
+
+	// Summary per scenario.
+	passCount := map[string]int{}
+	failCount := map[string]int{}
+	errCount := map[string]int{}
+	for _, r := range results {
+		switch {
+		case r.Error != "":
+			errCount[r.Scenario]++
+		case r.Pass:
+			passCount[r.Scenario]++
+		default:
+			failCount[r.Scenario]++
+		}
+	}
+	total, failures := 0, 0
+	for _, name := range names {
+		p, f, e := passCount[name], failCount[name], errCount[name]
+		total += p + f + e
+		failures += f + e
+		fmt.Printf("%-18s %d pass, %d fail, %d error\n", name, p, f, e)
+	}
+	fmt.Printf("sweep: %d runs, %d failures\n", total, failures)
+	if want := int64(len(names)) * *seeds; int64(total) != want {
+		return true, fmt.Errorf("sweep: expected %d runs, saw %d", want, total)
+	}
+	return failures > 0, nil
+}
+
+func resolveScenarios(arg string) ([]string, error) {
+	if arg == "all" {
+		// selftest-fail is intentionally unsatisfiable — it is for
+		// exercising the artifact pipeline, never for sweeps.
+		var out []string
+		for _, n := range dst.Names() {
+			if n != "selftest-fail" {
+				out = append(out, n)
+			}
+		}
+		return out, nil
+	}
+	names := strings.Split(arg, ",")
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := dst.Lookup(n); err != nil {
+			return nil, err
+		}
+	}
+	return names, nil
+}
+
+func cmdReplay(args []string) (failed bool, err error) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	models := fs.String("models", "examples/models", "models dir for reload scenarios")
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+	if fs.NArg() != 1 {
+		return false, fmt.Errorf("replay: want exactly one artifact path")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return false, err
+	}
+	art, err := dst.ParseArtifact(string(data))
+	if err != nil {
+		return false, err
+	}
+	rep, err := dst.Replay(art, dst.Config{ModelsDir: *models})
+	if err != nil {
+		return false, err
+	}
+	if rep.Reproduced() {
+		fmt.Printf("REPRODUCED %s seed=%d trace=%016x (%d violations)\n",
+			art.Scenario.Name, art.Seed, art.TraceHash, len(rep.Result.Violations))
+		for _, v := range rep.Result.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+		return false, nil
+	}
+	fmt.Printf("NOT REPRODUCED %s seed=%d\n", art.Scenario.Name, art.Seed)
+	if !rep.TraceMatch {
+		fmt.Printf("  trace diverged: %s\n", rep.Divergence)
+	}
+	if !rep.ViolationsMatch {
+		fmt.Printf("  recorded violations: %v\n", art.Violations)
+		var got []string
+		for _, v := range rep.Result.Violations {
+			got = append(got, v.String())
+		}
+		fmt.Printf("  replayed violations: %v\n", got)
+	}
+	return true, nil
+}

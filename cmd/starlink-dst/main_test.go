@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"starlink/internal/dst"
+)
+
+func TestParseChunk(t *testing.T) {
+	start, count, err := parseChunk("5:17")
+	if err != nil || start != 5 || count != 17 {
+		t.Fatalf("parseChunk(5:17) = %d, %d, %v", start, count, err)
+	}
+	for _, bad := range []string{"", "5", "a:b", "5:"} {
+		if _, _, err := parseChunk(bad); err == nil {
+			t.Errorf("parseChunk(%q) accepted", bad)
+		}
+	}
+}
+
+func TestResolveScenarios(t *testing.T) {
+	all, err := resolveScenarios("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range all {
+		if n == "selftest-fail" {
+			t.Fatal("`all` must exclude the intentionally failing scenario")
+		}
+	}
+	if len(all) < len(dst.SweepSet) {
+		t.Fatalf("`all` resolved %d scenarios, fewer than the sweep set", len(all))
+	}
+	if _, err := resolveScenarios("loss,nope"); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+// TestExecuteRunWritesArtifact drives the single-run path end to end:
+// the intentional failure must produce an artifact that parses.
+func TestExecuteRunWritesArtifact(t *testing.T) {
+	dir := t.TempDir()
+	r := executeRun("selftest-fail", 3, dst.Config{}, dir)
+	if r.Error != "" {
+		t.Fatal(r.Error)
+	}
+	if r.Pass {
+		t.Fatal("selftest-fail passed")
+	}
+	if r.Artifact == "" {
+		t.Fatal("no artifact written")
+	}
+	data, err := os.ReadFile(r.Artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := dst.ParseArtifact(string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Seed != 3 || art.Scenario.Name != "selftest-fail" {
+		t.Fatalf("artifact identity: seed=%d scenario=%s", art.Seed, art.Scenario.Name)
+	}
+	if want := filepath.Join(dir, "dst-selftest-fail-seed3.txt"); r.Artifact != want {
+		t.Fatalf("artifact path %s, want %s", r.Artifact, want)
+	}
+	if !strings.HasPrefix(r.TraceHash, "") || len(r.TraceHash) != 16 {
+		t.Fatalf("trace hash %q not 16 hex digits", r.TraceHash)
+	}
+}

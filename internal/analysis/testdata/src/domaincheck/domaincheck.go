@@ -106,3 +106,50 @@ func serialCallback(results *[]int) {
 		*results = append(*results, len(pkt.Data))
 	})
 }
+
+// ---------------------------------------------------------------------
+// Fault-plane delivery shapes: the simnet fault injector schedules each
+// delivery — original and injected duplicate — as its own deferred
+// closure. The lease flag must live in THAT closure's frame, never
+// shared between the two deliveries.
+// ---------------------------------------------------------------------
+
+func schedule(f func()) { f() }
+
+// The sanctioned shape, mirroring simnet's scheduleUDPLocked: each
+// scheduled delivery acquires its own buffer and binds its own
+// frame-local flag, so the duplicate is a fully independent delivery.
+func dupDeliveriesOwnFlags(h netapi.PacketHandler, data []byte) {
+	deliver := func() {
+		buf := netapi.NewBuffer()
+		n := copy(buf.Backing(), data)
+		buf.SetFilled(n)
+		retained := false
+		pkt := netapi.Packet{Data: buf.Bytes(), Buf: buf}
+		pkt.BindLeaseFlag(&retained)
+		h(pkt)
+		if !retained {
+			buf.Release()
+		}
+	}
+	schedule(deliver) // original
+	schedule(deliver) // injected duplicate
+}
+
+// Hoisting the flag out of the delivery closure shares one bool between
+// the original and the injected duplicate: by the time the duplicate
+// reads it back, it may hold the original handler's decision — the
+// lease-transfer TOCTOU the frame-local rule exists to close.
+func dupDeliveriesSharedFlag(h netapi.PacketHandler, buf *netapi.Buffer) {
+	retained := false
+	deliver := func() {
+		pkt := netapi.Packet{Data: buf.Bytes(), Buf: buf}
+		pkt.BindLeaseFlag(&retained) // want "not local to the dispatching function"
+		h(pkt)
+		if !retained {
+			buf.Release()
+		}
+	}
+	schedule(deliver)
+	schedule(deliver)
+}

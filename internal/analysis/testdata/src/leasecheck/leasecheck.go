@@ -104,3 +104,67 @@ func localUseOnly(pkt netapi.Packet) int {
 	data := pkt.Data
 	return len(data)
 }
+
+// ---------------------------------------------------------------------
+// Fault-plane delivery shapes: the simnet fault injector turns one send
+// into zero (drop), one or two (duplicate) deliveries, each under the
+// leased-delivery protocol. These fixtures pin that the injector's
+// sanctioned shape stays clean and that the shortcuts it must not take
+// keep being reported.
+// ---------------------------------------------------------------------
+
+// The simnet deliver shape: every delivery — original or injected
+// duplicate — copies into its own pooled buffer and settles it with the
+// lease-flag protocol. Ownership rides into the Packet literal; the
+// conditional release is the dispatcher honoring an untaken lease.
+func faultDeliverLeased(h netapi.PacketHandler, data []byte) {
+	buf := netapi.NewBuffer()
+	n := copy(buf.Backing(), data)
+	buf.SetFilled(n)
+	retained := false
+	pkt := netapi.Packet{Data: buf.Bytes(), Buf: buf}
+	pkt.BindLeaseFlag(&retained)
+	h(pkt)
+	if !retained {
+		buf.Release()
+	}
+}
+
+// The shortcut fault injection must not take: re-delivering the
+// original's buffer for the duplicate after the original delivery
+// settled its lease. The pool may have re-leased the backing array to
+// another read loop by then.
+func faultDupReusesReleased(h netapi.PacketHandler, data []byte, dup bool) {
+	buf := netapi.NewBuffer()
+	n := copy(buf.Backing(), data)
+	buf.SetFilled(n)
+	h(netapi.Packet{Data: buf.Bytes()})
+	buf.Release()
+	if dup {
+		h(netapi.Packet{Data: buf.Bytes()}) // want "use of buf after release"
+	}
+}
+
+// Dropping a delivery still owns the buffer it copied into: a fault
+// verdict that returns early without releasing leaks the pool slot.
+func faultDropLeaksBuffer(h netapi.PacketHandler, data []byte, dropped bool) {
+	buf := netapi.NewBuffer() // want "never released or transferred"
+	n := copy(buf.Backing(), data)
+	buf.SetFilled(n)
+	if dropped {
+		return // leaked: the drop path forgot the release
+	}
+	h(netapi.Packet{Data: buf.Bytes(), Buf: buf})
+}
+
+// The sanctioned drop shape: the verdict releases before bailing.
+func faultDropReleases(h netapi.PacketHandler, data []byte, dropped bool) {
+	buf := netapi.NewBuffer()
+	n := copy(buf.Backing(), data)
+	buf.SetFilled(n)
+	if dropped {
+		buf.Release()
+		return
+	}
+	h(netapi.Packet{Data: buf.Bytes(), Buf: buf})
+}

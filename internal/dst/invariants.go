@@ -1,0 +1,170 @@
+package dst
+
+import (
+	"fmt"
+	"sort"
+
+	"starlink/internal/lanes"
+)
+
+// Violation is one failed invariant: which one, and the numbers that
+// broke it.
+type Violation struct {
+	// Invariant names the catalog entry: sessions-terminal,
+	// session-leak, lease-balance, lane-conservation,
+	// drain-consistency or expectations.
+	Invariant string
+	Detail    string
+}
+
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+// Counter resolves one aggregate result counter by the names Expect
+// uses (see Expectation).
+func (r *Result) Counter(name string) int {
+	sum := 0
+	switch name {
+	case "started":
+		for _, n := range r.Started {
+			sum += n
+		}
+	case "ended":
+		for _, n := range r.Ended {
+			sum += n
+		}
+	case "dispatched":
+		return r.Dispatch.Dispatched
+	case "ambiguous":
+		return r.Dispatch.Ambiguous
+	case "unroutable":
+		return r.Dispatch.Unroutable
+	case "shed":
+		for _, d := range r.Lanes {
+			for l := range d.Counters {
+				sum += int(d.Counters[l].Shed)
+			}
+		}
+	default:
+		for _, c := range r.Stats {
+			switch name {
+			case "completed":
+				sum += c.Completed
+			case "failed":
+				sum += c.Failed
+			case "parseerrors":
+				sum += c.ParseErrors
+			case "ignored":
+				sum += c.Ignored
+			case "rejected":
+				sum += c.Rejected
+			case "dropped":
+				sum += c.Dropped
+			case "drainrejected":
+				sum += c.DrainRejected
+			}
+		}
+	}
+	return sum
+}
+
+// checkInvariants evaluates the whole catalog against a finished run.
+// Every check reads only the Result — the artifact embeds enough to
+// re-derive each verdict.
+func checkInvariants(sc *Scenario, r *Result) []Violation {
+	var out []Violation
+	bad := func(inv, format string, args ...any) {
+		out = append(out, Violation{Invariant: inv, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	// sessions-terminal: every admitted session reached a terminal
+	// state, and the terminal counters agree with the lifecycle hooks.
+	for _, c := range caseUnion(r) {
+		started, ended := r.Started[c], r.Ended[c]
+		if started != ended {
+			bad("sessions-terminal", "%s: %d sessions started, %d ended", c, started, ended)
+		}
+		if st, ok := r.Stats[c]; ok {
+			if terminal := st.Completed + st.Failed; ended != terminal {
+				bad("sessions-terminal", "%s: %d session-end hooks but completed+failed = %d",
+					c, ended, terminal)
+			}
+		}
+	}
+
+	// session-leak: at quiescence no engine may still hold a session
+	// slot, a semaphore token, or a queued payload.
+	for _, c := range sortedKeys(r.Probes) {
+		p := r.Probes[c]
+		if p.Live != 0 || p.SemInUse != 0 || p.LaneDepth != 0 {
+			bad("session-leak", "%s: live=%d sem=%d lanedepth=%d at quiescence",
+				c, p.Live, p.SemInUse, p.LaneDepth)
+		}
+	}
+	for _, c := range sortedKeys(r.Stats) {
+		if live := r.Stats[c].Live; live != 0 {
+			bad("session-leak", "%s: final counters report %d live sessions", c, live)
+		}
+	}
+
+	// lease-balance: every pooled buffer leased during the run was
+	// released exactly once by teardown.
+	if r.LeaseDelta != 0 {
+		bad("lease-balance", "%+d pooled buffer leases outstanding after teardown", r.LeaseDelta)
+	}
+
+	// lane-conservation: per case and lane, every admitted payload was
+	// processed, evicted or drained — none vanished, none remain.
+	for _, c := range sortedKeys(r.Lanes) {
+		d := r.Lanes[c]
+		for l := range d.Counters {
+			ct := d.Counters[l]
+			if out := ct.Processed + ct.Evicted + ct.Drained; ct.Admitted != out {
+				bad("lane-conservation", "%s/%s: admitted %d != processed %d + evicted %d + drained %d",
+					c, lanes.Lane(l), ct.Admitted, ct.Processed, ct.Evicted, ct.Drained)
+			}
+			if ct.Depth != 0 {
+				bad("lane-conservation", "%s/%s: depth %d at quiescence", c, lanes.Lane(l), ct.Depth)
+			}
+		}
+	}
+
+	// drain-consistency: drain refusals can only happen in a scenario
+	// that drains.
+	if sc.Drain == 0 {
+		if n := r.Counter("drainrejected"); n != 0 {
+			bad("drain-consistency", "%d drain rejections in a scenario that never drains", n)
+		}
+	}
+
+	// expectations: the scenario's counter floors.
+	for _, e := range sc.Expect {
+		if got := r.Counter(e.Counter); got < e.Min {
+			bad("expectations", "%s = %d, want >= %d", e.Counter, got, e.Min)
+		}
+	}
+	return out
+}
+
+// caseUnion returns every case name any surface mentions, sorted.
+func caseUnion(r *Result) []string {
+	set := map[string]bool{}
+	for c := range r.Started {
+		set[c] = true
+	}
+	for c := range r.Ended {
+		set[c] = true
+	}
+	for c := range r.Stats {
+		set[c] = true
+	}
+	return sortedKeys(set)
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

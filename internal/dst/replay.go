@@ -1,0 +1,75 @@
+package dst
+
+import (
+	"fmt"
+)
+
+// ReplayReport compares a recorded failure with its re-execution.
+type ReplayReport struct {
+	// Result is the re-executed run.
+	Result *Result
+	// TraceMatch is true when the replay's delivery-event trace hash
+	// equals the recorded one — the exact interleaving was reproduced.
+	TraceMatch bool
+	// Divergence describes the first differing trace line when
+	// TraceMatch is false.
+	Divergence string
+	// ViolationsMatch is true when the replay violated exactly the
+	// recorded invariants.
+	ViolationsMatch bool
+}
+
+// Reproduced reports whether the replay reproduced both the recorded
+// interleaving and the recorded failure.
+func (r *ReplayReport) Reproduced() bool { return r.TraceMatch && r.ViolationsMatch }
+
+// Replay re-executes an artifact's (scenario, seed) pair and checks
+// that the recorded interleaving and invariant violations come back.
+// A non-reproducing replay is not an error — the report says so — but
+// it means determinism itself broke, which is a bug in its own right.
+func Replay(a *Artifact, cfg Config) (*ReplayReport, error) {
+	res, err := Run(a.Scenario, a.Seed, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("dst: replay run: %w", err)
+	}
+	rep := &ReplayReport{Result: res}
+	rep.TraceMatch = res.TraceHash == a.TraceHash
+	if !rep.TraceMatch {
+		rep.Divergence = firstDivergence(a.TraceLines, res.TraceLines)
+	}
+	rep.ViolationsMatch = violationsEqual(a.Violations, res.Violations)
+	return rep, nil
+}
+
+// firstDivergence locates the first trace line present in one run but
+// not the other, for diagnosing a broken determinism contract.
+func firstDivergence(want, got []string) string {
+	n := len(want)
+	if len(got) < n {
+		n = len(got)
+	}
+	for i := 0; i < n; i++ {
+		if want[i] != got[i] {
+			return fmt.Sprintf("line %d: recorded %q, replayed %q", i+1, want[i], got[i])
+		}
+	}
+	if len(want) != len(got) {
+		return fmt.Sprintf("recorded %d trace lines, replayed %d (common prefix identical)",
+			len(want), len(got))
+	}
+	// Same lines, different hash: the artifact was hand-edited or the
+	// hash function changed.
+	return "trace lines identical but hashes differ"
+}
+
+func violationsEqual(recorded []string, replayed []Violation) bool {
+	if len(recorded) != len(replayed) {
+		return false
+	}
+	for i, v := range replayed {
+		if recorded[i] != v.String() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,405 @@
+package dst
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"starlink/internal/bench"
+	"starlink/internal/composer"
+	"starlink/internal/core"
+	"starlink/internal/engine"
+	"starlink/internal/message"
+	"starlink/internal/netapi"
+	"starlink/internal/protocols/dnssd"
+	"starlink/internal/protocols/slp"
+	"starlink/internal/protocols/upnp"
+	"starlink/internal/provision"
+	"starlink/internal/registry"
+	"starlink/internal/simnet"
+	"starlink/internal/trace"
+)
+
+// The simulated topology: one bridge host, one legacy service per
+// protocol (the bench workload's printer in each spelling), clients on
+// per-case subnets, and a driver node for raw traffic and mid-run
+// control actions. The UPnP device IP must agree with bench.HTTPURL —
+// the bridge dials the advertised location.
+const (
+	bridgeIP     = "10.0.0.5"
+	upnpIP       = "10.0.0.7"
+	slpIP        = "10.0.0.9"
+	bonjourIP    = "10.0.0.11"
+	driverIP     = "10.250.0.1"
+	altEntryPort = 1427
+)
+
+// Config parameterizes Run with host-environment facts a scenario
+// cannot know.
+type Config struct {
+	// ModelsDir is the directory reload scenarios hot-load (the
+	// slp-to-upnp-alt model set). Empty means "examples/models"
+	// relative to the working directory.
+	ModelsDir string
+	// Registry, when non-nil, is shared across runs to amortize model
+	// parsing. Ignored when the scenario reloads: a reload mutates the
+	// registry, so those runs always build a fresh one.
+	Registry *registry.Registry
+}
+
+func (c Config) modelsDir() string {
+	if c.ModelsDir != "" {
+		return c.ModelsDir
+	}
+	return "examples/models"
+}
+
+// sharedRegistry amortizes builtin model parsing across runs that do
+// not mutate the registry (same rationale as the bench package).
+var (
+	sharedRegOnce sync.Once
+	sharedReg     *registry.Registry
+	sharedRegErr  error
+)
+
+func sharedRegistry() (*registry.Registry, error) {
+	sharedRegOnce.Do(func() {
+		sharedReg, sharedRegErr = registry.Builtin()
+	})
+	return sharedReg, sharedRegErr
+}
+
+// ClientTally counts one case's client outcomes: Done lookups that
+// returned at all, of which Hits carried at least one service URL.
+type ClientTally struct {
+	Done int
+	Hits int
+}
+
+// FailedSession is one session that ended in error, with its
+// flight-recorder trace when the engine's ring captured one.
+type FailedSession struct {
+	Case   string
+	Origin string
+	Err    string
+	Trace  []trace.Event
+}
+
+// Result is everything one deterministic run produced: the identity
+// (scenario, seed), the delivery-event trace that pins the
+// interleaving, the final accounting surfaces, and the invariant
+// violations (empty on a passing run).
+type Result struct {
+	Scenario *Scenario
+	Seed     int64
+
+	// TraceHash/TraceLines are the simulator's delivery-event trace,
+	// captured at quiescence before teardown — the replay comparand.
+	TraceHash  uint64
+	TraceLines []string
+	// VirtualElapsed is how much simulated time the run covered.
+	VirtualElapsed time.Duration
+
+	Stats    map[string]engine.Counters
+	Dispatch provision.DispatchCounters
+	Lanes    map[string]engine.LaneDump
+	Probes   map[string]engine.Probe
+	Started  map[string]int
+	Ended    map[string]int
+	Clients  map[string]ClientTally
+	// LeaseDelta is outstanding pooled buffers after teardown minus
+	// before setup; nonzero means a leak (or double release).
+	LeaseDelta int64
+
+	FailedSessions []FailedSession
+	Violations     []Violation
+}
+
+// Failed reports whether any invariant was violated.
+func (r *Result) Failed() bool { return len(r.Violations) > 0 }
+
+// collector receives dispatcher hooks. Its own mutex makes it safe
+// from engine goroutines; reads happen only after quiescence.
+type collector struct {
+	mu      sync.Mutex
+	started map[string]int
+	ended   map[string]int
+	failed  []FailedSession
+}
+
+func (c *collector) hooks() provision.Hooks {
+	return provision.Hooks{
+		SessionStart: func(caseName string, origin netapi.Addr, at time.Time) {
+			c.mu.Lock()
+			c.started[caseName]++
+			c.mu.Unlock()
+		},
+		SessionEnd: func(caseName string, s engine.SessionStats) {
+			c.mu.Lock()
+			c.ended[caseName]++
+			if s.Err != nil {
+				c.failed = append(c.failed, FailedSession{
+					Case:   caseName,
+					Origin: s.Origin.String(),
+					Err:    s.Err.Error(),
+					Trace:  s.Trace,
+				})
+			}
+			c.mu.Unlock()
+		},
+	}
+}
+
+// Run executes one (scenario, seed) simulation to quiescence and
+// checks the invariant catalog. The error return is for runs that
+// could not be set up at all; a run that executed but violated
+// invariants returns a Result with Violations set and a nil error.
+//
+// Runs must not execute concurrently in one process: the lease-balance
+// invariant reads the process-global netapi.LeasedBuffers counter.
+func Run(sc *Scenario, seed int64, cfg Config) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	var reg *registry.Registry
+	var err error
+	switch {
+	case sc.Reload > 0:
+		// The reload mutates the registry; never share one.
+		reg, err = registry.Builtin()
+	case cfg.Registry != nil:
+		reg = cfg.Registry
+	default:
+		reg, err = sharedRegistry()
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	leases0 := netapi.LeasedBuffers()
+	opts := []simnet.Option{
+		simnet.WithSeed(seed),
+		simnet.WithEventTrace(),
+		simnet.WithLeasedDelivery(),
+	}
+	if sc.Faults != nil {
+		opts = append(opts, simnet.WithFaults(sc.Faults))
+	}
+	sim := simnet.New(opts...)
+	epoch := sim.Now()
+
+	col := &collector{started: map[string]int{}, ended: map[string]int{}}
+	maxSessions := sc.MaxSessions
+	if maxSessions == 0 {
+		maxSessions = 1024
+	}
+	fw := core.NewWithRegistry(sim, reg)
+	// Host every loaded case (nil filter): multicast entry traffic may
+	// classify into any of them, and the invariants account per case.
+	// The worker count is pinned — the default tracks GOMAXPROCS,
+	// which must not influence a deterministic schedule.
+	d, err := fw.DeployDispatcher(context.Background(), bridgeIP, nil,
+		provision.WithHooks(col.hooks()),
+		provision.WithEngineOptions(
+			engine.WithIngestWorkers(4),
+			engine.WithMaxSessions(maxSessions),
+			engine.WithWindowJitter(bench.BridgeSLPWindowJitter, seed),
+			engine.WithTraceRing(64),
+		))
+	if err != nil {
+		return nil, err
+	}
+
+	if err := startServices(sim, seed); err != nil {
+		_ = d.Close()
+		return nil, err
+	}
+
+	// cbErr carries the first error raised inside an event callback.
+	// Callbacks are serialized by the simulator, and RunToQuiescence
+	// synchronizes with them, so plain variables suffice.
+	var cbErr error
+	fail := func(err error) {
+		if err != nil && cbErr == nil {
+			cbErr = err
+		}
+	}
+
+	tallies := map[string]*ClientTally{}
+	for ci, caseName := range sc.Cases {
+		tally := &ClientTally{}
+		tallies[caseName] = tally
+		for i := 0; i < sc.Clients; i++ {
+			node, err := sim.NewNode(fmt.Sprintf("10.%d.%d.%d", ci+1, i/200, i%200+1))
+			if err != nil {
+				_ = d.Close()
+				return nil, err
+			}
+			start := time.Millisecond + time.Duration(i)*sc.Stagger
+			name := caseName
+			node.After(start, func() { startClient(node, name, col, tally, fail) })
+		}
+	}
+
+	driver, err := sim.NewNode(driverIP)
+	if err != nil {
+		_ = d.Close()
+		return nil, err
+	}
+	if sc.Drain > 0 {
+		driver.After(sc.Drain, func() { d.BeginDrain() })
+	}
+	if sc.Reload > 0 {
+		altWire, err := composeAltRequest(reg)
+		if err != nil {
+			_ = d.Close()
+			return nil, err
+		}
+		rawSock, err := driver.OpenUDP(0, func(netapi.Packet) {})
+		if err != nil {
+			_ = d.Close()
+			return nil, err
+		}
+		modelsDir := cfg.modelsDir()
+		driver.After(sc.Reload, func() {
+			if _, err := provision.LoadDir(reg, modelsDir); err != nil {
+				fail(fmt.Errorf("dst: reload: %w", err))
+				return
+			}
+			if err := d.Sync(); err != nil {
+				fail(fmt.Errorf("dst: sync after reload: %w", err))
+			}
+		})
+		for i := 0; i < sc.AltClients; i++ {
+			at := sc.Reload + 2*time.Millisecond + time.Duration(i)*sc.Stagger
+			driver.After(at, func() {
+				fail(rawSock.Send(netapi.Addr{IP: bridgeIP, Port: altEntryPort}, altWire))
+			})
+		}
+	}
+
+	sim.RunToQuiescence()
+	if cbErr != nil {
+		_ = d.Close()
+		return nil, cbErr
+	}
+
+	// Capture every surface — including the event trace — before
+	// teardown: Close iterates internal maps, so its tail of
+	// socket-close events is not order-deterministic and stays out of
+	// the replay comparand.
+	col.mu.Lock()
+	res := &Result{
+		Scenario:       sc,
+		Seed:           seed,
+		TraceHash:      sim.TraceHash(),
+		TraceLines:     sim.TraceLines(),
+		VirtualElapsed: sim.Now().Sub(epoch),
+		Stats:          d.Stats(),
+		Dispatch:       d.DispatchStats(),
+		Lanes:          d.Lanes(),
+		Probes:         d.Probe(),
+		Started:        col.started,
+		Ended:          col.ended,
+		FailedSessions: col.failed,
+		Clients:        map[string]ClientTally{},
+	}
+	col.mu.Unlock()
+	for name, t := range tallies {
+		res.Clients[name] = *t
+	}
+
+	_ = d.Close()
+	sim.RunToQuiescence()
+	res.LeaseDelta = netapi.LeasedBuffers() - leases0
+	res.Violations = checkInvariants(sc, res)
+	return res, nil
+}
+
+// startServices starts the three legacy services every scenario can
+// reach: the UPnP printer device (answering *-to-upnp cases), the SLP
+// service agent (*-to-slp) and the Bonjour responder (*-to-bonjour).
+// Response delays draw from per-service RNGs derived from the run
+// seed, so they vary across seeds but never across runs of one seed.
+func startServices(sim *simnet.Net, seed int64) error {
+	un, err := sim.NewNode(upnpIP)
+	if err != nil {
+		return err
+	}
+	if _, err := upnp.NewDevice(un, bench.UPnPType, bench.HTTPURL, 5431,
+		upnp.WithSSDPDelay(bench.SSDPDeviceDelayMin, bench.SSDPDeviceDelayMax,
+			rand.New(rand.NewSource(seed*7919+1)))); err != nil {
+		return err
+	}
+	sn, err := sim.NewNode(slpIP)
+	if err != nil {
+		return err
+	}
+	if _, err := slp.NewServiceAgent(sn, bench.SLPType, bench.ServiceURL,
+		slp.WithResponseDelay(bench.SLPResponseDelayMax,
+			rand.New(rand.NewSource(seed*7919+2)))); err != nil {
+		return err
+	}
+	bn, err := sim.NewNode(bonjourIP)
+	if err != nil {
+		return err
+	}
+	if _, err := dnssd.NewResponder(bn, bench.DNSName, bench.ServiceURL,
+		dnssd.WithAnswerDelay(bench.MDNSAnswerDelayMin, bench.MDNSAnswerDelayMax,
+			rand.New(rand.NewSource(seed*7919+3)))); err != nil {
+		return err
+	}
+	return nil
+}
+
+// startClient fires one protocol-native lookup appropriate for the
+// case's initiator side. Wide client windows keep slow bridged paths
+// (SLP convergence, fault-delayed replies) inside the window; a client
+// whose window closes empty still counts as Done.
+func startClient(node netapi.Node, caseName string, col *collector, tally *ClientTally, fail func(error)) {
+	record := func(hits int) {
+		col.mu.Lock()
+		tally.Done++
+		if hits > 0 {
+			tally.Hits++
+		}
+		col.mu.Unlock()
+	}
+	switch {
+	case strings.HasPrefix(caseName, "slp-"):
+		ua := slp.NewUserAgent(node, slp.WithConvergenceWait(bench.SLPConvergenceWait))
+		ua.Lookup(bench.SLPType, func(r slp.LookupResult) { record(len(r.URLs)) })
+	case strings.HasPrefix(caseName, "upnp-"):
+		cp := upnp.NewControlPoint(node, upnp.WithMX(bench.WideMX))
+		cp.Discover(bench.UPnPType, func(r upnp.DiscoverResult) { record(len(r.ServiceURLs)) })
+	case strings.HasPrefix(caseName, "bonjour-"):
+		b := dnssd.NewBrowser(node, dnssd.WithBrowseWindow(bench.WideBrowse))
+		b.Browse(bench.DNSName, func(r dnssd.BrowseResult) { record(len(r.URLs)) })
+	default:
+		fail(fmt.Errorf("dst: case %q has no known initiator protocol", caseName))
+	}
+}
+
+// composeAltRequest builds the raw SLP SrvRequest wire form the
+// slp-to-upnp-alt entry (unicast :1427) expects, with the same
+// MDL-driven composer the bridge uses.
+func composeAltRequest(reg *registry.Registry) ([]byte, error) {
+	spec, err := reg.Spec("SLP")
+	if err != nil {
+		return nil, err
+	}
+	comp, err := composer.New(spec, reg.Types(), nil)
+	if err != nil {
+		return nil, err
+	}
+	req := message.New("SLP", "SLPSrvRequest")
+	req.AddPrimitive("Version", "Integer", message.Int(2))
+	req.AddPrimitive("FunctionID", "Integer", message.Int(1))
+	req.AddPrimitive("XID", "Integer", message.Int(99))
+	req.AddPrimitive("LangTag", "String", message.Str("en"))
+	req.AddPrimitive("SRVType", "String", message.Str(bench.SLPType))
+	return comp.Compose(req)
+}

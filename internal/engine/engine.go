@@ -722,26 +722,10 @@ func (e *Engine) Close() error {
 // sessions are torn down and the returned error wraps ctx.Err().
 // Shutdown of an already closed engine returns nil.
 func (e *Engine) Shutdown(ctx context.Context) error {
-	for {
-		s := e.state.Load()
-		if s == int32(StateClosed) {
-			return nil
-		}
-		if s == int32(StateDraining) {
-			break
-		}
-		if e.state.CompareAndSwap(s, int32(StateDraining)) {
-			break
-		}
+	if State(e.state.Load()) == StateClosed {
+		return nil
 	}
-	// Live is read under statsMu, the same lock that orders session
-	// finish, so the "last session already gone" case cannot race
-	// sessionDone's own drain check.
-	e.statsMu.Lock()
-	if e.table.live() == 0 {
-		e.signalDrained()
-	}
-	e.statsMu.Unlock()
+	e.BeginDrain()
 	select {
 	case <-e.drained:
 		return e.Close()
@@ -764,6 +748,35 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 		return fmt.Errorf("engine: %s: drain aborted with %d live session(s): %w",
 			e.merged.Name, live, ctx.Err())
 	}
+}
+
+// BeginDrain flips the engine into StateDraining without blocking:
+// initiator requests are refused with serrors.ErrDraining from the
+// moment it returns, while live sessions keep running to completion.
+// It is the non-blocking prefix of Shutdown, split out so a
+// deterministic test harness can start a drain from inside a
+// simulator event callback — where Shutdown's wait for the last
+// session would deadlock the event loop that must deliver the very
+// payloads those sessions are waiting for. No-op on an engine that is
+// already draining or closed.
+func (e *Engine) BeginDrain() {
+	for {
+		s := e.state.Load()
+		if s == int32(StateClosed) || s == int32(StateDraining) {
+			return
+		}
+		if e.state.CompareAndSwap(s, int32(StateDraining)) {
+			break
+		}
+	}
+	// Live is read under statsMu, the same lock that orders session
+	// finish, so the "last session already gone" case cannot race
+	// sessionDone's own drain check.
+	e.statsMu.Lock()
+	if e.table.live() == 0 {
+		e.signalDrained()
+	}
+	e.statsMu.Unlock()
 }
 
 // signalDrained marks the drain as complete (idempotent).

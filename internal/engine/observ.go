@@ -111,3 +111,31 @@ func (e *Engine) LiveSessions() []LiveSession {
 	}
 	return out
 }
+
+// Probe is a point-in-time snapshot of the engine's internal resource
+// accounting, exposed for the DST invariant checks: after a quiesced
+// teardown every field must read zero (and State must be closed) or
+// the run leaked sessions, max-session slots or queued payloads.
+type Probe struct {
+	// State is the lifecycle state at probe time.
+	State State
+	// Live is the number of sessions registered in the table.
+	Live int
+	// SemInUse is the number of max-sessions slots currently held; a
+	// nonzero value after teardown means a session finished without
+	// releasing its admission slot.
+	SemInUse int
+	// LaneDepth is the number of payloads queued across every ingest
+	// lane queue.
+	LaneDepth int
+}
+
+// Probe snapshots the engine's internal accounting; safe from any
+// goroutine at any time, including after Close.
+func (e *Engine) Probe() Probe {
+	p := Probe{State: e.State(), Live: e.table.live(), SemInUse: len(e.sem)}
+	for _, q := range e.laneQs {
+		p.LaneDepth += q.Depth()
+	}
+	return p
+}

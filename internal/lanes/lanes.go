@@ -218,6 +218,18 @@ type Counters struct {
 	// Shed counts items refused or evicted (each surfaced to the
 	// caller for ErrOverloaded drop accounting).
 	Shed uint64
+	// Processed counts items handed to a consumer via Dequeue or
+	// TryDequeue. Together with Evicted and Drained it closes the
+	// conservation identity checked by the DST invariants: once a queue
+	// is closed, Admitted == Processed + Evicted + Drained.
+	Processed uint64
+	// Evicted counts admitted items later displaced by a ShedOldest
+	// eviction (the victims — a subset of Shed, which also counts
+	// refusals that were never admitted).
+	Evicted uint64
+	// Drained counts admitted items surfaced through Close's drain
+	// callback instead of a consumer.
+	Drained uint64
 	// Depth and Capacity are the lane ring's instantaneous fill.
 	Depth    int
 	Capacity int
@@ -228,6 +240,9 @@ func (c *Counters) add(o Counters) {
 	c.Admitted += o.Admitted
 	c.Deferred += o.Deferred
 	c.Shed += o.Shed
+	c.Processed += o.Processed
+	c.Evicted += o.Evicted
+	c.Drained += o.Drained
 	c.Depth += o.Depth
 	c.Capacity += o.Capacity
 }

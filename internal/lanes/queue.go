@@ -42,10 +42,13 @@ type Queue[T any] struct {
 	pressured bool
 	closed    bool
 
-	admitted [NumLanes]uint64
-	deferred [NumLanes]uint64
-	shed     [NumLanes]uint64
-	maxDepth int
+	admitted  [NumLanes]uint64
+	deferred  [NumLanes]uint64
+	shed      [NumLanes]uint64
+	processed [NumLanes]uint64
+	evicted   [NumLanes]uint64
+	drained   [NumLanes]uint64
+	maxDepth  int
 }
 
 // NewQueue builds a queue under policy (which must Validate), pausing
@@ -122,6 +125,9 @@ func (q *Queue[T]) Enqueue(lane Lane, item T) (Verdict, T) {
 	if verdict != Admitted {
 		q.shed[lane]++
 	}
+	if verdict == Evicted {
+		q.evicted[lane]++
+	}
 	depth := q.depthLocked()
 	if depth > q.maxDepth {
 		q.maxDepth = depth
@@ -174,6 +180,7 @@ func (q *Queue[T]) dequeueLocked() (item T, lane Lane, ok bool) {
 	for l := Control; l < NumLanes; l++ {
 		if q.rings[l].n > 0 {
 			item = q.rings[l].pop()
+			q.processed[l]++
 			if q.pressured && q.depthLocked() <= q.policy.Low {
 				// Hysteresis: the transport resumes only after the
 				// backlog drained well below the pause point.
@@ -208,6 +215,7 @@ func (q *Queue[T]) Close(drain func(Lane, T)) {
 	for l := Control; l < NumLanes; l++ {
 		for q.rings[l].n > 0 {
 			item := q.rings[l].pop()
+			q.drained[l]++
 			if drain != nil {
 				drain(l, item)
 			}
@@ -224,11 +232,14 @@ func (q *Queue[T]) Counters() [NumLanes]Counters {
 	var out [NumLanes]Counters
 	for l := range out {
 		out[l] = Counters{
-			Admitted: q.admitted[l],
-			Deferred: q.deferred[l],
-			Shed:     q.shed[l],
-			Depth:    q.rings[l].n,
-			Capacity: len(q.rings[l].buf),
+			Admitted:  q.admitted[l],
+			Deferred:  q.deferred[l],
+			Shed:      q.shed[l],
+			Processed: q.processed[l],
+			Evicted:   q.evicted[l],
+			Drained:   q.drained[l],
+			Depth:     q.rings[l].n,
+			Capacity:  len(q.rings[l].buf),
 		}
 	}
 	return out

@@ -1,6 +1,9 @@
 package netapi
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // BufferSize is the capacity of every leased receive buffer: 64 KiB,
 // the largest datagram either runtime delivers.
@@ -9,6 +12,19 @@ const BufferSize = 64 * 1024
 var bufferPool = sync.Pool{
 	New: func() any { return &Buffer{data: make([]byte, BufferSize)} },
 }
+
+// outstanding counts leased-but-unreleased buffers process-wide: one
+// atomic increment per NewBuffer, one decrement per Release. It exists
+// for the DST lease-balance invariant — after a simulated run tears
+// down, the delta over the run must be zero or some owner leaked (or
+// double-released, which panics first).
+var outstanding atomic.Int64
+
+// LeasedBuffers returns the number of pool buffers currently leased
+// (NewBuffer minus Release). Meaningful as a before/after delta around
+// a quiescent run; concurrent read loops elsewhere in the process make
+// the absolute value a moving target.
+func LeasedBuffers() int64 { return outstanding.Load() }
 
 // Buffer is a leased receive buffer from a shared fixed-size pool.
 //
@@ -52,6 +68,7 @@ func NewBuffer() *Buffer {
 	b := bufferPool.Get().(*Buffer)
 	b.n = 0
 	b.released = false
+	outstanding.Add(1)
 	return b
 }
 
@@ -77,5 +94,6 @@ func (b *Buffer) Release() {
 		panic("netapi: Buffer released twice")
 	}
 	b.released = true
+	outstanding.Add(-1)
 	bufferPool.Put(b)
 }

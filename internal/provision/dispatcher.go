@@ -163,6 +163,21 @@ type DispatchCounters struct {
 	SlowPath int
 }
 
+// sortedMapKeys returns m's string keys sorted. Reconciliation paths
+// iterate with it instead of ranging the map directly: deploy, bind
+// and teardown order decide which socket gets which ephemeral port and
+// when close events fire, and on a simulated network those choices are
+// part of the observable schedule — map order would make two runs of
+// one seed diverge.
+func sortedMapKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // deployment is one hosted case: its engine plus the compiled
 // artifacts it was deployed from (pointer identity against
 // registry.Compiled detects staleness).
@@ -411,8 +426,12 @@ func (d *Dispatcher) Sync() error {
 		d.mu.Unlock()
 		return serrors.Mark(fmt.Errorf("provision: dispatcher is draining"), serrors.ErrDraining)
 	}
-	// Undeploy removed or changed cases.
-	for name, dep := range d.deployed {
+	// Undeploy removed or changed cases. Iteration is sorted so that
+	// teardown — and with it the socket-close events a simulated run
+	// traces — happens in the same order every time; map order here
+	// would break the DST determinism contract.
+	for _, name := range sortedMapKeys(d.deployed) {
+		dep := d.deployed[name]
 		if c, ok := desired[name]; ok && c == dep.compiled {
 			continue
 		}
@@ -423,9 +442,12 @@ func (d *Dispatcher) Sync() error {
 	// reconciliation: the listeners must still be rebound to the cases
 	// that ARE live, or stale entry points would keep routing payloads
 	// to engines closed above.
+	// names is sorted, so engines come up — and allocate their sockets
+	// and ephemeral ports — in deterministic order.
 	var deployErr error
 	var freshlyDeployed []*deployment
-	for name, c := range desired {
+	for _, name := range names {
+		c := desired[name]
 		if _, ok := d.deployed[name]; ok {
 			continue
 		}
@@ -537,8 +559,12 @@ func (d *Dispatcher) rebindLocked() ([]netapi.Closer, error) {
 		})
 	}
 
+	// Both walks are sorted: listener close and bind order decides
+	// which socket gets which ephemeral port, and a simulated run's
+	// event trace must not depend on map iteration.
 	var stale []netapi.Closer
-	for key, l := range d.listeners {
+	for _, key := range sortedMapKeys(d.listeners) {
+		l := d.listeners[key]
 		if s, ok := needed[key]; ok {
 			l.points = s.points // refresh candidates on the kept binding
 			l.sigs, l.sigOK = deriveSignatures(s.points)
@@ -547,7 +573,8 @@ func (d *Dispatcher) rebindLocked() ([]netapi.Closer, error) {
 		stale = append(stale, l.closer)
 		delete(d.listeners, key)
 	}
-	for key, s := range needed {
+	for _, key := range sortedMapKeys(needed) {
+		s := needed[key]
 		if _, ok := d.listeners[key]; ok {
 			continue
 		}
@@ -1061,4 +1088,52 @@ func (d *Dispatcher) Shutdown(ctx context.Context) error {
 		return err
 	}
 	return cerr
+}
+
+// BeginDrain flips the dispatcher and every hosted engine into the
+// draining state without blocking: from the moment it returns, new
+// initiator requests are refused with serrors.ErrDraining while live
+// sessions keep running. It is the non-blocking prefix of Shutdown,
+// for callers — the DST scenario engine — that must start a drain from
+// inside a simulator event callback and let the event loop run the
+// sessions to completion before closing. No-op once closed.
+func (d *Dispatcher) BeginDrain() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	for {
+		s := d.state.Load()
+		if s >= int32(engine.StateDraining) {
+			break
+		}
+		if d.state.CompareAndSwap(s, int32(engine.StateDraining)) {
+			break
+		}
+	}
+	deps := make([]*deployment, 0, len(d.deployed))
+	for _, dep := range d.deployed {
+		deps = append(deps, dep)
+	}
+	d.mu.Unlock()
+	for _, dep := range deps {
+		dep.eng.BeginDrain()
+	}
+}
+
+// Probe snapshots every hosted engine's internal resource accounting
+// (see engine.Probe), keyed by case name — the DST invariant surface.
+func (d *Dispatcher) Probe() map[string]engine.Probe {
+	d.mu.Lock()
+	deps := make([]*deployment, 0, len(d.deployed))
+	for _, dep := range d.deployed {
+		deps = append(deps, dep)
+	}
+	d.mu.Unlock()
+	out := make(map[string]engine.Probe, len(deps))
+	for _, dep := range deps {
+		out[dep.name] = dep.eng.Probe()
+	}
+	return out
 }

@@ -52,7 +52,10 @@ import (
 type Option func(*Net)
 
 // WithSeed sets the RNG seed for latency jitter, loss decisions and
-// the cross-domain event interleaving.
+// the cross-domain event interleaving. The fault plane (see
+// InstallFaults) derives its own dedicated RNG from the same seed, so
+// fault decisions are just as reproducible without ever perturbing
+// the jitter sequence.
 func WithSeed(seed int64) Option {
 	return func(n *Net) {
 		n.rng = rand.New(rand.NewSource(seed))
@@ -148,6 +151,13 @@ type Net struct {
 	// gateSubs records which gates already have a reopen subscription.
 	deferred map[*netapi.FlowGate][]deferredDelivery
 	gateSubs map[*netapi.FlowGate]bool
+
+	// faults is the installed fault plan (nil: no faults); trace is
+	// the delivery-event trace (nil: disabled); leased switches UDP
+	// deliveries to pooled leased buffers. See fault.go.
+	faults *faultState
+	trace  *eventTrace
+	leased bool
 
 	workMu   sync.Mutex
 	workCond *sync.Cond
@@ -719,6 +729,7 @@ func (s *udpSocket) Send(to netapi.Addr, data []byte) error {
 	if !ok {
 		// Real UDP silently drops datagrams to unbound ports.
 		s.net.PacketsDropped++
+		s.net.traceLocked("udp", "drop unbound", s.addr, to, len(data))
 		return nil
 	}
 	s.deliverLocked(dst, cp, to)
@@ -753,29 +764,84 @@ func sortedKeys(m map[sockKey]*udpSocket) []sockKey {
 
 func (s *udpSocket) deliverLocked(dst *udpSocket, data []byte, to netapi.Addr) {
 	s.net.PacketsSent++
+	from := s.addr
+	// Baseline loss draws from the shared jitter RNG exactly as it
+	// always has; fault decisions below draw only from the dedicated
+	// fault RNG, so an installed plan never perturbs these draws.
 	if s.net.lossProb > 0 && s.net.rng.Float64() < s.net.lossProb {
 		s.net.PacketsDropped++
+		s.net.traceLocked("udp", "drop loss", from, dst.addr, len(data))
 		return
 	}
-	from := s.addr
+	// The latency draw happens before the fault verdict is applied, so
+	// a fault-dropped packet consumes exactly the draws a no-plan run
+	// would — traffic the plan does not match keeps its exact timing.
+	lat := s.net.latencyLocked()
+	var v faultVerdict
+	if s.net.faults != nil {
+		v = s.net.faults.udp(s.net.now, from, dst.addr, s.net.defaultReorderLocked())
+	}
+	if v.drop {
+		s.net.PacketsDropped++
+		s.net.traceLocked("udp", "drop "+v.dropKind, from, dst.addr, len(data))
+		return
+	}
+	lat += v.extra
+	s.net.scheduleUDPLocked(dst, from, to, data, lat)
+	if v.dup {
+		// The duplicate is a full independent delivery owning its own
+		// leased buffer (when leased delivery is on) — exactly the
+		// hazard a receiver must survive.
+		s.net.PacketsSent++
+		s.net.traceLocked("udp", "dup", from, dst.addr, len(data))
+		s.net.scheduleUDPLocked(dst, from, to, data, lat+v.dupDelay)
+	}
+}
+
+// scheduleUDPLocked schedules one UDP delivery at lat from now. Caller
+// holds Net.mu. The delivery re-checks destination and gate state when
+// its event fires, and — with leased delivery on — hands the handler a
+// pooled buffer under the standard lease-flag protocol (the simulated
+// twin of realnet's read loop).
+func (n *Net) scheduleUDPLocked(dst *udpSocket, from, to netapi.Addr, data []byte, lat time.Duration) {
 	var deliver func()
 	deliver = func() {
-		s.net.mu.Lock()
+		n.mu.Lock()
 		if dst.closed {
-			s.net.mu.Unlock()
+			n.traceLocked("udp", "drop closed", from, dst.addr, len(data))
+			n.mu.Unlock()
 			return
 		}
 		if g := dst.gate; g != nil && g.Blocked() {
 			// The destination's transport is paused: park the delivery
 			// until the gate reopens (it re-checks on replay).
-			s.net.deferLocked(g, dst.domKey, deliver)
-			s.net.mu.Unlock()
+			n.traceLocked("udp", "defer", from, dst.addr, len(data))
+			n.deferLocked(g, dst.domKey, deliver)
+			n.mu.Unlock()
 			return
 		}
-		s.net.mu.Unlock()
-		dst.handler(netapi.Packet{From: from, To: to, Data: data})
+		n.traceLocked("udp", "deliver", from, dst.addr, len(data))
+		leased := n.leased
+		n.mu.Unlock()
+		if !leased {
+			dst.handler(netapi.Packet{From: from, To: to, Data: data})
+			return
+		}
+		buf := netapi.NewBuffer()
+		m := copy(buf.Backing(), data)
+		buf.SetFilled(m)
+		// The lease-transfer signal lives in this delivery's own frame
+		// (see netapi.Buffer): the handler may release and the pool
+		// re-lease the buffer before we look at it again.
+		retained := false
+		pkt := netapi.Packet{From: from, To: to, Data: buf.Bytes(), Buf: buf}
+		pkt.BindLeaseFlag(&retained)
+		dst.handler(pkt)
+		if !retained {
+			buf.Release()
+		}
 	}
-	s.net.scheduleDomLocked(s.net.latencyLocked(), dst.domKey, deliver)
+	n.scheduleDomLocked(lat, dst.domKey, deliver)
 }
 
 func (s *udpSocket) Close() error {
@@ -881,6 +947,16 @@ func (nd *node) dialStream(detached bool, to netapi.Addr, recv netapi.StreamHand
 	if !ok {
 		return nil, fmt.Errorf("simnet: connection refused: %s", to)
 	}
+	var v faultVerdict
+	if nd.net.faults != nil {
+		v = nd.net.faults.stream(nd.net.now, netapi.Addr{IP: nd.ip}, to)
+	}
+	if v.refuse {
+		// Unhealing partition across the dial path: the SYN never
+		// arrives. Fail fast instead of hanging the dialer forever.
+		nd.net.traceLocked("strm", "refuse partition", netapi.Addr{IP: nd.ip}, to, 0)
+		return nil, fmt.Errorf("simnet: connection refused (partitioned): %s", to)
+	}
 	clientDom := nd.domKey
 	if detached {
 		clientDom = nd.net.newDomainLocked()
@@ -893,10 +969,12 @@ func (nd *node) dialStream(detached bool, to netapi.Addr, recv netapi.StreamHand
 	client := &conn{net: nd.net, domKey: clientDom, local: local, remote: to, recv: recv}
 	server := &conn{net: nd.net, domKey: serverDom, local: to, remote: local, recv: l.recv, gate: l.gate}
 	client.peer, server.peer = server, client
-	nd.net.scheduleDomLocked(nd.net.latencyLocked(), serverDom, func() {
+	nd.net.traceLocked("strm", "connect", local, to, 0)
+	nd.net.scheduleDomLocked(v.healHold+nd.net.latencyLocked()+v.extra, serverDom, func() {
 		nd.net.mu.Lock()
 		closed := l.closed
 		accept := l.accept
+		nd.net.traceLocked("strm", "accept", local, to, 0)
 		nd.net.mu.Unlock()
 		if closed {
 			return
@@ -920,7 +998,26 @@ func (c *conn) Send(data []byte) error {
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	peer := c.peer
-	at := c.net.now.Add(c.net.latencyLocked())
+	// Latency is drawn before the fault verdict so a dropped chunk
+	// consumes the same shared-RNG draws a no-plan run would (see
+	// deliverLocked).
+	lat := c.net.latencyLocked()
+	var v faultVerdict
+	if c.net.faults != nil {
+		v = c.net.faults.stream(c.net.now, c.local, c.remote)
+	}
+	if v.drop {
+		// Unhealing partition: the chunk is gone. Real TCP would block
+		// the sender and eventually reset; the simulator keeps senders
+		// non-blocking, so the connection just goes silent.
+		c.net.PacketsDropped++
+		c.net.traceLocked("strm", "drop partition", c.local, c.remote, len(data))
+		return nil
+	}
+	if v.healHold > 0 {
+		c.net.traceLocked("strm", "stall", c.local, c.remote, len(data))
+	}
+	at := c.net.now.Add(v.healHold + lat + v.extra)
 	if at.Before(c.lastDelivery) {
 		at = c.lastDelivery
 	}
@@ -961,6 +1058,7 @@ func (c *conn) Send(data []byte) error {
 				peer.pending--
 			}
 		}
+		c.net.traceLocked("strm", "chunk", c.local, c.remote, len(cp))
 		c.net.mu.Unlock()
 		peer.recv(peer, cp)
 	}
@@ -976,6 +1074,7 @@ func (c *conn) Close() error {
 	}
 	c.closed = true
 	peer := c.peer
+	c.net.traceLocked("strm", "close", c.local, c.remote, 0)
 	c.net.scheduleDomLocked(c.net.latencyLocked(), peer.domKey, func() {
 		c.net.mu.Lock()
 		if peer.closed {
