@@ -44,11 +44,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"time"
 
+	"starlink"
 	"starlink/internal/bench"
 	"starlink/internal/hist"
 	"starlink/internal/lanes"
@@ -71,6 +74,7 @@ func run() int {
 	iendpoints := flag.Int("ingest-endpoints", 8, "receiver UDP endpoints in -table i")
 	isenders := flag.Int("ingest-senders", 32, "concurrent senders in -table i")
 	ipackets := flag.Int("ingest-packets", 50000, "datagrams pushed through the ingress in -table i")
+	imetricsOut := flag.String("metrics-out", "", "after a -table i run, write the Prometheus text exposition (including the transport batch counters) to this file")
 	opackets := flag.Int("overload-packets", 4000, "datagrams in the -table o flood")
 	osenders := flag.Int("overload-senders", 8, "sender nodes in -table o")
 	ofactor := flag.Float64("overload-factor", 4, "arrival rate in -table o as a multiple of the consumer's service rate")
@@ -110,7 +114,7 @@ func run() int {
 		return runParallel(*punits, *pclients, *seed)
 	}
 	if *table == "i" {
-		return runIngest(*iendpoints, *isenders, *ipackets)
+		return runIngest(*iendpoints, *isenders, *ipackets, *imetricsOut)
 	}
 	if *table == "o" {
 		return runOverload(*opackets, *osenders, *ofactor)
@@ -188,8 +192,11 @@ func printLatencyHists(table string, order []string, measured map[string]*bench.
 }
 
 // runIngest drives the realnet ingest-saturation scenario once and
-// reports aggregate packet throughput.
-func runIngest(endpoints, senders, packets int) int {
+// reports aggregate packet throughput plus the realised receive
+// batching. With metricsOut set it then writes the full Prometheus
+// exposition — whose transport counters cover this process's runs — so
+// CI can promcheck that the batch series are live.
+func runIngest(endpoints, senders, packets int, metricsOut string) int {
 	fmt.Printf("Ingest saturation — %d endpoints × %d senders, %d datagrams (GOMAXPROCS=%d)\n",
 		endpoints, senders, packets, runtime.GOMAXPROCS(0))
 	res, err := bench.RunParallelIngest(endpoints, senders, packets)
@@ -200,7 +207,30 @@ func runIngest(endpoints, senders, packets int) int {
 	fmt.Printf("  %d packets in %s  (%8.0f pkts/s, %.1f µs/packet)\n",
 		res.Packets, res.Elapsed.Round(0), res.PacketsPerSec,
 		float64(res.Elapsed.Microseconds())/float64(res.Packets))
+	if res.RecvBatches > 0 {
+		fmt.Printf("  recv batching: %d recvmmsg wakeups carried %d datagrams (mean batch %.2f, %d multi-packet)\n",
+			res.RecvBatches, res.RecvBatchPackets, res.MeanRecvBatch, res.RecvMultiBatches)
+	} else {
+		fmt.Println("  recv batching: inactive (portable per-datagram path)")
+	}
+	if metricsOut != "" {
+		if err := writeMetricsExposition(metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "starlink-bench:", err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// writeMetricsExposition captures one scrape of a fresh Collector's
+// /metrics surface into a file. Deployment-level families are empty —
+// nothing is registered — but the process-global transport families
+// reflect every socket this benchmark process drove.
+func writeMetricsExposition(path string) error {
+	rec := httptest.NewRecorder()
+	starlink.NewCollector().Handler().ServeHTTP(rec,
+		httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	return os.WriteFile(path, rec.Body.Bytes(), 0o644)
 }
 
 // runOverload floods the lane-prioritized bounded ingest at `factor`

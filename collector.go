@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"starlink/internal/netapi"
 	"starlink/internal/promtext"
 )
 
@@ -354,6 +355,56 @@ func (c *Collector) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 			}, promBuckets(pv.row.Buckets), pv.row.Sum.Seconds(), pv.row.Count)
 		}
 	}
+
+	pw.Family("starlink_ingested_total",
+		"Payloads accepted off entry listeners, by receive path.", "counter")
+	for _, s := range snaps {
+		for _, cs := range sortedCases(s.m.Cases) {
+			sm := s.m.Cases[cs]
+			base := []promtext.Label{
+				{Name: "deployment", Value: s.name},
+				{Name: "case", Value: cs},
+			}
+			pw.Sample("starlink_ingested_total",
+				append(append([]promtext.Label(nil), base...),
+					promtext.Label{Name: "path", Value: "total"}), float64(sm.Ingested))
+			pw.Sample("starlink_ingested_total",
+				append(append([]promtext.Label(nil), base...),
+					promtext.Label{Name: "path", Value: "batched"}), float64(sm.IngestedBatched))
+		}
+	}
+
+	// Transport syscall accounting is process-global (every deployment
+	// shares the transport layer), so the families carry no deployment
+	// label and are read once, straight from netapi.
+	t := transportMetricsOf(netapi.ReadIOStats())
+	pw.Family("starlink_udp_recv_batches_total",
+		"Batched receive syscalls (recvmmsg) that returned datagrams.", "counter")
+	pw.Sample("starlink_udp_recv_batches_total", nil, float64(t.RecvBatches))
+	pw.Family("starlink_udp_recv_batch_packets_total",
+		"Datagrams returned by batched receive syscalls; divide by starlink_udp_recv_batches_total for the mean batch size.", "counter")
+	pw.Sample("starlink_udp_recv_batch_packets_total", nil, float64(t.RecvBatchPackets))
+	pw.Family("starlink_udp_recv_multi_batches_total",
+		"Batched receives that carried more than one datagram.", "counter")
+	pw.Sample("starlink_udp_recv_multi_batches_total", nil, float64(t.RecvMultiBatches))
+	pw.Family("starlink_udp_recv_singles_total",
+		"Per-datagram receive syscalls (portable path).", "counter")
+	pw.Sample("starlink_udp_recv_singles_total", nil, float64(t.RecvSingles))
+	pw.Family("starlink_udp_send_batches_total",
+		"Batched send syscalls (sendmmsg, multicast fan-out).", "counter")
+	pw.Sample("starlink_udp_send_batches_total", nil, float64(t.SendBatches))
+	pw.Family("starlink_udp_send_batch_packets_total",
+		"Datagrams carried by batched send syscalls.", "counter")
+	pw.Sample("starlink_udp_send_batch_packets_total", nil, float64(t.SendBatchPackets))
+	pw.Family("starlink_udp_send_singles_total",
+		"Per-datagram send syscalls (unicast and portable fan-out).", "counter")
+	pw.Sample("starlink_udp_send_singles_total", nil, float64(t.SendSingles))
+	pw.Family("starlink_stream_flushes_total",
+		"Coalesced stream-writer flushes (one vectored write each).", "counter")
+	pw.Sample("starlink_stream_flushes_total", nil, float64(t.StreamFlushes))
+	pw.Family("starlink_stream_flush_chunks_total",
+		"Queued chunks drained by coalesced stream flushes.", "counter")
+	pw.Sample("starlink_stream_flush_chunks_total", nil, float64(t.StreamFlushChunks))
 }
 
 func promBuckets(bs []LatencyBucket) []promtext.Bucket {

@@ -91,6 +91,18 @@ type IngestResult struct {
 	Elapsed time.Duration
 	// PacketsPerSec is Packets / Elapsed.
 	PacketsPerSec float64
+	// RecvBatches, RecvBatchPackets and RecvMultiBatches are the
+	// process-wide batched-receive deltas over the run: recvmmsg calls
+	// that returned datagrams, datagrams they carried, and calls that
+	// carried more than one. All zero on the portable per-datagram
+	// path.
+	RecvBatches      uint64
+	RecvBatchPackets uint64
+	RecvMultiBatches uint64
+	// MeanRecvBatch is RecvBatchPackets / RecvBatches — the realised
+	// mean batch size. Under saturation it should clear 1: the whole
+	// point of the recvmmsg hot path.
+	MeanRecvBatch float64
 }
 
 // ingestRig is a ready-to-drive ingest topology: the receiver's
@@ -275,15 +287,23 @@ func RunParallelIngest(endpoints, senders, packets int) (IngestResult, error) {
 		return IngestResult{}, err
 	}
 	defer rig.Close()
+	before := netapi.ReadIOStats()
 	elapsed, err := rig.run(packets)
+	after := netapi.ReadIOStats()
 	res := IngestResult{
-		Endpoints: endpoints,
-		Senders:   senders,
-		Packets:   packets,
-		Elapsed:   elapsed,
+		Endpoints:        endpoints,
+		Senders:          senders,
+		Packets:          packets,
+		Elapsed:          elapsed,
+		RecvBatches:      after.RecvBatches - before.RecvBatches,
+		RecvBatchPackets: after.RecvBatchPackets - before.RecvBatchPackets,
+		RecvMultiBatches: after.RecvMultiBatches - before.RecvMultiBatches,
 	}
 	if elapsed > 0 {
 		res.PacketsPerSec = float64(packets) / elapsed.Seconds()
+	}
+	if res.RecvBatches > 0 {
+		res.MeanRecvBatch = float64(res.RecvBatchPackets) / float64(res.RecvBatches)
 	}
 	return res, err
 }

@@ -167,6 +167,12 @@ type Counters struct {
 	DrainRejected int
 	// Live is the number of sessions currently registered.
 	Live int
+	// Ingested counts payloads accepted off entry listeners;
+	// IngestedBatched counts the subset delivered by a multi-packet
+	// batched receive syscall (recvmmsg) — the structural evidence
+	// that transport batching engages under load.
+	Ingested        int
+	IngestedBatched int
 }
 
 // Hooks are optional lifecycle callbacks. Every field may be nil; all
@@ -442,6 +448,12 @@ type Engine struct {
 	Dropped       int
 	DrainRejected int
 
+	// ingestTotal/ingestBatched count entry payloads on the ingest hot
+	// path (onEntry), where taking statsMu per payload would serialise
+	// the listeners — atomics instead.
+	ingestTotal   atomic.Uint64
+	ingestBatched atomic.Uint64
+
 	// obsMu serialises observer invocations.
 	obsMu sync.Mutex
 }
@@ -545,14 +557,16 @@ func (e *Engine) Stats() Counters {
 	e.statsMu.Lock()
 	defer e.statsMu.Unlock()
 	return Counters{
-		Completed:     e.Completed,
-		Failed:        e.Failed,
-		ParseErrors:   e.ParseErrors,
-		Ignored:       e.Ignored,
-		Rejected:      e.Rejected,
-		Dropped:       e.Dropped,
-		DrainRejected: e.DrainRejected,
-		Live:          e.table.live(),
+		Completed:       e.Completed,
+		Failed:          e.Failed,
+		ParseErrors:     e.ParseErrors,
+		Ignored:         e.Ignored,
+		Rejected:        e.Rejected,
+		Dropped:         e.Dropped,
+		DrainRejected:   e.DrainRejected,
+		Live:            e.table.live(),
+		Ingested:        int(e.ingestTotal.Load()),
+		IngestedBatched: int(e.ingestBatched.Load()),
 	}
 }
 
@@ -860,6 +874,10 @@ func (e *Engine) onEntry(proto string, data []byte, src netengine.Source, lease 
 		return
 	}
 	e.tracker.WorkAdd()
+	e.ingestTotal.Add(1)
+	if src.Batch > 1 {
+		e.ingestBatched.Add(1)
+	}
 	key := src.RoutingKey()
 	lane := e.classifyLane(proto, key, src)
 	q := e.laneQs[fnv32a(key)%uint32(len(e.laneQs))]

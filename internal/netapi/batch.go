@@ -1,0 +1,76 @@
+package netapi
+
+// Batch is a slab of pooled receive buffers leased together for a
+// batched receive syscall (recvmmsg): one lease-accounting atomic
+// covers the whole slab instead of one per buffer, so the amortised
+// bookkeeping cost of an N-packet batch is 1/N of the per-datagram
+// path.
+//
+// Ownership rules mirror Buffer's single-holder contract, lifted to
+// the slab:
+//
+//   - LeaseBatch(n) returns n leased buffers; the caller owns every
+//     slot until it either releases the slab (Release) or transfers a
+//     slot to another owner.
+//   - A slot whose lease was taken by a handler (the per-delivery
+//     BindLeaseFlag protocol — each datagram in a batch still gets its
+//     own frame-local flag) is transferred by nilling it out; the new
+//     owner settles it with Buffer.Release, which carries its own
+//     single-buffer decrement, so the accounting balances slot by
+//     slot.
+//   - Release returns every remaining (non-nil) slot to the pool with
+//     one decrement covering them all, and nils the slots. After a
+//     bulk Release the batch variable is dead: touching the slab again
+//     without Refill is a use-after-release, and leasecheck reports it.
+//   - Refill re-leases the nil slots (transferred or bulk-released) so
+//     the same slab array feeds the next batched read without
+//     reallocating.
+type Batch []*Buffer
+
+// LeaseBatch leases a slab of n pooled buffers under one accounting
+// increment. The caller owns all n slots.
+func LeaseBatch(n int) Batch {
+	b := make(Batch, n)
+	for i := range b {
+		b[i] = get()
+	}
+	outstanding.Add(int64(n))
+	return b
+}
+
+// Release returns every remaining slot to the pool and settles the
+// slab's lease accounting with a single decrement. Slots already
+// transferred (nil) are skipped — their new owners release them
+// individually. The slab's variable must not be used again until
+// Refill restores it.
+func (b Batch) Release() {
+	k := 0
+	for i, buf := range b {
+		if buf == nil {
+			continue
+		}
+		buf.recycle()
+		b[i] = nil
+		k++
+	}
+	if k > 0 {
+		outstanding.Add(int64(-k))
+	}
+}
+
+// Refill re-leases every empty (nil) slot from the pool under one
+// accounting increment, restoring the slab to full strength for the
+// next batched read. Slots still held are left untouched.
+func (b Batch) Refill() {
+	k := 0
+	for i, buf := range b {
+		if buf != nil {
+			continue
+		}
+		b[i] = get()
+		k++
+	}
+	if k > 0 {
+		outstanding.Add(int64(k))
+	}
+}

@@ -65,10 +65,19 @@ type Buffer struct {
 
 // NewBuffer leases a buffer from the pool.
 func NewBuffer() *Buffer {
+	b := get()
+	outstanding.Add(1)
+	return b
+}
+
+// get pulls a reset buffer from the pool without touching the lease
+// accounting — the caller is responsible for the outstanding
+// increment, which lets LeaseBatch/Refill amortise one atomic over a
+// whole slab.
+func get() *Buffer {
 	b := bufferPool.Get().(*Buffer)
 	b.n = 0
 	b.released = false
-	outstanding.Add(1)
 	return b
 }
 
@@ -90,10 +99,17 @@ func (b *Buffer) Bytes() []byte { return b.data[:b.n] }
 // Release returns the buffer to the pool. The caller must be the
 // buffer's single owner; releasing twice panics.
 func (b *Buffer) Release() {
+	b.recycle()
+	outstanding.Add(-1)
+}
+
+// recycle returns the buffer to the pool without touching the lease
+// accounting — the bulk counterpart of get(), used by Batch.Release
+// to settle a whole slab with one atomic.
+func (b *Buffer) recycle() {
 	if b.released {
 		panic("netapi: Buffer released twice")
 	}
 	b.released = true
-	outstanding.Add(-1)
 	bufferPool.Put(b)
 }

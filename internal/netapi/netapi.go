@@ -118,6 +118,14 @@ type Packet struct {
 	// Handlers take ownership through TakeLease, never directly.
 	Buf *Buffer
 
+	// Batch is the number of datagrams delivered by the same receive
+	// syscall as this one: >1 when a batched receive (recvmmsg)
+	// carried the packet, 1 on per-datagram reads, 0 when the runtime
+	// does not track receive batching (simnet). Observability only —
+	// it feeds the engine's batched-ingest counters; the lease and
+	// ordering contracts are identical at every value.
+	Batch int
+
 	// leased points at lease-transfer state owned by the dispatching
 	// read loop (see BindLeaseFlag); nil when Buf is nil.
 	leased *bool

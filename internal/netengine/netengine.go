@@ -48,6 +48,11 @@ import (
 type Source struct {
 	// Addr is the peer's address.
 	Addr netapi.Addr
+	// Batch is the receive-batch size the payload arrived in
+	// (netapi.Packet.Batch): >1 when a batched receive syscall carried
+	// it, 1 for per-datagram reads, 0 for streams and untracked
+	// runtimes. Feeds the engine's batched-ingest counters.
+	Batch int
 	// colorKey is the §III-B key of the color the payload arrived on.
 	colorKey string
 	// sock is the UDP socket the payload arrived on (nil for streams).
@@ -207,7 +212,7 @@ func (e *Engine) Listen(c automata.Color, framer *parser.Framer, h Handler) (net
 		// gets a Source that can Reply.
 		cell := new(atomic.Value)
 		sock, err := e.ingress.JoinGroup(group, func(pkt netapi.Packet) {
-			h(pkt.Data, Source{Addr: pkt.From, colorKey: colorKey, sock: loadSock(cell)}, pkt.TakeLease())
+			h(pkt.Data, Source{Addr: pkt.From, Batch: pkt.Batch, colorKey: colorKey, sock: loadSock(cell)}, pkt.TakeLease())
 		})
 		if err != nil {
 			return nil, fmt.Errorf("netengine: listen %s: %w", c, err)
@@ -217,7 +222,7 @@ func (e *Engine) Listen(c automata.Color, framer *parser.Framer, h Handler) (net
 	case scheme.Transport == "udp":
 		cell := new(atomic.Value)
 		sock, err := e.ingress.OpenUDP(scheme.Port, func(pkt netapi.Packet) {
-			h(pkt.Data, Source{Addr: pkt.From, colorKey: colorKey, sock: loadSock(cell)}, pkt.TakeLease())
+			h(pkt.Data, Source{Addr: pkt.From, Batch: pkt.Batch, colorKey: colorKey, sock: loadSock(cell)}, pkt.TakeLease())
 		})
 		if err != nil {
 			return nil, fmt.Errorf("netengine: listen %s: %w", c, err)
@@ -321,7 +326,7 @@ func (e *Engine) NewRequester(c automata.Color, dest netapi.Addr, framer *parser
 		}
 		cell := new(atomic.Value)
 		sock, err := e.node.OpenUDP(0, func(pkt netapi.Packet) {
-			h(pkt.Data, Source{Addr: pkt.From, colorKey: colorKey, sock: loadSock(cell)}, pkt.TakeLease())
+			h(pkt.Data, Source{Addr: pkt.From, Batch: pkt.Batch, colorKey: colorKey, sock: loadSock(cell)}, pkt.TakeLease())
 		})
 		if err != nil {
 			return nil, fmt.Errorf("netengine: requester %s: %w", c, err)

@@ -1,0 +1,320 @@
+//go:build linux && !starlink.nobatch
+
+package realnet
+
+import (
+	"fmt"
+	"net/netip"
+	"runtime"
+	"syscall"
+	"unsafe"
+
+	"starlink/internal/netapi"
+)
+
+// batchIO marks this build as carrying the batched syscall paths;
+// SetBatchIO can still turn them off at runtime (equivalence tests).
+const batchIO = true
+
+// recvBatch is the slab size of the batched read loop: how many
+// datagrams one recvmmsg may return. 32 × 64 KiB bounds a socket's
+// pinned pool memory at 2 MiB while amortising the syscall (and the
+// per-batch lease accounting) 32-fold under saturation.
+const recvBatch = 32
+
+// mmsghdr mirrors the kernel's struct mmsghdr. No explicit padding:
+// Go's implicit trailing padding of the embedded Msghdr matches the
+// kernel layout on both 64-bit (56+4 → 64) and 32-bit (28+4 → 32)
+// ABIs.
+type mmsghdr struct {
+	hdr    syscall.Msghdr
+	msgLen uint32
+}
+
+// sysSENDMMSG is sendmmsg(2)'s syscall number. The stdlib syscall
+// tables on linux/amd64 and linux/386 predate the syscall, so the
+// numbers are spelled here for every arch; 0 (unknown arch) makes the
+// multicast fan-out fall back to serial sends while recvmmsg — whose
+// number the stdlib does carry everywhere — keeps batching.
+var sysSENDMMSG = func() uintptr {
+	switch runtime.GOARCH {
+	case "amd64":
+		return 307
+	case "386":
+		return 345
+	case "arm":
+		return 374
+	case "arm64", "riscv64", "loong64":
+		return 269
+	case "ppc64", "ppc64le":
+		return 349
+	case "s390x":
+		return 358
+	case "mips", "mipsle":
+		return 4343
+	case "mips64", "mips64le":
+		return 5302
+	}
+	return 0
+}()
+
+// putSockaddr fills an IPv4 sockaddr. Port is raw memory in network
+// byte order (the stdlib idiom), not a host-order uint16.
+func putSockaddr(sa *syscall.RawSockaddrInet4, ip netip.Addr, port uint16) {
+	sa.Family = syscall.AF_INET
+	p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+	p[0] = byte(port >> 8)
+	p[1] = byte(port)
+	sa.Addr = ip.Unmap().As4()
+}
+
+// sockaddrAddr reads the source address of a received datagram back
+// out of its sockaddr.
+func sockaddrAddr(sa *syscall.RawSockaddrInet4) netip.Addr {
+	return netip.AddrFrom4(sa.Addr)
+}
+
+// sockaddrPort reads the (network byte order) port.
+func sockaddrPort(sa *syscall.RawSockaddrInet4) int {
+	p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+	return int(p[0])<<8 | int(p[1])
+}
+
+// ---------------------------------------------------------------------
+// Batched receive: one recvmmsg fills a leased slab of pool buffers.
+// ---------------------------------------------------------------------
+
+// recvBatcher is the batched read loop's reusable syscall state: a
+// leased buffer slab plus the parallel mmsghdr/iovec/sockaddr arrays
+// one recvmmsg call scatters into. The raw-conn callback is built once
+// at construction so the hot loop creates no closures.
+type recvBatcher struct {
+	s     *udpSocket
+	bufs  netapi.Batch
+	hdrs  [recvBatch]mmsghdr
+	iovs  [recvBatch]syscall.Iovec
+	names [recvBatch]syscall.RawSockaddrInet4
+	n     int
+	errno syscall.Errno
+	fn    func(uintptr) bool
+}
+
+func newRecvBatcher(s *udpSocket) *recvBatcher {
+	rb := &recvBatcher{s: s, bufs: netapi.LeaseBatch(recvBatch)}
+	rb.fn = func(fd uintptr) bool {
+		for {
+			r, _, errno := syscall.Syscall6(syscall.SYS_RECVMMSG, fd,
+				uintptr(unsafe.Pointer(&rb.hdrs[0])), recvBatch, 0, 0, 0)
+			switch errno {
+			case 0:
+				rb.n = int(r)
+				return true
+			case syscall.EINTR:
+				continue
+			case syscall.EAGAIN:
+				return false // park in the netpoller until readable
+			default:
+				rb.errno = errno
+				return true
+			}
+		}
+	}
+	return rb
+}
+
+// recv performs one batched receive, parking in the runtime netpoller
+// while the socket has nothing to read. The headers are rebuilt every
+// call: Refill may have swapped buffers into the slab, and the kernel
+// overwrites Namelen/Flags/msgLen on each return.
+func (rb *recvBatcher) recv() error {
+	for i := range rb.hdrs {
+		backing := rb.bufs[i].Backing()
+		rb.iovs[i].Base = &backing[0]
+		rb.iovs[i].SetLen(len(backing))
+		h := &rb.hdrs[i]
+		h.hdr.Name = (*byte)(unsafe.Pointer(&rb.names[i]))
+		h.hdr.Namelen = uint32(unsafe.Sizeof(rb.names[i]))
+		h.hdr.Iov = &rb.iovs[i]
+		h.hdr.Iovlen = 1
+		h.hdr.Flags = 0
+		h.msgLen = 0
+	}
+	rb.n = 0
+	rb.errno = 0
+	if err := rb.s.rc.Read(rb.fn); err != nil {
+		return err
+	}
+	if rb.errno != 0 {
+		return rb.errno
+	}
+	return nil
+}
+
+// readLoopBatch is the Linux fast-path read loop: it leases a slab of
+// pool buffers once, fills up to recvBatch datagrams per syscall, and
+// dispatches them in arrival order under the socket's domain with the
+// same per-delivery lease protocol as the portable loop — each packet
+// gets its own frame-local lease flag, and only the slots whose leases
+// were taken are re-leased (Refill) before the next batch.
+//
+// The flow gate is checked per batch: a blocked gate parks the loop
+// with the slab released (a paused reader must not pin 2 MiB of pool),
+// and a batch already read when the gate closes is held — one bounded
+// in-flight batch, the batch-shaped extension of the portable loop's
+// one-datagram hold — and delivered in order on reopen.
+//
+//starlink:hotpath
+func (s *udpSocket) readLoopBatch() {
+	rb := newRecvBatcher(s)
+	for {
+		if g := s.gate; g != nil && g.Blocked() {
+			rb.bufs.Release()
+			g.Wait()
+			if s.closed.Load() {
+				return
+			}
+			rb.bufs.Refill()
+		}
+		if err := rb.recv(); err != nil {
+			rb.bufs.Release()
+			return // socket closed
+		}
+		if g := s.gate; g != nil && g.Blocked() {
+			// The batch was already off the wire when the gate closed:
+			// hold it (one bounded slab) and deliver in order on reopen.
+			g.Wait()
+		}
+		if s.closed.Load() {
+			continue
+		}
+		n := rb.n
+		if n == 0 {
+			continue
+		}
+		netapi.CountRecvBatch(n)
+		s.dom.mu.Lock()
+		for i := 0; i < n; i++ {
+			if s.closed.Load() {
+				break
+			}
+			buf := rb.bufs[i]
+			buf.SetFilled(int(rb.hdrs[i].msgLen))
+			// Per-delivery lease signal in this loop's own frame, exactly
+			// as on the portable path (see netapi.Buffer): one flag per
+			// datagram, never shared across the batch.
+			retained := false
+			pkt := netapi.Packet{
+				From:  netapi.Addr{IP: s.srcIP(sockaddrAddr(&rb.names[i])), Port: sockaddrPort(&rb.names[i])},
+				To:    s.addr,
+				Data:  buf.Bytes(),
+				Buf:   buf,
+				Batch: n,
+			}
+			pkt.BindLeaseFlag(&retained)
+			s.handler(pkt)
+			if retained {
+				rb.bufs[i] = nil // transferred: the handler releases it
+			}
+		}
+		s.dom.mu.Unlock()
+		s.rt.wake()
+		rb.bufs.Refill()
+	}
+}
+
+// ---------------------------------------------------------------------
+// Batched send: one sendmmsg fans a datagram out to all group members.
+// ---------------------------------------------------------------------
+
+// sendBatcher is the multicast fan-out's reusable syscall state,
+// guarded by the socket's sendMu. The header/iovec/sockaddr arrays are
+// rebuilt per fan-out (slice growth may move them), but their backing
+// storage is reused across sends, so a steady-state fan-out allocates
+// nothing.
+type sendBatcher struct {
+	hdrs  []mmsghdr
+	iovs  []syscall.Iovec
+	names []syscall.RawSockaddrInet4
+	next  int
+	errno syscall.Errno
+	fn    func(uintptr) bool
+}
+
+func (sb *sendBatcher) init() {
+	sb.fn = func(fd uintptr) bool {
+		for sb.next < len(sb.hdrs) {
+			r, _, errno := syscall.Syscall6(sysSENDMMSG, fd,
+				uintptr(unsafe.Pointer(&sb.hdrs[sb.next])),
+				uintptr(len(sb.hdrs)-sb.next), 0, 0, 0)
+			switch errno {
+			case 0:
+				netapi.CountSendBatch(int(r))
+				sb.next += int(r)
+			case syscall.EINTR:
+				continue
+			case syscall.EAGAIN:
+				return false // park until writable, resume from next
+			default:
+				sb.errno = errno
+				return true
+			}
+		}
+		return true
+	}
+}
+
+// batchState is the per-socket scratch the Linux batch paths hang off
+// udpSocket; the portable build replaces it with an empty struct.
+type batchState struct {
+	send sendBatcher
+}
+
+// fanoutBatch transmits data to every destination with as few
+// sendmmsg calls as the socket buffer allows (one, when not full).
+// Caller holds s.sendMu. Unknown-arch builds (sysSENDMMSG == 0) fall
+// back to serial sends.
+func (s *udpSocket) fanoutBatch(data []byte, dsts []netip.AddrPort) error {
+	if sysSENDMMSG == 0 {
+		return s.fanoutSerial(data, dsts)
+	}
+	sb := &s.batch.send
+	if sb.fn == nil {
+		sb.init()
+	}
+	n := len(dsts)
+	if cap(sb.hdrs) < n {
+		sb.hdrs = make([]mmsghdr, n)
+		sb.iovs = make([]syscall.Iovec, n)
+		sb.names = make([]syscall.RawSockaddrInet4, n)
+	}
+	sb.hdrs = sb.hdrs[:n]
+	sb.iovs = sb.iovs[:n]
+	sb.names = sb.names[:n]
+	for i, dst := range dsts {
+		putSockaddr(&sb.names[i], dst.Addr(), dst.Port())
+		iov := &sb.iovs[i]
+		if len(data) > 0 {
+			iov.Base = &data[0]
+		} else {
+			iov.Base = nil
+		}
+		iov.SetLen(len(data))
+		h := &sb.hdrs[i]
+		h.hdr = syscall.Msghdr{}
+		h.hdr.Name = (*byte)(unsafe.Pointer(&sb.names[i]))
+		h.hdr.Namelen = uint32(unsafe.Sizeof(sb.names[i]))
+		h.hdr.Iov = iov
+		h.hdr.Iovlen = 1
+	}
+	sb.next = 0
+	sb.errno = 0
+	err := s.rc.Write(sb.fn)
+	runtime.KeepAlive(data)
+	if err != nil {
+		return fmt.Errorf("realnet: multicast sendmmsg: %w", err)
+	}
+	if sb.errno != 0 {
+		return fmt.Errorf("realnet: multicast sendmmsg: %w", sb.errno)
+	}
+	return nil
+}

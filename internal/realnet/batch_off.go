@@ -1,0 +1,23 @@
+//go:build !linux || starlink.nobatch
+
+package realnet
+
+import "net/netip"
+
+// batchIO marks this build as portable-only: no batched syscall paths
+// exist, every read loop and fan-out runs per-datagram. This is the
+// non-Linux build and the `starlink.nobatch` CI matrix leg.
+const batchIO = false
+
+// batchState is empty on portable builds; the Linux build hangs the
+// sendmmsg scratch off it.
+type batchState struct{}
+
+// readLoopBatch is never selected when batchIO is false; it delegates
+// to the portable loop so both builds compile identically.
+func (s *udpSocket) readLoopBatch() { s.readLoopSerial() }
+
+// fanoutBatch delegates to the serial fan-out on portable builds.
+func (s *udpSocket) fanoutBatch(data []byte, dsts []netip.AddrPort) error {
+	return s.fanoutSerial(data, dsts)
+}

@@ -36,6 +36,7 @@ import (
 	"net/netip"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"starlink/internal/netapi"
@@ -43,6 +44,28 @@ import (
 
 // loopback is the address every real socket binds to.
 var loopback = netip.AddrFrom4([4]byte{127, 0, 0, 1})
+
+// batchDisabled turns the batched syscall paths (recvmmsg read loop,
+// sendmmsg multicast fan-out) off at runtime on builds that carry them
+// (batchIO). Read loops sample the setting when they start; Send
+// checks it per fan-out.
+var batchDisabled atomic.Bool
+
+// SetBatchIO enables or disables the batched I/O fast paths at runtime
+// and reports the previous setting. It exists for the equivalence
+// tests, which drive identical traffic through the batched and
+// portable paths in one (Linux) build; production code leaves the
+// default (enabled where compiled in). Sockets already running keep
+// the read-loop mode they started with. On portable builds (non-Linux
+// or the no-batch tag) the toggle records state but there is no
+// batched path to enable.
+func SetBatchIO(on bool) (prev bool) {
+	return !batchDisabled.Swap(!on)
+}
+
+// useBatchIO reports whether newly started read loops and multicast
+// fan-outs take the batched syscall paths.
+func useBatchIO() bool { return batchIO && !batchDisabled.Load() }
 
 // maxParkedPerDest bounds the dial-reuse pool per destination address.
 const maxParkedPerDest = 4
@@ -89,8 +112,8 @@ type Runtime struct {
 	waitCh   chan struct{}
 	timers   map[netapi.TimerID]*time.Timer
 	timerSeq uint64
-	groups   map[string][]*udpSocket // group "ip:port" -> members
-	parked   map[int][]*streamConn   // dial-reuse pool, by remote port
+	groups   map[netapi.Addr][]*udpSocket // group address -> members
+	parked   map[int][]*streamConn        // dial-reuse pool, by remote port
 
 	rootsMu sync.Mutex
 	roots   []*domain // root domain of every live node, creation order
@@ -106,7 +129,7 @@ func New() *Runtime {
 	return &Runtime{
 		waitCh: make(chan struct{}, 1),
 		timers: map[netapi.TimerID]*time.Timer{},
-		groups: map[string][]*udpSocket{},
+		groups: map[netapi.Addr][]*udpSocket{},
 		parked: map[int][]*streamConn{},
 	}
 }
@@ -421,17 +444,34 @@ func (n *node) Cancel(id netapi.TimerID) {
 // ---------------------------------------------------------------------
 
 type udpSocket struct {
-	rt      *Runtime
-	owner   *node
-	dom     *domain
-	conn    *net.UDPConn
+	rt    *Runtime
+	owner *node
+	dom   *domain
+	conn  *net.UDPConn
+	// rc is the socket's raw control handle for the batched recvmmsg /
+	// sendmmsg paths: the syscall callbacks run under the runtime
+	// netpoller, so a would-block parks the goroutine until the fd is
+	// ready instead of spinning.
+	rc      syscall.RawConn
 	addr    netapi.Addr
 	handler netapi.PacketHandler
 	// gate, when non-nil, pauses the read loop while blocked
 	// (backpressure from a pressured ingest queue downstream).
 	gate   *netapi.FlowGate
-	groups []string
+	groups []netapi.Addr
 	closed atomic.Bool
+
+	// srcCache interns source-IP strings so the read loop builds each
+	// peer's dotted-quad exactly once. Owned exclusively by the read
+	// loop goroutine — no locking.
+	srcCache map[netip.Addr]string
+
+	// sendMu serialises the multicast fan-out scratch: the snapshot of
+	// member destinations (sendDsts, reused across sends — no per-call
+	// slice) and the platform batch state.
+	sendMu   sync.Mutex
+	sendDsts []netip.AddrPort
+	batch    batchState
 }
 
 var _ netapi.UDPSocket = (*udpSocket)(nil)
@@ -448,12 +488,18 @@ func (n *node) openUDP(dom *domain, gate *netapi.FlowGate, port int, h netapi.Pa
 	if err != nil {
 		return nil, fmt.Errorf("realnet: %w", err)
 	}
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("realnet: %w", err)
+	}
 	local := conn.LocalAddr().(*net.UDPAddr)
 	s := &udpSocket{
 		rt:      n.rt,
 		owner:   n,
 		dom:     dom,
 		conn:    conn,
+		rc:      rc,
 		addr:    netapi.Addr{IP: "127.0.0.1", Port: local.Port},
 		handler: h,
 		gate:    gate,
@@ -475,22 +521,53 @@ func (n *node) joinGroup(dom *domain, gate *netapi.FlowGate, group netapi.Addr, 
 	if err != nil {
 		return nil, err
 	}
-	key := group.String()
 	n.rt.stateMu.Lock()
-	n.rt.groups[key] = append(n.rt.groups[key], s)
-	s.groups = append(s.groups, key)
+	n.rt.groups[group] = append(n.rt.groups[group], s)
+	s.groups = append(s.groups, group)
 	n.rt.stateMu.Unlock()
 	return s, nil
 }
 
-// readLoop reads datagrams straight into leased pooled buffers and
-// invokes the handler inline under the socket's dispatch domain: no
-// per-datagram copy, closure or allocation. If the handler takes the
-// buffer's lease the loop leases a fresh one; otherwise the same
-// buffer is reused for the next read.
+// readLoop selects the socket's receive path once, at goroutine
+// start: the batched recvmmsg loop where the build carries it and
+// runtime batching is on, the portable per-datagram loop otherwise.
+func (s *udpSocket) readLoop() {
+	if useBatchIO() {
+		s.readLoopBatch()
+		return
+	}
+	s.readLoopSerial()
+}
+
+// srcIP returns the interned dotted-quad string of a datagram source.
+// Called only from the socket's read loop goroutine, which owns the
+// cache: each distinct peer pays the formatting allocation once, after
+// which the receive path is allocation-free again. The cache is
+// bounded defensively — loopback traffic cannot have many sources, but
+// an unbounded map keyed by remote-controlled input must not exist.
+func (s *udpSocket) srcIP(a netip.Addr) string {
+	a = a.Unmap()
+	if ip, ok := s.srcCache[a]; ok {
+		return ip
+	}
+	ip := a.String()
+	if s.srcCache == nil {
+		s.srcCache = make(map[netip.Addr]string)
+	}
+	if len(s.srcCache) < 4096 {
+		s.srcCache[a] = ip
+	}
+	return ip
+}
+
+// readLoopSerial reads datagrams one at a time straight into leased
+// pooled buffers and invokes the handler inline under the socket's
+// dispatch domain: no per-datagram copy, closure or allocation. If the
+// handler takes the buffer's lease the loop leases a fresh one;
+// otherwise the same buffer is reused for the next read.
 //
 //starlink:hotpath
-func (s *udpSocket) readLoop() {
+func (s *udpSocket) readLoopSerial() {
 	buf := netapi.NewBuffer()
 	for {
 		if g := s.gate; g != nil && g.Blocked() {
@@ -519,6 +596,7 @@ func (s *udpSocket) readLoop() {
 		if s.closed.Load() {
 			continue
 		}
+		netapi.CountRecvSingle()
 		buf.SetFilled(nr)
 		// The lease-transfer signal lives in this loop's own frame, not
 		// on the buffer: once the handler takes the lease the new owner
@@ -527,10 +605,11 @@ func (s *udpSocket) readLoop() {
 		// belong to the buffer's next life (see netapi.Buffer).
 		retained := false
 		pkt := netapi.Packet{
-			From: netapi.Addr{IP: "127.0.0.1", Port: int(from.Port())},
-			To:   s.addr,
-			Data: buf.Bytes(),
-			Buf:  buf,
+			From:  netapi.Addr{IP: s.srcIP(from.Addr()), Port: int(from.Port())},
+			To:    s.addr,
+			Data:  buf.Bytes(),
+			Buf:   buf,
+			Batch: 1,
 		}
 		pkt.BindLeaseFlag(&retained)
 		s.dom.mu.Lock()
@@ -549,27 +628,50 @@ func (s *udpSocket) readLoop() {
 
 func (s *udpSocket) LocalAddr() netapi.Addr { return s.addr }
 
+// Send transmits a datagram. A multicast destination fans out to all
+// live group members: the member snapshot reuses a per-socket scratch
+// slice (no per-send allocation), and on the Linux fast path the whole
+// fan-out is one sendmmsg instead of one write syscall per member.
+//
+//starlink:hotpath
 func (s *udpSocket) Send(to netapi.Addr, data []byte) error {
 	if to.IsMulticast() {
+		s.sendMu.Lock()
+		dsts := s.sendDsts[:0]
 		s.rt.stateMu.Lock()
-		members := make([]*udpSocket, 0, len(s.rt.groups[to.String()]))
-		for _, m := range s.rt.groups[to.String()] {
+		for _, m := range s.rt.groups[to] {
 			if !m.closed.Load() {
-				members = append(members, m)
+				dsts = append(dsts, netip.AddrPortFrom(loopback, uint16(m.addr.Port)))
 			}
 		}
 		s.rt.stateMu.Unlock()
-		for _, m := range members {
-			dst := netip.AddrPortFrom(loopback, uint16(m.addr.Port))
-			if _, err := s.conn.WriteToUDPAddrPort(data, dst); err != nil {
-				return fmt.Errorf("realnet: multicast to %s: %w", m.addr, err)
-			}
+		s.sendDsts = dsts
+		var err error
+		if useBatchIO() && len(dsts) > 1 {
+			err = s.fanoutBatch(data, dsts)
+		} else {
+			err = s.fanoutSerial(data, dsts)
 		}
-		return nil
+		s.sendMu.Unlock()
+		return err
 	}
+	netapi.CountSendSingle()
 	dst := netip.AddrPortFrom(loopback, uint16(to.Port))
 	if _, err := s.conn.WriteToUDPAddrPort(data, dst); err != nil {
 		return fmt.Errorf("realnet: send to %s: %w", to, err)
+	}
+	return nil
+}
+
+// fanoutSerial transmits data to every destination with one write
+// syscall per member — the portable fan-out, and the single-member
+// fast case. Caller holds s.sendMu.
+func (s *udpSocket) fanoutSerial(data []byte, dsts []netip.AddrPort) error {
+	for _, dst := range dsts {
+		netapi.CountSendSingle()
+		if _, err := s.conn.WriteToUDPAddrPort(data, dst); err != nil {
+			return fmt.Errorf("realnet: multicast to %s: %w", dst, err)
+		}
 	}
 	return nil
 }
@@ -695,20 +797,35 @@ type streamConn struct {
 	gate *netapi.FlowGate
 
 	// Write coalescing: the first sender becomes the writer and drains
-	// wbuf batches queued by concurrent senders, so N concurrent sends
-	// become few syscalls while per-sender order is preserved. werr
-	// latches the first write error for subsequent senders. wparked is
-	// latched by ParkConn in the same wmu critical section that proves
-	// the write path clean, and cleared when a claimant takes over: a
-	// Send racing the park fails instead of interleaving its bytes with
-	// the next claimant's traffic.
+	// the chunks queued by concurrent senders, so N concurrent sends
+	// become few syscalls while per-sender order is preserved. Each
+	// queued send is its own chunk (copied into recycled storage from
+	// wfree) and the writer drains the whole backlog with ONE vectored
+	// write (net.Buffers → writev) per drain pass instead of one write
+	// per chunk; wvec is the writer-owned scratch header vector, copied
+	// from the batch because net.Buffers.WriteTo consumes its receiver.
+	// werr latches the first write error for subsequent senders.
+	// wparked is latched by ParkConn in the same wmu critical section
+	// that proves the write path clean, and cleared when a claimant
+	// takes over: a Send racing the park fails instead of interleaving
+	// its bytes with the next claimant's traffic.
 	wmu     sync.Mutex
 	wbusy   bool
 	wparked bool
-	wbuf    []byte
-	wspare  []byte
+	wqueue  [][]byte
+	wqspare [][]byte
+	wfree   [][]byte
+	wvec    net.Buffers
 	werr    error
 }
+
+// maxRecycledChunk bounds the capacity of a coalescing chunk kept on
+// the free list (a multi-MB burst chunk must not be pinned by an idle
+// connection); maxFreeChunks bounds how many are kept.
+const (
+	maxRecycledChunk = 64 * 1024
+	maxFreeChunks    = 32
+)
 
 var _ netapi.Conn = (*streamConn)(nil)
 
@@ -845,7 +962,7 @@ func (n *node) ParkConn(c netapi.Conn) bool {
 	sc.dom.mu.Lock()
 	n.rt.stateMu.Lock()
 	sc.wmu.Lock()
-	clean := sc.werr == nil && !sc.wbusy && len(sc.wbuf) == 0
+	clean := sc.werr == nil && !sc.wbusy && len(sc.wqueue) == 0
 	if !clean || sc.state != connActive || len(n.rt.parked[sc.remote.Port]) >= maxParkedPerDest {
 		sc.wmu.Unlock()
 		n.rt.stateMu.Unlock()
@@ -855,7 +972,7 @@ func (n *node) ParkConn(c netapi.Conn) bool {
 	sc.wparked = true
 	// Drop the coalescing scratch: a burst before the park can have
 	// grown it to many MB, which an idle pooled connection must not pin.
-	sc.wbuf, sc.wspare = nil, nil
+	sc.wqueue, sc.wqspare, sc.wfree, sc.wvec = nil, nil, nil, nil
 	sc.state = connParked
 	n.rt.parked[sc.remote.Port] = append(n.rt.parked[sc.remote.Port], sc)
 	sc.recv = nil
@@ -955,9 +1072,12 @@ func (sc *streamConn) unparkWrites() {
 }
 
 // Send transmits data in order. Concurrent senders coalesce: the first
-// one becomes the writer and drains everything queued meanwhile into
-// single writes. A write error is returned to the writer that hit it
-// and latched for every later sender.
+// one becomes the writer; later senders queue their bytes as chunks
+// (copied into recycled storage) and return. The writer drains the
+// whole queued backlog with one vectored write (net.Buffers → writev)
+// per drain pass, so N concurrent sends cost ~one syscall regardless
+// of how many chunks piled up. A write error is returned to the writer
+// that hit it and latched for every later sender.
 func (sc *streamConn) Send(data []byte) error {
 	sc.wmu.Lock()
 	if sc.wparked {
@@ -970,32 +1090,60 @@ func (sc *streamConn) Send(data []byte) error {
 		return fmt.Errorf("realnet: %w", err)
 	}
 	if sc.wbusy {
-		sc.wbuf = append(sc.wbuf, data...)
+		// Queue this send as its own chunk, reusing freed storage when
+		// a recycled chunk is available.
+		var chunk []byte
+		if n := len(sc.wfree); n > 0 {
+			chunk = sc.wfree[n-1]
+			sc.wfree = sc.wfree[:n-1]
+		}
+		sc.wqueue = append(sc.wqueue, append(chunk, data...))
 		sc.wmu.Unlock()
 		return nil
 	}
 	sc.wbusy = true
 	sc.wmu.Unlock()
 	_, err := sc.c.Write(data)
+	var prev [][]byte
 	for {
 		sc.wmu.Lock()
+		// Recycle the previous drain pass's chunks: storage onto the
+		// bounded free list, the header slice as the next queue.
+		for _, c := range prev {
+			if cap(c) <= maxRecycledChunk && len(sc.wfree) < maxFreeChunks {
+				sc.wfree = append(sc.wfree, c[:0])
+			}
+		}
+		if prev != nil {
+			sc.wqspare = prev[:0]
+		}
+		prev = nil
 		if err != nil {
 			sc.werr = err
 			sc.wbusy = false
-			sc.wbuf = nil
+			sc.wqueue, sc.wqspare, sc.wfree, sc.wvec = nil, nil, nil, nil
 			sc.wmu.Unlock()
 			return fmt.Errorf("realnet: %w", err)
 		}
-		if len(sc.wbuf) == 0 {
+		if len(sc.wqueue) == 0 {
 			sc.wbusy = false
 			sc.wmu.Unlock()
 			return nil
 		}
-		batch := sc.wbuf
-		sc.wbuf = sc.wspare[:0]
+		batch := sc.wqueue
+		sc.wqueue = sc.wqspare[:0]
+		sc.wqspare = nil
 		sc.wmu.Unlock()
-		_, err = sc.c.Write(batch)
-		sc.wspare = batch
+		// One writev drains the whole backlog. WriteTo consumes its
+		// receiver, so it runs on a local header copy of the
+		// writer-owned scratch vector — sc.wvec keeps addressing the
+		// scratch backing array from index 0 for the next pass, and
+		// batch keeps the chunk headers alive for recycling.
+		netapi.CountStreamFlush(len(batch))
+		sc.wvec = append(sc.wvec[:0], batch...)
+		vec := sc.wvec
+		_, err = vec.WriteTo(sc.c)
+		prev = batch
 	}
 }
 

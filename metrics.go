@@ -6,6 +6,7 @@ import (
 	"starlink/internal/engine"
 	"starlink/internal/hist"
 	"starlink/internal/lanes"
+	"starlink/internal/netapi"
 	"starlink/internal/provision"
 	"starlink/internal/trace"
 )
@@ -58,6 +59,13 @@ type SessionMetrics struct {
 	ParseErrors int
 	// Ignored counts well-formed payloads no session wanted.
 	Ignored int
+	// Ingested counts payloads accepted off the deployment's entry
+	// listeners; IngestedBatched counts the subset delivered by a
+	// multi-packet batched receive syscall (recvmmsg) — nonzero only
+	// on runtimes with the batched fast path, under enough load for
+	// datagrams to queue between reads.
+	Ingested        int
+	IngestedBatched int
 }
 
 // add accumulates per-case metrics into an aggregate.
@@ -70,6 +78,8 @@ func (m SessionMetrics) add(o SessionMetrics) SessionMetrics {
 	m.Dropped += o.Dropped
 	m.ParseErrors += o.ParseErrors
 	m.Ignored += o.Ignored
+	m.Ingested += o.Ingested
+	m.IngestedBatched += o.IngestedBatched
 	return m
 }
 
@@ -153,19 +163,26 @@ type Metrics struct {
 	// case, one row per lane in priority order (control, data,
 	// telemetry).
 	Lanes []LaneMetrics
+	// Transport is the process-wide transport syscall accounting —
+	// batched vs per-datagram receives and sends, vectored stream
+	// flushes. Process-global (all deployments in the process share
+	// the transport layer), monotonic since process start.
+	Transport TransportMetrics
 }
 
 // sessionMetricsOf converts engine counters to the public form.
 func sessionMetricsOf(c engine.Counters) SessionMetrics {
 	return SessionMetrics{
-		Live:          c.Live,
-		Completed:     c.Completed,
-		Failed:        c.Failed,
-		Rejected:      c.Rejected,
-		DrainRejected: c.DrainRejected,
-		Dropped:       c.Dropped,
-		ParseErrors:   c.ParseErrors,
-		Ignored:       c.Ignored,
+		Live:            c.Live,
+		Completed:       c.Completed,
+		Failed:          c.Failed,
+		Rejected:        c.Rejected,
+		DrainRejected:   c.DrainRejected,
+		Dropped:         c.Dropped,
+		ParseErrors:     c.ParseErrors,
+		Ignored:         c.Ignored,
+		Ingested:        c.Ingested,
+		IngestedBatched: c.IngestedBatched,
 	}
 }
 
@@ -216,6 +233,53 @@ func laneRowsOf(d engine.LaneDump) []LaneMetrics {
 		})
 	}
 	return rows
+}
+
+// TransportMetrics is the process-wide transport syscall accounting:
+// how ingress and egress traffic mapped onto syscalls. It pins the
+// batched I/O fast paths structurally — RecvBatchPackets across
+// RecvBatches gives the mean receive batch size, and
+// RecvMultiBatches > 0 proves multi-packet batches actually happened —
+// independent of wall-clock noise. Counters are process-global and
+// monotonic; runtimes without the batched paths leave the batch
+// counters at zero and count singles.
+type TransportMetrics struct {
+	// RecvBatches counts batched receive syscalls (recvmmsg);
+	// RecvBatchPackets counts the datagrams they returned;
+	// RecvMultiBatches counts the batches carrying more than one
+	// datagram. RecvSingles counts per-datagram receives (portable
+	// path).
+	RecvBatches      uint64
+	RecvBatchPackets uint64
+	RecvMultiBatches uint64
+	RecvSingles      uint64
+	// SendBatches counts batched send syscalls (sendmmsg, multicast
+	// fan-out); SendBatchPackets counts the datagrams they carried;
+	// SendSingles counts per-datagram sends.
+	SendBatches      uint64
+	SendBatchPackets uint64
+	SendSingles      uint64
+	// StreamFlushes counts coalesced stream-writer flushes;
+	// StreamFlushChunks counts the queued chunks those flushes drained
+	// in one vectored write (writev) each.
+	StreamFlushes     uint64
+	StreamFlushChunks uint64
+}
+
+// transportMetricsOf converts the netapi transport counters to the
+// public form.
+func transportMetricsOf(s netapi.IOStats) TransportMetrics {
+	return TransportMetrics{
+		RecvBatches:       s.RecvBatches,
+		RecvBatchPackets:  s.RecvBatchPackets,
+		RecvMultiBatches:  s.RecvMultiBatches,
+		RecvSingles:       s.RecvSingles,
+		SendBatches:       s.SendBatches,
+		SendBatchPackets:  s.SendBatchPackets,
+		SendSingles:       s.SendSingles,
+		StreamFlushes:     s.StreamFlushes,
+		StreamFlushChunks: s.StreamFlushChunks,
+	}
 }
 
 // dispatchMetricsOf converts dispatcher counters to the public form.

@@ -70,6 +70,8 @@ func checkMetrics(t *testing.T, m starlink.Metrics, prevFinished *int64) {
 		sum.Dropped += row.Dropped
 		sum.ParseErrors += row.ParseErrors
 		sum.Ignored += row.Ignored
+		sum.Ingested += row.Ingested
+		sum.IngestedBatched += row.IngestedBatched
 	}
 	if sum != m.Sessions {
 		t.Errorf("per-case rows sum to %+v, aggregate says %+v", sum, m.Sessions)

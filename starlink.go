@@ -104,6 +104,7 @@ import (
 
 	"starlink/internal/core"
 	"starlink/internal/engine"
+	"starlink/internal/netapi"
 	"starlink/internal/provision"
 )
 
@@ -312,6 +313,7 @@ func (b *Bridge) Metrics() Metrics {
 		Latency:     lat,
 		CaseLatency: map[string][]StageLatency{b.b.Case: lat},
 		Lanes:       laneRowsOf(b.b.Engine.Lanes()),
+		Transport:   transportMetricsOf(netapi.ReadIOStats()),
 	}
 }
 
@@ -391,6 +393,7 @@ func (d *Dispatcher) Metrics() Metrics {
 		Dispatch:    dispatchMetricsOf(d.d.DispatchStats()),
 		Cases:       map[string]SessionMetrics{},
 		CaseLatency: map[string][]StageLatency{},
+		Transport:   transportMetricsOf(netapi.ReadIOStats()),
 	}
 	for name, st := range d.d.Stats() {
 		s := sessionMetricsOf(st)
